@@ -1,0 +1,538 @@
+//! Transaction traces: record a workload stream and replay it later.
+//!
+//! The paper's benchmark is *trace-driven*: B2W's production logs are
+//! replayed against H-Store "starting from any point in the logs"
+//! (Appendix C). This module provides the equivalent facility for the
+//! synthetic workload: a [`Trace`] is a timestamped sequence of
+//! [`B2wTxn`]s with a compact, dependency-free text encoding, so traces
+//! can be captured once and replayed deterministically across runs and
+//! processes.
+//!
+//! The format is line-based: `<at_ms>|<PROC>|field|field|...` with `|`
+//! forbidden in identifiers (generator ids are hex strings, so this is not
+//! a practical restriction; encoding rejects offending values).
+
+//!
+//! ```
+//! use pstore_b2w::trace::Trace;
+//! use pstore_b2w::procedures::GetCart;
+//! use pstore_b2w::B2wTxn;
+//!
+//! let mut trace = Trace::new();
+//! trace.record(0, B2wTxn::GetCart(GetCart { cart_id: "cart-1".into() }));
+//! trace.record(5, B2wTxn::GetCart(GetCart { cart_id: "cart-2".into() }));
+//! let text = trace.encode();
+//! assert_eq!(Trace::decode(&text).unwrap(), trace);
+//! ```
+
+use crate::procedures::*;
+use std::fmt;
+
+/// A timestamped transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// Milliseconds since the start of the trace.
+    pub at_ms: u64,
+    /// The transaction.
+    pub txn: B2wTxn,
+}
+
+/// A recorded transaction stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+/// Errors decoding a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a transaction at the given trace time.
+    ///
+    /// # Panics
+    /// Panics if timestamps go backwards.
+    pub fn record(&mut self, at_ms: u64, txn: B2wTxn) {
+        if let Some(last) = self.entries.last() {
+            assert!(
+                at_ms >= last.at_ms,
+                "trace timestamps must be non-decreasing"
+            );
+        }
+        self.entries.push(TraceEntry { at_ms, txn });
+    }
+
+    /// The recorded entries, in time order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries within `[from_ms, to_ms)` — replay "from any point".
+    pub fn window(&self, from_ms: u64, to_ms: u64) -> impl Iterator<Item = &TraceEntry> {
+        self.entries
+            .iter()
+            .filter(move |e| e.at_ms >= from_ms && e.at_ms < to_ms)
+    }
+
+    /// Serialises the trace to its text form.
+    ///
+    /// # Panics
+    /// Panics if any identifier contains the `|` separator (generator ids
+    /// never do).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            encode_entry(&mut out, e);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a trace from its text form.
+    ///
+    /// # Errors
+    /// Returns a [`TraceError`] naming the offending line.
+    pub fn decode(text: &str) -> Result<Self, TraceError> {
+        let mut trace = Trace::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let entry = decode_entry(line).map_err(|reason| TraceError {
+                line: i + 1,
+                reason,
+            })?;
+            if let Some(last) = trace.entries.last() {
+                if entry.at_ms < last.at_ms {
+                    return Err(TraceError {
+                        line: i + 1,
+                        reason: "timestamps go backwards".into(),
+                    });
+                }
+            }
+            trace.entries.push(entry);
+        }
+        Ok(trace)
+    }
+}
+
+fn field(out: &mut String, s: &str) {
+    assert!(!s.contains('|'), "identifier contains the separator: {s}");
+    out.push('|');
+    out.push_str(s);
+}
+
+fn encode_entry(out: &mut String, e: &TraceEntry) {
+    out.push_str(&e.at_ms.to_string());
+    match &e.txn {
+        B2wTxn::AddLineToCart(p) => {
+            field(out, "ALC");
+            field(out, &p.cart_id);
+            field(out, &p.customer_id);
+            field(out, &p.line_id.to_string());
+            field(out, &p.sku);
+            field(out, &p.quantity.to_string());
+            field(out, &p.unit_price.to_string());
+            field(out, &p.now.to_string());
+        }
+        B2wTxn::DeleteLineFromCart(p) => {
+            field(out, "DLC");
+            field(out, &p.cart_id);
+            field(out, &p.line_id.to_string());
+            field(out, &p.now.to_string());
+        }
+        B2wTxn::GetCart(p) => {
+            field(out, "GC");
+            field(out, &p.cart_id);
+        }
+        B2wTxn::DeleteCart(p) => {
+            field(out, "DC");
+            field(out, &p.cart_id);
+        }
+        B2wTxn::ReserveCart(p) => {
+            field(out, "RC");
+            field(out, &p.cart_id);
+            field(out, &p.now.to_string());
+        }
+        B2wTxn::GetStock(p) => {
+            field(out, "GS");
+            field(out, &p.sku);
+        }
+        B2wTxn::GetStockQuantity(p) => {
+            field(out, "GSQ");
+            field(out, &p.sku);
+        }
+        B2wTxn::ReserveStock(p) => {
+            field(out, "RS");
+            field(out, &p.sku);
+            field(out, &p.quantity.to_string());
+        }
+        B2wTxn::PurchaseStock(p) => {
+            field(out, "PS");
+            field(out, &p.sku);
+            field(out, &p.quantity.to_string());
+        }
+        B2wTxn::CancelStockReservation(p) => {
+            field(out, "CSR");
+            field(out, &p.sku);
+            field(out, &p.quantity.to_string());
+        }
+        B2wTxn::CreateStockTransaction(p) => {
+            field(out, "CST");
+            field(out, &p.stock_txn_id);
+            field(out, &p.sku);
+            field(out, &p.cart_id);
+            field(out, &p.quantity.to_string());
+        }
+        B2wTxn::GetStockTransaction(p) => {
+            field(out, "GST");
+            field(out, &p.stock_txn_id);
+        }
+        B2wTxn::UpdateStockTransaction(p) => {
+            field(out, "UST");
+            field(out, &p.stock_txn_id);
+            field(out, &p.new_status);
+        }
+        B2wTxn::CreateCheckout(p) => {
+            field(out, "CC");
+            field(out, &p.checkout_id);
+            field(out, &p.cart_id);
+            field(out, &p.amount_due.to_string());
+            field(out, &p.now.to_string());
+        }
+        B2wTxn::CreateCheckoutPayment(p) => {
+            field(out, "CCP");
+            field(out, &p.checkout_id);
+            field(out, &p.payment_id.to_string());
+            field(out, &p.method);
+            field(out, &p.amount.to_string());
+        }
+        B2wTxn::AddLineToCheckout(p) => {
+            field(out, "ALK");
+            field(out, &p.checkout_id);
+            field(out, &p.line_id.to_string());
+            field(out, &p.sku);
+            field(out, &p.quantity.to_string());
+            field(out, &p.price.to_string());
+            field(out, &p.stock_txn_id);
+        }
+        B2wTxn::DeleteLineFromCheckout(p) => {
+            field(out, "DLK");
+            field(out, &p.checkout_id);
+            field(out, &p.line_id.to_string());
+        }
+        B2wTxn::GetCheckout(p) => {
+            field(out, "GK");
+            field(out, &p.checkout_id);
+        }
+        B2wTxn::DeleteCheckout(p) => {
+            field(out, "DK");
+            field(out, &p.checkout_id);
+        }
+        B2wTxn::ArchiveStockTransaction(p) => {
+            field(out, "AST");
+            field(out, &p.stock_txn_id);
+        }
+    }
+}
+
+fn decode_entry(line: &str) -> Result<TraceEntry, String> {
+    let mut parts = line.split('|');
+    let at_ms: u64 = parts
+        .next()
+        .ok_or("missing timestamp")?
+        .parse()
+        .map_err(|e| format!("bad timestamp: {e}"))?;
+    let tag = parts.next().ok_or("missing procedure tag")?;
+    let fields: Vec<&str> = parts.collect();
+    let need = |n: usize| -> Result<(), String> {
+        if fields.len() == n {
+            Ok(())
+        } else {
+            Err(format!("{tag}: expected {n} fields, got {}", fields.len()))
+        }
+    };
+    let int = |s: &str| -> Result<i64, String> { s.parse().map_err(|e| format!("bad int: {e}")) };
+    let float =
+        |s: &str| -> Result<f64, String> { s.parse().map_err(|e| format!("bad float: {e}")) };
+
+    let txn = match tag {
+        "ALC" => {
+            need(7)?;
+            B2wTxn::AddLineToCart(AddLineToCart {
+                cart_id: fields[0].into(),
+                customer_id: fields[1].into(),
+                line_id: int(fields[2])?,
+                sku: fields[3].into(),
+                quantity: int(fields[4])?,
+                unit_price: float(fields[5])?,
+                now: int(fields[6])?,
+            })
+        }
+        "DLC" => {
+            need(3)?;
+            B2wTxn::DeleteLineFromCart(DeleteLineFromCart {
+                cart_id: fields[0].into(),
+                line_id: int(fields[1])?,
+                now: int(fields[2])?,
+            })
+        }
+        "GC" => {
+            need(1)?;
+            B2wTxn::GetCart(GetCart {
+                cart_id: fields[0].into(),
+            })
+        }
+        "DC" => {
+            need(1)?;
+            B2wTxn::DeleteCart(DeleteCart {
+                cart_id: fields[0].into(),
+            })
+        }
+        "RC" => {
+            need(2)?;
+            B2wTxn::ReserveCart(ReserveCart {
+                cart_id: fields[0].into(),
+                now: int(fields[1])?,
+            })
+        }
+        "GS" => {
+            need(1)?;
+            B2wTxn::GetStock(GetStock {
+                sku: fields[0].into(),
+            })
+        }
+        "GSQ" => {
+            need(1)?;
+            B2wTxn::GetStockQuantity(GetStockQuantity {
+                sku: fields[0].into(),
+            })
+        }
+        "RS" => {
+            need(2)?;
+            B2wTxn::ReserveStock(ReserveStock {
+                sku: fields[0].into(),
+                quantity: int(fields[1])?,
+            })
+        }
+        "PS" => {
+            need(2)?;
+            B2wTxn::PurchaseStock(PurchaseStock {
+                sku: fields[0].into(),
+                quantity: int(fields[1])?,
+            })
+        }
+        "CSR" => {
+            need(2)?;
+            B2wTxn::CancelStockReservation(CancelStockReservation {
+                sku: fields[0].into(),
+                quantity: int(fields[1])?,
+            })
+        }
+        "CST" => {
+            need(4)?;
+            B2wTxn::CreateStockTransaction(CreateStockTransaction {
+                stock_txn_id: fields[0].into(),
+                sku: fields[1].into(),
+                cart_id: fields[2].into(),
+                quantity: int(fields[3])?,
+            })
+        }
+        "GST" => {
+            need(1)?;
+            B2wTxn::GetStockTransaction(GetStockTransaction {
+                stock_txn_id: fields[0].into(),
+            })
+        }
+        "UST" => {
+            need(2)?;
+            B2wTxn::UpdateStockTransaction(UpdateStockTransaction {
+                stock_txn_id: fields[0].into(),
+                new_status: fields[1].into(),
+            })
+        }
+        "CC" => {
+            need(4)?;
+            B2wTxn::CreateCheckout(CreateCheckout {
+                checkout_id: fields[0].into(),
+                cart_id: fields[1].into(),
+                amount_due: float(fields[2])?,
+                now: int(fields[3])?,
+            })
+        }
+        "CCP" => {
+            need(4)?;
+            B2wTxn::CreateCheckoutPayment(CreateCheckoutPayment {
+                checkout_id: fields[0].into(),
+                payment_id: int(fields[1])?,
+                method: fields[2].into(),
+                amount: float(fields[3])?,
+            })
+        }
+        "ALK" => {
+            need(6)?;
+            B2wTxn::AddLineToCheckout(AddLineToCheckout {
+                checkout_id: fields[0].into(),
+                line_id: int(fields[1])?,
+                sku: fields[2].into(),
+                quantity: int(fields[3])?,
+                price: float(fields[4])?,
+                stock_txn_id: fields[5].into(),
+            })
+        }
+        "DLK" => {
+            need(2)?;
+            B2wTxn::DeleteLineFromCheckout(DeleteLineFromCheckout {
+                checkout_id: fields[0].into(),
+                line_id: int(fields[1])?,
+            })
+        }
+        "GK" => {
+            need(1)?;
+            B2wTxn::GetCheckout(GetCheckout {
+                checkout_id: fields[0].into(),
+            })
+        }
+        "DK" => {
+            need(1)?;
+            B2wTxn::DeleteCheckout(DeleteCheckout {
+                checkout_id: fields[0].into(),
+            })
+        }
+        "AST" => {
+            need(1)?;
+            B2wTxn::ArchiveStockTransaction(ArchiveStockTransaction {
+                stock_txn_id: fields[0].into(),
+            })
+        }
+        other => return Err(format!("unknown procedure tag {other}")),
+    };
+    Ok(TraceEntry { at_ms, txn })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{WorkloadConfig, WorkloadGenerator};
+
+    fn sample_trace(n: usize) -> Trace {
+        let mut gen = WorkloadGenerator::new(WorkloadConfig {
+            seed: 99,
+            num_skus: 100,
+            initial_carts: 20,
+            ..WorkloadConfig::default()
+        });
+        let mut trace = Trace::new();
+        for (i, txn) in gen.initial_load().into_iter().enumerate() {
+            trace.record(i as u64, txn);
+        }
+        let base = trace.len() as u64;
+        for i in 0..n {
+            trace.record(base + i as u64 * 7, gen.next_txn());
+        }
+        trace
+    }
+
+    #[test]
+    fn encode_decode_round_trips_generated_workload() {
+        let trace = sample_trace(2_000);
+        let text = trace.encode();
+        let back = Trace::decode(&text).expect("decodes");
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn windowing_selects_a_time_slice() {
+        let trace = sample_trace(100);
+        let total = trace.len();
+        let mid = trace.entries()[total / 2].at_ms;
+        let window: Vec<_> = trace.window(mid, u64::MAX).collect();
+        assert!(!window.is_empty());
+        assert!(window.len() < total);
+        assert!(window.iter().all(|e| e.at_ms >= mid));
+    }
+
+    #[test]
+    fn decode_reports_line_numbers() {
+        let err = Trace::decode("0|GC|cart-1\nnot-a-line\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tags_and_arity() {
+        assert!(Trace::decode("0|XXX|a").is_err());
+        assert!(Trace::decode("0|GC").is_err()); // missing field
+        assert!(Trace::decode("0|GC|a|b").is_err()); // extra field
+    }
+
+    #[test]
+    fn decode_rejects_backwards_time() {
+        let text = "5|GC|cart-1\n3|GC|cart-2\n";
+        let err = Trace::decode(text).unwrap_err();
+        assert!(err.reason.contains("backwards"));
+    }
+
+    #[test]
+    fn replay_produces_identical_database_state() {
+        use crate::schema::b2w_catalog;
+        use pstore_dbms::cluster::{Cluster, ClusterConfig};
+
+        let trace = sample_trace(3_000);
+        let text = trace.encode();
+        let replayed = Trace::decode(&text).unwrap();
+
+        let run = |t: &Trace| {
+            let mut cluster = Cluster::new(
+                b2w_catalog(),
+                ClusterConfig {
+                    partitions_per_node: 2,
+                    num_slots: 64,
+                },
+                2,
+            );
+            let gen = WorkloadGenerator::new(WorkloadConfig {
+                seed: 99,
+                num_skus: 100,
+                initial_carts: 20,
+                ..WorkloadConfig::default()
+            });
+            for p in gen.seed_stock_procedures() {
+                cluster.execute(&p).unwrap();
+            }
+            for e in t.entries() {
+                let _ = cluster.execute(&e.txn);
+            }
+            (cluster.total_rows(), cluster.total_bytes())
+        };
+        assert_eq!(run(&trace), run(&replayed));
+    }
+}

@@ -1,0 +1,67 @@
+//! Microbenchmarks for the partitioned engine: transaction execution
+//! throughput on the B2W workload and live-migration chunk throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pstore_b2w::generator::{WorkloadConfig, WorkloadGenerator};
+use pstore_b2w::schema::b2w_catalog;
+use pstore_dbms::cluster::{Cluster, ClusterConfig};
+use std::hint::black_box;
+
+fn loaded_cluster(nodes: u32) -> (Cluster, WorkloadGenerator) {
+    let mut gen = WorkloadGenerator::new(WorkloadConfig {
+        num_skus: 5_000,
+        initial_carts: 1_000,
+        ..WorkloadConfig::default()
+    });
+    let mut cluster = Cluster::new(
+        b2w_catalog(),
+        ClusterConfig {
+            partitions_per_node: 6,
+            num_slots: 7_200,
+        },
+        nodes,
+    );
+    for p in gen.seed_stock_procedures() {
+        cluster.execute(&p).unwrap();
+    }
+    for t in gen.initial_load() {
+        cluster.execute(&t).unwrap();
+    }
+    (cluster, gen)
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/txn_execution");
+    group.throughput(Throughput::Elements(1_000));
+    group.sample_size(20);
+    group.bench_function("b2w_mix_1k_txns", |b| {
+        let (mut cluster, mut gen) = loaded_cluster(3);
+        b.iter(|| {
+            for _ in 0..1_000 {
+                let txn = gen.next_txn();
+                let _ = black_box(cluster.execute(&txn));
+            }
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("engine/migration");
+    group.sample_size(10);
+    group.bench_function("scale_2_to_4_full", |b| {
+        b.iter_with_setup(
+            || {
+                let (cluster, _) = loaded_cluster(2);
+                cluster
+            },
+            |mut cluster| {
+                cluster.begin_reconfiguration(4).unwrap();
+                let chunks = cluster.run_reconfiguration_to_completion(64 * 1024).unwrap();
+                black_box(chunks)
+            },
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

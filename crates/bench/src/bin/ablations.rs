@@ -1,0 +1,226 @@
+//! Ablation studies of P-Store's design choices (DESIGN.md §6): each run
+//! disables one mechanism and measures what it was buying, over a month of
+//! synthetic B2W load on the slot-based simulator.
+//!
+//! 1. **Dynamic program vs greedy lookahead** — the DP delays scale-outs
+//!    to the latest feasible start and schedules staged moves; greedy
+//!    provisions for the horizon peak immediately.
+//! 2. **Effective-capacity awareness (Eq 7)** — the naive planner believes
+//!    a move grants `cap(A)` instantly and therefore starts big moves too
+//!    late (Fig 4c's warning).
+//! 3. **Scale-in confirmation** — requiring three consecutive proposals
+//!    before shrinking suppresses churn from noisy predictions.
+//! 4. **Planning-horizon length** — too short cannot cover a full move;
+//!    longer horizons buy little beyond ~2 moves of lookahead (§5).
+
+use pstore_bench::{quick_mode, section};
+use pstore_core::controller::pstore::PStoreConfig;
+use pstore_core::controller::pstore::PStoreController;
+use pstore_core::params::SystemParams;
+use pstore_core::planner::{Planner, PlannerConfig, PlannerOptions};
+use pstore_forecast::generators::B2wLoadModel;
+use pstore_sim::fast::{run_fast, FastSimConfig, FastSimResult};
+use pstore_sim::scenarios::{
+    greedy_fast, pstore_spar_fast, tick_spar_config, per_tick,
+    PEAK_TXN_RATE, TICKS_PER_DAY, TRAINING_DAYS,
+};
+
+fn row(label: &str, r: &FastSimResult) {
+    println!(
+        "{label:<44} {:>10.2} {:>12.3} {:>8}",
+        r.avg_machines(),
+        r.pct_insufficient(),
+        r.reconfigurations
+    );
+}
+
+fn main() {
+    let quick = quick_mode();
+    let eval_days = if quick { 10 } else { 28 };
+    let raw = B2wLoadModel {
+        seed: 0xAB1A,
+        ..B2wLoadModel::default()
+    }
+    .generate(TRAINING_DAYS + eval_days);
+    let eval_start = TRAINING_DAYS * 1440;
+    let peak = raw.values()[eval_start..]
+        .iter()
+        .copied()
+        .fold(0.0, f64::max);
+    let scaled = raw.scaled(PEAK_TXN_RATE / peak);
+    let train = scaled.values()[..eval_start].to_vec();
+    let eval = scaled.values()[eval_start..].to_vec();
+
+    let params = SystemParams::b2w_paper();
+    let cfg = FastSimConfig {
+        params: params.clone(),
+        slot_duration_s: 60.0,
+        tick_every_slots: 5,
+        record_timeline: false,
+    };
+    let planner_cfg = PlannerConfig {
+        q: params.q,
+        d_intervals: params.d.as_secs_f64() / 300.0,
+        partitions_per_node: params.partitions_per_node,
+        max_machines: params.max_machines,
+    };
+
+    println!(
+        "{:<44} {:>10} {:>12} {:>8}",
+        "configuration", "avg mach", "% short", "moves"
+    );
+
+    section("Ablation 1: dynamic program vs greedy lookahead");
+    let dp = run_fast(
+        &cfg,
+        &eval,
+        &mut pstore_spar_fast(&train, eval[0], &params, params.q),
+    );
+    let greedy = run_fast(
+        &cfg,
+        &eval,
+        &mut greedy_fast(&train, eval[0], &params, params.q),
+    );
+    row("P-Store DP (paper)", &dp);
+    row("greedy horizon-peak provisioning", &greedy);
+    println!(
+        "-> the DP saves {:.1}% of machine cost at comparable shortfall",
+        100.0 * (1.0 - dp.cost_machine_slots / greedy.cost_machine_slots)
+    );
+
+    section("Ablation 2: effective-capacity awareness (Eq 7)");
+    // With the paper's P = 6, moves take only minutes and Eq 7 changes
+    // little; run this ablation with a single migration stream per machine
+    // (P = 1), where moves span 30-60 minutes and mid-flight capacity
+    // matters — the regime Fig 4c illustrates.
+    let params_p1 = SystemParams {
+        partitions_per_node: 1,
+        ..params.clone()
+    };
+    let cfg_p1 = FastSimConfig {
+        params: params_p1.clone(),
+        ..cfg.clone()
+    };
+    let planner_cfg_p1 = PlannerConfig {
+        partitions_per_node: 1,
+        ..planner_cfg.clone()
+    };
+    // Plan close to the maximum throughput (Q near Q̂) so the buffer does
+    // not mask the mid-flight capacity error, use perfect predictions so
+    // the only variable is the capacity model, and drive a flash-sale load
+    // whose rise (10 minutes) is much faster than a P = 1 move (~50 min):
+    // the naive planner lets the move overlap the rise, and mid-flight the
+    // real effective capacity falls short.
+    let planner_cfg_tight = PlannerConfig {
+        q: 335.0,
+        ..planner_cfg_p1.clone()
+    };
+    let flash = pstore_forecast::generators::flash_sale_load(
+        eval.len() / 1440,
+        800.0,
+        2_800.0,
+        600,
+        10,
+        180,
+    )
+    .values()
+    .to_vec();
+    let oracle_controller = |planner: Planner| {
+        let q = planner.config().q;
+        PStoreController::new(
+            planner,
+            pstore_core::controller::forecaster::OracleForecaster::new(
+                pstore_sim::scenarios::per_tick(&flash),
+            ),
+            PStoreConfig {
+                horizon: 48,
+                prediction_inflation: 1.0,
+                scale_in_confirmations: 3,
+                emergency_rate_multiplier: 1.0,
+                initial_machines: ((flash[0] / q).ceil() as u32).clamp(1, 10),
+            },
+        )
+    };
+    let aware_p1 = run_fast(
+        &cfg_p1,
+        &flash,
+        &mut oracle_controller(Planner::new(planner_cfg_tight.clone())),
+    );
+    let naive_p1 = run_fast(
+        &cfg_p1,
+        &flash,
+        &mut oracle_controller(Planner::with_options(
+            planner_cfg_tight.clone(),
+            PlannerOptions {
+                effective_capacity_aware: false,
+                jit_allocation_cost: true,
+            },
+        )),
+    );
+    row("eff-cap aware, P=1 (paper algorithm)", &aware_p1);
+    row("naive: moves grant cap(A) instantly, P=1", &naive_p1);
+    println!(
+        "-> ignoring Eq 7 leaves the system short {:.3}% of the time vs {:.3}%",
+        naive_p1.pct_insufficient(),
+        aware_p1.pct_insufficient()
+    );
+
+    section("Ablation 3: scale-in confirmation cycles");
+    for confirmations in [1u32, 3] {
+        let mut forecaster = pstore_core::controller::forecaster::SparForecaster::new(
+            tick_spar_config(),
+            7 * TICKS_PER_DAY,
+            40 * TICKS_PER_DAY,
+        );
+        forecaster.seed(&per_tick(&train));
+        let mut c = PStoreController::new(
+            Planner::new(planner_cfg.clone()),
+            forecaster,
+            PStoreConfig {
+                horizon: 48,
+                prediction_inflation: 1.15,
+                scale_in_confirmations: confirmations,
+                emergency_rate_multiplier: 1.0,
+                initial_machines: ((eval[0] * 1.15 / params.q).ceil() as u32).clamp(1, 10),
+            },
+        );
+        let r = run_fast(&cfg, &eval, &mut c);
+        row(
+            &format!(
+                "{confirmations} confirmation(s){}",
+                if confirmations == 3 { " (paper)" } else { "" }
+            ),
+            &r,
+        );
+    }
+    println!("-> fewer confirmations = more churn (extra moves) for the same capacity");
+
+    section("Ablation 4: planning horizon (ticks of 5 min, P = 1)");
+    // §5: the forecast window must cover two maximal reconfigurations
+    // (2D/P). With P = 1 the biggest move takes ~12 ticks; horizons below
+    // that force emergency fallbacks.
+    for horizon in [4usize, 8, 16, 32, 64] {
+        let mut forecaster = pstore_core::controller::forecaster::SparForecaster::new(
+            tick_spar_config(),
+            7 * TICKS_PER_DAY,
+            40 * TICKS_PER_DAY,
+        );
+        forecaster.seed(&per_tick(&train));
+        let mut c = PStoreController::new(
+            Planner::new(planner_cfg_p1.clone()),
+            forecaster,
+            PStoreConfig {
+                horizon,
+                prediction_inflation: 1.15,
+                scale_in_confirmations: 3,
+                emergency_rate_multiplier: 1.0,
+                initial_machines: ((eval[0] * 1.15 / params.q).ceil() as u32).clamp(1, 10),
+            },
+        );
+        let r = run_fast(&cfg_p1, &eval, &mut c);
+        row(&format!("horizon {horizon}"), &r);
+    }
+    println!("-> the horizon must cover ~two maximal moves (2D/P, §5);");
+    println!("   beyond that, receding-horizon replanning makes extra");
+    println!("   lookahead redundant.");
+}

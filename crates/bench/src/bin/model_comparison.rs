@@ -1,0 +1,128 @@
+//! Extended predictor shoot-out (beyond the paper's §5 three-model
+//! comparison): SPAR vs ARMA vs AR vs Holt–Winters vs seasonal-naive, on
+//! both the B2W-style and the Wikipedia-style loads, across forecasting
+//! periods — all evaluated with the same rolling-origin protocol.
+
+use pstore_bench::{quick_mode, section};
+use pstore_forecast::ar::{ArConfig, ArModel};
+use pstore_forecast::arma::{ArmaConfig, ArmaModel};
+use pstore_forecast::eval::{rolling_accuracy, suggest_inflation, EvalConfig};
+use pstore_forecast::generators::{B2wLoadModel, WikipediaEdition, WikipediaLoadModel};
+use pstore_forecast::holt_winters::{HoltWintersConfig, HoltWintersModel};
+use pstore_forecast::model::{LoadPredictor, SeasonalNaive};
+use pstore_forecast::spar::{SparConfig, SparModel};
+
+fn report(models: &[Box<dyn LoadPredictor>], data: &[f64], taus: &[usize], cfg: &EvalConfig) {
+    print!("{:<16}", "model");
+    for tau in taus {
+        print!(" {:>9}", format!("tau={tau}"));
+    }
+    println!();
+    for m in models {
+        let acc = rolling_accuracy(m.as_ref(), data, taus, cfg);
+        print!("{:<16}", m.name());
+        for a in &acc {
+            print!(" {:>8.1}%", 100.0 * a.mre);
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let quick = quick_mode();
+    let stride = if quick { 101 } else { 31 };
+    let fit_stride = if quick { 8 } else { 3 };
+
+    section("B2W-style load (per-minute, daily period): MRE by tau");
+    let load = B2wLoadModel::default().generate(if quick { 30 } else { 35 });
+    let data = load.values();
+    let train = 28 * 1440;
+    let cfg = EvalConfig {
+        eval_start: train,
+        origin_stride: stride,
+    };
+    let models: Vec<Box<dyn LoadPredictor>> = vec![
+        Box::new(SparModel::fit(&data[..train], &SparConfig::b2w_default()).expect("SPAR")),
+        Box::new(
+            ArmaModel::fit(
+                &data[..train],
+                &ArmaConfig {
+                    p: 30,
+                    q: 10,
+                    long_ar_order: Some(60),
+                    ridge_lambda: 1e-4,
+                    stride: fit_stride,
+                },
+            )
+            .expect("ARMA"),
+        ),
+        Box::new(
+            ArModel::fit(
+                &data[..train],
+                &ArConfig {
+                    order: 30,
+                    ridge_lambda: 1e-4,
+                    stride: fit_stride,
+                },
+            )
+            .expect("AR"),
+        ),
+        Box::new(
+            HoltWintersModel::fit(&data[..train], &HoltWintersConfig::default()).expect("HW"),
+        ),
+        Box::new(SeasonalNaive::new(1440)),
+    ];
+    report(&models, data, &[10, 30, 60], &cfg);
+
+    section("Calibrated prediction inflation (95th percentile coverage)");
+    // What §8.2's fixed 15% buys: the factor each model would actually need
+    // for 95% of actuals to fall under inflated predictions at tau = 60.
+    for m in &models {
+        let f = suggest_inflation(m.as_ref(), data, 60, 0.95, &cfg);
+        println!(
+            "{:<16} needs x{:.3} (paper's fixed inflation: x1.150)",
+            m.name(),
+            f
+        );
+    }
+
+    section("Wikipedia-style hourly load (German edition): MRE by tau (hours)");
+    let wiki = WikipediaLoadModel::new(WikipediaEdition::German, 2016)
+        .generate(if quick { 42 } else { 56 });
+    let wdata = wiki.values();
+    let wtrain = 28 * 24;
+    let wcfg = EvalConfig {
+        eval_start: wtrain,
+        origin_stride: 1,
+    };
+    let spar_cfg = SparConfig {
+        period: 24,
+        n_periods: 7,
+        m_recent: 12,
+        taus: vec![1, 2, 3, 4, 5, 6],
+        ridge_lambda: 1e-4,
+        max_rows: 20_000,
+    };
+    let wiki_models: Vec<Box<dyn LoadPredictor>> = vec![
+        Box::new(SparModel::fit(&wdata[..wtrain], &spar_cfg).expect("SPAR")),
+        Box::new(
+            HoltWintersModel::fit(
+                &wdata[..wtrain],
+                &HoltWintersConfig {
+                    period: 24,
+                    ..HoltWintersConfig::default()
+                },
+            )
+            .expect("HW"),
+        ),
+        Box::new(SeasonalNaive::new(24)),
+    ];
+    report(&wiki_models, wdata, &[1, 3, 6], &wcfg);
+
+    println!();
+    println!("Expected: SPAR leads on both workloads (multiple previous");
+    println!("periods + transient offsets); Holt-Winters is the strongest");
+    println!("classical baseline; plain AR/ARMA trail at long horizons; the");
+    println!("seasonal-naive floor shows how much of the signal is pure");
+    println!("periodicity.");
+}

@@ -1,0 +1,330 @@
+//! Static and time-of-day ("Simple") allocation baselines (§8.3, Fig 12/13),
+//! plus a greedy-lookahead ablation of the dynamic program.
+
+use super::forecaster::LoadForecaster;
+use super::{Action, Observation, ReconfigReason, ReconfigRequest, Strategy};
+
+/// Fixed allocation: never reconfigures (Fig 9a/9b).
+#[derive(Debug, Clone)]
+pub struct StaticController {
+    machines: u32,
+}
+
+impl StaticController {
+    /// Creates a static policy holding `machines` machines forever.
+    ///
+    /// # Panics
+    /// Panics if `machines == 0`.
+    pub fn new(machines: u32) -> Self {
+        assert!(machines >= 1, "need at least one machine");
+        StaticController { machines }
+    }
+}
+
+impl Strategy for StaticController {
+    fn tick(&mut self, _obs: &Observation) -> Action {
+        Action::None
+    }
+
+    fn name(&self) -> &str {
+        "Static"
+    }
+
+    fn initial_machines(&self) -> u32 {
+        self.machines
+    }
+}
+
+/// The "Simple" strategy of Fig 12/13: more machines in the morning, fewer
+/// at night, on a fixed daily schedule. Works until the load deviates from
+/// the pattern (Fig 13, right).
+#[derive(Debug, Clone)]
+pub struct SimpleController {
+    /// Monitoring intervals per day.
+    pub intervals_per_day: usize,
+    /// Interval of day at which the day shift begins.
+    pub day_start: usize,
+    /// Interval of day at which the night shift begins.
+    pub night_start: usize,
+    /// Machines during the day shift.
+    pub day_machines: u32,
+    /// Machines during the night shift.
+    pub night_machines: u32,
+}
+
+impl SimpleController {
+    /// Creates a time-of-day policy.
+    ///
+    /// # Panics
+    /// Panics on inconsistent schedule boundaries or zero machine counts.
+    pub fn new(
+        intervals_per_day: usize,
+        day_start: usize,
+        night_start: usize,
+        day_machines: u32,
+        night_machines: u32,
+    ) -> Self {
+        assert!(intervals_per_day > 0, "day length must be positive");
+        assert!(
+            day_start < night_start && night_start <= intervals_per_day,
+            "expected day_start < night_start <= intervals_per_day"
+        );
+        assert!(day_machines >= 1 && night_machines >= 1, "need machines");
+        SimpleController {
+            intervals_per_day,
+            day_start,
+            night_start,
+            day_machines,
+            night_machines,
+        }
+    }
+
+    /// Desired machines at the given interval-of-day.
+    pub fn desired_at(&self, interval_of_day: usize) -> u32 {
+        if (self.day_start..self.night_start).contains(&interval_of_day) {
+            self.day_machines
+        } else {
+            self.night_machines
+        }
+    }
+}
+
+impl Strategy for SimpleController {
+    fn tick(&mut self, obs: &Observation) -> Action {
+        if obs.reconfiguring {
+            return Action::None;
+        }
+        let desired = self.desired_at(obs.interval % self.intervals_per_day);
+        if desired != obs.machines {
+            Action::Reconfigure(ReconfigRequest {
+                target: desired,
+                rate_multiplier: 1.0,
+                reason: ReconfigReason::Policy,
+            })
+        } else {
+            Action::None
+        }
+    }
+
+    fn name(&self) -> &str {
+        "Simple"
+    }
+
+    fn initial_machines(&self) -> u32 {
+        self.night_machines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(interval: usize, machines: u32) -> Observation {
+        Observation {
+            interval,
+            load: 100.0,
+            machines,
+            reconfiguring: false,
+        }
+    }
+
+    #[test]
+    fn static_never_acts() {
+        let mut c = StaticController::new(10);
+        assert_eq!(c.initial_machines(), 10);
+        for t in 0..100 {
+            assert_eq!(c.tick(&obs(t, 10)), Action::None);
+        }
+    }
+
+    #[test]
+    fn simple_follows_schedule() {
+        // 24-interval day: day shift [8, 20) with 8 machines, else 3.
+        let mut c = SimpleController::new(24, 8, 20, 8, 3);
+        assert_eq!(c.initial_machines(), 3);
+        // Night: already at 3 machines, no action.
+        assert_eq!(c.tick(&obs(2, 3)), Action::None);
+        // Morning boundary: scale out to 8.
+        let Action::Reconfigure(r) = c.tick(&obs(8, 3)) else {
+            panic!("expected morning scale-out");
+        };
+        assert_eq!(r.target, 8);
+        // During the day at 8 machines: hold.
+        assert_eq!(c.tick(&obs(14, 8)), Action::None);
+        // Evening boundary: scale in to 3.
+        let Action::Reconfigure(r) = c.tick(&obs(20, 8)) else {
+            panic!("expected evening scale-in");
+        };
+        assert_eq!(r.target, 3);
+        // The schedule repeats daily.
+        let Action::Reconfigure(r) = c.tick(&obs(24 + 8, 3)) else {
+            panic!("expected next-day scale-out");
+        };
+        assert_eq!(r.target, 8);
+    }
+
+    #[test]
+    fn simple_waits_for_running_moves() {
+        let mut c = SimpleController::new(24, 8, 20, 8, 3);
+        let a = c.tick(&Observation {
+            interval: 8,
+            load: 100.0,
+            machines: 3,
+            reconfiguring: true,
+        });
+        assert_eq!(a, Action::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "day_start < night_start")]
+    fn simple_rejects_bad_schedule() {
+        let _ = SimpleController::new(24, 20, 8, 8, 3);
+    }
+}
+
+
+/// Greedy lookahead: an ablation of the §4.3 dynamic program. It uses the
+/// same forecasts but no planning — every tick it sizes the cluster for
+/// the *maximum* predicted load over the horizon and reconfigures towards
+/// it immediately. This guarantees capacity (it always provisions for the
+/// upcoming peak) but cannot delay scale-outs or schedule staged moves, so
+/// it holds peak-sized clusters for much longer than the DP (the
+/// `ablations` binary quantifies the cost gap).
+pub struct GreedyLookahead<F: LoadForecaster> {
+    forecaster: F,
+    /// Horizon in ticks.
+    pub horizon: usize,
+    /// Target per-machine throughput `Q`.
+    pub q: f64,
+    /// Prediction inflation factor.
+    pub inflation: f64,
+    /// Hardware cap.
+    pub max_machines: u32,
+    /// Initial cluster size.
+    pub initial_machines: u32,
+    label: String,
+}
+
+impl<F: LoadForecaster> GreedyLookahead<F> {
+    /// Creates a greedy-lookahead controller.
+    pub fn new(
+        forecaster: F,
+        horizon: usize,
+        q: f64,
+        inflation: f64,
+        max_machines: u32,
+        initial_machines: u32,
+    ) -> Self {
+        assert!(horizon >= 1, "horizon must be at least one tick");
+        assert!(q > 0.0, "Q must be positive");
+        let label = format!("Greedy ({})", forecaster.name());
+        GreedyLookahead {
+            forecaster,
+            horizon,
+            q,
+            inflation,
+            max_machines,
+            initial_machines,
+            label,
+        }
+    }
+}
+
+impl<F: LoadForecaster> Strategy for GreedyLookahead<F> {
+    fn tick(&mut self, obs: &Observation) -> Action {
+        self.forecaster.observe(obs.load);
+        if obs.reconfiguring {
+            return Action::None;
+        }
+        let Some(pred) = self.forecaster.forecast(self.horizon) else {
+            return Action::None;
+        };
+        let peak = pred
+            .iter()
+            .copied()
+            .fold(obs.load, f64::max)
+            * self.inflation;
+        let target = ((peak / self.q).ceil() as u32).clamp(1, self.max_machines);
+        if target != obs.machines {
+            return Action::Reconfigure(ReconfigRequest {
+                target,
+                rate_multiplier: 1.0,
+                reason: ReconfigReason::Policy,
+            });
+        }
+        Action::None
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn initial_machines(&self) -> u32 {
+        self.initial_machines
+    }
+}
+
+#[cfg(test)]
+mod greedy_tests {
+    use super::*;
+    use crate::controller::forecaster::OracleForecaster;
+
+    fn obs(interval: usize, load: f64, machines: u32) -> Observation {
+        Observation {
+            interval,
+            load,
+            machines,
+            reconfiguring: false,
+        }
+    }
+
+    #[test]
+    fn greedy_provisions_for_the_horizon_peak_immediately() {
+        // Peak of 950 arrives at tick 8, far in the future — greedy scales
+        // to 10 machines right away (Q = 100).
+        let mut trace = vec![150.0; 20];
+        trace[8] = 950.0;
+        let mut g = GreedyLookahead::new(OracleForecaster::new(trace), 10, 100.0, 1.0, 12, 2);
+        let Action::Reconfigure(r) = g.tick(&obs(0, 150.0, 2)) else {
+            panic!("greedy should scale immediately");
+        };
+        assert_eq!(r.target, 10);
+    }
+
+    #[test]
+    fn greedy_scales_in_once_the_peak_leaves_the_horizon() {
+        let mut trace = vec![150.0; 30];
+        trace[2] = 950.0;
+        let mut g = GreedyLookahead::new(OracleForecaster::new(trace), 5, 100.0, 1.0, 12, 10);
+        // Tick past the peak; once it's out of the horizon greedy shrinks.
+        let mut shrank = false;
+        for t in 0..10 {
+            if let Action::Reconfigure(r) = g.tick(&obs(t, 150.0, 10)) {
+                if r.target < 10 {
+                    shrank = true;
+                    break;
+                }
+            }
+        }
+        assert!(shrank, "greedy never scaled back in");
+    }
+
+    #[test]
+    fn greedy_holds_while_reconfiguring() {
+        let mut g = GreedyLookahead::new(
+            OracleForecaster::new(vec![900.0; 10]),
+            5,
+            100.0,
+            1.0,
+            12,
+            2,
+        );
+        let a = g.tick(&Observation {
+            interval: 0,
+            load: 900.0,
+            machines: 2,
+            reconfiguring: true,
+        });
+        assert_eq!(a, Action::None);
+    }
+}

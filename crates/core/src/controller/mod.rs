@@ -1,0 +1,106 @@
+//! Provisioning controllers (§6 and the baselines of §8).
+//!
+//! A controller is stepped once per monitoring interval with an
+//! [`Observation`] of the running system and may request a reconfiguration.
+//! The P-Store controller (predict → plan → execute first move) lives in
+//! [`pstore`]; the E-Store-style reactive baseline in [`reactive`]; static,
+//! time-of-day ("Simple") and oracle variants in [`baselines`].
+
+pub mod baselines;
+pub mod forecaster;
+pub mod manual;
+pub mod pstore;
+pub mod reactive;
+
+pub use baselines::{GreedyLookahead, SimpleController, StaticController};
+pub use forecaster::{LoadForecaster, OracleForecaster, SparForecaster};
+pub use manual::{ManualOverride, Reservation};
+pub use pstore::{PStoreConfig, PStoreController};
+pub use reactive::{ReactiveConfig, ReactiveController};
+
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of the running system handed to a controller each monitoring
+/// interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Monotonically increasing monitoring-interval index.
+    pub interval: usize,
+    /// Load measured over the last interval (same units as `Q`, e.g. txn/s).
+    pub load: f64,
+    /// Machines currently allocated.
+    pub machines: u32,
+    /// Whether a reconfiguration is currently in progress.
+    pub reconfiguring: bool,
+}
+
+/// Why a reconfiguration was requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReconfigReason {
+    /// Scheduled by the predictive planner ahead of a load change.
+    Planned,
+    /// Fallback reaction to an unpredicted spike (no feasible plan;
+    /// §4.3.1's options (1)/(2)).
+    Emergency,
+    /// Issued by a reactive or schedule-based baseline policy.
+    Policy,
+}
+
+/// A reconfiguration request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconfigRequest {
+    /// Desired cluster size after the move.
+    pub target: u32,
+    /// Multiplier on the non-disruptive migration rate `R`; `1.0` preserves
+    /// latency, larger values trade latency for speed (Fig 11's `R x 8`).
+    pub rate_multiplier: f64,
+    /// Why the move was requested.
+    pub reason: ReconfigReason,
+}
+
+/// A controller's decision for one monitoring interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    /// Keep the current configuration.
+    None,
+    /// Start a reconfiguration.
+    Reconfigure(ReconfigRequest),
+}
+
+impl Action {
+    /// The request, if this action reconfigures.
+    pub fn request(&self) -> Option<&ReconfigRequest> {
+        match self {
+            Action::None => None,
+            Action::Reconfigure(r) => Some(r),
+        }
+    }
+}
+
+/// A provisioning policy: maps observations to actions.
+pub trait Strategy: Send {
+    /// Steps the controller by one monitoring interval.
+    fn tick(&mut self, obs: &Observation) -> Action;
+
+    /// Human-readable policy name (used in experiment output).
+    fn name(&self) -> &str;
+
+    /// The cluster size this policy wants at start-up.
+    fn initial_machines(&self) -> u32;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_request_accessor() {
+        assert!(Action::None.request().is_none());
+        let req = ReconfigRequest {
+            target: 5,
+            rate_multiplier: 1.0,
+            reason: ReconfigReason::Planned,
+        };
+        assert_eq!(Action::Reconfigure(req).request(), Some(&req));
+    }
+}

@@ -1,0 +1,387 @@
+//! The P-Store Predictive Controller (§6).
+//!
+//! Each monitoring cycle: feed the Predictor the measured load, obtain a
+//! horizon of predictions, run the Planner (the §4.3 dynamic program), and
+//! execute only the *first* move of the returned plan — receding-horizon
+//! control: by the time that move completes the predictions will have
+//! changed and the plan is recomputed. Scale-in moves require three
+//! consecutive confirming cycles (§6); when no feasible plan exists the
+//! controller falls back to an emergency scale-out at either the regular or
+//! an accelerated migration rate (§4.3.1).
+
+use super::forecaster::LoadForecaster;
+use super::{Action, Observation, ReconfigReason, ReconfigRequest, Strategy};
+use crate::planner::Planner;
+
+/// Tuning knobs of the predictive controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PStoreConfig {
+    /// Planning horizon in intervals. Must cover at least two maximal
+    /// reconfigurations (`2 * D / P`, §5's forecasting-window discussion)
+    /// so a planned scale-in can be undone in time.
+    pub horizon: usize,
+    /// Multiplier applied to predictions to absorb model error (the paper
+    /// inflates by 15%, i.e. `1.15`).
+    pub prediction_inflation: f64,
+    /// Consecutive cycles a scale-in must be re-proposed before executing.
+    pub scale_in_confirmations: u32,
+    /// Migration-rate multiplier for emergency scale-outs; `1.0` is the
+    /// paper's default option (2) — keep the non-disruptive rate and accept
+    /// a longer wait — while e.g. `8.0` is option (1).
+    pub emergency_rate_multiplier: f64,
+    /// Initial cluster size.
+    pub initial_machines: u32,
+}
+
+impl Default for PStoreConfig {
+    fn default() -> Self {
+        PStoreConfig {
+            horizon: 24, // 2 hours of 5-minute intervals
+            prediction_inflation: 1.15,
+            scale_in_confirmations: 3,
+            emergency_rate_multiplier: 1.0,
+            initial_machines: 2,
+        }
+    }
+}
+
+/// The predictive controller, generic over the forecast source (live SPAR
+/// or a trace oracle).
+pub struct PStoreController<F: LoadForecaster> {
+    planner: Planner,
+    cfg: PStoreConfig,
+    forecaster: F,
+    scale_in_streak: u32,
+    stats: ControllerStats,
+    label: String,
+}
+
+/// Counters describing what the controller did (for experiment reporting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControllerStats {
+    /// Planned (predictive) reconfigurations issued.
+    pub planned_moves: u64,
+    /// Emergency (reactive fallback) reconfigurations issued.
+    pub emergency_moves: u64,
+    /// Scale-in proposals suppressed by the confirmation heuristic.
+    pub suppressed_scale_ins: u64,
+    /// Cycles skipped because a reconfiguration was in progress.
+    pub busy_cycles: u64,
+    /// Cycles with no forecast available yet.
+    pub cold_cycles: u64,
+}
+
+impl<F: LoadForecaster> PStoreController<F> {
+    /// Creates a controller around a planner and a forecast source.
+    pub fn new(planner: Planner, forecaster: F, cfg: PStoreConfig) -> Self {
+        assert!(cfg.horizon >= 2, "horizon must cover at least two intervals");
+        assert!(
+            cfg.prediction_inflation > 0.0,
+            "inflation must be positive"
+        );
+        assert!(cfg.initial_machines >= 1, "need at least one machine");
+        let label = format!("P-Store ({})", forecaster.name());
+        PStoreController {
+            planner,
+            cfg,
+            forecaster,
+            scale_in_streak: 0,
+            stats: ControllerStats::default(),
+            label,
+        }
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+
+    /// The forecast source.
+    pub fn forecaster_mut(&mut self) -> &mut F {
+        &mut self.forecaster
+    }
+
+    fn emergency(&mut self, load_curve: &[f64], obs: &Observation) -> Action {
+        // No feasible plan: scale straight to the machines needed for the
+        // predicted peak (bounded by hardware) at the configured rate.
+        let peak = load_curve.iter().copied().fold(0.0, f64::max);
+        let target = self
+            .planner
+            .machines_needed(peak)
+            .clamp(1, self.planner.config().max_machines);
+        if target <= obs.machines {
+            // Already at (or beyond) the best we can do; ride it out.
+            return Action::None;
+        }
+        self.stats.emergency_moves += 1;
+        Action::Reconfigure(ReconfigRequest {
+            target,
+            rate_multiplier: self.cfg.emergency_rate_multiplier,
+            reason: ReconfigReason::Emergency,
+        })
+    }
+}
+
+impl<F: LoadForecaster> Strategy for PStoreController<F> {
+    fn tick(&mut self, obs: &Observation) -> Action {
+        self.forecaster.observe(obs.load);
+        if obs.reconfiguring {
+            self.stats.busy_cycles += 1;
+            return Action::None;
+        }
+        let Some(predictions) = self.forecaster.forecast(self.cfg.horizon) else {
+            self.stats.cold_cycles += 1;
+            return Action::None;
+        };
+
+        // Build the planning curve: measured load now, inflated predictions
+        // after (§8.2: predictions inflated by 15% to absorb model error).
+        let mut curve = Vec::with_capacity(predictions.len() + 1);
+        curve.push(obs.load);
+        curve.extend(
+            predictions
+                .iter()
+                .map(|p| (p * self.cfg.prediction_inflation).max(0.0)),
+        );
+
+        let Some(plan) = self.planner.best_moves(&curve, obs.machines) else {
+            self.scale_in_streak = 0;
+            return self.emergency(&curve, obs);
+        };
+
+        let Some(first) = plan.first_reconfiguration() else {
+            self.scale_in_streak = 0;
+            return Action::None;
+        };
+        if first.start > 0 {
+            // The move is planned for later; re-plan closer to its start.
+            self.scale_in_streak = 0;
+            return Action::None;
+        }
+
+        if first.is_scale_in() {
+            // Confirm scale-ins across consecutive cycles to avoid churning
+            // on noisy predictions (§6).
+            self.scale_in_streak += 1;
+            if self.scale_in_streak < self.cfg.scale_in_confirmations {
+                self.stats.suppressed_scale_ins += 1;
+                return Action::None;
+            }
+            self.scale_in_streak = 0;
+            self.stats.planned_moves += 1;
+            return Action::Reconfigure(ReconfigRequest {
+                target: first.to,
+                rate_multiplier: 1.0,
+                reason: ReconfigReason::Planned,
+            });
+        }
+
+        self.scale_in_streak = 0;
+        self.stats.planned_moves += 1;
+        Action::Reconfigure(ReconfigRequest {
+            target: first.to,
+            rate_multiplier: 1.0,
+            reason: ReconfigReason::Planned,
+        })
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn initial_machines(&self) -> u32 {
+        self.cfg.initial_machines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::forecaster::OracleForecaster;
+    use crate::planner::{Planner, PlannerConfig};
+
+    fn planner() -> Planner {
+        Planner::new(PlannerConfig {
+            q: 100.0,
+            d_intervals: 6.0,
+            partitions_per_node: 1,
+            max_machines: 10,
+        })
+    }
+
+    fn controller(trace: Vec<f64>, cfg: PStoreConfig) -> PStoreController<OracleForecaster> {
+        PStoreController::new(planner(), OracleForecaster::new(trace), cfg)
+    }
+
+    fn obs(interval: usize, load: f64, machines: u32) -> Observation {
+        Observation {
+            interval,
+            load,
+            machines,
+            reconfiguring: false,
+        }
+    }
+
+    fn cfg_no_inflation() -> PStoreConfig {
+        PStoreConfig {
+            horizon: 12,
+            prediction_inflation: 1.0,
+            scale_in_confirmations: 3,
+            emergency_rate_multiplier: 1.0,
+            initial_machines: 2,
+        }
+    }
+
+    #[test]
+    fn flat_load_takes_no_action() {
+        let trace = vec![150.0; 40];
+        let mut c = controller(trace.clone(), cfg_no_inflation());
+        for (t, &load) in trace.iter().enumerate().take(10) {
+            assert_eq!(c.tick(&obs(t, load, 2)), Action::None);
+        }
+        assert_eq!(c.stats().planned_moves, 0);
+    }
+
+    #[test]
+    fn scales_out_ahead_of_predicted_rise() {
+        // Rise at t = 10 to 450 (needs 5 machines); move 2 -> 5 takes
+        // ceil(6/2 * (1 - 2/5)) = 2 intervals, so the planner can wait.
+        let mut trace = vec![150.0; 30];
+        for v in &mut trace[10..] {
+            *v = 450.0;
+        }
+        let mut c = controller(trace.clone(), cfg_no_inflation());
+        let mut started_at = None;
+        for (t, &load) in trace.iter().enumerate().take(10) {
+            if let Action::Reconfigure(r) = c.tick(&obs(t, load, 2)) {
+                assert_eq!(r.reason, ReconfigReason::Planned);
+                assert!(r.target >= 5);
+                started_at = Some(t);
+                break;
+            }
+        }
+        let started = started_at.expect("controller never scaled out");
+        // Early enough to finish before t=10, late enough to not waste
+        // machines (the planner delays as long as possible).
+        assert!(started < 10, "started at {started}");
+        assert!(started >= 2, "started suspiciously early at {started}");
+    }
+
+    #[test]
+    fn scale_in_requires_three_confirmations() {
+        let trace = vec![120.0; 60];
+        let mut c = controller(trace, cfg_no_inflation());
+        // Overprovisioned at 6 machines; trough needs 2.
+        let mut actions = Vec::new();
+        for t in 0..3 {
+            actions.push(c.tick(&obs(t, 120.0, 6)));
+        }
+        assert_eq!(actions[0], Action::None);
+        assert_eq!(actions[1], Action::None);
+        let Action::Reconfigure(r) = actions[2] else {
+            panic!("third confirmation should trigger scale-in: {actions:?}");
+        };
+        assert!(r.target < 6);
+        assert_eq!(c.stats().suppressed_scale_ins, 2);
+    }
+
+    #[test]
+    fn scale_in_streak_resets_when_load_returns() {
+        let mut trace = vec![120.0; 40];
+        // Load recovers at t = 2; with the rise inside the horizon the
+        // planner stops proposing the scale-in.
+        for v in &mut trace[2..] {
+            *v = 550.0;
+        }
+        let mut c = controller(trace.clone(), cfg_no_inflation());
+        let a0 = c.tick(&obs(0, 120.0, 6));
+        assert_eq!(a0, Action::None); // scale-in proposed, suppressed
+        let a1 = c.tick(&obs(1, 120.0, 6));
+        // Second cycle: rise now visible; either hold or scale out, but
+        // never scale in.
+        if let Action::Reconfigure(r) = a1 {
+            assert!(r.target >= 6);
+        }
+        let a2 = c.tick(&obs(2, 550.0, 6));
+        if let Action::Reconfigure(r) = a2 {
+            assert!(r.target >= 6);
+        }
+    }
+
+    #[test]
+    fn unpredicted_spike_triggers_emergency() {
+        // The oracle predicts a spike to 2000 txn/s immediately: needs 20
+        // machines but only 10 exist; and there is no time to migrate.
+        let mut trace = vec![150.0; 30];
+        for v in &mut trace[1..] {
+            *v = 2000.0;
+        }
+        let mut c = controller(trace, cfg_no_inflation());
+        let a = c.tick(&obs(0, 150.0, 2));
+        let Action::Reconfigure(r) = a else {
+            panic!("expected emergency reconfiguration");
+        };
+        assert_eq!(r.reason, ReconfigReason::Emergency);
+        assert_eq!(r.target, 10); // hardware cap
+        assert_eq!(c.stats().emergency_moves, 1);
+    }
+
+    #[test]
+    fn emergency_respects_rate_multiplier() {
+        let mut trace = vec![150.0; 30];
+        for v in &mut trace[1..] {
+            *v = 2000.0;
+        }
+        let cfg = PStoreConfig {
+            emergency_rate_multiplier: 8.0,
+            ..cfg_no_inflation()
+        };
+        let mut c = controller(trace, cfg);
+        let Action::Reconfigure(r) = c.tick(&obs(0, 150.0, 2)) else {
+            panic!("expected emergency reconfiguration");
+        };
+        assert_eq!(r.rate_multiplier, 8.0);
+    }
+
+    #[test]
+    fn no_action_while_reconfiguring() {
+        let mut trace = vec![150.0; 30];
+        for v in &mut trace[5..] {
+            *v = 900.0;
+        }
+        let mut c = controller(trace, cfg_no_inflation());
+        let a = c.tick(&Observation {
+            interval: 0,
+            load: 150.0,
+            machines: 2,
+            reconfiguring: true,
+        });
+        assert_eq!(a, Action::None);
+        assert_eq!(c.stats().busy_cycles, 1);
+    }
+
+    #[test]
+    fn inflation_adds_headroom() {
+        // Load of 260 with 15% inflation plans for 299 -> needs 3 machines
+        // even though the raw load fits in 3... at Q=100, 260 needs 3
+        // machines raw; inflated 299 still 3. Use 175: raw needs 2,
+        // inflated 201.25 needs 3.
+        let trace = vec![175.0; 40];
+        let cfg = PStoreConfig {
+            prediction_inflation: 1.15,
+            ..cfg_no_inflation()
+        };
+        let mut c = controller(trace, cfg);
+        // At 2 machines (cap 200): inflated predictions (201.25) exceed
+        // capacity, so the controller must scale to 3.
+        let mut saw_scale_out = false;
+        for t in 0..5 {
+            if let Action::Reconfigure(r) = c.tick(&obs(t, 175.0, 2)) {
+                assert_eq!(r.target, 3);
+                saw_scale_out = true;
+                break;
+            }
+        }
+        assert!(saw_scale_out, "inflation should force a third machine");
+    }
+}

@@ -1,0 +1,289 @@
+//! Moves: reconfigurations between cluster sizes (§4.3).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single move: a reconfiguration from `from` machines to `to` machines
+/// occupying the planning intervals `[start, end)`.
+///
+/// `from == to` is the "do nothing" move, which by construction always lasts
+/// exactly one interval (Algorithm 2, line 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Move {
+    /// First interval of the move (inclusive).
+    pub start: usize,
+    /// End interval of the move (exclusive); `end > start`.
+    pub end: usize,
+    /// Machines allocated before the move.
+    pub from: u32,
+    /// Machines allocated after the move.
+    pub to: u32,
+}
+
+impl Move {
+    /// Whether this is a "do nothing" move.
+    pub fn is_noop(&self) -> bool {
+        self.from == self.to
+    }
+
+    /// Whether this move adds machines.
+    pub fn is_scale_out(&self) -> bool {
+        self.to > self.from
+    }
+
+    /// Whether this move removes machines.
+    pub fn is_scale_in(&self) -> bool {
+        self.to < self.from
+    }
+
+    /// Duration in intervals.
+    pub fn duration(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+impl fmt::Display for Move {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_noop() {
+            write!(f, "[{}..{}) hold {}", self.start, self.end, self.from)
+        } else {
+            write!(
+                f,
+                "[{}..{}) {} -> {} machines",
+                self.start, self.end, self.from, self.to
+            )
+        }
+    }
+}
+
+/// A contiguous, non-overlapping sequence of moves ordered by starting time
+/// — the output of the predictive elasticity planner (Algorithm 1).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MoveSeq {
+    moves: Vec<Move>,
+}
+
+impl MoveSeq {
+    /// Builds a sequence, validating contiguity and consistency.
+    ///
+    /// # Panics
+    /// Panics if moves are not contiguous in time or machine counts do not
+    /// chain (`moves[i].to == moves[i+1].from`).
+    pub fn new(moves: Vec<Move>) -> Self {
+        for w in moves.windows(2) {
+            assert_eq!(
+                w[0].end, w[1].start,
+                "moves must be contiguous in time: {} then {}",
+                w[0], w[1]
+            );
+            assert_eq!(
+                w[0].to, w[1].from,
+                "machine counts must chain: {} then {}",
+                w[0], w[1]
+            );
+        }
+        for m in &moves {
+            assert!(m.end > m.start, "moves must have positive duration: {m}");
+        }
+        MoveSeq { moves }
+    }
+
+    /// The moves in execution order.
+    pub fn moves(&self) -> &[Move] {
+        &self.moves
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// The first move that actually changes the cluster size, if any.
+    pub fn first_reconfiguration(&self) -> Option<&Move> {
+        self.moves.iter().find(|m| !m.is_noop())
+    }
+
+    /// Machine count at the end of the sequence (`None` when empty).
+    pub fn final_machines(&self) -> Option<u32> {
+        self.moves.last().map(|m| m.to)
+    }
+
+    /// Nominal machine count at the *end* of interval `t`: during a move
+    /// the pre-move count (`from`) is reported, switching to `to` once the
+    /// move completes at `t == end`. Intra-move allocation detail lives in
+    /// the cost model (Algorithm 4), not here. Returns `None` only for an
+    /// empty sequence.
+    pub fn machines_at(&self, t: usize) -> Option<u32> {
+        let first = self.moves.first()?;
+        if t < first.start {
+            return Some(first.from);
+        }
+        for m in &self.moves {
+            if t < m.end {
+                return Some(m.from);
+            }
+        }
+        self.final_machines()
+    }
+
+    /// Total cost in machine-intervals using the nominal (post-move)
+    /// allocation per move; the planner's internal cost additionally models
+    /// intra-move allocation (Algorithm 4).
+    pub fn nominal_cost(&self) -> f64 {
+        self.moves
+            .iter()
+            .map(|m| m.duration() as f64 * m.to.max(m.from) as f64)
+            .sum()
+    }
+}
+
+impl fmt::Display for MoveSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for m in &self.moves {
+            if !first {
+                write!(f, "; ")?;
+            }
+            write!(f, "{m}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn move_classification() {
+        let out = Move {
+            start: 0,
+            end: 2,
+            from: 3,
+            to: 5,
+        };
+        assert!(out.is_scale_out() && !out.is_scale_in() && !out.is_noop());
+        let in_ = Move {
+            start: 0,
+            end: 2,
+            from: 5,
+            to: 3,
+        };
+        assert!(in_.is_scale_in());
+        let noop = Move {
+            start: 0,
+            end: 1,
+            from: 3,
+            to: 3,
+        };
+        assert!(noop.is_noop());
+        assert_eq!(noop.duration(), 1);
+    }
+
+    #[test]
+    fn sequence_accepts_contiguous_chain() {
+        let seq = MoveSeq::new(vec![
+            Move {
+                start: 0,
+                end: 1,
+                from: 2,
+                to: 2,
+            },
+            Move {
+                start: 1,
+                end: 4,
+                from: 2,
+                to: 4,
+            },
+        ]);
+        assert_eq!(seq.final_machines(), Some(4));
+        assert_eq!(seq.first_reconfiguration().unwrap().to, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn sequence_rejects_time_gap() {
+        MoveSeq::new(vec![
+            Move {
+                start: 0,
+                end: 1,
+                from: 2,
+                to: 2,
+            },
+            Move {
+                start: 2,
+                end: 3,
+                from: 2,
+                to: 3,
+            },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chain")]
+    fn sequence_rejects_count_mismatch() {
+        MoveSeq::new(vec![
+            Move {
+                start: 0,
+                end: 1,
+                from: 2,
+                to: 2,
+            },
+            Move {
+                start: 1,
+                end: 3,
+                from: 3,
+                to: 4,
+            },
+        ]);
+    }
+
+    #[test]
+    fn machines_at_reports_the_timeline() {
+        let seq = MoveSeq::new(vec![
+            Move {
+                start: 0,
+                end: 1,
+                from: 2,
+                to: 2,
+            },
+            Move {
+                start: 1,
+                end: 4,
+                from: 2,
+                to: 5,
+            },
+            Move {
+                start: 4,
+                end: 5,
+                from: 5,
+                to: 5,
+            },
+        ]);
+        assert_eq!(seq.machines_at(0), Some(2));
+        assert_eq!(seq.machines_at(2), Some(2)); // mid-move: pre-move count
+        assert_eq!(seq.machines_at(4), Some(5)); // move landed
+        assert_eq!(seq.machines_at(99), Some(5));
+        assert_eq!(MoveSeq::default().machines_at(0), None);
+    }
+
+    #[test]
+    fn first_reconfiguration_skips_noops() {
+        let seq = MoveSeq::new(vec![
+            Move {
+                start: 0,
+                end: 1,
+                from: 2,
+                to: 2,
+            },
+            Move {
+                start: 1,
+                end: 2,
+                from: 2,
+                to: 2,
+            },
+        ]);
+        assert!(seq.first_reconfiguration().is_none());
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the P-Store core algorithms.
+
+use proptest::prelude::*;
+use pstore_core::cost_model::{avg_machines_allocated, cap, eff_cap, move_time};
+use pstore_core::partition_plan::SlotPlan;
+use pstore_core::planner::{Planner, PlannerConfig};
+use pstore_core::schedule::MigrationSchedule;
+
+proptest! {
+    /// Every schedule is structurally valid: each pair exactly once, rounds
+    /// are matchings, machines only used while allocated, minimum rounds.
+    #[test]
+    fn schedule_always_valid(b in 1u32..=20, a in 1u32..=20) {
+        let s = MigrationSchedule::plan(b, a);
+        prop_assert!(s.check_valid().is_ok(), "{b}->{a}: {:?}", s.check_valid());
+    }
+
+    /// The schedule-derived average machine count equals Algorithm 4's
+    /// closed form.
+    #[test]
+    fn schedule_average_matches_algorithm4(b in 1u32..=20, a in 1u32..=20) {
+        let s = MigrationSchedule::plan(b, a);
+        let avg = s.avg_machines();
+        let expect = avg_machines_allocated(b, a);
+        prop_assert!((avg - expect).abs() < 1e-9, "{b}->{a}: {avg} vs {expect}");
+    }
+
+    /// Effective capacity stays between the before/after capacities and hits
+    /// them exactly at the endpoints.
+    #[test]
+    fn eff_cap_bounded_and_anchored(b in 1u32..=30, a in 1u32..=30, f in 0.0f64..=1.0) {
+        let q = 285.0;
+        let c = eff_cap(b, a, f, q);
+        let lo = cap(b.min(a), q) - 1e-9;
+        let hi = cap(b.max(a), q) + 1e-9;
+        prop_assert!(c >= lo && c <= hi, "{b}->{a}@{f}: {c} not in [{lo}, {hi}]");
+        prop_assert!((eff_cap(b, a, 0.0, q) - cap(b, q)).abs() < 1e-6);
+        prop_assert!((eff_cap(b, a, 1.0, q) - cap(a, q)).abs() < 1e-6);
+    }
+
+    /// Move time is symmetric in direction and decreases (weakly) with more
+    /// partitions per machine.
+    #[test]
+    fn move_time_symmetry_and_partition_speedup(
+        b in 1u32..=20, a in 1u32..=20, p in 1u32..=8, d in 1.0f64..10_000.0
+    ) {
+        let t = move_time(b, a, p, d);
+        prop_assert!((t - move_time(a, b, p, d)).abs() < 1e-9);
+        prop_assert!(move_time(b, a, p + 1, d) <= t + 1e-12);
+        if b != a {
+            prop_assert!(t > 0.0);
+        }
+    }
+
+    /// Any plan the DP returns is feasible against its own load curve and
+    /// starts from the requested machine count.
+    #[test]
+    fn planner_output_is_feasible(
+        seed_loads in prop::collection::vec(10.0f64..900.0, 3..20),
+        n0 in 1u32..=8,
+        d in 1.0f64..20.0,
+    ) {
+        let planner = Planner::new(PlannerConfig {
+            q: 100.0,
+            d_intervals: d,
+            partitions_per_node: 2,
+            max_machines: 12,
+        });
+        if let Some(seq) = planner.best_moves(&seed_loads, n0) {
+            prop_assert!(planner.verify_feasible(&seq, &seed_loads).is_ok());
+            if let Some(first) = seq.moves().first() {
+                prop_assert_eq!(first.from, n0);
+                prop_assert_eq!(first.start, 0);
+            }
+            // Contiguity: the sequence must span exactly the horizon.
+            prop_assert_eq!(seq.moves().last().unwrap().end, seed_loads.len() - 1);
+            // Nominal capacity at the end must cover the final load.
+            let last = seq.final_machines().unwrap();
+            prop_assert!(cap(last, 100.0) >= *seed_loads.last().unwrap());
+        }
+    }
+
+    /// A constant, comfortably served load never triggers a scale-out, and
+    /// the plan ends at the minimum machine count for that load.
+    #[test]
+    fn planner_minimises_final_machines_on_flat_load(
+        load in 10.0f64..1100.0,
+        horizon in 4usize..24,
+    ) {
+        let planner = Planner::new(PlannerConfig {
+            q: 100.0,
+            d_intervals: 2.0,
+            partitions_per_node: 2,
+            max_machines: 12,
+        });
+        let n_needed = planner.machines_needed(load);
+        let curve = vec![load; horizon];
+        // Start exactly at the needed count: plan must end there too and
+        // never scale out.
+        if let Some(seq) = planner.best_moves(&curve, n_needed) {
+            prop_assert_eq!(seq.final_machines(), Some(n_needed));
+            prop_assert!(seq.moves().iter().all(|m| !m.is_scale_out()));
+        } else {
+            // Only infeasible if the load does not fit the hardware.
+            prop_assert!(load > 12.0 * 100.0);
+        }
+    }
+
+    /// Rebalancing a balanced plan yields a balanced plan, moves only the
+    /// minimum number of slots, and transfer bookkeeping is consistent.
+    #[test]
+    fn rebalance_preserves_balance_and_minimality(
+        machines in 1u32..=16,
+        target in 1u32..=16,
+        slots_per in 4usize..12,
+    ) {
+        let num_slots = 16 * slots_per; // divisible by any count up to 16
+        let plan = SlotPlan::balanced(machines, num_slots);
+        let (next, transfers) = plan.rebalance_to(target);
+        prop_assert!(next.is_balanced());
+        prop_assert_eq!(next.machines(), target);
+        let moved: usize = transfers.iter().map(|t| t.slots.len()).sum();
+        // Minimum slots to move: sum over machines of max(0, have - want).
+        let want_base = num_slots / target as usize;
+        let want_extra = num_slots % target as usize;
+        let have_base = num_slots / machines as usize;
+        let have_extra = num_slots % machines as usize;
+        let mut expect = 0usize;
+        for m in 0..machines {
+            let have = have_base + usize::from((m as usize) < have_extra);
+            let want = if m < target {
+                want_base + usize::from((m as usize) < want_extra)
+            } else {
+                0
+            };
+            expect += have.saturating_sub(want);
+        }
+        prop_assert_eq!(moved, expect);
+        for t in &transfers {
+            for &s in &t.slots {
+                prop_assert_eq!(plan.owner(s), t.from);
+                prop_assert_eq!(next.owner(s), t.to);
+            }
+        }
+    }
+
+    /// Scale-out then the mirroring scale-in returns to a balanced plan of
+    /// the original size (data round-trips cleanly).
+    #[test]
+    fn rebalance_round_trip(machines in 1u32..=12, target in 1u32..=12) {
+        let plan = SlotPlan::balanced(machines, 240);
+        let (mid, _) = plan.rebalance_to(target);
+        let (back, _) = mid.rebalance_to(machines);
+        prop_assert!(back.is_balanced());
+        prop_assert_eq!(back.machines(), machines);
+    }
+}

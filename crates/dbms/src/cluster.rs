@@ -1,0 +1,1025 @@
+//! The multi-node cluster: routing, execution, and Squall-style live
+//! reconfiguration.
+//!
+//! A cluster holds `N` nodes of `P` partitions each. The hash space is
+//! divided into virtual slots; a [`SlotPlan`] maps slots to nodes and the
+//! local partition of a slot is a hash of the slot id (kept independent of
+//! the node assignment so every partition receives data). Reconfiguration moves slots
+//! between nodes in chunks: each chunk relocates up to a byte budget of one
+//! slot's rows, and the migrated-key set lets transactions keep executing
+//! against the slot while it is in flight (key-granularity switchover).
+//! Chunk *pacing* — how often chunks run and how long they occupy the
+//! partition — is the simulator's job; this module provides the mechanism.
+
+use crate::catalog::{Catalog, TableId};
+use crate::hash::bucket_of;
+use crate::partition::PartitionStore;
+use crate::txn::{Procedure, TxnCtx, TxnError, TxnOutput};
+use crate::value::Key;
+use pstore_core::partition_plan::SlotPlan;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Partitions per node (`P`; the paper's clusters use 6).
+    pub partitions_per_node: u32,
+    /// Number of virtual hash slots. More slots = finer migration chunks
+    /// and better balance; must be at least the maximum node count.
+    pub num_slots: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            partitions_per_node: 6,
+            num_slots: 720, // divisible by 1..=10 nodes x 6 partitions
+        }
+    }
+}
+
+/// A node: `P` serial partitions.
+#[derive(Debug)]
+struct Node {
+    partitions: Vec<PartitionStore>,
+}
+
+impl Node {
+    fn new(partitions_per_node: u32, num_tables: usize) -> Self {
+        Node {
+            partitions: (0..partitions_per_node)
+                .map(|_| PartitionStore::new(num_tables))
+                .collect(),
+        }
+    }
+}
+
+/// Per-slot migration state.
+#[derive(Debug)]
+struct InFlight {
+    from: u32,
+    to: u32,
+    moved: HashSet<(TableId, Key)>,
+}
+
+/// One sender-to-receiver stream of a reconfiguration: the ordered slots it
+/// must move. Pairs correspond 1:1 to the machine-pair transfers of the
+/// §4.4.1 migration schedule.
+#[derive(Debug, Clone)]
+pub struct PairTransfer {
+    /// Sending node.
+    pub from: u32,
+    /// Receiving node.
+    pub to: u32,
+    /// Slots to move, in order.
+    pub slots: Vec<u64>,
+    next: usize,
+}
+
+impl PairTransfer {
+    /// Whether all slots of this pair have been moved.
+    pub fn is_done(&self) -> bool {
+        self.next >= self.slots.len()
+    }
+
+    /// Slots not yet fully moved.
+    pub fn remaining_slots(&self) -> usize {
+        self.slots.len() - self.next
+    }
+
+    /// The slot the next chunk will draw from, if any remain.
+    pub fn current_slot(&self) -> Option<u64> {
+        self.slots.get(self.next).copied()
+    }
+}
+
+/// An in-progress reconfiguration.
+#[derive(Debug)]
+struct Reconfig {
+    new_plan: SlotPlan,
+    pairs: Vec<PairTransfer>,
+    in_flight: HashMap<u64, InFlight>,
+    pending_pairs: usize,
+}
+
+/// Result of one migration chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkResult {
+    /// Estimated bytes relocated by this chunk.
+    pub bytes: usize,
+    /// Rows relocated.
+    pub rows: usize,
+    /// Whether the chunk completed a slot.
+    pub slot_completed: bool,
+    /// Whether the pair has no slots left.
+    pub pair_done: bool,
+    /// Whether the whole reconfiguration just committed.
+    pub reconfig_done: bool,
+}
+
+/// Errors starting or driving a reconfiguration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconfigError {
+    /// A reconfiguration is already running.
+    AlreadyRunning,
+    /// No reconfiguration is running.
+    NotRunning,
+    /// The requested size equals the current size.
+    NoChange,
+    /// The requested size is invalid (zero, or more nodes than slots).
+    InvalidTarget {
+        /// The rejected size.
+        target: u32,
+    },
+}
+
+impl fmt::Display for ReconfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconfigError::AlreadyRunning => write!(f, "a reconfiguration is already running"),
+            ReconfigError::NotRunning => write!(f, "no reconfiguration is running"),
+            ReconfigError::NoChange => write!(f, "target size equals current size"),
+            ReconfigError::InvalidTarget { target } => {
+                write!(f, "invalid target cluster size {target}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReconfigError {}
+
+/// Aggregate execution counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Committed transactions.
+    pub committed: u64,
+    /// Aborted transactions.
+    pub aborted: u64,
+    /// Transactions that touched in-flight (migrating) data.
+    pub touched_migrating: u64,
+    /// Completed reconfigurations.
+    pub reconfigurations: u64,
+}
+
+/// A shared-nothing, partitioned, main-memory cluster.
+pub struct Cluster {
+    catalog: Catalog,
+    cfg: ClusterConfig,
+    plan: SlotPlan,
+    /// Routing overrides for slots whose migration has completed while the
+    /// surrounding reconfiguration is still running.
+    overrides: HashMap<u64, u32>,
+    nodes: Vec<Node>,
+    reconfig: Option<Reconfig>,
+    stats: ClusterStats,
+    /// Per-procedure (committed, aborted) counters.
+    procedure_stats: HashMap<&'static str, (u64, u64)>,
+}
+
+impl Cluster {
+    /// Boots a cluster of `initial_nodes` nodes.
+    ///
+    /// # Panics
+    /// Panics on zero nodes or too few slots.
+    pub fn new(catalog: Catalog, cfg: ClusterConfig, initial_nodes: u32) -> Self {
+        assert!(initial_nodes > 0, "need at least one node");
+        assert!(
+            cfg.num_slots >= initial_nodes as usize,
+            "need at least one slot per node"
+        );
+        assert!(cfg.partitions_per_node > 0, "need at least one partition");
+        let plan = SlotPlan::balanced(initial_nodes, cfg.num_slots);
+        let num_tables = catalog.len();
+        let nodes = (0..initial_nodes)
+            .map(|_| Node::new(cfg.partitions_per_node, num_tables))
+            .collect();
+        Cluster {
+            catalog,
+            cfg,
+            plan,
+            overrides: HashMap::new(),
+            nodes,
+            reconfig: None,
+            stats: ClusterStats::default(),
+            procedure_stats: HashMap::new(),
+        }
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Current (committed) number of nodes. During a scale-out this is
+    /// still the pre-move count until the reconfiguration commits; use
+    /// [`allocated_nodes`](Self::allocated_nodes) for machine-cost
+    /// accounting.
+    pub fn active_nodes(&self) -> u32 {
+        self.plan.machines()
+    }
+
+    /// Nodes currently holding resources (includes scale-out targets while
+    /// a reconfiguration runs).
+    pub fn allocated_nodes(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+
+    /// Whether a reconfiguration is running.
+    pub fn reconfiguring(&self) -> bool {
+        self.reconfig.is_some()
+    }
+
+    /// Execution counters.
+    pub fn stats(&self) -> ClusterStats {
+        self.stats
+    }
+
+    /// The virtual slot a routing key hashes to.
+    pub fn slot_of_key(&self, key: &Key) -> u64 {
+        bucket_of(&key.routing_bytes(), self.cfg.num_slots as u64)
+    }
+
+    /// The node currently serving `slot` (respecting migration overrides).
+    pub fn node_of_slot(&self, slot: u64) -> u32 {
+        if let Some(infl) = self.reconfig.as_ref().and_then(|r| r.in_flight.get(&slot)) {
+            // In-flight slots are still anchored at the source.
+            return infl.from;
+        }
+        self.overrides
+            .get(&slot)
+            .copied()
+            .unwrap_or_else(|| self.plan.owner(slot as usize))
+    }
+
+    /// The local partition index a slot maps to on whichever node owns it.
+    ///
+    /// Hashed (rather than `slot % P`) so it stays uncorrelated with the
+    /// slot-to-node assignment — `slot % machines` and `slot % P` share
+    /// factors, which would leave some (node, partition) combinations
+    /// permanently empty.
+    pub fn local_of_slot(&self, slot: u64) -> u32 {
+        crate::hash::bucket_of(&slot.to_le_bytes(), self.cfg.partitions_per_node as u64) as u32
+    }
+
+    /// The (node, local-partition) pair serving `slot`.
+    pub fn partition_of_slot(&self, slot: u64) -> (u32, u32) {
+        (self.node_of_slot(slot), self.local_of_slot(slot))
+    }
+
+    /// Executes a stored procedure, routing by its partitioning key.
+    ///
+    /// # Errors
+    /// Propagates the procedure's [`TxnError`] on abort.
+    pub fn execute(&mut self, proc: &dyn Procedure) -> Result<TxnOutput, TxnError> {
+        let routing = Key::new(vec![proc.routing_key()]);
+        let slot = self.slot_of_key(&routing);
+        let local = self.local_of_slot(slot) as usize;
+        let num_slots = self.cfg.num_slots as u64;
+
+        let in_flight = self
+            .reconfig
+            .as_ref()
+            .and_then(|r| r.in_flight.get(&slot))
+            .map(|i| (i.from, i.to));
+
+        let (result, touched_dest) = match in_flight {
+            None => {
+                let node = self.node_of_slot(slot) as usize;
+                let store = &mut self.nodes[node].partitions[local];
+                store.record_slot_access(slot);
+                let mut ctx = TxnCtx::settled(slot, num_slots, store);
+                (proc.execute(&mut ctx), ctx.touched_dest)
+            }
+            Some((from, to)) => {
+                debug_assert_ne!(from, to);
+                let (src, dst) = two_nodes(&mut self.nodes, from as usize, to as usize);
+                let source = &mut src.partitions[local];
+                source.record_slot_access(slot);
+                let dest = &mut dst.partitions[local];
+                let moved = &self
+                    .reconfig
+                    .as_ref()
+                    .expect("in-flight implies reconfig")
+                    .in_flight[&slot]
+                    .moved;
+                let mut ctx = TxnCtx::migrating(slot, num_slots, source, dest, moved);
+                (proc.execute(&mut ctx), ctx.touched_dest)
+            }
+        };
+
+        let proc_entry = self.procedure_stats.entry(proc.name()).or_insert((0, 0));
+        match &result {
+            Ok(_) => {
+                self.stats.committed += 1;
+                proc_entry.0 += 1;
+            }
+            Err(_) => {
+                self.stats.aborted += 1;
+                proc_entry.1 += 1;
+            }
+        }
+        if touched_dest {
+            self.stats.touched_migrating += 1;
+        }
+        result
+    }
+
+    /// Per-procedure `(committed, aborted)` counters, sorted by call count
+    /// (descending) — the workload-mix report of a run.
+    pub fn procedure_report(&self) -> Vec<(&'static str, u64, u64)> {
+        let mut out: Vec<(&'static str, u64, u64)> = self
+            .procedure_stats
+            .iter()
+            .map(|(&name, &(c, a))| (name, c, a))
+            .collect();
+        out.sort_by(|x, y| (y.1 + y.2).cmp(&(x.1 + x.2)).then(x.0.cmp(y.0)));
+        out
+    }
+
+    /// Starts a reconfiguration to `target` nodes. New nodes are allocated
+    /// immediately at the engine level; the simulator decides *when* to
+    /// call this per the §4.4.1 just-in-time schedule by issuing staged
+    /// reconfigurations.
+    ///
+    /// # Errors
+    /// See [`ReconfigError`].
+    pub fn begin_reconfiguration(&mut self, target: u32) -> Result<(), ReconfigError> {
+        if self.reconfig.is_some() {
+            return Err(ReconfigError::AlreadyRunning);
+        }
+        if target == self.active_nodes() {
+            return Err(ReconfigError::NoChange);
+        }
+        if target == 0 || target as usize > self.cfg.num_slots {
+            return Err(ReconfigError::InvalidTarget { target });
+        }
+        let (new_plan, transfers) = self.plan.rebalance_to(target);
+        let pairs: Vec<PairTransfer> = transfers
+            .into_iter()
+            .map(|t| PairTransfer {
+                from: t.from,
+                to: t.to,
+                slots: t.slots.into_iter().map(|s| s as u64).collect(),
+                next: 0,
+            })
+            .collect();
+        self.install_reconfig(new_plan, pairs);
+        Ok(())
+    }
+
+    /// Starts a reconfiguration to an arbitrary caller-supplied plan — the
+    /// hook for skew-driven rebalancing (E-Store-style hot-slot placement,
+    /// the future-work combination sketched in the paper's §10). The plan
+    /// must keep the slot count and may change the machine count.
+    ///
+    /// # Errors
+    /// See [`ReconfigError`]; additionally rejects plans whose slot count
+    /// differs from the cluster's.
+    pub fn begin_plan_reconfiguration(&mut self, new_plan: SlotPlan) -> Result<(), ReconfigError> {
+        if self.reconfig.is_some() {
+            return Err(ReconfigError::AlreadyRunning);
+        }
+        if new_plan.num_slots() != self.cfg.num_slots {
+            return Err(ReconfigError::InvalidTarget {
+                target: new_plan.machines(),
+            });
+        }
+        if new_plan.machines() == 0 {
+            return Err(ReconfigError::InvalidTarget { target: 0 });
+        }
+        if new_plan.assignments() == self.plan.assignments() {
+            return Err(ReconfigError::NoChange);
+        }
+        // Diff the plans into per-(from, to) slot streams.
+        let mut by_pair: HashMap<(u32, u32), Vec<u64>> = HashMap::new();
+        for (slot, (&old, &new)) in self
+            .plan
+            .assignments()
+            .iter()
+            .zip(new_plan.assignments())
+            .enumerate()
+        {
+            if old != new {
+                by_pair.entry((old, new)).or_default().push(slot as u64);
+            }
+        }
+        let mut pairs: Vec<PairTransfer> = by_pair
+            .into_iter()
+            .map(|((from, to), slots)| PairTransfer {
+                from,
+                to,
+                slots,
+                next: 0,
+            })
+            .collect();
+        pairs.sort_by_key(|p| (p.from, p.to));
+        self.install_reconfig(new_plan, pairs);
+        Ok(())
+    }
+
+    fn install_reconfig(&mut self, new_plan: SlotPlan, pairs: Vec<PairTransfer>) {
+        // Allocate any nodes the new plan references.
+        let max_node = new_plan
+            .assignments()
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(new_plan.machines().saturating_sub(1));
+        let num_tables = self.catalog.len();
+        while self.nodes.len() <= max_node as usize {
+            self.nodes
+                .push(Node::new(self.cfg.partitions_per_node, num_tables));
+        }
+        let pending = pairs.iter().filter(|p| !p.is_done()).count();
+        self.reconfig = Some(Reconfig {
+            new_plan,
+            pairs,
+            in_flight: HashMap::new(),
+            pending_pairs: pending,
+        });
+        if pending == 0 {
+            self.commit_reconfig();
+        }
+    }
+
+    /// The current slot plan (committed routing, ignoring in-flight moves).
+    pub fn current_plan(&self) -> &SlotPlan {
+        &self.plan
+    }
+
+    /// Aggregated per-slot access counts across all partitions since the
+    /// last [`reset_slot_accesses`](Self::reset_slot_accesses) — the input
+    /// to skew-driven rebalancing.
+    pub fn slot_access_report(&self) -> HashMap<u64, u64> {
+        let mut out: HashMap<u64, u64> = HashMap::new();
+        for node in &self.nodes {
+            for p in &node.partitions {
+                for (slot, count) in p.slot_accesses() {
+                    *out.entry(slot).or_default() += count;
+                }
+            }
+        }
+        out
+    }
+
+    /// Clears all per-slot access counters (start a fresh monitoring
+    /// window).
+    pub fn reset_slot_accesses(&mut self) {
+        for node in &mut self.nodes {
+            for p in &mut node.partitions {
+                p.reset_slot_accesses();
+            }
+        }
+    }
+
+    /// The pair transfers of the running reconfiguration.
+    pub fn pair_transfers(&self) -> &[PairTransfer] {
+        self.reconfig.as_ref().map_or(&[], |r| &r.pairs)
+    }
+
+    /// Moves up to `budget_bytes` of the next slot of pair `pair_idx`.
+    ///
+    /// # Errors
+    /// Returns [`ReconfigError::NotRunning`] outside a reconfiguration.
+    ///
+    /// # Panics
+    /// Panics if `pair_idx` is out of range.
+    pub fn migrate_chunk(
+        &mut self,
+        pair_idx: usize,
+        budget_bytes: usize,
+    ) -> Result<ChunkResult, ReconfigError> {
+        let Some(reconfig) = self.reconfig.as_mut() else {
+            return Err(ReconfigError::NotRunning);
+        };
+        let pair = &mut reconfig.pairs[pair_idx];
+        if pair.is_done() {
+            return Ok(ChunkResult {
+                bytes: 0,
+                rows: 0,
+                slot_completed: false,
+                pair_done: true,
+                reconfig_done: false,
+            });
+        }
+        let slot = pair.slots[pair.next];
+        let (from, to) = (pair.from, pair.to);
+        let local =
+            bucket_of(&slot.to_le_bytes(), self.cfg.partitions_per_node as u64) as usize;
+
+        let infl = reconfig.in_flight.entry(slot).or_insert(InFlight {
+            from,
+            to,
+            moved: HashSet::new(),
+        });
+
+        let (src, dst) = two_nodes(&mut self.nodes, from as usize, to as usize);
+        let (rows, bytes, emptied) =
+            src.partitions[local].extract_chunk(slot, budget_bytes.max(1));
+        for (tid, key, _) in &rows {
+            infl.moved.insert((*tid, key.clone()));
+        }
+        let n_rows = rows.len();
+        dst.partitions[local].install_rows(slot, rows);
+
+        let mut slot_completed = false;
+        let mut pair_done = false;
+        let mut reconfig_done = false;
+        if emptied {
+            // Slot fully relocated: switch routing, clear tracking.
+            reconfig.in_flight.remove(&slot);
+            self.overrides.insert(slot, to);
+            let pair = &mut reconfig.pairs[pair_idx];
+            pair.next += 1;
+            slot_completed = true;
+            if pair.is_done() {
+                pair_done = true;
+                reconfig.pending_pairs -= 1;
+                if reconfig.pending_pairs == 0 {
+                    self.commit_reconfig();
+                    reconfig_done = true;
+                }
+            }
+        }
+        Ok(ChunkResult {
+            bytes,
+            rows: n_rows,
+            slot_completed,
+            pair_done,
+            reconfig_done,
+        })
+    }
+
+    /// Drives the whole reconfiguration to completion in one call, visiting
+    /// pairs round-robin with the given chunk budget. Intended for tests
+    /// and standalone use; simulations pace chunks themselves.
+    ///
+    /// # Errors
+    /// Returns [`ReconfigError::NotRunning`] outside a reconfiguration.
+    pub fn run_reconfiguration_to_completion(
+        &mut self,
+        budget_bytes: usize,
+    ) -> Result<u64, ReconfigError> {
+        if self.reconfig.is_none() {
+            return Err(ReconfigError::NotRunning);
+        }
+        let mut chunks = 0u64;
+        // Upper bound: every slot needs at least one chunk, plus slack for
+        // small budgets; a pass without progress indicates a logic bug.
+        let mut stalled_passes = 0u32;
+        loop {
+            let pairs = self.pair_transfers().len();
+            let mut progressed = false;
+            for p in 0..pairs {
+                if self.reconfig.is_none() {
+                    return Ok(chunks);
+                }
+                let r = self.migrate_chunk(p, budget_bytes)?;
+                chunks += 1;
+                if r.reconfig_done {
+                    return Ok(chunks);
+                }
+                if r.bytes > 0 || r.slot_completed {
+                    progressed = true;
+                }
+            }
+            stalled_passes = if progressed { 0 } else { stalled_passes + 1 };
+            assert!(
+                stalled_passes < 3,
+                "reconfiguration stalled: no chunk made progress"
+            );
+        }
+    }
+
+    fn commit_reconfig(&mut self) {
+        let reconfig = self.reconfig.take().expect("commit requires reconfig");
+        debug_assert_eq!(reconfig.pending_pairs, 0);
+        let target = reconfig.new_plan.machines();
+        self.plan = reconfig.new_plan;
+        self.overrides.clear();
+        // Drop drained nodes on scale-in.
+        if (target as usize) < self.nodes.len() {
+            for node in &self.nodes[target as usize..] {
+                for p in &node.partitions {
+                    debug_assert_eq!(p.total_rows(), 0, "dropping a non-empty node");
+                }
+            }
+            self.nodes.truncate(target as usize);
+        }
+        self.stats.reconfigurations += 1;
+    }
+
+    /// Estimated total resident bytes across the cluster.
+    pub fn total_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.partitions.iter())
+            .map(PartitionStore::total_bytes)
+            .sum()
+    }
+
+    /// Total resident rows across the cluster.
+    pub fn total_rows(&self) -> usize {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.partitions.iter())
+            .map(PartitionStore::total_rows)
+            .sum()
+    }
+
+    /// Exports every row of a table as a snapshot, ordered by key — the
+    /// extraction side of the paper's §4.2 archival story (historical data
+    /// moves to a separate warehouse out of band).
+    ///
+    /// # Errors
+    /// Refuses while a reconfiguration is running (rows would be split
+    /// between migration sides).
+    pub fn export_table(&self, table: TableId) -> Result<Vec<(Key, crate::value::Row)>, ReconfigError> {
+        if self.reconfig.is_some() {
+            return Err(ReconfigError::AlreadyRunning);
+        }
+        let mut out: Vec<(Key, crate::value::Row)> = Vec::new();
+        for node in &self.nodes {
+            for store in &node.partitions {
+                for slot in store.resident_slots().collect::<Vec<_>>() {
+                    out.extend(store.export_slot_table(slot, table));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    /// Per-partition statistics: `(node, local_partition, accesses, bytes,
+    /// rows)`.
+    pub fn partition_report(&self) -> Vec<(u32, u32, u64, usize, usize)> {
+        let mut out = Vec::new();
+        for (n, node) in self.nodes.iter().enumerate() {
+            for (p, store) in node.partitions.iter().enumerate() {
+                out.push((
+                    n as u32,
+                    p as u32,
+                    store.accesses(),
+                    store.total_bytes(),
+                    store.total_rows(),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Full integrity audit: every resident row lives in the slot its key
+    /// hashes to, on the partition and node that currently serve that
+    /// slot; byte accounting matches row contents. Intended for tests and
+    /// post-migration assertions (O(total rows)).
+    ///
+    /// # Errors
+    /// Returns a description of the first violation found.
+    pub fn verify_integrity(&self) -> Result<(), String> {
+        if self.reconfig.is_some() {
+            return Err("verify_integrity requires a settled cluster".into());
+        }
+        for (n, node) in self.nodes.iter().enumerate() {
+            for (pi, store) in node.partitions.iter().enumerate() {
+                for slot in store.resident_slots() {
+                    let (owner, local) = self.partition_of_slot(slot);
+                    if owner != n as u32 || local != pi as u32 {
+                        return Err(format!(
+                            "slot {slot} resident on node {n} partition {pi},                              but routing maps it to node {owner} partition {local}"
+                        ));
+                    }
+                }
+            }
+        }
+        // Spot-check byte accounting: recompute from rows for each node.
+        for (n, node) in self.nodes.iter().enumerate() {
+            for (pi, store) in node.partitions.iter().enumerate() {
+                let claimed = store.total_bytes();
+                let actual = store.recompute_bytes();
+                if claimed != actual {
+                    return Err(format!(
+                        "node {n} partition {pi}: byte accounting drift                          (claimed {claimed}, actual {actual})"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Bytes that a reconfiguration to `target` nodes would move (the data
+    /// on slots that change owners under the minimal rebalance).
+    pub fn bytes_to_move(&self, target: u32) -> usize {
+        let (_, transfers) = self.plan.rebalance_to(target);
+        transfers
+            .iter()
+            .flat_map(|t| t.slots.iter())
+            .map(|&s| {
+                let slot = s as u64;
+                let (node, local) = self.partition_of_slot(slot);
+                self.nodes[node as usize].partitions[local as usize].slot_bytes(slot)
+            })
+            .sum()
+    }
+}
+
+/// Splits two distinct nodes out of the vector for simultaneous mutation.
+fn two_nodes(nodes: &mut [Node], a: usize, b: usize) -> (&mut Node, &mut Node) {
+    assert_ne!(a, b, "nodes must be distinct");
+    if a < b {
+        let (lo, hi) = nodes.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = nodes.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{columns, ColumnType, TableSchema};
+    use crate::value::{KeyValue, Row, Value};
+
+    fn test_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(TableSchema::new(
+            "KV",
+            columns(&[("k", ColumnType::Str), ("v", ColumnType::Int)]),
+            1,
+        ));
+        cat
+    }
+
+    /// A trivial upsert procedure.
+    struct Put {
+        key: String,
+        value: i64,
+    }
+
+    impl Procedure for Put {
+        fn name(&self) -> &'static str {
+            "Put"
+        }
+        fn routing_key(&self) -> KeyValue {
+            KeyValue::Str(self.key.clone())
+        }
+        fn execute(&self, ctx: &mut TxnCtx<'_>) -> Result<TxnOutput, TxnError> {
+            ctx.put(0, Key::str(self.key.clone()), Row(vec![Value::Int(self.value)]));
+            Ok(TxnOutput::None)
+        }
+    }
+
+    struct Get {
+        key: String,
+    }
+
+    impl Procedure for Get {
+        fn name(&self) -> &'static str {
+            "Get"
+        }
+        fn routing_key(&self) -> KeyValue {
+            KeyValue::Str(self.key.clone())
+        }
+        fn execute(&self, ctx: &mut TxnCtx<'_>) -> Result<TxnOutput, TxnError> {
+            let row = ctx.get_required(0, "KV", &Key::str(self.key.clone()))?;
+            Ok(TxnOutput::Row(row))
+        }
+    }
+
+    fn cluster(nodes: u32) -> Cluster {
+        Cluster::new(
+            test_catalog(),
+            ClusterConfig {
+                partitions_per_node: 2,
+                num_slots: 64,
+            },
+            nodes,
+        )
+    }
+
+    fn load_keys(c: &mut Cluster, n: usize) {
+        for i in 0..n {
+            c.execute(&Put {
+                key: format!("key-{i}"),
+                value: i as i64,
+            })
+            .unwrap();
+        }
+    }
+
+    fn check_all_keys(c: &mut Cluster, n: usize) {
+        for i in 0..n {
+            let out = c
+                .execute(&Get {
+                    key: format!("key-{i}"),
+                })
+                .unwrap_or_else(|e| panic!("key-{i} lost: {e}"));
+            assert_eq!(out, TxnOutput::Row(Row(vec![Value::Int(i as i64)])));
+        }
+    }
+
+    #[test]
+    fn execute_routes_and_round_trips() {
+        let mut c = cluster(3);
+        load_keys(&mut c, 200);
+        check_all_keys(&mut c, 200);
+        assert_eq!(c.total_rows(), 200);
+        assert_eq!(c.stats().committed, 400);
+    }
+
+    #[test]
+    fn procedure_report_counts_by_name() {
+        let mut c = cluster(2);
+        load_keys(&mut c, 10);
+        let _ = c.execute(&Get { key: "nope".into() });
+        let report = c.procedure_report();
+        assert_eq!(report[0], ("Put", 10, 0));
+        let get = report.iter().find(|r| r.0 == "Get").unwrap();
+        assert_eq!((get.1, get.2), (0, 1));
+    }
+
+    #[test]
+    fn missing_key_aborts() {
+        let mut c = cluster(2);
+        let err = c.execute(&Get { key: "nope".into() }).unwrap_err();
+        assert!(matches!(err, TxnError::NotFound { .. }));
+        assert_eq!(c.stats().aborted, 1);
+    }
+
+    #[test]
+    fn scale_out_preserves_every_row() {
+        let mut c = cluster(2);
+        load_keys(&mut c, 300);
+        c.begin_reconfiguration(5).unwrap();
+        assert!(c.reconfiguring());
+        assert!(c.verify_integrity().is_err()); // mid-move audits refused
+        c.run_reconfiguration_to_completion(4096).unwrap();
+        assert!(!c.reconfiguring());
+        assert_eq!(c.active_nodes(), 5);
+        assert_eq!(c.total_rows(), 300);
+        c.verify_integrity().unwrap();
+        check_all_keys(&mut c, 300);
+    }
+
+    #[test]
+    fn scale_in_preserves_every_row_and_drops_nodes() {
+        let mut c = cluster(5);
+        load_keys(&mut c, 300);
+        c.begin_reconfiguration(2).unwrap();
+        c.run_reconfiguration_to_completion(4096).unwrap();
+        assert_eq!(c.active_nodes(), 2);
+        assert_eq!(c.allocated_nodes(), 2);
+        assert_eq!(c.total_rows(), 300);
+        check_all_keys(&mut c, 300);
+    }
+
+    #[test]
+    fn transactions_execute_correctly_mid_migration() {
+        let mut c = cluster(2);
+        load_keys(&mut c, 400);
+        c.begin_reconfiguration(4).unwrap();
+        // Interleave chunks with reads and writes.
+        let mut i = 0usize;
+        while c.reconfiguring() {
+            let pairs = c.pair_transfers().len();
+            let _ = c.migrate_chunk(i % pairs, 512).unwrap();
+            // Read an existing key and write a new one every step.
+            let k = format!("key-{}", i % 400);
+            let out = c.execute(&Get { key: k }).unwrap();
+            assert!(matches!(out, TxnOutput::Row(_)));
+            c.execute(&Put {
+                key: format!("new-{i}"),
+                value: -1,
+            })
+            .unwrap();
+            i += 1;
+            assert!(i < 100_000, "migration did not converge");
+        }
+        check_all_keys(&mut c, 400);
+        // New keys written during migration also survive.
+        for j in 0..i {
+            c.execute(&Get {
+                key: format!("new-{j}"),
+            })
+            .unwrap_or_else(|e| panic!("new-{j} lost: {e}"));
+        }
+    }
+
+    #[test]
+    fn updates_to_moved_keys_land_at_destination() {
+        let mut c = cluster(2);
+        load_keys(&mut c, 200);
+        c.begin_reconfiguration(4).unwrap();
+        // Move a couple of chunks, then update every key; values must all
+        // read back updated regardless of which side they live on.
+        for p in 0..c.pair_transfers().len() {
+            let _ = c.migrate_chunk(p, 2048).unwrap();
+        }
+        for i in 0..200 {
+            c.execute(&Put {
+                key: format!("key-{i}"),
+                value: 1000 + i as i64,
+            })
+            .unwrap();
+        }
+        c.run_reconfiguration_to_completion(4096).unwrap();
+        for i in 0..200 {
+            let out = c
+                .execute(&Get {
+                    key: format!("key-{i}"),
+                })
+                .unwrap();
+            assert_eq!(out, TxnOutput::Row(Row(vec![Value::Int(1000 + i as i64)])));
+        }
+        assert_eq!(c.total_rows(), 200);
+    }
+
+    #[test]
+    fn reconfig_guards() {
+        let mut c = cluster(2);
+        assert_eq!(
+            c.begin_reconfiguration(2).unwrap_err(),
+            ReconfigError::NoChange
+        );
+        assert_eq!(
+            c.begin_reconfiguration(0).unwrap_err(),
+            ReconfigError::InvalidTarget { target: 0 }
+        );
+        c.begin_reconfiguration(3).unwrap();
+        assert_eq!(
+            c.begin_reconfiguration(4).unwrap_err(),
+            ReconfigError::AlreadyRunning
+        );
+        assert_eq!(
+            Cluster::new(test_catalog(), ClusterConfig::default(), 1)
+                .migrate_chunk(0, 100)
+                .unwrap_err(),
+            ReconfigError::NotRunning
+        );
+    }
+
+    #[test]
+    fn chained_reconfigurations_keep_data_intact() {
+        let mut c = cluster(1);
+        load_keys(&mut c, 250);
+        for &target in &[4u32, 9, 3, 10, 2] {
+            c.begin_reconfiguration(target).unwrap();
+            c.run_reconfiguration_to_completion(1500).unwrap();
+            assert_eq!(c.active_nodes(), target);
+            assert_eq!(c.total_rows(), 250);
+            c.verify_integrity().unwrap();
+        }
+        check_all_keys(&mut c, 250);
+        assert_eq!(c.stats().reconfigurations, 5);
+    }
+
+    #[test]
+    fn export_table_returns_all_rows_sorted() {
+        let mut c = cluster(3);
+        load_keys(&mut c, 120);
+        let rows = c.export_table(0).unwrap();
+        assert_eq!(rows.len(), 120);
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
+        // Refused mid-reconfiguration.
+        c.begin_reconfiguration(5).unwrap();
+        assert!(c.export_table(0).is_err());
+        c.run_reconfiguration_to_completion(8192).unwrap();
+        assert_eq!(c.export_table(0).unwrap().len(), 120);
+    }
+
+    #[test]
+    fn bytes_to_move_matches_fraction() {
+        let mut c = cluster(2);
+        load_keys(&mut c, 1000);
+        let total = c.total_bytes();
+        let to_move = c.bytes_to_move(4);
+        // Scale 2 -> 4 moves ~half the data.
+        let frac = to_move as f64 / total as f64;
+        assert!((0.4..0.6).contains(&frac), "moved fraction {frac}");
+    }
+
+    #[test]
+    fn data_balanced_after_scale_out() {
+        let mut c = cluster(2);
+        load_keys(&mut c, 2000);
+        c.begin_reconfiguration(5).unwrap();
+        c.run_reconfiguration_to_completion(8192).unwrap();
+        let report = c.partition_report();
+        let node_bytes: Vec<usize> = (0..5)
+            .map(|n| {
+                report
+                    .iter()
+                    .filter(|r| r.0 == n)
+                    .map(|r| r.3)
+                    .sum::<usize>()
+            })
+            .collect();
+        let mean = node_bytes.iter().sum::<usize>() as f64 / 5.0;
+        for (n, &b) in node_bytes.iter().enumerate() {
+            let dev = (b as f64 - mean).abs() / mean;
+            assert!(dev < 0.25, "node {n} holds {b} bytes vs mean {mean}");
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Model-based property tests: the engine must behave exactly like a flat
+//! in-memory map, no matter how operations interleave with live
+//! reconfigurations.
+
+use proptest::prelude::*;
+use pstore_core::partition_plan::SlotPlan;
+use pstore_dbms::catalog::{columns, Catalog, ColumnType, TableSchema};
+use pstore_dbms::cluster::{Cluster, ClusterConfig};
+use pstore_dbms::skew::{imbalance, node_loads, plan_rebalance, SkewConfig};
+use pstore_dbms::txn::{Procedure, TxnCtx, TxnError, TxnOutput};
+use pstore_dbms::value::{Key, KeyValue, Row, Value};
+use std::collections::HashMap;
+
+fn kv_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add_table(TableSchema::new(
+        "KV",
+        columns(&[("k", ColumnType::Str), ("v", ColumnType::Int)]),
+        1,
+    ));
+    cat
+}
+
+struct Put(String, i64);
+impl Procedure for Put {
+    fn name(&self) -> &'static str {
+        "Put"
+    }
+    fn routing_key(&self) -> KeyValue {
+        KeyValue::Str(self.0.clone())
+    }
+    fn execute(&self, ctx: &mut TxnCtx<'_>) -> Result<TxnOutput, TxnError> {
+        ctx.put(0, Key::str(self.0.clone()), Row(vec![Value::Int(self.1)]));
+        Ok(TxnOutput::None)
+    }
+}
+
+struct Get(String);
+impl Procedure for Get {
+    fn name(&self) -> &'static str {
+        "Get"
+    }
+    fn routing_key(&self) -> KeyValue {
+        KeyValue::Str(self.0.clone())
+    }
+    fn execute(&self, ctx: &mut TxnCtx<'_>) -> Result<TxnOutput, TxnError> {
+        match ctx.get(0, &Key::str(self.0.clone())) {
+            Some(r) => Ok(TxnOutput::Row(r)),
+            None => Ok(TxnOutput::None),
+        }
+    }
+}
+
+struct Del(String);
+impl Procedure for Del {
+    fn name(&self) -> &'static str {
+        "Del"
+    }
+    fn routing_key(&self) -> KeyValue {
+        KeyValue::Str(self.0.clone())
+    }
+    fn execute(&self, ctx: &mut TxnCtx<'_>) -> Result<TxnOutput, TxnError> {
+        let n = u64::from(ctx.delete(0, &Key::str(self.0.clone())).is_some());
+        Ok(TxnOutput::Count(n))
+    }
+}
+
+/// One step of the random workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, i64),
+    Get(u8),
+    Del(u8),
+    /// Start (or continue) a reconfiguration to this node count.
+    Reconfigure(u8),
+    /// Push a few migration chunks.
+    Chunks(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<i64>()).prop_map(|(k, v)| Op::Put(k, v)),
+        any::<u8>().prop_map(Op::Get),
+        any::<u8>().prop_map(Op::Del),
+        (1u8..=8).prop_map(Op::Reconfigure),
+        (1u8..=16).prop_map(Op::Chunks),
+    ]
+}
+
+fn key_name(k: u8) -> String {
+    format!("key-{k:03}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random puts/gets/deletes interleaved with random reconfigurations
+    /// behave exactly like a HashMap.
+    #[test]
+    fn engine_matches_model_under_migration(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut cluster = Cluster::new(
+            kv_catalog(),
+            ClusterConfig { partitions_per_node: 2, num_slots: 64 },
+            2,
+        );
+        let mut model: HashMap<String, i64> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    cluster.execute(&Put(key_name(k), v)).unwrap();
+                    model.insert(key_name(k), v);
+                }
+                Op::Get(k) => {
+                    let out = cluster.execute(&Get(key_name(k))).unwrap();
+                    match model.get(&key_name(k)) {
+                        Some(&v) => prop_assert_eq!(out, TxnOutput::Row(Row(vec![Value::Int(v)]))),
+                        None => prop_assert_eq!(out, TxnOutput::None),
+                    }
+                }
+                Op::Del(k) => {
+                    let out = cluster.execute(&Del(key_name(k))).unwrap();
+                    let existed = model.remove(&key_name(k)).is_some();
+                    prop_assert_eq!(out, TxnOutput::Count(u64::from(existed)));
+                }
+                Op::Reconfigure(n) => {
+                    // Ignored when one is already running or it's a no-op.
+                    let _ = cluster.begin_reconfiguration(n as u32);
+                }
+                Op::Chunks(n) => {
+                    for i in 0..n as usize {
+                        if !cluster.reconfiguring() {
+                            break;
+                        }
+                        let pairs = cluster.pair_transfers().len();
+                        let _ = cluster.migrate_chunk(i % pairs, 512);
+                    }
+                }
+            }
+        }
+        // Drain any outstanding reconfiguration, then do a full audit.
+        if cluster.reconfiguring() {
+            cluster.run_reconfiguration_to_completion(4096).unwrap();
+        }
+        prop_assert_eq!(cluster.total_rows(), model.len());
+        for (k, &v) in &model {
+            let out = cluster.execute(&Get(k.clone())).unwrap();
+            prop_assert_eq!(out, TxnOutput::Row(Row(vec![Value::Int(v)])));
+        }
+    }
+
+    /// The skew balancer never unbalances: for any access distribution the
+    /// proposed plan's imbalance is no worse than the current one, and the
+    /// proposal only touches slots that exist.
+    #[test]
+    fn skew_balancer_never_hurts(
+        machines in 2u32..=8,
+        counts in prop::collection::vec(0u64..2_000, 64),
+    ) {
+        let plan = SlotPlan::balanced(machines, 64);
+        let accesses: HashMap<u64, u64> = counts
+            .iter()
+            .enumerate()
+            .map(|(s, &c)| (s as u64, c))
+            .collect();
+        let before = imbalance(&node_loads(&plan, &accesses));
+        if let Some(p) = plan_rebalance(&plan, &accesses, &SkewConfig::default()) {
+            let after = imbalance(&node_loads(&p.plan, &accesses));
+            prop_assert!(after <= before + 1e-9, "{before} -> {after}");
+            prop_assert_eq!(p.plan.num_slots(), 64);
+            prop_assert_eq!(p.plan.machines(), machines);
+            for &(slot, from, to) in &p.moves {
+                prop_assert!(slot < 64);
+                prop_assert_eq!(plan.owner(slot as usize), from);
+                prop_assert_eq!(p.plan.owner(slot as usize), to);
+            }
+        }
+    }
+
+    /// Routing is stable: the slot of a key never depends on cluster state.
+    #[test]
+    fn routing_is_deterministic(keys in prop::collection::vec("[a-z]{1,12}", 1..40)) {
+        let c2 = Cluster::new(
+            kv_catalog(),
+            ClusterConfig { partitions_per_node: 3, num_slots: 128 },
+            2,
+        );
+        let c7 = Cluster::new(
+            kv_catalog(),
+            ClusterConfig { partitions_per_node: 3, num_slots: 128 },
+            7,
+        );
+        for k in &keys {
+            let key = Key::str(k.clone());
+            prop_assert_eq!(c2.slot_of_key(&key), c7.slot_of_key(&key));
+        }
+    }
+}

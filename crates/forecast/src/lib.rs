@@ -1,0 +1,46 @@
+//! Time-series load prediction for P-Store.
+//!
+//! This crate implements the forecasting half of the P-Store system
+//! (SIGMOD 2018): regularly sampled load series, accuracy metrics, the
+//! SPAR / AR / ARMA prediction models of §5, an online self-refitting
+//! predictor (§6's "active learning"), and seeded synthetic generators that
+//! stand in for the proprietary B2W and Wikipedia traces.
+//!
+//! # Quick example
+//!
+//! ```
+//! use pstore_forecast::generators::B2wLoadModel;
+//! use pstore_forecast::spar::{SparConfig, SparModel};
+//! use pstore_forecast::model::LoadPredictor;
+//!
+//! // Five weeks of synthetic per-minute retail load.
+//! let load = B2wLoadModel::default().generate(35);
+//! let train = 28 * 1440;
+//! let model = SparModel::fit(&load.values()[..train], &SparConfig::b2w_default()).unwrap();
+//! // Forecast one hour ahead from the end of week 4.
+//! let next_hour = model.predict_horizon(&load.values()[..train], 60);
+//! assert_eq!(next_hour.len(), 60);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ar;
+pub mod arma;
+pub mod decompose;
+pub mod eval;
+pub mod generators;
+pub mod holt_winters;
+pub mod linalg;
+pub mod metrics;
+pub mod model;
+pub mod online;
+pub mod series;
+pub mod spar;
+
+pub use ar::{ArConfig, ArModel};
+pub use arma::{ArmaConfig, ArmaModel};
+pub use holt_winters::{HoltWintersConfig, HoltWintersModel};
+pub use model::{FitError, LoadPredictor};
+pub use online::OnlinePredictor;
+pub use series::TimeSeries;
+pub use spar::{SparConfig, SparModel};

@@ -1,0 +1,85 @@
+//! Property tests for the least-squares solver.
+
+use proptest::prelude::*;
+use pstore_forecast::linalg::{cholesky, lstsq, ridge, Matrix};
+
+/// Builds a well-conditioned random design matrix by perturbing an
+/// identity-like pattern.
+fn design(rows: usize, cols: usize, vals: &[f64]) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    let mut idx = 0;
+    for r in 0..rows {
+        for c in 0..cols {
+            let noise = vals[idx % vals.len()];
+            idx += 1;
+            m[(r, c)] = noise + if r % cols == c { 3.0 } else { 0.0 };
+        }
+    }
+    m
+}
+
+proptest! {
+    /// The solver recovers the generating coefficients of a consistent
+    /// (noise-free) overdetermined system.
+    #[test]
+    fn lstsq_recovers_exact_solutions(
+        raw in prop::collection::vec(-1.0f64..1.0, 64),
+        coef in prop::collection::vec(-5.0f64..5.0, 4),
+    ) {
+        let a = design(12, 4, &raw);
+        let b = a.mul_vec(&coef);
+        let x = lstsq(&a, &b).unwrap();
+        for (got, want) in x.iter().zip(&coef) {
+            prop_assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+    }
+
+    /// Least-squares residuals are orthogonal to the column space:
+    /// A^T (A x - b) = 0.
+    #[test]
+    fn residual_is_orthogonal_to_columns(
+        raw in prop::collection::vec(-1.0f64..1.0, 64),
+        b in prop::collection::vec(-10.0f64..10.0, 12),
+    ) {
+        let a = design(12, 4, &raw);
+        let x = lstsq(&a, &b).unwrap();
+        let pred = a.mul_vec(&x);
+        let resid: Vec<f64> = pred.iter().zip(&b).map(|(p, y)| p - y).collect();
+        let at_r = a.transpose().mul_vec(&resid);
+        for v in at_r {
+            prop_assert!(v.abs() < 1e-6, "A^T r component {v}");
+        }
+    }
+
+    /// Ridge shrinks coefficient norms monotonically in lambda.
+    #[test]
+    fn ridge_shrinks_with_lambda(
+        raw in prop::collection::vec(-1.0f64..1.0, 64),
+        b in prop::collection::vec(-10.0f64..10.0, 12),
+    ) {
+        let a = design(12, 4, &raw);
+        let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>();
+        let n0 = norm(&ridge(&a, &b, 0.0).unwrap());
+        let n1 = norm(&ridge(&a, &b, 1.0).unwrap());
+        let n2 = norm(&ridge(&a, &b, 100.0).unwrap());
+        prop_assert!(n1 <= n0 + 1e-9);
+        prop_assert!(n2 <= n1 + 1e-9);
+    }
+
+    /// Cholesky factors reconstruct SPD matrices built as G G^T + eps I.
+    #[test]
+    fn cholesky_reconstructs_spd(raw in prop::collection::vec(-1.0f64..1.0, 16)) {
+        let g = Matrix::from_rows(4, 4, &raw);
+        let mut spd = g.mul(&g.transpose());
+        for i in 0..4 {
+            spd[(i, i)] += 0.5;
+        }
+        let l = cholesky(&spd).expect("SPD by construction");
+        let recon = l.mul(&l.transpose());
+        for r in 0..4 {
+            for c in 0..4 {
+                prop_assert!((recon[(r, c)] - spd[(r, c)]).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,831 @@
+//! Discrete-event simulation of the full system: real engine, real B2W
+//! transactions, per-partition queueing, chunk-paced live migration, and a
+//! provisioning controller in the loop.
+//!
+//! This is the vehicle for the paper's §8.1–8.2 experiments (Figs 7–11,
+//! Table 2). Timing model:
+//!
+//! * Each partition is a serial FIFO server. A transaction arriving at `t`
+//!   starts at `max(t, busy_until)` and occupies the partition for a jittered
+//!   service time; its latency is queueing plus service. With the default
+//!   calibration (6 partitions/node, ~13.7 ms mean service) a node saturates
+//!   near 438 txn/s, reproducing Fig 7 and the paper's `Q̂ = 350` / `Q = 285`.
+//! * Live migration streams run one per machine pair, paced so that a
+//!   single stream moves data at rate `R = db_bytes / D`. Every chunk
+//!   additionally *occupies* the source and destination partitions for a
+//!   fraction of its pacing interval — that contention is what makes
+//!   reconfiguration under peak load hurt tail latency (Fig 8, Fig 9c) and
+//!   emergency `R x 8` migration overload partitions (Fig 11).
+//! * Machine-pair streams follow the §4.4.1 round schedule
+//!   ([`MigrationSchedule`]), so machines are allocated just-in-time and
+//!   the cost accounting matches Algorithm 4.
+
+use crate::latency::{
+    average_machines, count_sla_violations, LatencyRecorder, SecondMetrics, SlaViolations,
+    SLA_THRESHOLD_S,
+};
+use pstore_b2w::generator::{WorkloadConfig, WorkloadGenerator};
+use pstore_b2w::schema::b2w_catalog;
+use pstore_core::controller::{Action, Observation, Strategy};
+use pstore_core::params::SystemParams;
+use pstore_core::schedule::MigrationSchedule;
+use pstore_dbms::cluster::{Cluster, ClusterConfig};
+use pstore_dbms::txn::Procedure;
+use pstore_dbms::value::Key;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Configuration of a detailed simulation run.
+#[derive(Debug, Clone)]
+pub struct DetailedSimConfig {
+    /// System parameters (`Q`, `Q̂`, `D`, `P`, hardware cap).
+    pub params: SystemParams,
+    /// Offered load per wall-clock second (txn/s). The run lasts
+    /// `load.len()` seconds.
+    pub load: Vec<f64>,
+    /// RNG seed for arrivals and service jitter.
+    pub seed: u64,
+    /// Benchmark workload tuning.
+    pub workload: WorkloadConfig,
+    /// Virtual slot count for the engine.
+    pub num_slots: usize,
+    /// Controller monitoring cadence in seconds.
+    pub monitor_interval_s: f64,
+    /// Mean transaction service time per partition (seconds).
+    pub service_mean_s: f64,
+    /// Uniform jitter applied to service times (0.3 = +-30%).
+    pub service_jitter: f64,
+    /// Pacing interval of one migration chunk at the non-disruptive rate
+    /// (seconds). The paper's 1000 kB chunks at `R ≈ 244 kB/s` pace at
+    /// ~4.1 s.
+    pub chunk_pacing_s: f64,
+    /// Fraction of each involved partition that one migration stream
+    /// occupies while transferring at the non-disruptive rate (`R x 1`).
+    /// Emergency moves at `R x m` occupy `m` times as much.
+    pub migration_cpu_fraction: f64,
+    /// Client timeout: an arrival that would wait longer than this in a
+    /// partition queue is dropped and observed by the client at this
+    /// latency. Models the benchmark driver's bounded outstanding work —
+    /// without it an overloaded open-loop system accumulates unbounded
+    /// backlog that takes hours to drain, which real drivers never see.
+    pub max_queue_delay_s: f64,
+    /// Untimed warm-up transactions executed before the clock starts, so
+    /// the database reaches its steady-state size (the paper's §4.2
+    /// assumes a stable database; a growing one stretches early moves
+    /// because the migration rate is calibrated to `D` at start size).
+    pub warmup_txns: usize,
+}
+
+impl DetailedSimConfig {
+    /// The paper's calibration (§8.1) around a given load curve.
+    pub fn paper_defaults(load: Vec<f64>, seed: u64) -> Self {
+        DetailedSimConfig {
+            params: SystemParams::b2w_paper(),
+            load,
+            seed,
+            workload: WorkloadConfig {
+                num_skus: 5_000,
+                initial_carts: 1_500,
+                ..WorkloadConfig::default()
+            },
+            num_slots: 7_200,
+            monitor_interval_s: 30.0,
+            // Slightly faster than 6/438 so that after residual partition
+            // skew the *measured* saturation (Fig 7) lands at the paper's
+            // 438 txn/s per node.
+            service_mean_s: 6.0 / 490.0,
+            service_jitter: 0.3,
+            chunk_pacing_s: 4.1,
+            migration_cpu_fraction: 0.05,
+            max_queue_delay_s: 2.0,
+            warmup_txns: 150_000,
+        }
+    }
+}
+
+/// Result of a detailed simulation run.
+#[derive(Debug, Clone)]
+pub struct DetailedSimResult {
+    /// Name of the controller that produced the run.
+    pub strategy: String,
+    /// Per-second metrics.
+    pub seconds: Vec<SecondMetrics>,
+    /// SLA violations per percentile (Table 2).
+    pub violations: SlaViolations,
+    /// Average machines allocated (Table 2).
+    pub avg_machines: f64,
+    /// `(start, end)` times of each reconfiguration.
+    pub reconfig_spans: Vec<(f64, f64)>,
+    /// Committed transactions.
+    pub committed: u64,
+    /// Aborted transactions (business aborts).
+    pub aborted: u64,
+    /// Arrivals dropped by the client timeout.
+    pub dropped: u64,
+    /// Per-procedure `(name, committed, aborted)` counts, most-called
+    /// first — the realised workload mix (cf. Table 4).
+    pub procedure_mix: Vec<(String, u64, u64)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    /// Per-second bookkeeping: generate next second's arrivals.
+    Second(u64),
+    /// A transaction arrival.
+    Arrival,
+    /// Controller monitoring tick.
+    Monitor(usize),
+    /// A chunk of the (from, to) migration stream.
+    Chunk { from: u32, to: u32 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Timed {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Timed {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Timed {}
+impl PartialOrd for Timed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Timed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+struct ActiveMigration {
+    schedule: MigrationSchedule,
+    /// Machine pairs per round.
+    rounds: Vec<Vec<(u32, u32)>>,
+    current_round: usize,
+    /// (from, to) -> engine pair index.
+    pair_index: HashMap<(u32, u32), usize>,
+    /// Streams of the current round still pacing.
+    active_streams: usize,
+    rate_multiplier: f64,
+    /// Byte rate of one stream at multiplier 1 (`db_bytes / D`).
+    stream_rate: f64,
+    started_at: f64,
+}
+
+/// Runs a detailed simulation under the given provisioning strategy.
+pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> DetailedSimResult {
+    cfg.params.validate();
+    assert!(cfg.monitor_interval_s > 0.0, "monitor interval must be > 0");
+    let p = cfg.params.partitions_per_node;
+
+    let mut cluster = Cluster::new(
+        b2w_catalog(),
+        ClusterConfig {
+            partitions_per_node: p,
+            num_slots: cfg.num_slots,
+        },
+        strategy.initial_machines().clamp(1, cfg.params.max_machines),
+    );
+    let mut gen = WorkloadGenerator::new(cfg.workload.clone());
+    for proc in gen.seed_stock_procedures() {
+        cluster.execute(&proc).expect("stock seeding");
+    }
+    for txn in gen.initial_load() {
+        cluster.execute(&txn).expect("initial cart load");
+    }
+    // Untimed warm-up: run the generator until carts/checkouts/stock-txn
+    // populations reach steady state so the database size is stable.
+    for _ in 0..cfg.warmup_txns {
+        let txn = gen.next_txn();
+        let _ = cluster.execute(&txn);
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xD15C);
+    let mut busy = vec![vec![0.0f64; p as usize]; cfg.params.max_machines as usize];
+    let mut recorder = LatencyRecorder::new();
+    recorder.set_machines(cluster.active_nodes() as f64);
+
+    let mut heap: BinaryHeap<Reverse<Timed>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |heap: &mut BinaryHeap<Reverse<Timed>>, seq: &mut u64, time: f64, event: Event| {
+        *seq += 1;
+        heap.push(Reverse(Timed {
+            time,
+            seq: *seq,
+            event,
+        }));
+    };
+
+    push(&mut heap, &mut seq, 0.0, Event::Second(0));
+    push(&mut heap, &mut seq, 0.0, Event::Monitor(0));
+
+    let horizon = cfg.load.len() as f64;
+    let mut migration: Option<ActiveMigration> = None;
+    let mut reconfig_spans: Vec<(f64, f64)> = Vec::new();
+    let mut arrivals_in_window = 0u64;
+    let mut committed = 0u64;
+    let mut aborted = 0u64;
+    let mut dropped = 0u64;
+
+    while let Some(Reverse(Timed { time, event, .. })) = heap.pop() {
+        if time >= horizon && heap.is_empty() {
+            break;
+        }
+        match event {
+            Event::Second(s) => {
+                recorder.advance_to(time);
+                if (s as f64) < horizon {
+                    // Generate this second's Poisson arrivals.
+                    let lambda = cfg.load[s as usize].max(0.0);
+                    let n = sample_poisson(&mut rng, lambda);
+                    for _ in 0..n {
+                        let at = time + rng.random_range(0.0..1.0);
+                        push(&mut heap, &mut seq, at, Event::Arrival);
+                    }
+                    push(&mut heap, &mut seq, time + 1.0, Event::Second(s + 1));
+                }
+            }
+            Event::Arrival => {
+                arrivals_in_window += 1;
+                let txn = gen.next_txn();
+                let slot = cluster.slot_of_key(&Key::new(vec![txn.routing_key()]));
+                let (node, local) = cluster.partition_of_slot(slot);
+                let b = &mut busy[node as usize][local as usize];
+                let wait = (*b - time).max(0.0);
+                if wait > cfg.max_queue_delay_s {
+                    // Client timeout: the request is shed, observed at the
+                    // timeout latency, and never executes.
+                    dropped += 1;
+                    recorder.record(time, cfg.max_queue_delay_s + cfg.service_mean_s);
+                    continue;
+                }
+                match cluster.execute(&txn) {
+                    Ok(_) => committed += 1,
+                    Err(_) => aborted += 1,
+                }
+                let service = cfg.service_mean_s
+                    * (1.0 + rng.random_range(-cfg.service_jitter..cfg.service_jitter));
+                let start = b.max(time);
+                *b = start + service;
+                recorder.record(time, *b - time);
+            }
+            Event::Monitor(k) => {
+                recorder.advance_to(time);
+                let window = cfg.monitor_interval_s;
+                let measured = arrivals_in_window as f64 / window;
+                arrivals_in_window = 0;
+                let obs = Observation {
+                    interval: k,
+                    load: measured,
+                    machines: cluster.active_nodes(),
+                    reconfiguring: migration.is_some(),
+                };
+                let action = strategy.tick(&obs);
+                if let Action::Reconfigure(req) = action {
+                    if migration.is_none() && req.target != cluster.active_nodes() {
+                        let target = req.target.clamp(1, cfg.params.max_machines);
+                        if target != cluster.active_nodes() {
+                            migration = Some(start_migration(
+                                &mut cluster,
+                                target,
+                                req.rate_multiplier,
+                                cfg,
+                                time,
+                                &mut heap,
+                                &mut seq,
+                            ));
+                            recorder.set_reconfiguring(true);
+                            if let Some(m) = &migration {
+                                recorder.set_machines(
+                                    m.schedule.machines_in_round(0) as f64,
+                                );
+                            }
+                        }
+                    }
+                }
+                if time + window < horizon {
+                    push(&mut heap, &mut seq, time + window, Event::Monitor(k + 1));
+                }
+            }
+            Event::Chunk { from, to } => {
+                let Some(m) = migration.as_mut() else {
+                    continue;
+                };
+                // A chunk is a byte budget; it may span several (possibly
+                // empty) slots of this pair's stream. Pacing and occupancy
+                // are proportional to the bytes actually carried, so the
+                // whole move takes T(B, A) regardless of slot sizes.
+                let chunk_bytes = (m.stream_rate * cfg.chunk_pacing_s).max(1.0) as usize;
+                let mut moved = 0usize;
+                let mut pair_done;
+                let mut reconfig_done = false;
+                if let Some(&pair_idx) = m.pair_index.get(&(from, to)) {
+                    let mut remaining = chunk_bytes;
+                    loop {
+                        let result = cluster
+                            .migrate_chunk(pair_idx, remaining.max(1))
+                            .expect("migration running");
+                        moved += result.bytes;
+                        reconfig_done = result.reconfig_done;
+                        pair_done = result.pair_done;
+                        if pair_done || reconfig_done {
+                            break;
+                        }
+                        if result.bytes >= remaining || !result.slot_completed {
+                            break; // budget consumed mid-slot
+                        }
+                        remaining -= result.bytes;
+                    }
+                } else {
+                    // The engine had no slots for this schedule pair.
+                    pair_done = true;
+                }
+
+                // Partition occupancy on both sides: a machine-pair
+                // transfer runs P parallel partition streams, so every
+                // partition of both endpoints carries the per-stream
+                // overhead, proportional to the data carried.
+                let fill = (moved as f64 / chunk_bytes as f64).min(1.0);
+                let burst = cfg.migration_cpu_fraction * cfg.chunk_pacing_s * fill;
+                if burst > 0.0 {
+                    for node in [from, to] {
+                        for part in &mut busy[node as usize] {
+                            *part = part.max(time) + burst;
+                        }
+                    }
+                }
+
+                if reconfig_done {
+                    let started = m.started_at;
+                    reconfig_spans.push((started, time));
+                    migration = None;
+                    recorder.set_reconfiguring(false);
+                    recorder.set_machines(cluster.active_nodes() as f64);
+                } else if pair_done {
+                    m.active_streams -= 1;
+                    if m.active_streams == 0 {
+                        // Advance to the next round with live pairs.
+                        advance_round(m, &cluster, time, &mut heap, &mut seq);
+                        recorder.set_machines(
+                            m.schedule.machines_in_round(
+                                m.current_round.min(m.schedule.total_rounds().saturating_sub(1)),
+                            ) as f64,
+                        );
+                    }
+                } else {
+                    // Pace the next chunk proportionally to what was moved.
+                    let frac = fill.max(0.05);
+                    let next = time + cfg.chunk_pacing_s * frac / m.rate_multiplier;
+                    push(&mut heap, &mut seq, next, Event::Chunk { from, to });
+                }
+            }
+        }
+    }
+
+    let seconds = recorder.finish();
+    let violations = count_sla_violations(&seconds, SLA_THRESHOLD_S);
+    let avg_machines = average_machines(&seconds);
+    let procedure_mix = cluster
+        .procedure_report()
+        .into_iter()
+        .map(|(name, c, a)| (name.to_string(), c, a))
+        .collect();
+    DetailedSimResult {
+        strategy: strategy.name().to_string(),
+        seconds,
+        violations,
+        avg_machines,
+        reconfig_spans,
+        committed,
+        aborted,
+        dropped,
+        procedure_mix,
+    }
+}
+
+/// Initialises engine + schedule state for a reconfiguration and schedules
+/// the first round's chunk events.
+fn start_migration(
+    cluster: &mut Cluster,
+    target: u32,
+    rate_multiplier: f64,
+    cfg: &DetailedSimConfig,
+    now: f64,
+    heap: &mut BinaryHeap<Reverse<Timed>>,
+    seq: &mut u64,
+) -> ActiveMigration {
+    let before = cluster.active_nodes();
+    let db_bytes = cluster.total_bytes() as f64;
+    cluster
+        .begin_reconfiguration(target)
+        .expect("reconfiguration accepted");
+    let schedule = MigrationSchedule::plan(before, target);
+    let rounds: Vec<Vec<(u32, u32)>> = schedule
+        .rounds()
+        .iter()
+        .map(|r| r.transfers.iter().map(|t| (t.from, t.to)).collect())
+        .collect();
+    let pair_index: HashMap<(u32, u32), usize> = cluster
+        .pair_transfers()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| ((p.from, p.to), i))
+        .collect();
+    let mut m = ActiveMigration {
+        schedule,
+        rounds,
+        current_round: 0,
+        pair_index,
+        active_streams: 0,
+        rate_multiplier: rate_multiplier.max(0.1),
+        // A machine-pair stream is P parallel partition streams, each at
+        // the single-thread rate db / D (Equation 3's accounting).
+        stream_rate: cfg.params.partitions_per_node as f64 * db_bytes
+            / cfg.params.d.as_secs_f64(),
+        started_at: now,
+    };
+    // Start round 0 (skipping over rounds whose pairs have no slots).
+    m.current_round = usize::MAX; // advance_round starts at 0
+    advance_round(&mut m, cluster, now, heap, seq);
+    m
+}
+
+/// Starts the next round that has at least one live pair. Returns with
+/// `active_streams > 0` unless every remaining round is empty (in which
+/// case the engine must already have committed — the caller's next chunk
+/// event resolves it).
+fn advance_round(
+    m: &mut ActiveMigration,
+    cluster: &Cluster,
+    now: f64,
+    heap: &mut BinaryHeap<Reverse<Timed>>,
+    seq: &mut u64,
+) {
+    loop {
+        m.current_round = m.current_round.wrapping_add(1);
+        let Some(round) = m.rounds.get(m.current_round) else {
+            return;
+        };
+        let mut started = 0usize;
+        for &(from, to) in round {
+            let live = m
+                .pair_index
+                .get(&(from, to))
+                .map(|&i| !cluster.pair_transfers()[i].is_done())
+                .unwrap_or(false);
+            if live {
+                started += 1;
+                *seq += 1;
+                heap.push(Reverse(Timed {
+                    time: now,
+                    seq: *seq,
+                    event: Event::Chunk { from, to },
+                }));
+            }
+        }
+        if started > 0 {
+            m.active_streams = started;
+            return;
+        }
+    }
+}
+
+/// Poisson sample: exact (Knuth) for small rates, normal approximation for
+/// large ones.
+fn sample_poisson(rng: &mut StdRng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut prod = 1.0;
+        loop {
+            prod *= rng.random_range(0.0..1.0f64);
+            if prod <= l {
+                return k;
+            }
+            k += 1;
+            if k > 1000 {
+                return k; // numerical guard
+            }
+        }
+    }
+    // Box-Muller normal approximation.
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (lambda + lambda.sqrt() * z).round().max(0.0) as u64
+}
+
+/// Averages a per-second load curve into controller-interval buckets
+/// (useful for building oracle forecasters aligned with monitor ticks).
+pub fn per_interval_load(load_per_s: &[f64], interval_s: f64) -> Vec<f64> {
+    assert!(interval_s >= 1.0, "interval must be at least one second");
+    let step = interval_s as usize;
+    load_per_s
+        .chunks(step)
+        .map(|w| w.iter().sum::<f64>() / w.len() as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstore_core::controller::baselines::StaticController;
+    use pstore_core::controller::forecaster::OracleForecaster;
+    use pstore_core::controller::pstore::{PStoreConfig, PStoreController};
+    use pstore_core::controller::reactive::{ReactiveConfig, ReactiveController};
+    use pstore_core::planner::{Planner, PlannerConfig};
+    use std::time::Duration;
+
+    /// A small, fast test setup: tiny database, short run.
+    fn test_cfg(load: Vec<f64>, seed: u64) -> DetailedSimConfig {
+        DetailedSimConfig {
+            params: SystemParams {
+                q: 285.0,
+                q_hat: 350.0,
+                d: Duration::from_secs(300),
+                partitions_per_node: 6,
+                interval: Duration::from_secs(30),
+                max_machines: 10,
+            },
+            load,
+            seed,
+            workload: WorkloadConfig {
+                num_skus: 4_000,
+                initial_carts: 800,
+                ..WorkloadConfig::default()
+            },
+            num_slots: 360,
+            monitor_interval_s: 30.0,
+            // Matches paper_defaults' calibration (see that constant).
+            service_mean_s: 6.0 / 490.0,
+            service_jitter: 0.3,
+            chunk_pacing_s: 2.0,
+            migration_cpu_fraction: 0.05,
+            max_queue_delay_s: 2.0,
+            warmup_txns: 20_000,
+        }
+    }
+
+    #[test]
+    fn static_cluster_handles_moderate_load_with_low_latency() {
+        let cfg = test_cfg(vec![400.0; 120], 1);
+        let mut strat = StaticController::new(4);
+        let r = run_detailed(&cfg, &mut strat);
+        assert!(r.seconds.len() >= 120);
+        assert!(r.committed > 30_000, "committed {}", r.committed);
+        assert_eq!(r.violations.p99, 0, "violations: {:?}", r.violations);
+        assert_eq!(r.avg_machines, 4.0);
+        assert!(r.reconfig_spans.is_empty());
+    }
+
+    #[test]
+    fn overloaded_node_violates_sla() {
+        // 600 txn/s on one node (saturation ~438): queues must blow up.
+        let cfg = test_cfg(vec![600.0; 90], 2);
+        let mut strat = StaticController::new(1);
+        let r = run_detailed(&cfg, &mut strat);
+        assert!(
+            r.violations.p99 > 20,
+            "expected saturation violations, got {:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn saturation_point_matches_calibration() {
+        // Ramp load on a single node; find where p99 departs: should be in
+        // the neighbourhood of 438 txn/s (Fig 7).
+        let load: Vec<f64> = (0..200).map(|s| 100.0 + 3.0 * s as f64).collect();
+        let cfg = test_cfg(load.clone(), 3);
+        let mut strat = StaticController::new(1);
+        let r = run_detailed(&cfg, &mut strat);
+        // Find the first second where p99 exceeds 500 ms persistently.
+        let mut first_bad = None;
+        for w in r.seconds.windows(5) {
+            if w.iter().all(|s| s.p99 > SLA_THRESHOLD_S) {
+                first_bad = Some(w[0].second);
+                break;
+            }
+        }
+        let sec = first_bad.expect("ramp should eventually saturate") as f64;
+        let rate_at_break = 100.0 + 3.0 * sec;
+        assert!(
+            (380.0..520.0).contains(&rate_at_break),
+            "saturation at {rate_at_break} txn/s"
+        );
+    }
+
+    #[test]
+    fn reactive_controller_scales_out_under_load() {
+        // Ramp from 250 to 800 txn/s over two minutes, then hold. The
+        // reactive policy only acts once load crosses 0.9 * Q̂ * machines,
+        // i.e. while the cluster is already under pressure.
+        let mut load: Vec<f64> = (0..120)
+            .map(|s| 250.0 + 550.0 * s as f64 / 120.0)
+            .collect();
+        load.extend(vec![800.0; 240]);
+        let cfg = test_cfg(load, 4);
+        let mut strat = ReactiveController::new(ReactiveConfig {
+            q: 285.0,
+            q_hat: 350.0,
+            trigger_fraction: 0.9,
+            headroom: 0.2,
+            smoothing_window: 2,
+            scale_in_patience: 10,
+            max_machines: 10,
+            initial_machines: 2,
+        });
+        let r = run_detailed(&cfg, &mut strat);
+        assert!(
+            !r.reconfig_spans.is_empty(),
+            "reactive controller never reconfigured"
+        );
+        // It must not have acted before the load approached the trigger
+        // (that is the defining weakness of reactive provisioning).
+        assert!(r.reconfig_spans[0].0 >= 60.0, "acted too early");
+        let final_machines = r.seconds.last().unwrap().machines;
+        assert!(final_machines >= 3.0, "ended at {final_machines} machines");
+        // After scale-out completes, the tail of the run should be clean.
+        let tail = &r.seconds[r.seconds.len() - 60..];
+        let tail_bad = tail.iter().filter(|s| s.p99 > SLA_THRESHOLD_S).count();
+        assert!(tail_bad < 10, "tail still violating: {tail_bad}");
+    }
+
+    #[test]
+    fn pstore_with_oracle_scales_before_the_rise() {
+        let mut load = vec![250.0; 120];
+        load.extend(vec![800.0; 180]);
+        let cfg = test_cfg(load.clone(), 5);
+        let per_interval = per_interval_load(&cfg.load, cfg.monitor_interval_s);
+        let planner = Planner::new(PlannerConfig {
+            q: 285.0,
+            d_intervals: 300.0 / 30.0,
+            partitions_per_node: 6,
+            max_machines: 10,
+        });
+        let mut strat = PStoreController::new(
+            planner,
+            OracleForecaster::new(per_interval),
+            PStoreConfig {
+                horizon: 10,
+                prediction_inflation: 1.0,
+                scale_in_confirmations: 3,
+                emergency_rate_multiplier: 1.0,
+                initial_machines: 1,
+            },
+        );
+        let r = run_detailed(&cfg, &mut strat);
+        assert!(!r.reconfig_spans.is_empty(), "P-Store never reconfigured");
+        // The first reconfiguration must start before the load rise at
+        // t = 120 s.
+        let (start, _) = r.reconfig_spans[0];
+        assert!(start < 120.0, "reconfigured too late: {start}");
+        // Violations should be few (prediction leaves headroom).
+        assert!(
+            r.violations.p99 < 15,
+            "too many violations: {:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn migration_at_accelerated_rate_hurts_latency_more() {
+        // Run the same forced mid-load reconfiguration at rate 1 and rate 8
+        // and compare p99 violations during the move (Fig 11's trade-off:
+        // higher rate = worse transient latency, faster completion).
+        struct ForcedMove {
+            at_tick: usize,
+            target: u32,
+            rate: f64,
+            issued: bool,
+        }
+        impl Strategy for ForcedMove {
+            fn tick(&mut self, obs: &Observation) -> Action {
+                if !self.issued && obs.interval >= self.at_tick && !obs.reconfiguring {
+                    self.issued = true;
+                    return Action::Reconfigure(pstore_core::controller::ReconfigRequest {
+                        target: self.target,
+                        rate_multiplier: self.rate,
+                        reason: pstore_core::controller::ReconfigReason::Emergency,
+                    });
+                }
+                Action::None
+            }
+            fn name(&self) -> &str {
+                "forced"
+            }
+            fn initial_machines(&self) -> u32 {
+                2
+            }
+        }
+
+        let load = vec![650.0; 240]; // near Q̂ for 2 nodes
+        let run = |rate: f64, seed: u64| {
+            let cfg = test_cfg(load.clone(), seed);
+            let mut strat = ForcedMove {
+                at_tick: 1,
+                target: 4,
+                rate,
+                issued: false,
+            };
+            run_detailed(&cfg, &mut strat)
+        };
+        let slow = run(1.0, 10);
+        let fast = run(8.0, 10);
+        // The accelerated move must complete sooner.
+        let slow_dur = slow.reconfig_spans[0].1 - slow.reconfig_spans[0].0;
+        let fast_dur = fast.reconfig_spans[0].1 - fast.reconfig_spans[0].0;
+        assert!(
+            fast_dur < slow_dur * 0.5,
+            "fast {fast_dur} vs slow {slow_dur}"
+        );
+        // And the transient latency hit during the fast move is larger
+        // (Fig 11: migration at 8R overloads the partitions it touches).
+        let move_peak = |r: &DetailedSimResult| {
+            let (s, e) = r.reconfig_spans[0];
+            r.seconds
+                .iter()
+                .filter(|x| (x.second as f64) >= s && (x.second as f64) <= e + 5.0)
+                .map(|x| x.p99)
+                .fold(0.0f64, f64::max)
+        };
+        assert!(
+            move_peak(&fast) > move_peak(&slow),
+            "fast move peak {} vs slow move peak {}",
+            move_peak(&fast),
+            move_peak(&slow)
+        );
+    }
+
+    #[test]
+    fn per_interval_load_averages() {
+        let load = vec![10.0, 20.0, 30.0, 40.0];
+        assert_eq!(per_interval_load(&load, 2.0), vec![15.0, 35.0]);
+    }
+
+    #[test]
+    fn machine_allocation_follows_schedule_during_moves() {
+        // Scale 1 -> 4 under light load; during the move the allocated
+        // machine count must pass through the schedule's staircase and the
+        // run must end at 4.
+        let load = vec![100.0; 200];
+        let cfg = test_cfg(load, 6);
+        struct OneMove(bool);
+        impl Strategy for OneMove {
+            fn tick(&mut self, obs: &Observation) -> Action {
+                if !self.0 && !obs.reconfiguring {
+                    self.0 = true;
+                    return Action::Reconfigure(pstore_core::controller::ReconfigRequest {
+                        target: 4,
+                        rate_multiplier: 1.0,
+                        reason: pstore_core::controller::ReconfigReason::Planned,
+                    });
+                }
+                Action::None
+            }
+            fn name(&self) -> &str {
+                "one-move"
+            }
+            fn initial_machines(&self) -> u32 {
+                1
+            }
+        }
+        let r = run_detailed(&cfg, &mut OneMove(false));
+        assert_eq!(r.reconfig_spans.len(), 1);
+        assert_eq!(r.seconds.last().unwrap().machines, 4.0);
+        // Mid-move the allocation is between 1 and 4.
+        let (s, e) = r.reconfig_spans[0];
+        let mid: Vec<f64> = r
+            .seconds
+            .iter()
+            .filter(|x| (x.second as f64) > s && (x.second as f64) < e)
+            .map(|x| x.machines)
+            .collect();
+        assert!(mid.iter().any(|&m| m > 1.0 && m <= 4.0), "staircase: {mid:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = test_cfg(vec![300.0; 60], 42);
+        let a = run_detailed(&cfg, &mut StaticController::new(2));
+        let b = run_detailed(&cfg, &mut StaticController::new(2));
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.violations, b.violations);
+        let pa: Vec<f64> = a.seconds.iter().map(|s| s.p99).collect();
+        let pb: Vec<f64> = b.seconds.iter().map(|s| s.p99).collect();
+        assert_eq!(pa, pb);
+    }
+}

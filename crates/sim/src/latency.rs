@@ -1,0 +1,278 @@
+//! Per-second latency accounting: percentiles, SLA violations, CDFs.
+//!
+//! The paper measures 50th/95th/99th percentile latency every second and
+//! counts *SLA violations* as the number of seconds in which a percentile
+//! exceeds 500 ms — "the maximum delay that is unnoticeable by users"
+//! (§8.2, Table 2). Fig 10 plots CDFs of the top 1% of those per-second
+//! percentiles.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's SLA threshold: 500 ms.
+pub const SLA_THRESHOLD_S: f64 = 0.5;
+
+/// Latency percentiles of one wall-clock second.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SecondMetrics {
+    /// Second index since the start of the run.
+    pub second: u64,
+    /// Transactions completed in this second.
+    pub throughput: u64,
+    /// Median latency (seconds).
+    pub p50: f64,
+    /// 95th percentile latency (seconds).
+    pub p95: f64,
+    /// 99th percentile latency (seconds).
+    pub p99: f64,
+    /// Mean latency (seconds).
+    pub mean: f64,
+    /// Machines allocated during this second (cost accounting).
+    pub machines: f64,
+    /// Whether a reconfiguration was in progress.
+    pub reconfiguring: bool,
+}
+
+/// Collects per-second latency samples and reduces them to metrics.
+#[derive(Debug, Default)]
+pub struct LatencyRecorder {
+    current_second: u64,
+    samples: Vec<f64>,
+    seconds: Vec<SecondMetrics>,
+    machines: f64,
+    reconfiguring: bool,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder::default()
+    }
+
+    /// Updates the machine count attributed to subsequent seconds.
+    pub fn set_machines(&mut self, machines: f64) {
+        self.machines = machines;
+    }
+
+    /// Updates the reconfiguring flag attributed to subsequent seconds.
+    pub fn set_reconfiguring(&mut self, reconfiguring: bool) {
+        self.reconfiguring = reconfiguring;
+    }
+
+    /// Records a completed transaction: completion time (seconds since
+    /// start) and its latency in seconds.
+    ///
+    /// Completions must arrive in non-decreasing second order.
+    pub fn record(&mut self, completion_time: f64, latency: f64) {
+        let sec = completion_time.max(0.0) as u64;
+        while sec > self.current_second {
+            self.flush_second();
+        }
+        self.samples.push(latency);
+    }
+
+    /// Advances the clock to `time` (flushing finished seconds) without
+    /// recording a sample — used by idle periods.
+    pub fn advance_to(&mut self, time: f64) {
+        let sec = time.max(0.0) as u64;
+        while sec > self.current_second {
+            self.flush_second();
+        }
+    }
+
+    fn flush_second(&mut self) {
+        let mut samples = std::mem::take(&mut self.samples);
+        samples.sort_by(f64::total_cmp);
+        let n = samples.len();
+        let pick = |q: f64| -> f64 {
+            if n == 0 {
+                0.0
+            } else {
+                samples[(((n as f64) * q).ceil() as usize).clamp(1, n) - 1]
+            }
+        };
+        let mean = if n == 0 {
+            0.0
+        } else {
+            samples.iter().sum::<f64>() / n as f64
+        };
+        self.seconds.push(SecondMetrics {
+            second: self.current_second,
+            throughput: n as u64,
+            p50: pick(0.50),
+            p95: pick(0.95),
+            p99: pick(0.99),
+            mean,
+            machines: self.machines,
+            reconfiguring: self.reconfiguring,
+        });
+        self.current_second += 1;
+    }
+
+    /// Finalises the recorder, returning all per-second metrics.
+    pub fn finish(mut self) -> Vec<SecondMetrics> {
+        self.flush_second();
+        self.seconds
+    }
+}
+
+/// SLA-violation counts per percentile (the rows of Table 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlaViolations {
+    /// Seconds in which p50 exceeded the threshold.
+    pub p50: u64,
+    /// Seconds in which p95 exceeded the threshold.
+    pub p95: u64,
+    /// Seconds in which p99 exceeded the threshold.
+    pub p99: u64,
+}
+
+/// Counts per-second SLA violations against `threshold` (seconds).
+pub fn count_sla_violations(seconds: &[SecondMetrics], threshold: f64) -> SlaViolations {
+    let mut v = SlaViolations::default();
+    for s in seconds {
+        if s.p50 > threshold {
+            v.p50 += 1;
+        }
+        if s.p95 > threshold {
+            v.p95 += 1;
+        }
+        if s.p99 > threshold {
+            v.p99 += 1;
+        }
+    }
+    v
+}
+
+/// Average machines allocated over the run.
+pub fn average_machines(seconds: &[SecondMetrics]) -> f64 {
+    if seconds.is_empty() {
+        return 0.0;
+    }
+    seconds.iter().map(|s| s.machines).sum::<f64>() / seconds.len() as f64
+}
+
+/// The top `fraction` (e.g. 0.01) of a per-second percentile series, sorted
+/// ascending — the data behind the Fig 10 CDFs.
+pub fn top_fraction(mut values: Vec<f64>, fraction: f64) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    values.sort_by(f64::total_cmp);
+    let keep = ((values.len() as f64) * fraction).ceil() as usize;
+    values.split_off(values.len().saturating_sub(keep.max(1).min(values.len())))
+}
+
+/// Evaluates the empirical CDF of `sorted_values` at the given points.
+/// Returns `(value, cumulative_probability)` pairs.
+pub fn cdf_points(sorted_values: &[f64], resolution: usize) -> Vec<(f64, f64)> {
+    if sorted_values.is_empty() {
+        return Vec::new();
+    }
+    let n = sorted_values.len();
+    (0..=resolution)
+        .map(|i| {
+            let idx = (i * (n - 1)) / resolution.max(1);
+            (sorted_values[idx], (idx + 1) as f64 / n as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_distribution() {
+        let mut r = LatencyRecorder::new();
+        r.set_machines(4.0);
+        for i in 1..=100 {
+            r.record(0.5, i as f64 / 1000.0); // 1..100 ms in second 0
+        }
+        let secs = r.finish();
+        assert_eq!(secs.len(), 1);
+        let s = secs[0];
+        assert_eq!(s.throughput, 100);
+        assert!((s.p50 - 0.050).abs() < 1e-9);
+        assert!((s.p95 - 0.095).abs() < 1e-9);
+        assert!((s.p99 - 0.099).abs() < 1e-9);
+        assert!((s.mean - 0.0505).abs() < 1e-9);
+        assert_eq!(s.machines, 4.0);
+    }
+
+    #[test]
+    fn seconds_are_contiguous_even_when_idle() {
+        let mut r = LatencyRecorder::new();
+        r.record(0.1, 0.01);
+        r.record(3.7, 0.02); // seconds 1 and 2 are idle
+        let secs = r.finish();
+        assert_eq!(secs.len(), 4);
+        assert_eq!(secs[1].throughput, 0);
+        assert_eq!(secs[2].throughput, 0);
+        assert_eq!(secs[3].throughput, 1);
+    }
+
+    #[test]
+    fn sla_violation_counting() {
+        let mk = |p50, p95, p99| SecondMetrics {
+            second: 0,
+            throughput: 1,
+            p50,
+            p95,
+            p99,
+            mean: 0.0,
+            machines: 1.0,
+            reconfiguring: false,
+        };
+        let secs = vec![
+            mk(0.1, 0.3, 0.6),
+            mk(0.6, 0.7, 0.8),
+            mk(0.1, 0.2, 0.3),
+        ];
+        let v = count_sla_violations(&secs, SLA_THRESHOLD_S);
+        assert_eq!(v.p50, 1);
+        assert_eq!(v.p95, 1);
+        assert_eq!(v.p99, 2);
+    }
+
+    #[test]
+    fn average_machines_over_run() {
+        let mk = |m| SecondMetrics {
+            second: 0,
+            throughput: 0,
+            p50: 0.0,
+            p95: 0.0,
+            p99: 0.0,
+            mean: 0.0,
+            machines: m,
+            reconfiguring: false,
+        };
+        let secs = vec![mk(2.0), mk(4.0), mk(6.0)];
+        assert_eq!(average_machines(&secs), 4.0);
+    }
+
+    #[test]
+    fn top_fraction_keeps_largest_values() {
+        let vals: Vec<f64> = (1..=200).map(|i| i as f64).collect();
+        let top = top_fraction(vals, 0.01);
+        assert_eq!(top, vec![199.0, 200.0]);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut vals: Vec<f64> = (0..100).map(|i| (i as f64 * 37.0) % 13.0).collect();
+        vals.sort_by(f64::total_cmp);
+        let cdf = cdf_points(&vals, 20);
+        for w in cdf.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advance_to_flushes_idle_seconds() {
+        let mut r = LatencyRecorder::new();
+        r.advance_to(5.5);
+        let secs = r.finish();
+        assert_eq!(secs.len(), 6);
+        assert!(secs.iter().all(|s| s.throughput == 0));
+    }
+}

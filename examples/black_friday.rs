@@ -1,0 +1,107 @@
+//! Black Friday: watch P-Store combine prediction with its reactive
+//! fallback when the load breaks out of its usual pattern, against a
+//! fixed day/night schedule that cannot.
+//!
+//! Run with: `cargo run --release --example black_friday`
+
+use pstore::core::controller::manual::{ManualOverride, Reservation};
+use pstore::core::params::SystemParams;
+use pstore::forecast::generators::B2wLoadModel;
+use pstore::sim::fast::{run_fast, FastSimConfig};
+use pstore::sim::scenarios::{pstore_spar_fast, simple_schedule, PEAK_TXN_RATE, TRAINING_DAYS};
+
+fn main() {
+    // Training weeks plus a week whose Friday carries the surge.
+    let model = B2wLoadModel {
+        seed: 1124,
+        black_friday_days: vec![TRAINING_DAYS + 4],
+        ..B2wLoadModel::default()
+    };
+    let raw = model.generate(TRAINING_DAYS + 7);
+    let eval_start = TRAINING_DAYS * 1440;
+    let normal_peak = raw.values()[eval_start..eval_start + 2 * 1440]
+        .iter()
+        .copied()
+        .fold(0.0, f64::max);
+    let scaled = raw.scaled(PEAK_TXN_RATE / normal_peak);
+    let train = &scaled.values()[..eval_start];
+    let eval = &scaled.values()[eval_start..];
+
+    let params = SystemParams::b2w_paper();
+    let cfg = FastSimConfig {
+        params: params.clone(),
+        slot_duration_s: 60.0,
+        tick_every_slots: 5,
+        record_timeline: true,
+    };
+
+    let pstore = run_fast(&cfg, eval, &mut pstore_spar_fast(train, eval[0], &params, params.q));
+    let simple = run_fast(&cfg, eval, &mut simple_schedule(8, 3));
+
+    // The paper's full composite strategy (§1): predictive + reactive +
+    // *manual* — operations knows Black Friday is coming even though no
+    // statistical model does, so it reserves the full cluster for the day.
+    // Ticks are 5 minutes: day 4 spans ticks [4*288, 5*288).
+    let reservation = Reservation {
+        start_interval: 4 * 288,
+        end_interval: 5 * 288,
+        min_machines: 10,
+        lead_intervals: 6, // half an hour of lead time
+    };
+    let mut composite = ManualOverride::new(
+        pstore_spar_fast(train, eval[0], &params, params.q),
+        vec![reservation],
+    );
+    let with_manual = run_fast(&cfg, eval, &mut composite);
+
+    println!("day-by-day: minutes of *avoidable* insufficient capacity\n(excluding minutes beyond the 10-machine hardware ceiling)\n");
+    println!(
+        "{:>4} {:>16} {:>16} {:>16} {:>14}",
+        "day", "P-Store (SPAR)", "+ manual resv", "Simple 8/3", "peak (txn/s)"
+    );
+    for day in 0..7 {
+        let lo = day * 1440;
+        let hi = (day + 1) * 1440;
+        // "Avoidable" shortfall excludes minutes whose load exceeds even
+        // the full 10-machine cluster — no strategy can serve those.
+        let ceiling = 10.0 * params.q_hat;
+        let short = |r: &pstore::sim::fast::FastSimResult| {
+            eval[lo..hi]
+                .iter()
+                .zip(&r.capacity_timeline[lo..hi])
+                .filter(|(l, c)| **l > **c as f64 && **l <= ceiling)
+                .count()
+        };
+        let peak = eval[lo..hi].iter().copied().fold(0.0, f64::max);
+        let marker = if day == 4 { "  <- Black Friday" } else { "" };
+        println!(
+            "{day:>4} {:>16} {:>16} {:>16} {:>14.0}{marker}",
+            short(&pstore),
+            short(&with_manual),
+            short(&simple),
+            peak
+        );
+    }
+
+    println!();
+    println!(
+        "machines: P-Store avg {:.2} ({} moves), with manual {:.2} ({} moves), \
+         Simple avg {:.2} ({} moves)",
+        pstore.avg_machines(),
+        pstore.reconfigurations,
+        with_manual.avg_machines(),
+        with_manual.reconfigurations,
+        simple.avg_machines(),
+        simple.reconfigurations
+    );
+    println!();
+    println!("The surge exceeds what the fixed schedule provisions; P-Store's");
+    println!("transient-offset terms and emergency fallback push it to the");
+    println!("hardware limit as the surge builds (paper Fig 13, right).");
+    println!();
+    println!("Note the manual reservation adds no avoidable-shortfall benefit");
+    println!("over predictive+reactive alone — exactly the paper's conclusion");
+    println!("that manual provisioning 'is not strictly necessary, but may");
+    println!("still be used as an extra precaution' (it does pre-position");
+    println!("capacity, trading a few machine-hours for calmer mornings).");
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper (plus the extension
+# experiments) into results/. Full runs; pass --quick to every binary by
+# exporting QUICK=--quick.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+QUICK="${QUICK:-}"
+mkdir -p results
+
+BINS=(
+  fig1_load fig2_step_capacity fig3_dp_goal fig4_eff_cap table1_schedule
+  fig5_spar_b2w fig6_spar_wikipedia fig7_saturation fig8_chunk_size
+  fig9_comparison fig11_spike fig12_capacity_cost fig13_black_friday
+  table0_uniformity ablations model_comparison wiki_provisioning
+)
+
+cargo build --release -p pstore-bench --bins
+
+for bin in "${BINS[@]}"; do
+  echo "== $bin"
+  cargo run --release -q -p pstore-bench --bin "$bin" -- $QUICK \
+    > "results/$bin.txt"
+done
+
+# fig10 and table2 share fig9's runs; their data is inside
+# results/fig9_comparison.txt. Run the standalone binaries only on request:
+#   cargo run --release -p pstore-bench --bin fig10_latency_cdf
+#   cargo run --release -p pstore-bench --bin table2_sla
+
+echo "all outputs written to results/"

@@ -1,0 +1,46 @@
+//! P-Store: an elastic OLTP database system with predictive provisioning.
+//!
+//! This facade crate re-exports the whole reproduction of the SIGMOD 2018
+//! paper:
+//!
+//! * [`forecast`] — SPAR / AR / ARMA load prediction and synthetic traces.
+//! * [`core`] — the predictive-elasticity planner, migration cost model,
+//!   schedules, and provisioning controllers (the paper's contribution).
+//! * [`dbms`] — the H-Store-like partitioned engine with live migration.
+//! * [`b2w`] — the B2W online-retail benchmark.
+//! * [`sim`] — the detailed and slot-based simulators that regenerate the
+//!   paper's evaluation.
+
+#![warn(missing_docs)]
+
+pub use pstore_b2w as b2w;
+pub use pstore_core as core;
+pub use pstore_dbms as dbms;
+pub use pstore_forecast as forecast;
+pub use pstore_sim as sim;
+
+/// The types most programs need, in one import.
+///
+/// ```
+/// use pstore::prelude::*;
+/// let planner = Planner::new(PlannerConfig {
+///     q: 285.0, d_intervals: 15.5, partitions_per_node: 6, max_machines: 10,
+/// });
+/// assert!(planner.best_moves(&[400.0, 500.0, 600.0], 2).is_some());
+/// ```
+pub mod prelude {
+    pub use pstore_core::controller::{
+        Action, LoadForecaster, Observation, OracleForecaster, ReactiveController,
+        SparForecaster, Strategy,
+    };
+    pub use pstore_core::controller::pstore::{PStoreConfig, PStoreController};
+    pub use pstore_core::params::SystemParams;
+    pub use pstore_core::planner::{Planner, PlannerConfig};
+    pub use pstore_core::schedule::MigrationSchedule;
+    pub use pstore_dbms::cluster::{Cluster, ClusterConfig};
+    pub use pstore_forecast::model::LoadPredictor;
+    pub use pstore_forecast::spar::{SparConfig, SparModel};
+    pub use pstore_forecast::TimeSeries;
+    pub use pstore_sim::detailed::{run_detailed, DetailedSimConfig};
+    pub use pstore_sim::fast::{run_fast, FastSimConfig};
+}

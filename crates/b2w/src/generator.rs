@@ -205,7 +205,10 @@ impl WorkloadGenerator {
     fn start_checkout(&mut self, idx: usize) -> B2wTxn {
         let cart = self.open_carts.swap_remove(idx);
         self.clock += 1;
-        let checkout_id = format!("chk-{:012x}", splitmix(self.cfg.seed ^ 0xC0, self.next_checkout));
+        let checkout_id = format!(
+            "chk-{:012x}",
+            splitmix(self.cfg.seed ^ 0xC0, self.next_checkout)
+        );
         self.next_checkout += 1;
         let amount: f64 = cart.lines.iter().map(|(_, _, q, p)| *q as f64 * p).sum();
 
@@ -217,7 +220,10 @@ impl WorkloadGenerator {
         // Reserve stock per line; record a stock transaction for each.
         let mut stock_txns = Vec::new();
         for (line_id, sku, qty, price) in &cart.lines {
-            let stx = format!("stx-{:012x}", splitmix(self.cfg.seed ^ 0x57, self.next_stock_txn));
+            let stx = format!(
+                "stx-{:012x}",
+                splitmix(self.cfg.seed ^ 0x57, self.next_stock_txn)
+            );
             self.next_stock_txn += 1;
             flow.push(B2wTxn::ReserveStock(ReserveStock {
                 sku: sku.clone(),
@@ -325,13 +331,11 @@ impl WorkloadGenerator {
             return B2wTxn::DeleteCheckout(DeleteCheckout { checkout_id: id });
         }
         if self.completed_stock_txns.len() > 400 {
-            let id = self
-                .completed_stock_txns
-                .pop_front()
-                .expect("non-empty queue");
-            return B2wTxn::ArchiveStockTransaction(ArchiveStockTransaction {
-                stock_txn_id: id,
-            });
+            if let Some(id) = self.completed_stock_txns.pop_front() {
+                return B2wTxn::ArchiveStockTransaction(ArchiveStockTransaction {
+                    stock_txn_id: id,
+                });
+            }
         }
 
         let roll: f64 = self.rng.random_range(0.0..1.0);

@@ -44,5 +44,5 @@ pub mod trace;
 
 pub use generator::{SeedStock, WorkloadConfig, WorkloadGenerator};
 pub use procedures::B2wTxn;
-pub use trace::{Trace, TraceEntry};
 pub use schema::b2w_catalog;
+pub use trace::{Trace, TraceEntry};

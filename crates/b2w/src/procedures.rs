@@ -841,7 +841,7 @@ mod tests {
             panic!("expected rows");
         };
         assert_eq!(rows.len(), 4); // cart + 3 lines
-        // Total = 3 lines x 2 x 10.
+                                   // Total = 3 lines x 2 x 10.
         assert_eq!(rows[0].1 .0[3], Value::Float(60.0));
 
         c.execute(&DeleteLineFromCart {

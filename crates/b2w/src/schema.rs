@@ -173,9 +173,6 @@ mod tests {
         let cat = b2w_catalog();
         assert_eq!(cat.table(tables::CART).columns[0].name, "cart_id");
         assert_eq!(cat.table(tables::STOCK).columns[0].name, "sku");
-        assert_eq!(
-            cat.table(tables::STOCK_TXN).columns[0].name,
-            "stock_txn_id"
-        );
+        assert_eq!(cat.table(tables::STOCK_TXN).columns[0].name, "stock_txn_id");
     }
 }

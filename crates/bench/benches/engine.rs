@@ -1,6 +1,7 @@
 //! Microbenchmarks for the partitioned engine: transaction execution
 //! throughput on the B2W workload and live-migration chunk throughput.
 
+#![allow(clippy::expect_used, clippy::unwrap_used)] // benchmark setup aborts loudly
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pstore_b2w::generator::{WorkloadConfig, WorkloadGenerator};
 use pstore_b2w::schema::b2w_catalog;
@@ -55,7 +56,9 @@ fn bench_engine(c: &mut Criterion) {
             },
             |mut cluster| {
                 cluster.begin_reconfiguration(4).unwrap();
-                let chunks = cluster.run_reconfiguration_to_completion(64 * 1024).unwrap();
+                let chunks = cluster
+                    .run_reconfiguration_to_completion(64 * 1024)
+                    .unwrap();
                 black_box(chunks)
             },
         )

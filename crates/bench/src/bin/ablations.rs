@@ -13,16 +13,21 @@
 //! 4. **Planning-horizon length** — too short cannot cover a full move;
 //!    longer horizons buy little beyond ~2 moves of lookahead (§5).
 
+// Experiment binary: aborting with a clear message on setup failure is the
+// desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
+// lint policy only bans them in library code).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 use pstore_bench::{quick_mode, section};
 use pstore_core::controller::pstore::PStoreConfig;
 use pstore_core::controller::pstore::PStoreController;
+use pstore_core::cost_model::machines_for_load;
 use pstore_core::params::SystemParams;
 use pstore_core::planner::{Planner, PlannerConfig, PlannerOptions};
 use pstore_forecast::generators::B2wLoadModel;
 use pstore_sim::fast::{run_fast, FastSimConfig, FastSimResult};
 use pstore_sim::scenarios::{
-    greedy_fast, pstore_spar_fast, tick_spar_config, per_tick,
-    PEAK_TXN_RATE, TICKS_PER_DAY, TRAINING_DAYS,
+    greedy_fast, per_tick, pstore_spar_fast, tick_spar_config, PEAK_TXN_RATE, TICKS_PER_DAY,
+    TRAINING_DAYS,
 };
 
 fn row(label: &str, r: &FastSimResult) {
@@ -137,7 +142,7 @@ fn main() {
                 prediction_inflation: 1.0,
                 scale_in_confirmations: 3,
                 emergency_rate_multiplier: 1.0,
-                initial_machines: ((flash[0] / q).ceil() as u32).clamp(1, 10),
+                initial_machines: machines_for_load(flash[0], q).clamp(1, 10),
             },
         )
     };
@@ -181,7 +186,7 @@ fn main() {
                 prediction_inflation: 1.15,
                 scale_in_confirmations: confirmations,
                 emergency_rate_multiplier: 1.0,
-                initial_machines: ((eval[0] * 1.15 / params.q).ceil() as u32).clamp(1, 10),
+                initial_machines: machines_for_load(eval[0] * 1.15, params.q).clamp(1, 10),
             },
         );
         let r = run_fast(&cfg, &eval, &mut c);
@@ -214,7 +219,7 @@ fn main() {
                 prediction_inflation: 1.15,
                 scale_in_confirmations: 3,
                 emergency_rate_multiplier: 1.0,
-                initial_machines: ((eval[0] * 1.15 / params.q).ceil() as u32).clamp(1, 10),
+                initial_machines: machines_for_load(eval[0] * 1.15, params.q).clamp(1, 10),
             },
         );
         let r = run_fast(&cfg_p1, &eval, &mut c);

@@ -6,16 +6,21 @@
 //! violation seconds (50th/95th/99th: 16/101/143 at `R`, 22/44/51 at
 //! `R x 8`).
 
+// Experiment binary: aborting with a clear message on setup failure is the
+// desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
+// lint policy only bans them in library code).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 use pstore_bench::{ascii_plot, quick_mode, section};
-use pstore_core::params::SystemParams;
+use pstore_core::controller::forecaster::SparForecaster;
 use pstore_core::controller::pstore::PStoreConfig;
 use pstore_core::controller::pstore::PStoreController;
-use pstore_core::controller::forecaster::SparForecaster;
+use pstore_core::cost_model::machines_for_load;
+use pstore_core::params::SystemParams;
 use pstore_forecast::generators::{day_with_unexpected_spike, B2wLoadModel};
 use pstore_sim::detailed::{run_detailed, DetailedSimConfig};
 use pstore_sim::scenarios::{
-    compress_minutes, compressed_planner, per_tick, tick_spar_config, PEAK_TXN_RATE,
-    TICKS_PER_DAY, TRAINING_DAYS,
+    compress_minutes, compressed_planner, per_tick, tick_spar_config, PEAK_TXN_RATE, TICKS_PER_DAY,
+    TRAINING_DAYS,
 };
 
 fn main() {
@@ -59,7 +64,7 @@ fn main() {
         let mut forecaster =
             SparForecaster::new(tick_spar_config(), 7 * TICKS_PER_DAY, 40 * TICKS_PER_DAY);
         forecaster.seed(&per_tick(&train_scaled));
-        let initial = ((eval_minutes[0] * 1.15 / params.q).ceil() as u32).clamp(1, 10);
+        let initial = machines_for_load(eval_minutes[0] * 1.15, params.q).clamp(1, 10);
         let mut strat = PStoreController::new(
             compressed_planner(&params, params.q),
             forecaster,

@@ -5,6 +5,10 @@
 //! schedule/static baselines) traces each strategy's capacity-cost curve.
 //! Cost is normalised to the default P-Store SPAR run, as in the paper.
 
+// Experiment binary: aborting with a clear message on setup failure is the
+// desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
+// lint policy only bans them in library code).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 use pstore_bench::{quick_mode, section};
 use pstore_core::params::SystemParams;
 use pstore_forecast::generators::B2wLoadModel;
@@ -59,7 +63,10 @@ fn main() {
         });
     };
 
-    eprintln!("simulating {} strategy/knob combinations over {eval_days} days...", 6 + 6 + 5 + 4 + 5);
+    eprintln!(
+        "simulating {} strategy/knob combinations over {eval_days} days...",
+        6 + 6 + 5 + 4 + 5
+    );
 
     let q_sweep = [200.0, 230.0, 260.0, 285.0, 310.0, 335.0];
     for &q in &q_sweep {
@@ -118,13 +125,8 @@ fn main() {
             .iter()
             .filter(|p| p.strategy == name)
             .map(|p| (p.cost / base, p.pct_short))
-            .fold((f64::MAX, f64::MAX), |acc, x| {
-                if x.1 < acc.1 || (x.1 == acc.1 && x.0 < acc.0) {
-                    x
-                } else {
-                    acc
-                }
-            })
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.total_cmp(&b.0)))
+            .unwrap_or((f64::MAX, f64::MAX))
     };
     let spar_default = points
         .iter()

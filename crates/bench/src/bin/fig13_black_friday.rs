@@ -5,6 +5,10 @@
 //! pattern; P-Store rides the surge by combining prediction with its
 //! reactive fallback.
 
+// Experiment binary: aborting with a clear message on setup failure is the
+// desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
+// lint policy only bans them in library code).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 use pstore_bench::{ascii_plot2, quick_mode, section};
 use pstore_core::params::SystemParams;
 use pstore_forecast::generators::B2wLoadModel;
@@ -17,7 +21,11 @@ fn main() {
     let quick = quick_mode();
     // Black Friday is day 115 of the 135-day window (day 87 of evaluation).
     let (model, total_days) = B2wLoadModel::four_and_a_half_months(0x0812);
-    let eval_days = if quick { 92 } else { total_days - TRAINING_DAYS };
+    let eval_days = if quick {
+        92
+    } else {
+        total_days - TRAINING_DAYS
+    };
     let raw = model.generate(TRAINING_DAYS + eval_days);
     let eval_start = TRAINING_DAYS * 1440;
     let normal_peak = raw.values()[eval_start..eval_start + 14 * 1440]
@@ -39,9 +47,16 @@ fn main() {
     let runs: Vec<(&str, FastSimResult)> = vec![
         (
             "P-Store SPAR",
-            run_fast(&cfg, eval, &mut pstore_spar_fast(train, eval[0], &params, params.q)),
+            run_fast(
+                &cfg,
+                eval,
+                &mut pstore_spar_fast(train, eval[0], &params, params.q),
+            ),
         ),
-        ("Simple 9/2", run_fast(&cfg, eval, &mut simple_schedule(9, 2))),
+        (
+            "Simple 9/2",
+            run_fast(&cfg, eval, &mut simple_schedule(9, 2)),
+        ),
         ("Static 10", run_fast(&cfg, eval, &mut static_alloc(10))),
     ];
 
@@ -59,7 +74,9 @@ fn main() {
     for (label, start_day) in windows {
         let lo = start_day * 1440;
         let hi = ((start_day + 4) * 1440).min(eval.len());
-        section(&format!("Fig 13 ({label}): load (#) vs effective capacity (*)"));
+        section(&format!(
+            "Fig 13 ({label}): load (#) vs effective capacity (*)"
+        ));
         let load_window = &eval[lo..hi];
         for (name, r) in &runs {
             let capacity: Vec<f64> = r.capacity_timeline[lo..hi]

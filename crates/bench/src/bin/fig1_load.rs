@@ -2,6 +2,10 @@
 //! wave with a ~10x peak-to-trough ratio that motivates elastic
 //! provisioning.
 
+// Experiment binary: aborting with a clear message on setup failure is the
+// desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
+// lint policy only bans them in library code).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 use pstore_bench::{ascii_plot, section};
 use pstore_forecast::generators::B2wLoadModel;
 

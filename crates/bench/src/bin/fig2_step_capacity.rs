@@ -1,8 +1,12 @@
 //! Fig 2: the ideal capacity curve mirrors a sinusoidal demand with a small
 //! buffer; the realisable allocation is an integral step function above it.
 
+// Experiment binary: aborting with a clear message on setup failure is the
+// desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
+// lint policy only bans them in library code).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 use pstore_bench::{ascii_plot2, section};
-use pstore_core::cost_model::cap;
+use pstore_core::cost_model::{cap, machines_for_load};
 use pstore_forecast::generators::sine_demand;
 
 fn main() {
@@ -15,7 +19,7 @@ fn main() {
     let ideal: Vec<f64> = demand.values().iter().map(|d| d * buffer).collect();
     let steps: Vec<f64> = ideal
         .iter()
-        .map(|d| cap((d / q).ceil() as u32, q))
+        .map(|d| cap(machines_for_load(*d, q), q))
         .collect();
 
     section("Fig 2a: ideal capacity (buffered demand) vs demand");
@@ -33,8 +37,5 @@ fn main() {
         steps.iter().copied().fold(0.0, f64::max) / q
     );
     println!("(the step function always sits on or above the ideal curve)");
-    assert!(steps
-        .iter()
-        .zip(&ideal)
-        .all(|(s, i)| *s >= *i - 1e-9));
+    assert!(steps.iter().zip(&ideal).all(|(s, i)| *s >= *i - 1e-9));
 }

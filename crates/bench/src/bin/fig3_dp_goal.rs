@@ -2,6 +2,10 @@
 //! moves from 2 machines at t = 0 to 4 machines at t = 9 such that
 //! capacity always exceeds predicted demand and cost is minimised.
 
+// Experiment binary: aborting with a clear message on setup failure is the
+// desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
+// lint policy only bans them in library code).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 use pstore_bench::section;
 use pstore_core::cost_model::cap;
 use pstore_core::planner::{Planner, PlannerConfig};
@@ -17,7 +21,9 @@ fn main() {
 
     // A rising demand over T = 9 intervals, as in the schematic: starts
     // comfortable for 2 machines, ends needing 4.
-    let load = vec![150.0, 150.0, 160.0, 180.0, 210.0, 250.0, 300.0, 340.0, 370.0, 390.0];
+    let load = vec![
+        150.0, 150.0, 160.0, 180.0, 210.0, 250.0, 300.0, 340.0, 370.0, 390.0,
+    ];
 
     section("Fig 3: predicted load over T = 9 intervals (Q = 100/machine)");
     println!("{:>4} {:>10} {:>10}", "t", "load", "needs");
@@ -34,7 +40,9 @@ fn main() {
     }
     println!();
     println!("final machines : {}", plan.final_machines().unwrap());
-    planner.verify_feasible(&plan, &load).expect("plan feasible");
+    planner
+        .verify_feasible(&plan, &load)
+        .expect("plan feasible");
 
     // Effective capacity trace under the plan (Eq 7 during moves).
     section("Effective capacity vs demand under the plan");

@@ -3,6 +3,10 @@
 //! blocks), 3 -> 14 (three phases). One partition per server, time in
 //! units of `D`.
 
+// Experiment binary: aborting with a clear message on setup failure is the
+// desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
+// lint policy only bans them in library code).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 use pstore_bench::section;
 use pstore_core::cost_model::{avg_machines_allocated, move_time};
 use pstore_core::schedule::MigrationSchedule;
@@ -10,7 +14,11 @@ use pstore_core::schedule::MigrationSchedule;
 fn main() {
     let q = 1.0; // capacity in machine-equivalents, as plotted in the paper
     for (b, a, label) in [
-        (3u32, 5u32, "Case 1: 3 -> 5 machines (all new machines at once)"),
+        (
+            3u32,
+            5u32,
+            "Case 1: 3 -> 5 machines (all new machines at once)",
+        ),
         (3, 9, "Case 2: 3 -> 9 machines (just-in-time blocks of 3)"),
         (3, 14, "Case 3: 3 -> 14 machines (three phases)"),
     ] {

@@ -6,6 +6,10 @@
 //! plus the §5 text comparison SPAR vs ARMA vs AR at tau = 60 min
 //! (paper: 10.4% / 12.2% / 12.5%).
 
+// Experiment binary: aborting with a clear message on setup failure is the
+// desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
+// lint policy only bans them in library code).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 use pstore_bench::{ascii_plot2, quick_mode, section};
 use pstore_forecast::ar::{ArConfig, ArModel};
 use pstore_forecast::arma::{ArmaConfig, ArmaModel};
@@ -33,7 +37,7 @@ fn rolling_mre(
             origin_stride: stride,
         },
     )[0]
-        .mre
+    .mre
 }
 
 fn main() {
@@ -71,9 +75,7 @@ fn main() {
         errors.push(e);
     }
     println!();
-    println!(
-        "(paper Fig 5b: error grows gracefully from ~6% to ~10% over the",
-    );
+    println!("(paper Fig 5b: error grows gracefully from ~6% to ~10% over the",);
     println!(" same range; the shape — monotone, staying near 10% — holds)");
     assert!(
         errors.windows(2).all(|w| w[1] >= w[0] - 1.5),

@@ -7,6 +7,10 @@
 //! German series under 10% up to 2 hours and within 13% at 6 hours, always
 //! less predictable than English.
 
+// Experiment binary: aborting with a clear message on setup failure is the
+// desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
+// lint policy only bans them in library code).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 use pstore_bench::{ascii_plot2, section};
 use pstore_forecast::eval::{rolling_accuracy, EvalConfig};
 use pstore_forecast::generators::{WikipediaEdition, WikipediaLoadModel};

@@ -3,6 +3,12 @@
 //! 65% of the saturation point (§4.1, §8.1: saturation at 438 txn/s with 6
 //! partitions, hence `Q̂ = 350`, `Q = 285`).
 
+// Experiment binary: aborting with a clear message on setup failure is the
+// desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
+// lint policy only bans them in library code).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+// Simulation seconds are tiny; indexing a load curve by them cannot truncate.
+#![allow(clippy::cast_possible_truncation)]
 use pstore_bench::{ascii_plot, quick_mode, section};
 use pstore_core::controller::baselines::StaticController;
 use pstore_sim::detailed::{run_detailed, DetailedSimConfig};
@@ -57,8 +63,14 @@ fn main() {
     match saturation {
         Some(s) => {
             println!("saturation point       : {s:>7.0} txn/s (paper: 438)");
-            println!("=> Q̂ = 80% saturation  : {:>7.0} txn/s (paper: 350)", 0.8 * s);
-            println!("=> Q  = 65% saturation : {:>7.0} txn/s (paper: 285)", 0.65 * s);
+            println!(
+                "=> Q̂ = 80% saturation  : {:>7.0} txn/s (paper: 350)",
+                0.8 * s
+            );
+            println!(
+                "=> Q  = 65% saturation : {:>7.0} txn/s (paper: 285)",
+                0.65 * s
+            );
         }
         None => println!("the ramp never saturated — extend the load range"),
     }

@@ -6,6 +6,10 @@
 //! size maps to the pacing interval of a stream (1000 kB ≈ 4.1 s at
 //! `R = 244 kB/s`), which is what we sweep.
 
+// Experiment binary: aborting with a clear message on setup failure is the
+// desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
+// lint policy only bans them in library code).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 use pstore_bench::{quick_mode, section};
 use pstore_core::controller::{Action, Observation, ReconfigReason, ReconfigRequest, Strategy};
 use pstore_sim::detailed::{run_detailed, DetailedSimConfig};

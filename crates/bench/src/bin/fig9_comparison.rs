@@ -3,6 +3,10 @@
 //! static-4, reactive and P-Store provisioning. Also prints the Fig 10
 //! CDF summary and Table 2, which are derived from the same runs.
 
+// Experiment binary: aborting with a clear message on setup failure is the
+// desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
+// lint policy only bans them in library code).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 use pstore_bench::fig9::{run_all, Fig9Config};
 use pstore_bench::{ascii_plot, ascii_plot2, hms, quick_mode, section};
 use pstore_sim::latency::{cdf_points, top_fraction, SLA_THRESHOLD_S};
@@ -42,7 +46,15 @@ fn main() {
         });
         if let Err(e) = pstore_bench::write_csv(
             &path,
-            &["second", "throughput", "p50", "p95", "p99", "machines", "reconfiguring"],
+            &[
+                "second",
+                "throughput",
+                "p50",
+                "p95",
+                "p99",
+                "machines",
+                "reconfiguring",
+            ],
             rows,
         ) {
             eprintln!("could not write {}: {e}", path.display());
@@ -80,13 +92,12 @@ fn main() {
     }
 
     section("Fig 10: CDFs of the top 1% of per-second percentile latencies");
-    for (pct, pick) in [
-        ("50th", 0usize),
-        ("95th", 1),
-        ("99th", 2),
-    ] {
+    for (pct, pick) in [("50th", 0usize), ("95th", 1), ("99th", 2)] {
         println!("\n{pct} percentile — latency (ms) at CDF 0.25/0.50/0.75/0.95:");
-        println!("{:<36} {:>8} {:>8} {:>8} {:>8}", "approach", "25%", "50%", "75%", "95%");
+        println!(
+            "{:<36} {:>8} {:>8} {:>8} {:>8}",
+            "approach", "25%", "50%", "75%", "95%"
+        );
         for r in &results {
             let series: Vec<f64> = r
                 .seconds
@@ -143,8 +154,7 @@ fn main() {
         println!(
             "shape reproduced: P-Store causes {}% fewer p99 violations than \
              reactive at {:.0}% of peak provisioning's machines",
-            (100.0
-                * (reactive.violations.p99 as f64 - pstore.violations.p99 as f64)
+            (100.0 * (reactive.violations.p99 as f64 - pstore.violations.p99 as f64)
                 / reactive.violations.p99.max(1) as f64)
                 .round(),
             100.0 * pstore.avg_machines / static10.avg_machines

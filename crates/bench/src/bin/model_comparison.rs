@@ -3,6 +3,10 @@
 //! both the B2W-style and the Wikipedia-style loads, across forecasting
 //! periods — all evaluated with the same rolling-origin protocol.
 
+// Experiment binary: aborting with a clear message on setup failure is the
+// desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
+// lint policy only bans them in library code).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 use pstore_bench::{quick_mode, section};
 use pstore_forecast::ar::{ArConfig, ArModel};
 use pstore_forecast::arma::{ArmaConfig, ArmaModel};
@@ -67,9 +71,7 @@ fn main() {
             )
             .expect("AR"),
         ),
-        Box::new(
-            HoltWintersModel::fit(&data[..train], &HoltWintersConfig::default()).expect("HW"),
-        ),
+        Box::new(HoltWintersModel::fit(&data[..train], &HoltWintersConfig::default()).expect("HW")),
         Box::new(SeasonalNaive::new(1440)),
     ];
     report(&models, data, &[10, 30, 60], &cfg);
@@ -87,8 +89,11 @@ fn main() {
     }
 
     section("Wikipedia-style hourly load (German edition): MRE by tau (hours)");
-    let wiki = WikipediaLoadModel::new(WikipediaEdition::German, 2016)
-        .generate(if quick { 42 } else { 56 });
+    let wiki = WikipediaLoadModel::new(WikipediaEdition::German, 2016).generate(if quick {
+        42
+    } else {
+        56
+    });
     let wdata = wiki.values();
     let wtrain = 28 * 24;
     let wcfg = EvalConfig {

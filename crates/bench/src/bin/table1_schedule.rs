@@ -2,6 +2,10 @@
 //! machines — 11 rounds in three phases, keeping all three senders busy
 //! throughout.
 
+// Experiment binary: aborting with a clear message on setup failure is the
+// desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
+// lint policy only bans them in library code).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 use pstore_bench::section;
 use pstore_core::schedule::MigrationSchedule;
 
@@ -36,7 +40,10 @@ fn main() {
     }
 
     println!();
-    println!("total rounds      : {} (paper: 11)", schedule.total_rounds());
+    println!(
+        "total rounds      : {} (paper: 11)",
+        schedule.total_rounds()
+    );
     println!(
         "total transfers   : {} (= 3 senders x 11 receivers)",
         schedule.total_transfers()

@@ -2,6 +2,10 @@
 //! above 500 ms) and average machines allocated, for the four elasticity
 //! approaches (same runs as Fig 9).
 
+// Experiment binary: aborting with a clear message on setup failure is the
+// desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
+// lint policy only bans them in library code).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 use pstore_bench::fig9::{run_all, Fig9Config};
 use pstore_bench::{quick_mode, section};
 

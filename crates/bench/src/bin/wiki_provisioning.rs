@@ -6,6 +6,10 @@
 //! minutes, served by the same cluster model, P-Store vs reactive vs
 //! static.
 
+// Experiment binary: aborting with a clear message on setup failure is the
+// desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
+// lint policy only bans them in library code).
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 use pstore_bench::{quick_mode, section};
 use pstore_core::params::SystemParams;
 use pstore_forecast::generators::{WikipediaEdition, WikipediaLoadModel};
@@ -22,7 +26,7 @@ fn upsample_hourly(hourly: &[f64]) -> Vec<f64> {
         }
     }
     if let Some(&last) = hourly.last() {
-        out.extend(std::iter::repeat(last).take(60));
+        out.extend(std::iter::repeat_n(last, 60));
     }
     out
 }
@@ -67,7 +71,7 @@ fn main() {
             "{:<22} {:>12} {:>14} {:>8}",
             "strategy", "avg machines", "% time short", "moves"
         );
-        let mut row = |label: &str, r: FastSimResult| {
+        let row = |label: &str, r: FastSimResult| {
             println!(
                 "{label:<22} {:>12.2} {:>14.3} {:>8}",
                 r.avg_machines(),
@@ -77,7 +81,11 @@ fn main() {
         };
         row(
             "P-Store (SPAR)",
-            run_fast(&cfg, eval, &mut pstore_spar_fast(train, eval[0], &params, params.q)),
+            run_fast(
+                &cfg,
+                eval,
+                &mut pstore_spar_fast(train, eval[0], &params, params.q),
+            ),
         );
         row(
             "Reactive (10% buf)",

@@ -97,19 +97,18 @@ pub fn run_approach(
 /// [`Approach::ALL`] order.
 pub fn run_all(cfg: &Fig9Config) -> (ExperimentTrace, Vec<DetailedSimResult>) {
     let trace = ExperimentTrace::b2w(cfg.days, cfg.seed);
-    let results = crossbeam::thread::scope(|scope| {
+    let results = std::thread::scope(|scope| {
         let handles: Vec<_> = Approach::ALL
             .iter()
             .map(|&a| {
                 let trace = &trace;
-                scope.spawn(move |_| run_approach(cfg, trace, a))
+                scope.spawn(move || run_approach(cfg, trace, a))
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("approach run panicked"))
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .collect::<Vec<_>>()
-    })
-    .expect("thread scope");
+    });
     (trace, results)
 }

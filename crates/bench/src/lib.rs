@@ -22,7 +22,9 @@ pub fn ascii_plot(values: &[f64], width: usize, height: usize) -> String {
     let cols: Vec<f64> = (0..width)
         .map(|c| {
             let lo = c * values.len() / width;
-            let hi = ((c + 1) * values.len() / width).max(lo + 1).min(values.len());
+            let hi = ((c + 1) * values.len() / width)
+                .max(lo + 1)
+                .min(values.len());
             values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
         })
         .collect();
@@ -53,18 +55,16 @@ pub fn ascii_plot2(a: &[f64], b: &[f64], width: usize, height: usize) -> String 
         (0..width)
             .map(|c| {
                 let lo = c * values.len() / width;
-                let hi = (((c + 1) * values.len()) / width).max(lo + 1).min(values.len());
+                let hi = (((c + 1) * values.len()) / width)
+                    .max(lo + 1)
+                    .min(values.len());
                 values[lo..hi].iter().sum::<f64>() / (hi - lo).max(1) as f64
             })
             .collect()
     };
     let ca = bucket(a);
     let cb = bucket(b);
-    let max = ca
-        .iter()
-        .chain(cb.iter())
-        .copied()
-        .fold(f64::MIN, f64::max);
+    let max = ca.iter().chain(cb.iter()).copied().fold(f64::MIN, f64::max);
     let min = ca
         .iter()
         .chain(cb.iter())
@@ -98,7 +98,10 @@ pub fn ascii_plot2(a: &[f64], b: &[f64], width: usize, height: usize) -> String 
 /// Prints a titled section separator.
 pub fn section(title: &str) {
     println!();
-    println!("== {title} {}", "=".repeat(66usize.saturating_sub(title.len())));
+    println!(
+        "== {title} {}",
+        "=".repeat(66usize.saturating_sub(title.len()))
+    );
 }
 
 /// Whether the binary was invoked with `--quick` (smaller, faster runs for
@@ -132,6 +135,7 @@ pub fn write_csv(
 }
 
 /// Formats seconds as `h:mm:ss`.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // clamped to >= 0 before truncating to whole seconds
 pub fn hms(seconds: f64) -> String {
     let s = seconds.max(0.0) as u64;
     format!("{}:{:02}:{:02}", s / 3600, (s % 3600) / 60, s % 60)
@@ -176,12 +180,7 @@ mod tests {
     fn csv_round_trips_through_disk() {
         let dir = std::env::temp_dir().join("pstore-csv-test");
         let path = dir.join("out.csv");
-        write_csv(
-            &path,
-            &["t", "x"],
-            vec![vec![0.0, 1.5], vec![1.0, 2.5]],
-        )
-        .unwrap();
+        write_csv(&path, &["t", "x"], vec![vec![0.0, 1.5], vec![1.0, 2.5]]).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text, "t,x\n0,1.5\n1,2.5\n");
         std::fs::remove_dir_all(&dir).ok();

@@ -3,6 +3,7 @@
 
 use super::forecaster::LoadForecaster;
 use super::{Action, Observation, ReconfigReason, ReconfigRequest, Strategy};
+use crate::cost_model::machines_for_load;
 
 /// Fixed allocation: never reconfigures (Fig 9a/9b).
 #[derive(Debug, Clone)]
@@ -182,7 +183,6 @@ mod tests {
     }
 }
 
-
 /// Greedy lookahead: an ablation of the §4.3 dynamic program. It uses the
 /// same forecasts but no planning — every tick it sizes the cluster for
 /// the *maximum* predicted load over the horizon and reconfigures towards
@@ -239,12 +239,8 @@ impl<F: LoadForecaster> Strategy for GreedyLookahead<F> {
         let Some(pred) = self.forecaster.forecast(self.horizon) else {
             return Action::None;
         };
-        let peak = pred
-            .iter()
-            .copied()
-            .fold(obs.load, f64::max)
-            * self.inflation;
-        let target = ((peak / self.q).ceil() as u32).clamp(1, self.max_machines);
+        let peak = pred.iter().copied().fold(obs.load, f64::max) * self.inflation;
+        let target = machines_for_load(peak, self.q).clamp(1, self.max_machines);
         if target != obs.machines {
             return Action::Reconfigure(ReconfigRequest {
                 target,
@@ -311,14 +307,8 @@ mod greedy_tests {
 
     #[test]
     fn greedy_holds_while_reconfiguring() {
-        let mut g = GreedyLookahead::new(
-            OracleForecaster::new(vec![900.0; 10]),
-            5,
-            100.0,
-            1.0,
-            12,
-            2,
-        );
+        let mut g =
+            GreedyLookahead::new(OracleForecaster::new(vec![900.0; 10]), 5, 100.0, 1.0, 12, 2);
         let a = g.tick(&Observation {
             interval: 0,
             load: 900.0,

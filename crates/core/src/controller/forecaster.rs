@@ -100,15 +100,11 @@ impl LoadForecaster for OracleForecaster {
     }
 
     fn forecast(&mut self, horizon: usize) -> Option<Vec<f64>> {
-        let last = *self.trace.last().expect("non-empty trace");
+        // The constructor asserts the trace is non-empty.
+        let last = self.trace[self.trace.len() - 1];
         Some(
             (0..horizon)
-                .map(|i| {
-                    self.trace
-                        .get(self.cursor + i)
-                        .copied()
-                        .unwrap_or(last)
-                })
+                .map(|i| self.trace.get(self.cursor + i).copied().unwrap_or(last))
                 .collect(),
         )
     }

@@ -67,7 +67,10 @@ impl<S: Strategy> ManualOverride<S> {
                 r.start_interval < r.end_interval,
                 "reservation window must be non-empty"
             );
-            assert!(r.min_machines >= 1, "reservation needs at least one machine");
+            assert!(
+                r.min_machines >= 1,
+                "reservation needs at least one machine"
+            );
         }
         let label = format!("{} + manual", inner.name());
         ManualOverride {
@@ -139,6 +142,7 @@ impl<S: Strategy> Strategy for ManualOverride<S> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // tests assert exact rational arithmetic
     use super::*;
     use crate::controller::baselines::StaticController;
 

@@ -74,11 +74,11 @@ pub struct ControllerStats {
 impl<F: LoadForecaster> PStoreController<F> {
     /// Creates a controller around a planner and a forecast source.
     pub fn new(planner: Planner, forecaster: F, cfg: PStoreConfig) -> Self {
-        assert!(cfg.horizon >= 2, "horizon must cover at least two intervals");
         assert!(
-            cfg.prediction_inflation > 0.0,
-            "inflation must be positive"
+            cfg.horizon >= 2,
+            "horizon must cover at least two intervals"
         );
+        assert!(cfg.prediction_inflation > 0.0, "inflation must be positive");
         assert!(cfg.initial_machines >= 1, "need at least one machine");
         let label = format!("P-Store ({})", forecaster.name());
         PStoreController {
@@ -196,6 +196,7 @@ impl<F: LoadForecaster> Strategy for PStoreController<F> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // tests assert exact rational arithmetic
     use super::*;
     use crate::controller::forecaster::OracleForecaster;
     use crate::planner::{Planner, PlannerConfig};

@@ -9,6 +9,7 @@
 //! conservative down-scaling.
 
 use super::{Action, Observation, ReconfigReason, ReconfigRequest, Strategy};
+use crate::cost_model::machines_for_load;
 use std::collections::VecDeque;
 
 /// Tuning knobs of the reactive baseline.
@@ -85,7 +86,7 @@ impl ReactiveController {
     }
 
     fn sized_target(&self, load: f64) -> u32 {
-        ((load * (1.0 + self.cfg.headroom) / self.cfg.q).ceil() as u32)
+        machines_for_load(load * (1.0 + self.cfg.headroom), self.cfg.q)
             .clamp(1, self.cfg.max_machines)
     }
 }

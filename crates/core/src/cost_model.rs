@@ -67,7 +67,8 @@ pub fn avg_machines_allocated(b: u32, a: u32) -> f64 {
     if delta == 0.0 {
         return l;
     }
-    let r = (delta as u64 % s as u64) as f64;
+    // `delta` and `s` are whole numbers (from u32), so the remainder is exact.
+    let r = delta % s;
 
     // Case 1: all machines added/removed at once.
     if s >= delta {
@@ -99,6 +100,14 @@ pub fn avg_machines_allocated(b: u32, a: u32) -> f64 {
 /// average machines allocated, in machine-time units of `d`.
 pub fn move_cost(b: u32, a: u32, p: u32, d: f64) -> f64 {
     move_time(b, a, p, d) * avg_machines_allocated(b, a)
+}
+
+/// Machines needed to serve `load` at per-machine throughput `q`
+/// (Equation 5 solved for `n`, rounded up, at least one machine).
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // ceil of a non-negative finite ratio
+pub fn machines_for_load(load: f64, q: f64) -> u32 {
+    assert!(q > 0.0, "Q must be positive");
+    (load / q).ceil().max(1.0) as u32
 }
 
 /// Total capacity of `n` evenly loaded machines (Equation 5): `Q * n`.
@@ -135,6 +144,7 @@ pub fn eff_cap(b: u32, a: u32, f: f64, q: f64) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // tests assert exact rational arithmetic
     use super::*;
 
     const Q: f64 = 285.0;

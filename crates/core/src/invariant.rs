@@ -1,0 +1,214 @@
+//! Structured invariant diagnostics shared by the library and the
+//! `pstore-verify` static checker.
+//!
+//! Every paper-specified invariant the system relies on has a stable
+//! identifier here, anchored to the section of the SIGMOD 2018 paper that
+//! states it (see `docs/invariants.md` for the full catalogue). Checkers —
+//! both the in-library `check_*` methods and the `pstore-verify` sweep —
+//! report failures as [`Violation`] values instead of ad-hoc strings, so
+//! the library and the verifier can never drift apart on what "valid"
+//! means.
+
+use std::fmt;
+
+/// Identifier of one paper-specified invariant.
+///
+/// The `SCH-*` family covers migration schedules (§4.4.1, Table 1), the
+/// `MOV-*` family move sequences (Algorithm 2), the `PLN-*` family planner
+/// output (Algorithms 1–3, Fig 4), and the `FOR-*` family forecaster
+/// output (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum InvariantId {
+    /// SCH-01: a `B -> A` schedule has exactly `max(s, Δ)` rounds, the
+    /// theoretical minimum (§4.4.1).
+    ScheduleRoundCount,
+    /// SCH-02: every round is a matching — no machine appears in two
+    /// transfers of the same round (§4.4.1).
+    ScheduleRoundMatching,
+    /// SCH-03: every (sender, receiver) pair transfers exactly once, so
+    /// exactly `1/(A*B)` of the database moves per pair and data stays
+    /// evenly spread (§4.4.1, data conservation).
+    SchedulePairCoverage,
+    /// SCH-04: transfers only involve machines that are allocated during
+    /// that round (just-in-time allocation, Table 1).
+    SchedulePresence,
+    /// SCH-05: on scale-out only pre-existing machines send and only new
+    /// machines receive; scale-in mirrors this (§4.4.1).
+    ScheduleRoleDirection,
+    /// SCH-06: the `B == A` no-op schedule has no rounds.
+    ScheduleNoopEmpty,
+    /// SCH-07: the scale-in schedule is the exact time-reverse of the
+    /// corresponding scale-out schedule (§4.4.2).
+    ScheduleReversal,
+    /// SCH-08: the schedule-derived average machine allocation equals
+    /// Algorithm 4's closed form.
+    ScheduleAvgMachines,
+    /// SCH-09: per-round parallelism never exceeds Equation 2's bound and
+    /// is reached by at least one round.
+    SchedulePeakParallelism,
+    /// MOV-01: a move sequence tiles the planning horizon contiguously —
+    /// each move starts where the previous one ended (Algorithm 2).
+    MoveTiling,
+    /// MOV-02: every move has positive duration (`end > start`).
+    MoveDuration,
+    /// MOV-03: "do nothing" moves last exactly one interval (Algorithm 2,
+    /// line 9).
+    MoveNoopUnit,
+    /// MOV-04: machine counts chain across consecutive moves
+    /// (`moves[i].to == moves[i+1].from`).
+    MoveChaining,
+    /// PLN-01: predicted load never exceeds capacity, including the
+    /// *effective* capacity of Equation 7 while a move is in flight
+    /// (Fig 4).
+    PlanCapacity,
+    /// PLN-02: a plan starts at the requested machine count at `t = 0`
+    /// and spans exactly the prediction horizon (Algorithm 1).
+    PlanStart,
+    /// PLN-03: on small horizons the DP's cost equals a brute-force
+    /// enumeration oracle over all feasible move sequences (Algorithm 2's
+    /// optimal substructure).
+    PlanOptimality,
+    /// FOR-01: predictions are finite, non-NaN and non-negative (loads are
+    /// rates; a negative or non-finite prediction would corrupt every
+    /// downstream planner decision).
+    ForecastFinite,
+    /// FOR-02: SPAR reproduces a strictly periodic signal — predictions
+    /// over future periods stay close to the periodic continuation (§5.1).
+    ForecastPeriodicity,
+}
+
+impl InvariantId {
+    /// The stable short code used in reports and `docs/invariants.md`.
+    pub fn code(self) -> &'static str {
+        match self {
+            InvariantId::ScheduleRoundCount => "SCH-01",
+            InvariantId::ScheduleRoundMatching => "SCH-02",
+            InvariantId::SchedulePairCoverage => "SCH-03",
+            InvariantId::SchedulePresence => "SCH-04",
+            InvariantId::ScheduleRoleDirection => "SCH-05",
+            InvariantId::ScheduleNoopEmpty => "SCH-06",
+            InvariantId::ScheduleReversal => "SCH-07",
+            InvariantId::ScheduleAvgMachines => "SCH-08",
+            InvariantId::SchedulePeakParallelism => "SCH-09",
+            InvariantId::MoveTiling => "MOV-01",
+            InvariantId::MoveDuration => "MOV-02",
+            InvariantId::MoveNoopUnit => "MOV-03",
+            InvariantId::MoveChaining => "MOV-04",
+            InvariantId::PlanCapacity => "PLN-01",
+            InvariantId::PlanStart => "PLN-02",
+            InvariantId::PlanOptimality => "PLN-03",
+            InvariantId::ForecastFinite => "FOR-01",
+            InvariantId::ForecastPeriodicity => "FOR-02",
+        }
+    }
+
+    /// The paper section (or figure/table/algorithm) stating the
+    /// invariant.
+    pub fn paper_ref(self) -> &'static str {
+        match self {
+            InvariantId::ScheduleRoundCount => "§4.4.1, Table 1",
+            InvariantId::ScheduleRoundMatching => "§4.4.1",
+            InvariantId::SchedulePairCoverage => "§4.4.1 (1/(A·B) conservation)",
+            InvariantId::SchedulePresence => "§4.4.1, Table 1 (JIT allocation)",
+            InvariantId::ScheduleRoleDirection => "§4.4.1",
+            InvariantId::ScheduleNoopEmpty => "§4.3",
+            InvariantId::ScheduleReversal => "§4.4.2",
+            InvariantId::ScheduleAvgMachines => "Algorithm 4",
+            InvariantId::SchedulePeakParallelism => "Equation 2",
+            InvariantId::MoveTiling => "Algorithm 2",
+            InvariantId::MoveDuration => "Algorithm 2",
+            InvariantId::MoveNoopUnit => "Algorithm 2, line 9",
+            InvariantId::MoveChaining => "Algorithm 1",
+            InvariantId::PlanCapacity => "Equation 7, Fig 4",
+            InvariantId::PlanStart => "Algorithm 1",
+            InvariantId::PlanOptimality => "Algorithms 1–3",
+            InvariantId::ForecastFinite => "§5",
+            InvariantId::ForecastPeriodicity => "§5.1",
+        }
+    }
+}
+
+impl fmt::Display for InvariantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One invariant violation: which artifact broke which invariant, and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The invariant that failed.
+    pub invariant: InvariantId,
+    /// The artifact being checked, e.g. `schedule 3->14` or
+    /// `plan horizon=20 n0=2`.
+    pub artifact: String,
+    /// Human-readable explanation of the failure.
+    pub detail: String,
+}
+
+impl Violation {
+    /// Builds a violation record.
+    pub fn new(
+        invariant: InvariantId,
+        artifact: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Self {
+        Violation {
+            invariant,
+            artifact: artifact.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {}] {}: {}",
+            self.invariant.code(),
+            self.invariant.paper_ref(),
+            self.artifact,
+            self.detail
+        )
+    }
+}
+
+/// Formats violations one per line; `Ok` summary when the list is empty.
+pub fn report(violations: &[Violation]) -> String {
+    if violations.is_empty() {
+        return "ok: no invariant violations".to_string();
+    }
+    let lines: Vec<String> = violations.iter().map(ToString::to_string).collect();
+    lines.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_code_section_and_artifact() {
+        let v = Violation::new(
+            InvariantId::ScheduleRoundCount,
+            "schedule 3->14",
+            "expected 11 rounds, found 12",
+        );
+        let s = v.to_string();
+        assert!(s.contains("SCH-01"));
+        assert!(s.contains("Table 1"));
+        assert!(s.contains("schedule 3->14"));
+        assert!(s.contains("12"));
+    }
+
+    #[test]
+    fn report_joins_lines() {
+        assert!(report(&[]).starts_with("ok"));
+        let vs = vec![
+            Violation::new(InvariantId::MoveTiling, "seq", "gap at t=3"),
+            Violation::new(InvariantId::MoveChaining, "seq", "2 then 4"),
+        ];
+        assert_eq!(report(&vs).lines().count(), 2);
+    }
+}

@@ -40,6 +40,7 @@
 
 pub mod controller;
 pub mod cost_model;
+pub mod invariant;
 pub mod moves;
 pub mod params;
 pub mod partition_plan;
@@ -47,7 +48,8 @@ pub mod planner;
 pub mod schedule;
 
 pub use controller::{Action, Observation, ReconfigReason, ReconfigRequest, Strategy};
-pub use moves::{Move, MoveSeq};
+pub use invariant::{InvariantId, Violation};
+pub use moves::{check_moves, Move, MoveSeq};
 pub use params::SystemParams;
 pub use partition_plan::{SlotPlan, SlotTransfer};
 pub use planner::{Planner, PlannerConfig};

@@ -1,5 +1,6 @@
 //! Moves: reconfigurations between cluster sizes (§4.3).
 
+use crate::invariant::{InvariantId, Violation};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -67,24 +68,17 @@ impl MoveSeq {
     /// Builds a sequence, validating contiguity and consistency.
     ///
     /// # Panics
-    /// Panics if moves are not contiguous in time or machine counts do not
-    /// chain (`moves[i].to == moves[i+1].from`).
+    /// Panics if the moves violate any `MOV-*` invariant of
+    /// [`check_moves`]: non-contiguous in time, machine counts that do not
+    /// chain (`moves[i].to == moves[i+1].from`), non-positive durations,
+    /// or multi-interval no-ops.
     pub fn new(moves: Vec<Move>) -> Self {
-        for w in moves.windows(2) {
-            assert_eq!(
-                w[0].end, w[1].start,
-                "moves must be contiguous in time: {} then {}",
-                w[0], w[1]
-            );
-            assert_eq!(
-                w[0].to, w[1].from,
-                "machine counts must chain: {} then {}",
-                w[0], w[1]
-            );
-        }
-        for m in &moves {
-            assert!(m.end > m.start, "moves must have positive duration: {m}");
-        }
+        let violations = check_moves(&moves);
+        assert!(
+            violations.is_empty(),
+            "invalid move sequence: {}",
+            crate::invariant::report(&violations)
+        );
         MoveSeq { moves }
     }
 
@@ -135,6 +129,52 @@ impl MoveSeq {
             .map(|m| m.duration() as f64 * m.to.max(m.from) as f64)
             .sum()
     }
+}
+
+/// Checks the structural `MOV-*` invariants of a would-be move sequence
+/// (Algorithm 2): `MOV-01` contiguous tiling, `MOV-02` positive duration,
+/// `MOV-03` single-interval no-ops, `MOV-04` machine-count chaining.
+///
+/// This is the single source of truth shared by [`MoveSeq::new`]'s
+/// assertions and the `pstore-verify` checker.
+pub fn check_moves(moves: &[Move]) -> Vec<Violation> {
+    let artifact = || {
+        let chain: Vec<String> = moves.iter().map(ToString::to_string).collect();
+        format!("moves [{}]", chain.join("; "))
+    };
+    let mut out = Vec::new();
+    for w in moves.windows(2) {
+        if w[0].end != w[1].start {
+            out.push(Violation::new(
+                InvariantId::MoveTiling,
+                artifact(),
+                format!("moves must be contiguous in time: {} then {}", w[0], w[1]),
+            ));
+        }
+        if w[0].to != w[1].from {
+            out.push(Violation::new(
+                InvariantId::MoveChaining,
+                artifact(),
+                format!("machine counts must chain: {} then {}", w[0], w[1]),
+            ));
+        }
+    }
+    for m in moves {
+        if m.end <= m.start {
+            out.push(Violation::new(
+                InvariantId::MoveDuration,
+                artifact(),
+                format!("moves must have positive duration: {m}"),
+            ));
+        } else if m.is_noop() && m.duration() != 1 {
+            out.push(Violation::new(
+                InvariantId::MoveNoopUnit,
+                artifact(),
+                format!("noop moves must last exactly one interval: {m}"),
+            ));
+        }
+    }
+    out
 }
 
 impl fmt::Display for MoveSeq {

@@ -96,6 +96,7 @@ impl SystemParams {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // tests assert exact rational arithmetic
     use super::*;
 
     #[test]

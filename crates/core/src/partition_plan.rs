@@ -38,6 +38,7 @@ impl SlotPlan {
     ///
     /// # Panics
     /// Panics if `machines == 0` or `num_slots < machines`.
+    #[allow(clippy::cast_possible_truncation)] // the modulo bounds each id below `machines`
     pub fn balanced(machines: u32, num_slots: usize) -> Self {
         assert!(machines > 0, "need at least one machine");
         assert!(
@@ -45,7 +46,9 @@ impl SlotPlan {
             "need at least one slot per machine"
         );
         SlotPlan {
-            slots: (0..num_slots).map(|i| (i % machines as usize) as u32).collect(),
+            slots: (0..num_slots)
+                .map(|i| (i % machines as usize) as u32)
+                .collect(),
             machines,
         }
     }
@@ -152,7 +155,11 @@ impl SlotPlan {
         // schedule of §4.4.1.
         let mut taker_idx = 0usize;
         for donor in 0..self.machines {
-            let goal = if donor < target { target_count(donor) } else { 0 };
+            let goal = if donor < target {
+                target_count(donor)
+            } else {
+                0
+            };
             if counts[donor as usize] <= goal {
                 continue;
             }
@@ -191,11 +198,7 @@ impl SlotPlan {
         debug_assert!(plan.is_balanced());
         let transfers = moves
             .into_iter()
-            .map(|((from, to), s)| SlotTransfer {
-                from,
-                to,
-                slots: s,
-            })
+            .map(|((from, to), s)| SlotTransfer { from, to, slots: s })
             .collect();
         (plan, transfers)
     }

@@ -8,7 +8,7 @@
 //! the cheapest way to hold some `B` at time `t - T(B, A)` with the move
 //! `B -> A`, which is exactly the recurrence memoised here.
 
-use crate::cost_model::{avg_machines_allocated, cap, eff_cap, move_time};
+use crate::cost_model::{avg_machines_allocated, cap, eff_cap, machines_for_load, move_time};
 use crate::moves::{Move, MoveSeq};
 use crate::params::SystemParams;
 
@@ -105,12 +105,13 @@ impl Planner {
 
     /// Machines needed to serve `load` at target throughput `Q`.
     pub fn machines_needed(&self, load: f64) -> u32 {
-        (load / self.cfg.q).ceil().max(1.0) as u32
+        machines_for_load(load, self.cfg.q)
     }
 
     /// Duration of a move in whole intervals (Equation 3 rounded up; the
     /// "do nothing" move reports 0 here and is stretched to one interval
     /// inside the recurrence, per Algorithm 2 line 9).
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // ceil of a non-negative time
     pub fn move_intervals(&self, b: u32, a: u32) -> usize {
         if b == a {
             return 0;
@@ -151,7 +152,7 @@ impl Planner {
 
         // Z: machines needed for the predicted peak, bounded by hardware.
         let peak = load.iter().copied().fold(0.0, f64::max);
-        let z = ((peak / self.cfg.q).ceil() as u32)
+        let z = machines_for_load(peak, self.cfg.q)
             .max(n0)
             .clamp(1, self.cfg.max_machines);
 
@@ -164,7 +165,25 @@ impl Planner {
         for end_nodes in 1..=z {
             let c = self.cost(t_max, end_nodes, load, n0, z, &mut memo);
             if c.is_finite() {
-                return Some(self.backtrack(t_max, end_nodes, z, &memo));
+                let seq = self.backtrack(t_max, end_nodes, z, &memo);
+                #[cfg(feature = "check-invariants")]
+                {
+                    let violations = crate::moves::check_moves(seq.moves());
+                    debug_assert!(
+                        violations.is_empty(),
+                        "planner produced a structurally invalid sequence:\n{}",
+                        crate::invariant::report(&violations)
+                    );
+                    // The effective-capacity ablation knowingly emits plans
+                    // that fail the Eq 7 check — that failure is its point.
+                    debug_assert!(
+                        !self.opts.effective_capacity_aware
+                            || self.verify_feasible(&seq, load).is_ok(),
+                        "planner produced an infeasible plan: {:?}",
+                        self.verify_feasible(&seq, load)
+                    );
+                }
+                return Some(seq);
             }
         }
         None
@@ -266,8 +285,9 @@ impl Planner {
         let mut t = t_end;
         let mut n = n_end;
         while t > 0 {
-            let cell = memo[t * (z as usize + 1) + n as usize]
-                .expect("backtrack visits only memoised states");
+            let Some(cell) = memo[t * (z as usize + 1) + n as usize] else {
+                unreachable!("backtrack visits only memoised states");
+            };
             moves.push(Move {
                 start: cell.prev_time,
                 end: t,
@@ -441,9 +461,7 @@ mod tests {
     fn plan_respects_effective_capacity_during_moves() {
         let planner = slow_planner(12);
         // Steady ramp to a high plateau.
-        let load: Vec<f64> = (0..24)
-            .map(|t| 150.0 + 800.0 * (t as f64 / 23.0))
-            .collect();
+        let load: Vec<f64> = (0..24).map(|t| 150.0 + 800.0 * (t as f64 / 23.0)).collect();
         let seq = planner.best_moves(&load, 2).unwrap();
         planner.verify_feasible(&seq, &load).unwrap();
         assert!(seq.final_machines().unwrap() >= 10);

@@ -30,6 +30,7 @@
 //! ```
 
 use crate::cost_model::{eff_cap, move_time};
+use crate::invariant::{InvariantId, Violation};
 use serde::{Deserialize, Serialize};
 
 /// A single machine-to-machine transfer of `1/(A*B)` of the database.
@@ -74,6 +75,20 @@ impl MigrationSchedule {
     /// Panics if either count is zero.
     pub fn plan(b: u32, a: u32) -> Self {
         assert!(b > 0 && a > 0, "machine counts must be positive");
+        let schedule = Self::plan_unchecked(b, a);
+        #[cfg(feature = "check-invariants")]
+        {
+            let violations = schedule.check_violations();
+            debug_assert!(
+                violations.is_empty(),
+                "MigrationSchedule::plan({b}, {a}) violated its own invariants:\n{}",
+                crate::invariant::report(&violations)
+            );
+        }
+        schedule
+    }
+
+    fn plan_unchecked(b: u32, a: u32) -> Self {
         if b == a {
             return MigrationSchedule {
                 b,
@@ -85,10 +100,7 @@ impl MigrationSchedule {
         if b < a {
             let (rounds, alloc) = scale_out_rounds(b, a - b);
             let total = rounds.len();
-            let presence = alloc
-                .into_iter()
-                .map(|(m, r)| (m, r, total))
-                .collect();
+            let presence = alloc.into_iter().map(|(m, r)| (m, r, total)).collect();
             MigrationSchedule {
                 b,
                 a,
@@ -119,10 +131,7 @@ impl MigrationSchedule {
             // A machine allocated at round r in forward time (present for
             // rounds [r, total)) is present for reversed rounds
             // [0, total - r) and deallocated as soon as it drains.
-            let presence = alloc
-                .into_iter()
-                .map(|(m, r)| (m, 0, total - r))
-                .collect();
+            let presence = alloc.into_iter().map(|(m, r)| (m, 0, total - r)).collect();
             MigrationSchedule {
                 b,
                 a,
@@ -163,6 +172,7 @@ impl MigrationSchedule {
     }
 
     /// Number of machines allocated during round `i`.
+    #[allow(clippy::cast_possible_truncation)] // at most `max(B, A)` transient machines
     pub fn machines_in_round(&self, i: usize) -> u32 {
         let stable = self.b.min(self.a);
         let transient = self
@@ -229,18 +239,34 @@ impl MigrationSchedule {
             .collect()
     }
 
-    /// Validates structural invariants; used by tests and debug assertions.
+    /// The artifact label used in [`Violation`] diagnostics.
+    fn artifact(&self) -> String {
+        format!("schedule {}->{}", self.b, self.a)
+    }
+
+    /// Checks every structural invariant of this schedule, returning one
+    /// [`Violation`] per failure (empty when valid).
     ///
-    /// Checks: every (sender, receiver) pair appears exactly once; each
-    /// round is a matching; transfers only involve allocated machines;
-    /// round count is the `max(s, Δ)` minimum.
-    pub fn check_valid(&self) -> Result<(), String> {
+    /// Checked invariants: `SCH-01` round-count minimality, `SCH-02`
+    /// per-round matching validity, `SCH-03` pair coverage (`1/(A*B)`
+    /// data conservation), `SCH-04` just-in-time presence, `SCH-05`
+    /// sender/receiver role direction, and `SCH-06` empty no-op. The
+    /// cross-schedule invariants (`SCH-07` reversal symmetry, `SCH-08`
+    /// Algorithm 4 agreement) live in the `pstore-verify` crate because
+    /// they compare multiple artifacts.
+    pub fn check_violations(&self) -> Vec<Violation> {
         use std::collections::HashSet;
+        let mut out = Vec::new();
+        let artifact = self.artifact();
         if self.b == self.a {
             if !self.rounds.is_empty() {
-                return Err("noop move must have no rounds".into());
+                out.push(Violation::new(
+                    InvariantId::ScheduleNoopEmpty,
+                    artifact,
+                    format!("noop move must have no rounds, found {}", self.rounds.len()),
+                ));
             }
-            return Ok(());
+            return out;
         }
         let s = self.b.min(self.a);
         let delta = self.b.abs_diff(self.a);
@@ -251,10 +277,14 @@ impl MigrationSchedule {
         };
 
         if self.rounds.len() != s.max(delta) as usize {
-            return Err(format!(
-                "expected {} rounds, found {}",
-                s.max(delta),
-                self.rounds.len()
+            out.push(Violation::new(
+                InvariantId::ScheduleRoundCount,
+                artifact.clone(),
+                format!(
+                    "expected {} rounds, found {}",
+                    s.max(delta),
+                    self.rounds.len()
+                ),
             ));
         }
 
@@ -263,16 +293,32 @@ impl MigrationSchedule {
             let mut busy: HashSet<u32> = HashSet::new();
             for t in &round.transfers {
                 if !senders.contains(&t.from) {
-                    return Err(format!("round {i}: {} is not a sender", t.from));
+                    out.push(Violation::new(
+                        InvariantId::ScheduleRoleDirection,
+                        artifact.clone(),
+                        format!("round {i}: {} is not a sender", t.from),
+                    ));
                 }
                 if !receivers.contains(&t.to) {
-                    return Err(format!("round {i}: {} is not a receiver", t.to));
+                    out.push(Violation::new(
+                        InvariantId::ScheduleRoleDirection,
+                        artifact.clone(),
+                        format!("round {i}: {} is not a receiver", t.to),
+                    ));
                 }
                 if !busy.insert(t.from) || !busy.insert(t.to) {
-                    return Err(format!("round {i}: machine used twice"));
+                    out.push(Violation::new(
+                        InvariantId::ScheduleRoundMatching,
+                        artifact.clone(),
+                        format!("round {i}: machine used twice"),
+                    ));
                 }
                 if !seen.insert((t.from, t.to)) {
-                    return Err(format!("pair {} -> {} repeated", t.from, t.to));
+                    out.push(Violation::new(
+                        InvariantId::SchedulePairCoverage,
+                        artifact.clone(),
+                        format!("pair {} -> {} repeated", t.from, t.to),
+                    ));
                 }
                 // Transient machines must be allocated during this round.
                 for m in [t.from, t.to] {
@@ -280,8 +326,12 @@ impl MigrationSchedule {
                         self.presence.iter().find(|&&(id, _, _)| id == m)
                     {
                         if i < start || i >= end {
-                            return Err(format!(
-                                "round {i}: machine {m} used outside presence [{start}, {end})"
+                            out.push(Violation::new(
+                                InvariantId::SchedulePresence,
+                                artifact.clone(),
+                                format!(
+                                    "round {i}: machine {m} used outside presence [{start}, {end})"
+                                ),
                             ));
                         }
                     }
@@ -290,12 +340,27 @@ impl MigrationSchedule {
         }
         let expected_pairs = (s * delta) as usize;
         if seen.len() != expected_pairs {
-            return Err(format!(
-                "expected {expected_pairs} distinct pairs, found {}",
-                seen.len()
+            out.push(Violation::new(
+                InvariantId::SchedulePairCoverage,
+                artifact,
+                format!(
+                    "expected {expected_pairs} distinct pairs (1/(A*B) of the data each), found {}",
+                    seen.len()
+                ),
             ));
         }
-        Ok(())
+        out
+    }
+
+    /// Validates structural invariants; used by tests and debug assertions.
+    ///
+    /// A thin `Result` adapter over [`Self::check_violations`] — the error
+    /// string is the first violation's report line.
+    pub fn check_valid(&self) -> Result<(), String> {
+        match self.check_violations().into_iter().next() {
+            None => Ok(()),
+            Some(v) => Err(v.to_string()),
+        }
     }
 }
 
@@ -464,7 +529,7 @@ fn edge_color_bipartite(edges: &[(u32, u32)], colors: usize) -> Vec<Vec<(u32, u3
         slots
             .iter()
             .position(|s| s.is_none())
-            .expect("colour count below maximum degree")
+            .unwrap_or_else(|| unreachable!("colour count below maximum degree"))
     };
 
     for (e, &(u_raw, v_raw)) in edges.iter().enumerate() {
@@ -542,6 +607,7 @@ pub fn peak_parallelism(schedule: &MigrationSchedule) -> usize {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp, clippy::cast_possible_truncation)] // tests assert exact rational arithmetic on tiny counts
     use super::*;
     use crate::cost_model::{avg_machines_allocated, max_parallel_transfers};
 

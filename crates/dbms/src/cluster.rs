@@ -221,6 +221,7 @@ impl Cluster {
 
     /// Nodes currently holding resources (includes scale-out targets while
     /// a reconfiguration runs).
+    #[allow(clippy::cast_possible_truncation)] // cluster sizes fit u32
     pub fn allocated_nodes(&self) -> u32 {
         self.nodes.len() as u32
     }
@@ -241,6 +242,7 @@ impl Cluster {
     }
 
     /// The node currently serving `slot` (respecting migration overrides).
+    #[allow(clippy::cast_possible_truncation)] // slot ids fit usize on supported targets
     pub fn node_of_slot(&self, slot: u64) -> u32 {
         if let Some(infl) = self.reconfig.as_ref().and_then(|r| r.in_flight.get(&slot)) {
             // In-flight slots are still anchored at the source.
@@ -258,6 +260,7 @@ impl Cluster {
     /// slot-to-node assignment — `slot % machines` and `slot % P` share
     /// factors, which would leave some (node, partition) combinations
     /// permanently empty.
+    #[allow(clippy::cast_possible_truncation)] // the bucket is below P, a u32
     pub fn local_of_slot(&self, slot: u64) -> u32 {
         crate::hash::bucket_of(&slot.to_le_bytes(), self.cfg.partitions_per_node as u64) as u32
     }
@@ -297,12 +300,10 @@ impl Cluster {
                 let source = &mut src.partitions[local];
                 source.record_slot_access(slot);
                 let dest = &mut dst.partitions[local];
-                let moved = &self
-                    .reconfig
-                    .as_ref()
-                    .expect("in-flight implies reconfig")
-                    .in_flight[&slot]
-                    .moved;
+                let Some(reconfig) = self.reconfig.as_ref() else {
+                    unreachable!("in-flight implies reconfig");
+                };
+                let moved = &reconfig.in_flight[&slot].moved;
                 let mut ctx = TxnCtx::migrating(slot, num_slots, source, dest, moved);
                 (proc.execute(&mut ctx), ctx.touched_dest)
             }
@@ -486,6 +487,7 @@ impl Cluster {
     ///
     /// # Panics
     /// Panics if `pair_idx` is out of range.
+    #[allow(clippy::cast_possible_truncation)] // the bucket is below P, a u32
     pub fn migrate_chunk(
         &mut self,
         pair_idx: usize,
@@ -506,8 +508,7 @@ impl Cluster {
         }
         let slot = pair.slots[pair.next];
         let (from, to) = (pair.from, pair.to);
-        let local =
-            bucket_of(&slot.to_le_bytes(), self.cfg.partitions_per_node as u64) as usize;
+        let local = bucket_of(&slot.to_le_bytes(), self.cfg.partitions_per_node as u64) as usize;
 
         let infl = reconfig.in_flight.entry(slot).or_insert(InFlight {
             from,
@@ -516,8 +517,7 @@ impl Cluster {
         });
 
         let (src, dst) = two_nodes(&mut self.nodes, from as usize, to as usize);
-        let (rows, bytes, emptied) =
-            src.partitions[local].extract_chunk(slot, budget_bytes.max(1));
+        let (rows, bytes, emptied) = src.partitions[local].extract_chunk(slot, budget_bytes.max(1));
         for (tid, key, _) in &rows {
             infl.moved.insert((*tid, key.clone()));
         }
@@ -594,7 +594,9 @@ impl Cluster {
     }
 
     fn commit_reconfig(&mut self) {
-        let reconfig = self.reconfig.take().expect("commit requires reconfig");
+        let Some(reconfig) = self.reconfig.take() else {
+            unreachable!("commit requires reconfig");
+        };
         debug_assert_eq!(reconfig.pending_pairs, 0);
         let target = reconfig.new_plan.machines();
         self.plan = reconfig.new_plan;
@@ -636,7 +638,10 @@ impl Cluster {
     /// # Errors
     /// Refuses while a reconfiguration is running (rows would be split
     /// between migration sides).
-    pub fn export_table(&self, table: TableId) -> Result<Vec<(Key, crate::value::Row)>, ReconfigError> {
+    pub fn export_table(
+        &self,
+        table: TableId,
+    ) -> Result<Vec<(Key, crate::value::Row)>, ReconfigError> {
         if self.reconfig.is_some() {
             return Err(ReconfigError::AlreadyRunning);
         }
@@ -654,6 +659,7 @@ impl Cluster {
 
     /// Per-partition statistics: `(node, local_partition, accesses, bytes,
     /// rows)`.
+    #[allow(clippy::cast_possible_truncation)] // node/partition indices fit u32
     pub fn partition_report(&self) -> Vec<(u32, u32, u64, usize, usize)> {
         let mut out = Vec::new();
         for (n, node) in self.nodes.iter().enumerate() {
@@ -677,6 +683,7 @@ impl Cluster {
     ///
     /// # Errors
     /// Returns a description of the first violation found.
+    #[allow(clippy::cast_possible_truncation)] // node/partition indices fit u32
     pub fn verify_integrity(&self) -> Result<(), String> {
         if self.reconfig.is_some() {
             return Err("verify_integrity requires a settled cluster".into());
@@ -766,7 +773,11 @@ mod tests {
             KeyValue::Str(self.key.clone())
         }
         fn execute(&self, ctx: &mut TxnCtx<'_>) -> Result<TxnOutput, TxnError> {
-            ctx.put(0, Key::str(self.key.clone()), Row(vec![Value::Int(self.value)]));
+            ctx.put(
+                0,
+                Key::str(self.key.clone()),
+                Row(vec![Value::Int(self.value)]),
+            );
             Ok(TxnOutput::None)
         }
     }

@@ -15,7 +15,11 @@ pub fn murmur64a(key: &[u8], seed: u64) -> u64 {
 
     let n_blocks = len / 8;
     for i in 0..n_blocks {
-        let mut k = u64::from_le_bytes(key[i * 8..i * 8 + 8].try_into().expect("8-byte block"));
+        let mut k = u64::from_le_bytes(
+            key[i * 8..i * 8 + 8]
+                .try_into()
+                .unwrap_or_else(|_| unreachable!("an 8-byte slice converts to [u8; 8]")),
+        );
         k = k.wrapping_mul(M);
         k ^= k >> R;
         k = k.wrapping_mul(M);
@@ -50,6 +54,7 @@ pub fn bucket_of(key: &[u8], buckets: u64) -> u64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp, clippy::cast_possible_truncation)] // tests use exact values and tiny ids
     use super::*;
 
     #[test]
@@ -82,7 +87,10 @@ mod tests {
         let data = b"0123456789abcdef";
         let mut seen = std::collections::HashSet::new();
         for len in 0..=data.len() {
-            assert!(seen.insert(murmur64a(&data[..len], 0)), "collision at {len}");
+            assert!(
+                seen.insert(murmur64a(&data[..len], 0)),
+                "collision at {len}"
+            );
         }
     }
 

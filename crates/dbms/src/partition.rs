@@ -166,7 +166,9 @@ impl PartitionStore {
         'outer: for (tid, tbl) in data.tables.iter_mut().enumerate() {
             while let Some((k, _)) = tbl.first_key_value() {
                 let k = k.clone();
-                let row = tbl.remove(&k).expect("key just observed");
+                let Some(row) = tbl.remove(&k) else {
+                    unreachable!("key just observed");
+                };
                 let sz = k.size_estimate() + row.size_estimate();
                 moved += sz;
                 data.bytes = data.bytes.saturating_sub(sz);

@@ -61,6 +61,7 @@ impl std::fmt::Display for SkewSummary {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp, clippy::cast_possible_truncation)] // tests use exact values and tiny ids
     use super::*;
 
     #[test]

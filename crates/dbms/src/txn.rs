@@ -166,7 +166,9 @@ impl<'a> TxnCtx<'a> {
             Side::Source => self.source.get(self.slot, table, key).cloned(),
             Side::Dest => {
                 self.touched_dest = true;
-                let (dest, _) = self.dest.as_ref().expect("dest side implies dest view");
+                let Some((dest, _)) = self.dest.as_ref() else {
+                    unreachable!("dest side implies dest view");
+                };
                 dest.get(self.slot, table, key).cloned()
             }
         }
@@ -191,7 +193,9 @@ impl<'a> TxnCtx<'a> {
             Side::Source => self.source.put(self.slot, table, key, row),
             Side::Dest => {
                 self.touched_dest = true;
-                let (dest, _) = self.dest.as_mut().expect("dest side implies dest view");
+                let Some((dest, _)) = self.dest.as_mut() else {
+                    unreachable!("dest side implies dest view");
+                };
                 dest.put(self.slot, table, key, row)
             }
         }
@@ -221,7 +225,9 @@ impl<'a> TxnCtx<'a> {
             Side::Source => self.source.delete(self.slot, table, key),
             Side::Dest => {
                 self.touched_dest = true;
-                let (dest, _) = self.dest.as_mut().expect("dest side implies dest view");
+                let Some((dest, _)) = self.dest.as_mut() else {
+                    unreachable!("dest side implies dest view");
+                };
                 dest.delete(self.slot, table, key)
             }
         }

@@ -134,6 +134,8 @@ impl KeyValue {
             }
             KeyValue::Str(s) => {
                 out.push(4);
+                // Keys are tiny; the serialised format caps strings at 4 GiB.
+                #[allow(clippy::cast_possible_truncation)]
                 out.extend_from_slice(&(s.len() as u32).to_le_bytes());
                 out.extend_from_slice(s.as_bytes());
             }

@@ -69,8 +69,8 @@ impl ArModel {
             }
             b.push(train[t]);
         }
-        let x = ridge(&a, &b, config.ridge_lambda)
-            .map_err(|e| FitError::Numerical(e.to_string()))?;
+        let x =
+            ridge(&a, &b, config.ridge_lambda).map_err(|e| FitError::Numerical(e.to_string()))?;
         Ok(ArModel {
             intercept: x[0],
             coef: x[1..].to_vec(),
@@ -100,10 +100,7 @@ impl LoadPredictor for ArModel {
 
     fn predict(&self, history: &[f64], tau: usize) -> f64 {
         assert!(tau >= 1, "tau must be at least 1");
-        *self
-            .predict_horizon(history, tau)
-            .last()
-            .expect("horizon is non-empty")
+        self.predict_horizon(history, tau)[tau - 1]
     }
 
     fn predict_horizon(&self, history: &[f64], h: usize) -> Vec<f64> {
@@ -132,6 +129,7 @@ impl LoadPredictor for ArModel {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp, clippy::cast_possible_truncation)] // tests assert exact rational arithmetic on tiny values
     use super::*;
 
     #[test]

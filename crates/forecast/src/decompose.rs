@@ -107,9 +107,7 @@ pub fn decompose(data: &[f64], period: usize) -> Decomposition {
     }
 
     let seasonal: Vec<f64> = (0..n).map(|i| phase_mean[i % period]).collect();
-    let residual: Vec<f64> = (0..n)
-        .map(|i| data[i] - trend[i] - seasonal[i])
-        .collect();
+    let residual: Vec<f64> = (0..n).map(|i| data[i] - trend[i] - seasonal[i]).collect();
     Decomposition {
         period,
         trend,
@@ -120,6 +118,7 @@ pub fn decompose(data: &[f64], period: usize) -> Decomposition {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp, clippy::cast_possible_truncation)] // tests assert exact rational arithmetic on tiny values
     use super::*;
 
     fn wave(period: usize, len: usize, amp: f64, slope: f64) -> Vec<f64> {

@@ -133,6 +133,8 @@ pub fn suggest_inflation(
     }
     assert!(!ratios.is_empty(), "no origins to calibrate on");
     ratios.sort_by(f64::total_cmp);
+    // quantile is in [0, 1] and ceil() >= 0, so the cast is exact.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let idx = ((ratios.len() as f64 * quantile).ceil() as usize).clamp(1, ratios.len()) - 1;
     ratios[idx].max(1.0)
 }
@@ -152,12 +154,7 @@ mod tests {
     fn perfect_model_scores_zero() {
         let data = periodic(12, 12 * 8);
         let model = SeasonalNaive::new(12);
-        let acc = rolling_accuracy(
-            &model,
-            &data,
-            &[1, 3, 6],
-            &EvalConfig::dense(12 * 4),
-        );
+        let acc = rolling_accuracy(&model, &data, &[1, 3, 6], &EvalConfig::dense(12 * 4));
         assert_eq!(acc.len(), 3);
         for a in &acc {
             assert!(a.mre < 1e-12, "tau {}: {}", a.tau, a.mre);
@@ -188,12 +185,7 @@ mod tests {
         let data = periodic(12, 12 * 8);
         let good = SeasonalNaive::new(12);
         let bad = SeasonalNaive::new(11); // wrong period
-        let out = compare_models(
-            &[&good, &bad],
-            &data,
-            1,
-            &EvalConfig::dense(12 * 5),
-        );
+        let out = compare_models(&[&good, &bad], &data, 1, &EvalConfig::dense(12 * 5));
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].0, "seasonal-naive");
         assert!(out[0].1 < out[1].1, "correct period should score better");

@@ -190,7 +190,14 @@ impl WikipediaLoadModel {
 
     /// Generates `days` of hourly page-view counts.
     pub fn generate(&self, days: usize) -> TimeSeries {
-        let (base, diurnal_amp, weekly_amp, noise_sigma, rho, burst_rate): (f64, f64, f64, f64, f64, f64) = match self.edition {
+        let (base, diurnal_amp, weekly_amp, noise_sigma, rho, burst_rate): (
+            f64,
+            f64,
+            f64,
+            f64,
+            f64,
+            f64,
+        ) = match self.edition {
             // Fig 6a: EN peaks near 9-10M req/hour; DE near 2-2.5M.
             WikipediaEdition::English => (7.0e6, 0.30, 0.05, 0.02, 0.9, 0.02),
             WikipediaEdition::German => (1.5e6, 0.40, 0.12, 0.07, 0.8, 0.08),
@@ -222,7 +229,11 @@ impl WikipediaLoadModel {
             let mut load = base * (1.0 + diurnal_amp * (2.0 * s - 1.0));
 
             let dow = day % 7;
-            let weekly = if dow >= 5 { 1.0 - weekly_amp } else { 1.0 + 0.3 * weekly_amp };
+            let weekly = if dow >= 5 {
+                1.0 - weekly_amp
+            } else {
+                1.0 + 0.3 * weekly_amp
+            };
             load *= weekly;
 
             noise = rho * noise + innov * randn(&mut rng);
@@ -305,7 +316,10 @@ pub fn flash_sale_load(
     hold_min: usize,
 ) -> TimeSeries {
     assert!(peak >= base, "peak must be at least base");
-    assert!(surge_start_min + ramp_min + hold_min <= MINUTES_PER_DAY, "surge must fit in a day");
+    assert!(
+        surge_start_min + ramp_min + hold_min <= MINUTES_PER_DAY,
+        "surge must fit in a day"
+    );
     let values = (0..days * MINUTES_PER_DAY)
         .map(|m| {
             let of_day = m % MINUTES_PER_DAY;
@@ -326,6 +340,7 @@ pub fn flash_sale_load(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp, clippy::cast_possible_truncation)] // tests assert exact rational arithmetic on tiny values
     use super::*;
     use crate::metrics::mre;
     use crate::model::LoadPredictor;
@@ -455,11 +470,11 @@ mod tests {
             }
             errs.push(mre(&preds, &actuals).unwrap());
         }
+        assert!(errs[0] < errs[1], "EN should be more predictable: {errs:?}");
         assert!(
-            errs[0] < errs[1],
-            "EN should be more predictable: {errs:?}"
+            errs[1] < 0.15,
+            "DE error should stay under ~13-15%: {errs:?}"
         );
-        assert!(errs[1] < 0.15, "DE error should stay under ~13-15%: {errs:?}");
     }
 
     #[test]

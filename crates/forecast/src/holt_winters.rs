@@ -72,7 +72,10 @@ impl HoltWintersModel {
     /// two full periods.
     pub fn fit(train: &[f64], cfg: &HoltWintersConfig) -> Result<Self, FitError> {
         assert!(cfg.period > 0, "period must be positive");
-        assert!((0.0..1.0).contains(&cfg.alpha) && cfg.alpha > 0.0, "alpha in (0,1)");
+        assert!(
+            (0.0..1.0).contains(&cfg.alpha) && cfg.alpha > 0.0,
+            "alpha in (0,1)"
+        );
         assert!((0.0..1.0).contains(&cfg.beta), "beta in [0,1)");
         assert!((0.0..1.0).contains(&cfg.gamma), "gamma in [0,1)");
         if train.len() < 2 * cfg.period {
@@ -122,10 +125,7 @@ impl LoadPredictor for HoltWintersModel {
 
     fn predict(&self, history: &[f64], tau: usize) -> f64 {
         assert!(tau >= 1, "tau must be at least 1");
-        *self
-            .predict_horizon(history, tau)
-            .last()
-            .expect("horizon non-empty")
+        self.predict_horizon(history, tau)[tau - 1]
     }
 
     fn predict_horizon(&self, history: &[f64], h: usize) -> Vec<f64> {
@@ -150,6 +150,7 @@ impl LoadPredictor for HoltWintersModel {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp, clippy::cast_possible_truncation)] // tests assert exact rational arithmetic on tiny values
     use super::*;
     use crate::metrics::mre;
 
@@ -207,10 +208,13 @@ mod tests {
     #[test]
     fn horizon_matches_point_predictions() {
         let data = seasonal_signal(24, 24 * 8, 0.1);
-        let model = HoltWintersModel::fit(&data, &HoltWintersConfig {
-            period: 24,
-            ..HoltWintersConfig::default()
-        })
+        let model = HoltWintersModel::fit(
+            &data,
+            &HoltWintersConfig {
+                period: 24,
+                ..HoltWintersConfig::default()
+            },
+        )
         .unwrap();
         let h = model.predict_horizon(&data, 6);
         for (i, v) in h.iter().enumerate() {
@@ -220,10 +224,13 @@ mod tests {
 
     #[test]
     fn rejects_short_training() {
-        let err = HoltWintersModel::fit(&[1.0; 30], &HoltWintersConfig {
-            period: 24,
-            ..HoltWintersConfig::default()
-        })
+        let err = HoltWintersModel::fit(
+            &[1.0; 30],
+            &HoltWintersConfig {
+                period: 24,
+                ..HoltWintersConfig::default()
+            },
+        )
         .unwrap_err();
         assert!(matches!(err, FitError::NotEnoughData { .. }));
     }

@@ -48,7 +48,8 @@ pub fn mae(pred: &[f64], actual: &[f64]) -> f64 {
 pub fn rmse(pred: &[f64], actual: &[f64]) -> f64 {
     assert_eq!(pred.len(), actual.len(), "series must have equal length");
     assert!(!pred.is_empty(), "series must be non-empty");
-    (pred.iter()
+    (pred
+        .iter()
         .zip(actual)
         .map(|(p, a)| (p - a).powi(2))
         .sum::<f64>()
@@ -83,6 +84,7 @@ pub fn smape(pred: &[f64], actual: &[f64]) -> Option<f64> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp, clippy::cast_possible_truncation)] // tests assert exact rational arithmetic on tiny values
     use super::*;
 
     #[test]

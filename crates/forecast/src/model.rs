@@ -142,6 +142,7 @@ impl LoadPredictor for SeasonalNaive {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp, clippy::cast_possible_truncation)] // tests assert exact rational arithmetic on tiny values
     use super::*;
     use std::time::Duration;
 

@@ -97,12 +97,23 @@ impl OnlinePredictor {
 
     /// Forecasts the next `h` slots, or `None` until enough data has been
     /// observed.
+    ///
+    /// Load is a non-negative rate, but the linear models can dip below
+    /// zero near troughs; negative predictions are clamped to zero here so
+    /// every forecast the Predictor hands downstream satisfies invariant
+    /// `FOR-01`. Non-finite values are passed through unmasked (they would
+    /// indicate a broken fit and must stay visible to the checkers).
     pub fn forecast(&self, h: usize) -> Option<Vec<f64>> {
         let model = self.model.as_ref()?;
         if self.history.len() < model.min_history() {
             return None;
         }
-        Some(model.predict_horizon(&self.history, h))
+        let raw = model.predict_horizon(&self.history, h);
+        Some(
+            raw.into_iter()
+                .map(|v| if v < 0.0 { 0.0 } else { v })
+                .collect(),
+        )
     }
 
     /// Number of retained measurements.

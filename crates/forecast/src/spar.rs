@@ -119,7 +119,7 @@ impl SparModel {
         } else {
             cfg.taus.clone()
         };
-        let max_tau = *taus.iter().max().expect("taus non-empty");
+        let max_tau = taus.iter().max().copied().unwrap_or(1);
         let p = cfg.n_periods * cfg.period;
         // Forecast origin t needs: t - m - n*T >= 0 and t + tau < len and
         // t + tau - n*T >= 0. The first condition dominates.
@@ -135,7 +135,9 @@ impl SparModel {
         let last_origin = train.len() - 1 - max_tau;
         let origins_available = last_origin - first_origin + 1;
         let rows_wanted = cfg.max_rows.max(cfg.n_periods + cfg.m_recent + 1);
-        let stride = (origins_available * taus.len()).div_ceil(rows_wanted).max(1);
+        let stride = (origins_available * taus.len())
+            .div_ceil(rows_wanted)
+            .max(1);
 
         let cols = cfg.n_periods + cfg.m_recent;
         let mut rows_feat: Vec<f64> = Vec::new();

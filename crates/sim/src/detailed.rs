@@ -20,6 +20,13 @@
 //!   ([`MigrationSchedule`]), so machines are allocated just-in-time and
 //!   the cost accounting matches Algorithm 4.
 
+// The discrete-event simulation quantises continuous time and load into
+// slots and byte counts, and panics on broken scenario setup by design.
+#![allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::expect_used
+)]
 use crate::latency::{
     average_machines, count_sla_violations, LatencyRecorder, SecondMetrics, SlaViolations,
     SLA_THRESHOLD_S,
@@ -194,7 +201,9 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
             partitions_per_node: p,
             num_slots: cfg.num_slots,
         },
-        strategy.initial_machines().clamp(1, cfg.params.max_machines),
+        strategy
+            .initial_machines()
+            .clamp(1, cfg.params.max_machines),
     );
     let mut gen = WorkloadGenerator::new(cfg.workload.clone());
     for proc in gen.seed_stock_procedures() {
@@ -306,9 +315,7 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
                             ));
                             recorder.set_reconfiguring(true);
                             if let Some(m) = &migration {
-                                recorder.set_machines(
-                                    m.schedule.machines_in_round(0) as f64,
-                                );
+                                recorder.set_machines(m.schedule.machines_in_round(0) as f64);
                             }
                         }
                     }
@@ -378,7 +385,8 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
                         advance_round(m, &cluster, time, &mut heap, &mut seq);
                         recorder.set_machines(
                             m.schedule.machines_in_round(
-                                m.current_round.min(m.schedule.total_rounds().saturating_sub(1)),
+                                m.current_round
+                                    .min(m.schedule.total_rounds().saturating_sub(1)),
                             ) as f64,
                         );
                     }
@@ -450,8 +458,7 @@ fn start_migration(
         rate_multiplier: rate_multiplier.max(0.1),
         // A machine-pair stream is P parallel partition streams, each at
         // the single-thread rate db / D (Equation 3's accounting).
-        stream_rate: cfg.params.partitions_per_node as f64 * db_bytes
-            / cfg.params.d.as_secs_f64(),
+        stream_rate: cfg.params.partitions_per_node as f64 * db_bytes / cfg.params.d.as_secs_f64(),
         started_at: now,
     };
     // Start round 0 (skipping over rounds whose pairs have no slots).
@@ -541,6 +548,7 @@ pub fn per_interval_load(load_per_s: &[f64], interval_s: f64) -> Vec<f64> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // tests assert exact rational arithmetic
     use super::*;
     use pstore_core::controller::baselines::StaticController;
     use pstore_core::controller::forecaster::OracleForecaster;
@@ -633,9 +641,7 @@ mod tests {
         // Ramp from 250 to 800 txn/s over two minutes, then hold. The
         // reactive policy only acts once load crosses 0.9 * Q̂ * machines,
         // i.e. while the cluster is already under pressure.
-        let mut load: Vec<f64> = (0..120)
-            .map(|s| 250.0 + 550.0 * s as f64 / 120.0)
-            .collect();
+        let mut load: Vec<f64> = (0..120).map(|s| 250.0 + 550.0 * s as f64 / 120.0).collect();
         load.extend(vec![800.0; 240]);
         let cfg = test_cfg(load, 4);
         let mut strat = ReactiveController::new(ReactiveConfig {
@@ -814,7 +820,10 @@ mod tests {
             .filter(|x| (x.second as f64) > s && (x.second as f64) < e)
             .map(|x| x.machines)
             .collect();
-        assert!(mid.iter().any(|&m| m > 1.0 && m <= 4.0), "staircase: {mid:?}");
+        assert!(
+            mid.iter().any(|&m| m > 1.0 && m <= 4.0),
+            "staircase: {mid:?}"
+        );
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //! assert_eq!(r.insufficient_slots, 0); // 4 x 350 > 800
 //! ```
 
+// The fast simulator quantises migration progress into rounds and f32
+// timelines.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 use pstore_core::controller::{Action, Observation, Strategy};
 use pstore_core::cost_model::{eff_cap, move_time};
 use pstore_core::params::SystemParams;
@@ -123,7 +126,8 @@ pub fn run_fast(cfg: &FastSimConfig, load: &[f64], strategy: &mut dyn Strategy) 
     for (slot, &demand) in load.iter().enumerate() {
         // Controller decision at tick boundaries.
         if slot % cfg.tick_every_slots == 0 {
-            let window = &load[slot.saturating_sub(cfg.tick_every_slots)..=slot.min(load.len() - 1)];
+            let window =
+                &load[slot.saturating_sub(cfg.tick_every_slots)..=slot.min(load.len() - 1)];
             let measured = window.iter().sum::<f64>() / window.len() as f64;
             let obs = Observation {
                 interval: tick_idx,
@@ -189,6 +193,7 @@ pub fn run_fast(cfg: &FastSimConfig, load: &[f64], strategy: &mut dyn Strategy) 
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // tests assert exact rational arithmetic
     use super::*;
     use pstore_core::controller::baselines::{SimpleController, StaticController};
     use pstore_core::controller::forecaster::OracleForecaster;
@@ -223,7 +228,11 @@ mod tests {
             .collect()
     }
 
-    fn oracle_pstore(load: &[f64], c: &FastSimConfig, q: f64) -> PStoreController<OracleForecaster> {
+    fn oracle_pstore(
+        load: &[f64],
+        c: &FastSimConfig,
+        q: f64,
+    ) -> PStoreController<OracleForecaster> {
         let per_tick: Vec<f64> = load
             .chunks(c.tick_every_slots)
             .map(|w| w.iter().sum::<f64>() / w.len() as f64)
@@ -280,7 +289,11 @@ mod tests {
             "avg machines {} not cheaper than peak",
             r.avg_machines()
         );
-        assert!(r.reconfigurations >= 4, "too few moves: {}", r.reconfigurations);
+        assert!(
+            r.reconfigurations >= 4,
+            "too few moves: {}",
+            r.reconfigurations
+        );
         // And it must actually scale up and down across the day.
         let max = r.machines_timeline.iter().copied().fold(0.0f32, f32::max);
         let min = r

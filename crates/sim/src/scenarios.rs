@@ -7,6 +7,8 @@
 //! trace days fit in a 7.2-hour experiment. Helpers here build the
 //! compressed load curves and the paper-configured controllers.
 
+// Scenario construction quantises trace time into whole slots.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 use crate::detailed::per_interval_load;
 use pstore_core::controller::baselines::{SimpleController, StaticController};
 use pstore_core::controller::forecaster::{OracleForecaster, SparForecaster};
@@ -45,7 +47,13 @@ impl ExperimentTrace {
     /// Builds a trace with `eval_days` of evaluation data after the
     /// standard training prefix, using the synthetic B2W model.
     pub fn b2w(eval_days: usize, seed: u64) -> Self {
-        Self::from_model(&B2wLoadModel { seed, ..B2wLoadModel::default() }, eval_days)
+        Self::from_model(
+            &B2wLoadModel {
+                seed,
+                ..B2wLoadModel::default()
+            },
+            eval_days,
+        )
     }
 
     /// Builds a trace from a custom load model.
@@ -127,8 +135,12 @@ pub fn tick_spar_config() -> SparConfig {
 
 /// The paper-default P-Store controller with a live SPAR forecaster, seeded
 /// with the trace's training prefix.
-pub fn pstore_spar(trace: &ExperimentTrace, params: &SystemParams) -> PStoreController<SparForecaster> {
-    let mut forecaster = SparForecaster::new(tick_spar_config(), 7 * TICKS_PER_DAY, 40 * TICKS_PER_DAY);
+pub fn pstore_spar(
+    trace: &ExperimentTrace,
+    params: &SystemParams,
+) -> PStoreController<SparForecaster> {
+    let mut forecaster =
+        SparForecaster::new(tick_spar_config(), 7 * TICKS_PER_DAY, 40 * TICKS_PER_DAY);
     let train_ticks = per_tick(trace.training_minutes());
     forecaster.seed(&train_ticks);
     PStoreController::new(
@@ -333,6 +345,7 @@ pub fn oracle_ticks(wall_seconds: &[f64], monitor_interval_s: f64) -> Vec<f64> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::float_cmp)] // tests assert exact rational arithmetic
     use super::*;
 
     #[test]
@@ -341,11 +354,7 @@ mod tests {
         assert_eq!(trace.eval_minutes().len(), 1440);
         assert_eq!(trace.wall_seconds.len(), 1440 * 6);
         // Peak scaled to the target rate.
-        let peak = trace
-            .eval_minutes()
-            .iter()
-            .copied()
-            .fold(0.0, f64::max);
+        let peak = trace.eval_minutes().iter().copied().fold(0.0, f64::max);
         assert!((peak - PEAK_TXN_RATE).abs() < 1e-6);
         // Compressed curve interpolates between the minute values.
         let peak_wall = trace.wall_seconds.iter().copied().fold(0.0, f64::max);
@@ -391,11 +400,21 @@ mod tests {
         }
         .generate(TRAINING_DAYS + 3);
         let eval_start = TRAINING_DAYS * 1440;
-        let scaled = raw.scaled(2_500.0 / raw.values()[eval_start..].iter().copied().fold(0.0, f64::max));
+        let scaled = raw.scaled(
+            2_500.0
+                / raw.values()[eval_start..]
+                    .iter()
+                    .copied()
+                    .fold(0.0, f64::max),
+        );
         let train = &scaled.values()[..eval_start];
         let eval = &scaled.values()[eval_start..];
 
-        let spar = run_fast(&cfg, eval, &mut pstore_spar_fast(train, eval[0], &params, params.q));
+        let spar = run_fast(
+            &cfg,
+            eval,
+            &mut pstore_spar_fast(train, eval[0], &params, params.q),
+        );
         assert!(spar.reconfigurations > 0);
         let planner = realtime_planner(&params, params.q);
         let custom = run_fast(
@@ -407,7 +426,11 @@ mod tests {
         // Same planner/forecaster settings -> same behaviour.
         assert_eq!(spar.cost_machine_slots, custom.cost_machine_slots);
 
-        let greedy = run_fast(&cfg, eval, &mut greedy_fast(train, eval[0], &params, params.q));
+        let greedy = run_fast(
+            &cfg,
+            eval,
+            &mut greedy_fast(train, eval[0], &params, params.q),
+        );
         assert!(
             greedy.cost_machine_slots >= spar.cost_machine_slots,
             "greedy {} should cost at least the DP {}",

@@ -1,6 +1,12 @@
 //! Property tests for the simulators: no panics and sane invariants on
 //! arbitrary load curves and strategy settings.
 
+#![allow(
+    clippy::float_cmp,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)] // tests assert exact values and cast tiny bounded quantities
+
 use proptest::prelude::*;
 use pstore_core::controller::baselines::{SimpleController, StaticController};
 use pstore_core::controller::forecaster::OracleForecaster;

@@ -1,0 +1,133 @@
+//! Checks for forecaster output (§5).
+//!
+//! * `FOR-01` — predictions are finite (never NaN or ±∞), and on the
+//!   production path ([`OnlinePredictor::forecast`]) also non-negative:
+//!   load is a rate, and the planner treats it as one.
+//! * `FOR-02` — SPAR periodicity sanity: fitted on a strictly periodic
+//!   signal, SPAR's periodic component must reproduce the next period to
+//!   within a small fraction of the signal's amplitude.
+//!
+//! [`OnlinePredictor::forecast`]: pstore_forecast::OnlinePredictor::forecast
+
+use pstore_core::{InvariantId, Violation};
+use pstore_forecast::{LoadPredictor, SparConfig, SparModel};
+
+/// `FOR-01` (finiteness half): every prediction must be a finite number.
+/// Applies to raw model output — linear models may legitimately dip below
+/// zero near troughs, which the production path clamps.
+pub fn check_curve_finite(artifact: &str, values: &[f64]) -> Vec<Violation> {
+    values
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !v.is_finite())
+        .map(|(i, v)| {
+            Violation::new(
+                InvariantId::ForecastFinite,
+                artifact.to_string(),
+                format!("prediction {v} at offset {i} is not finite"),
+            )
+        })
+        .collect()
+}
+
+/// `FOR-01` (full): finite *and* non-negative — what the production
+/// forecast path must deliver to the planner.
+pub fn check_curve(artifact: &str, values: &[f64]) -> Vec<Violation> {
+    let mut out = check_curve_finite(artifact, values);
+    out.extend(
+        values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_finite() && **v < 0.0)
+            .map(|(i, v)| {
+                Violation::new(
+                    InvariantId::ForecastFinite,
+                    artifact.to_string(),
+                    format!("prediction {v} at offset {i} is negative"),
+                )
+            }),
+    );
+    out
+}
+
+/// A strictly periodic test signal with two harmonics (period `period`
+/// slots, mean 100, amplitude ≈ 40).
+pub fn periodic_signal(period: usize, len: usize) -> Vec<f64> {
+    use std::f64::consts::PI;
+    (0..len)
+        .map(|t| {
+            let phase = 2.0 * PI * (t % period) as f64 / period as f64;
+            100.0 + 40.0 * phase.sin() + 15.0 * (2.0 * phase + 1.0).sin()
+        })
+        .collect()
+}
+
+/// `FOR-02`: fits SPAR on a strictly periodic signal and demands the next
+/// full period is reproduced to within `tol` absolute error per slot (the
+/// signal's amplitude is ≈ 40, so the default `tol = 1.0` is ≈ 2.5%).
+pub fn check_spar_periodicity(tol: f64) -> Vec<Violation> {
+    let period = 24;
+    let cfg = SparConfig {
+        period,
+        n_periods: 3,
+        m_recent: 4,
+        taus: vec![1],
+        ridge_lambda: 1e-8,
+        max_rows: 20_000,
+    };
+    let train_len = period * 10;
+    let truth = periodic_signal(period, train_len + period);
+    let train = &truth[..train_len];
+    let artifact = format!("SPAR fit on a strictly periodic signal (T={period})");
+
+    let model = match SparModel::fit(train, &cfg) {
+        Ok(m) => m,
+        Err(e) => {
+            return vec![Violation::new(
+                InvariantId::ForecastPeriodicity,
+                artifact,
+                format!("fit failed on clean periodic data: {e}"),
+            )]
+        }
+    };
+    let preds = model.predict_horizon(train, period);
+    let mut out = check_curve_finite(&artifact, &preds);
+    for (i, (p, t)) in preds.iter().zip(&truth[train_len..]).enumerate() {
+        let err = (p - t).abs();
+        if err > tol {
+            out.push(Violation::new(
+                InvariantId::ForecastPeriodicity,
+                artifact.clone(),
+                format!(
+                    "slot +{}: predicted {p:.2} vs periodic truth {t:.2} (err {err:.2} > {tol})",
+                    i + 1
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_curve_is_clean() {
+        assert!(check_curve("c", &[0.0, 1.5, 2.0]).is_empty());
+    }
+
+    #[test]
+    fn nan_and_negative_are_flagged() {
+        let v = check_curve("c", &[1.0, f64::NAN, -2.0, f64::INFINITY]);
+        assert_eq!(v.len(), 3);
+        let finite_only = check_curve_finite("c", &[1.0, f64::NAN, -2.0, f64::INFINITY]);
+        assert_eq!(finite_only.len(), 2);
+    }
+
+    #[test]
+    fn spar_reproduces_a_periodic_signal() {
+        let v = check_spar_periodicity(1.0);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

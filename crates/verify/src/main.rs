@@ -1,0 +1,305 @@
+//! The `pstore-verify` sweep: checks every invariant the workspace's
+//! artifact producers are supposed to uphold, across an exhaustive
+//! machine-count grid and randomized planner / forecast scenarios, and
+//! exits non-zero if anything is violated.
+//!
+//! Run with `cargo run -p pstore-verify [--release]`. The sweep covers:
+//!
+//! 1. every migration-schedule pair `(A, B)` with `A, B <= 64` (`SCH-*`),
+//! 2. randomized planner scenarios over mixed load shapes (`MOV-*`,
+//!    `PLN-01/02`),
+//! 3. small randomized instances cross-checked against a brute-force
+//!    optimality oracle (`PLN-03`),
+//! 4. forecaster output on periodic and noisy series (`FOR-*`).
+
+use pstore_core::planner::{Planner, PlannerConfig};
+use pstore_forecast::{
+    ArConfig, ArModel, ArmaConfig, ArmaModel, HoltWintersConfig, HoltWintersModel, LoadPredictor,
+    OnlinePredictor, SparConfig, SparModel,
+};
+use pstore_verify::{forecast, plan, schedule, CheckStats, Violation};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Largest machine count in the exhaustive schedule sweep.
+const MAX_MACHINES: u32 = 64;
+/// Randomized end-to-end planner scenarios (the acceptance bar is >= 100).
+const PLANNER_SCENARIOS: usize = 128;
+/// Randomized small instances cross-checked against the brute-force oracle.
+const ORACLE_SCENARIOS: usize = 100;
+/// Randomized forecast series per model family.
+const FORECAST_SERIES: usize = 16;
+
+fn main() {
+    let mut all = Vec::new();
+
+    let stats = schedule_sweep();
+    report_phase(
+        &format!("schedule sweep: all (A,B) pairs with A,B <= {MAX_MACHINES}"),
+        &stats,
+    );
+    all.extend(stats.violations);
+
+    let (stats, planned) = planner_sweep();
+    report_phase(
+        &format!("planner sweep: {PLANNER_SCENARIOS} randomized scenarios ({planned} feasible)"),
+        &stats,
+    );
+    all.extend(stats.violations);
+
+    let (stats, planned) = oracle_sweep();
+    report_phase(
+        &format!(
+            "optimality oracle: {ORACLE_SCENARIOS} small instances vs brute force ({planned} feasible)"
+        ),
+        &stats,
+    );
+    all.extend(stats.violations);
+
+    let stats = forecast_sweep();
+    report_phase("forecast sweep: periodicity + randomized series", &stats);
+    all.extend(stats.violations);
+
+    if all.is_empty() {
+        println!("pstore-verify: all invariants hold");
+    } else {
+        eprintln!("pstore-verify: {} violation(s)\n", all.len());
+        eprintln!("{}", pstore_core::invariant::report(&all));
+        std::process::exit(1);
+    }
+}
+
+fn report_phase(title: &str, stats: &CheckStats) {
+    println!(
+        "[{}] {title}: {} artifacts checked, {} violation(s)",
+        if stats.is_clean() { "ok" } else { "FAIL" },
+        stats.artifacts,
+        stats.violations.len()
+    );
+}
+
+/// Phase 1: every unordered pair covers both the scale-out and scale-in
+/// schedule, so this examines all 64 x 64 ordered schedules.
+fn schedule_sweep() -> CheckStats {
+    let mut stats = CheckStats::default();
+    for b in 1..=MAX_MACHINES {
+        for a in b..=MAX_MACHINES {
+            stats.absorb(schedule::check_schedule_pair(b, a));
+        }
+    }
+    stats
+}
+
+/// Phase 2: randomized planner configurations and load shapes; every plan
+/// produced is structurally validated and independently capacity-checked.
+fn planner_sweep() -> (CheckStats, usize) {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0001);
+    let mut stats = CheckStats::default();
+    let mut planned = 0usize;
+    for case in 0..PLANNER_SCENARIOS {
+        let q = rng.random_range(50.0..400.0);
+        let max_machines = rng.random_range(4u32..=64);
+        let cfg = PlannerConfig {
+            q,
+            d_intervals: rng.random_range(0.5..30.0),
+            partitions_per_node: rng.random_range(1u32..=8),
+            max_machines,
+        };
+        let n0 = rng.random_range(1u32..=max_machines.div_ceil(2));
+        let horizon = rng.random_range(6usize..=48);
+        let load = random_load(&mut rng, horizon, q, n0, max_machines);
+        let planner = Planner::new(cfg);
+        let label = format!("random scenario {case}");
+        if planner.best_moves(&load, n0).is_some() {
+            planned += 1;
+        }
+        stats.absorb(plan::check_plan(&planner, &load, n0, &label));
+    }
+    (stats, planned)
+}
+
+/// A random load curve: flat, ramp, step, sine or a bounded random walk,
+/// scaled so `n0` usually carries the start and the peak usually fits the
+/// hardware (some scenarios are deliberately infeasible).
+fn random_load(rng: &mut StdRng, horizon: usize, q: f64, n0: u32, max_machines: u32) -> Vec<f64> {
+    let base = q * n0 as f64 * rng.random_range(0.2..0.95);
+    let peak = (q * max_machines as f64 * rng.random_range(0.2..1.05)).max(base);
+    let n = horizon + 1;
+    let shape = rng.random_range(0u32..5);
+    (0..n)
+        .map(|t| {
+            let x = t as f64 / horizon.max(1) as f64;
+            let v = match shape {
+                0 => base,
+                1 => base + (peak - base) * x,
+                2 => {
+                    if t >= n / 2 {
+                        peak
+                    } else {
+                        base
+                    }
+                }
+                3 => base + (peak - base) * (std::f64::consts::PI * x).sin().max(0.0),
+                _ => base + (peak - base) * rng.random_range(0.0..1.0) * x,
+            };
+            (v * rng.random_range(0.95..1.05)).max(0.0)
+        })
+        .collect()
+}
+
+/// Phase 3: small instances where the brute-force oracle is tractable.
+fn oracle_sweep() -> (CheckStats, usize) {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0002);
+    let mut stats = CheckStats::default();
+    let mut planned = 0usize;
+    for case in 0..ORACLE_SCENARIOS {
+        let max_machines = rng.random_range(2u32..=5);
+        let cfg = PlannerConfig {
+            q: 100.0,
+            d_intervals: rng.random_range(0.3..6.0),
+            partitions_per_node: rng.random_range(1u32..=2),
+            max_machines,
+        };
+        let n0 = rng.random_range(1u32..=max_machines);
+        let horizon = rng.random_range(3usize..=6);
+        let load = random_load(&mut rng, horizon, cfg.q, n0, max_machines);
+        let planner = Planner::new(cfg);
+        let label = format!("oracle scenario {case}");
+        if planner.best_moves(&load, n0).is_some() {
+            planned += 1;
+        }
+        stats.absorb(plan::check_plan(&planner, &load, n0, &label));
+        stats.absorb(plan::check_plan_optimality(&planner, &load, n0, &label));
+    }
+    (stats, planned)
+}
+
+/// Phase 4: SPAR periodicity, raw-model finiteness on noisy series, and
+/// the clamped production path of `OnlinePredictor`.
+fn forecast_sweep() -> CheckStats {
+    let mut stats = CheckStats::default();
+    stats.absorb(forecast::check_spar_periodicity(1.0));
+
+    let mut rng = StdRng::seed_from_u64(0x5EED_0003);
+    let period = 48;
+    for series_idx in 0..FORECAST_SERIES {
+        let series = noisy_periodic_series(&mut rng, period, period * 8);
+        let horizon = period;
+
+        let spar_cfg = SparConfig {
+            period,
+            n_periods: 3,
+            m_recent: 8,
+            taus: vec![1],
+            ridge_lambda: 1e-4,
+            max_rows: 20_000,
+        };
+        let fits: Vec<(String, Option<Box<dyn LoadPredictor>>)> = vec![
+            (
+                format!("SPAR on noisy series {series_idx}"),
+                SparModel::fit(&series, &spar_cfg)
+                    .ok()
+                    .map(|m| Box::new(m) as Box<dyn LoadPredictor>),
+            ),
+            (
+                format!("AR on noisy series {series_idx}"),
+                ArModel::fit(
+                    &series,
+                    &ArConfig {
+                        order: 8,
+                        ridge_lambda: 1e-4,
+                        stride: 1,
+                    },
+                )
+                .ok()
+                .map(|m| Box::new(m) as Box<dyn LoadPredictor>),
+            ),
+            (
+                format!("ARMA on noisy series {series_idx}"),
+                ArmaModel::fit(
+                    &series,
+                    &ArmaConfig {
+                        p: 4,
+                        q: 2,
+                        long_ar_order: None,
+                        ridge_lambda: 1e-4,
+                        stride: 1,
+                    },
+                )
+                .ok()
+                .map(|m| Box::new(m) as Box<dyn LoadPredictor>),
+            ),
+            (
+                format!("Holt-Winters on noisy series {series_idx}"),
+                HoltWintersModel::fit(
+                    &series,
+                    &HoltWintersConfig {
+                        period,
+                        alpha: 0.3,
+                        beta: 0.05,
+                        gamma: 0.2,
+                    },
+                )
+                .ok()
+                .map(|m| Box::new(m) as Box<dyn LoadPredictor>),
+            ),
+        ];
+        for (artifact, model) in fits {
+            match model {
+                Some(m) => {
+                    let preds = m.predict_horizon(&series, horizon);
+                    stats.absorb(forecast::check_curve_finite(&artifact, &preds));
+                }
+                None => stats.absorb(vec![Violation::new(
+                    pstore_core::InvariantId::ForecastFinite,
+                    artifact,
+                    "model failed to fit a well-conditioned series".to_string(),
+                )]),
+            }
+        }
+
+        // The production path: OnlinePredictor's forecasts must additionally
+        // be non-negative (FOR-01 in full).
+        let cfg = spar_cfg.clone();
+        let mut online = OnlinePredictor::new(
+            Box::new(move |hist: &[f64]| {
+                SparModel::fit(hist, &cfg).map(|m| Box::new(m) as Box<dyn LoadPredictor>)
+            }),
+            cfg_min_history(&spar_cfg),
+            period,
+            period * 16,
+        );
+        online.seed(&series);
+        match online.forecast(horizon) {
+            Some(curve) => stats.absorb(forecast::check_curve(
+                &format!("OnlinePredictor forecast on noisy series {series_idx}"),
+                &curve,
+            )),
+            None => stats.absorb(vec![Violation::new(
+                pstore_core::InvariantId::ForecastFinite,
+                format!("OnlinePredictor forecast on noisy series {series_idx}"),
+                "predictor not ready despite sufficient seed data".to_string(),
+            )]),
+        }
+    }
+    stats
+}
+
+fn cfg_min_history(cfg: &SparConfig) -> usize {
+    cfg.min_history()
+}
+
+/// A positive, roughly periodic series with multiplicative noise — the
+/// kind of signal every model family should fit without blowing up.
+fn noisy_periodic_series(rng: &mut StdRng, period: usize, len: usize) -> Vec<f64> {
+    use std::f64::consts::PI;
+    let base = rng.random_range(200.0..2_000.0);
+    let amp = base * rng.random_range(0.2..0.6);
+    (0..len)
+        .map(|t| {
+            let phase = 2.0 * PI * (t % period) as f64 / period as f64;
+            let noise = 1.0 + 0.05 * (rng.random_range(0.0..1.0) - 0.5);
+            ((base + amp * phase.sin()) * noise).max(1.0)
+        })
+        .collect()
+}

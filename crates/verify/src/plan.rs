@@ -1,0 +1,313 @@
+//! Checks for planner output (Algorithms 1–3).
+//!
+//! [`check_plan`] validates a plan the DP produced for a load horizon:
+//! structure and horizon tiling (via [`crate::moves`]), correct endpoints
+//! (`PLN-02`), and — independently of the planner's own bookkeeping —
+//! that predicted load never exceeds capacity, *including the effective
+//! capacity of Equation 7 while data is in flight* (`PLN-01`).
+//!
+//! [`check_plan_optimality`] goes further on small instances: it re-solves
+//! the planning problem with a brute-force depth-first enumeration of every
+//! move sequence and cross-checks feasibility, the final machine count (the
+//! DP prefers ending with as few machines as possible) and the optimal cost
+//! (`PLN-03`). The oracle deliberately reimplements durations, feasibility
+//! and costs from the `cost_model` primitives rather than calling into the
+//! planner, so a bug in the DP cannot hide in a shared helper.
+
+use pstore_core::cost_model::{avg_machines_allocated, cap, eff_cap, machines_for_load, move_time};
+use pstore_core::planner::{Planner, PlannerConfig};
+use pstore_core::{InvariantId, MoveSeq, Violation};
+
+/// Tolerance when comparing the DP's plan cost with the oracle's optimum
+/// (both are short sums of rationals from Algorithm 4).
+const COST_TOL: f64 = 1e-6;
+
+/// Checks a planner's output for one load scenario: structure, endpoints
+/// (`PLN-02`) and independent capacity verification (`PLN-01`).
+///
+/// Returning `None` from the planner (no feasible plan) is legitimate and
+/// produces no violations here; [`check_plan_optimality`] catches wrongly
+/// reported infeasibility on small instances.
+pub fn check_plan(planner: &Planner, load: &[f64], n0: u32, label: &str) -> Vec<Violation> {
+    let Some(seq) = planner.best_moves(load, n0) else {
+        return Vec::new();
+    };
+    check_produced_plan(planner, &seq, load, n0, label)
+}
+
+/// Checks an already-produced plan (used by [`check_plan`] and the tests).
+pub fn check_produced_plan(
+    planner: &Planner,
+    seq: &MoveSeq,
+    load: &[f64],
+    n0: u32,
+    label: &str,
+) -> Vec<Violation> {
+    let t_max = load.len() - 1;
+    let artifact = format!("plan for {label} (n0={n0}, horizon={t_max})");
+    let mut out = crate::moves::check_move_seq(seq, t_max);
+
+    // PLN-02: the plan starts from the current allocation at t = 0. The
+    // start/end interval bounds are already covered by MOV-01 above.
+    if let Some(first) = seq.moves().first() {
+        if first.from != n0 {
+            out.push(Violation::new(
+                InvariantId::PlanStart,
+                artifact.clone(),
+                format!(
+                    "plan starts from {} machines instead of n0={n0}",
+                    first.from
+                ),
+            ));
+        }
+    }
+
+    // PLN-01: independent capacity check. At t = 0 the initial allocation
+    // must carry the measured load; during every move, predicted load must
+    // stay under the effective capacity of Eq 7 at the migration progress
+    // reached by that interval.
+    let q = planner.config().q;
+    if load[0] > cap(n0, q) {
+        out.push(Violation::new(
+            InvariantId::PlanCapacity,
+            artifact.clone(),
+            format!(
+                "initial load {:.1} exceeds capacity {:.1} of n0={n0}",
+                load[0],
+                cap(n0, q)
+            ),
+        ));
+    }
+    for m in seq.moves() {
+        let dur = m.duration();
+        for i in 1..=dur {
+            let t = m.start + i;
+            if t > t_max {
+                // Already reported as a tiling violation.
+                continue;
+            }
+            let capacity = if m.is_noop() {
+                cap(m.from, q)
+            } else {
+                eff_cap(m.from, m.to, i as f64 / dur as f64, q)
+            };
+            if load[t] > capacity {
+                out.push(Violation::new(
+                    InvariantId::PlanCapacity,
+                    artifact.clone(),
+                    format!(
+                        "load {:.1} exceeds effective capacity {:.1} at t={t} during {m}",
+                        load[t], capacity
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// `PLN-03`: cross-checks the DP against a brute-force oracle. Only safe on
+/// small instances (the oracle enumerates every move sequence) and only
+/// meaningful for planners with the paper-default options.
+pub fn check_plan_optimality(
+    planner: &Planner,
+    load: &[f64],
+    n0: u32,
+    label: &str,
+) -> Vec<Violation> {
+    let t_max = load.len() - 1;
+    let artifact = format!("plan for {label} (n0={n0}, horizon={t_max})");
+    let dp = planner.best_moves(load, n0);
+    let oracle = brute_force_optimum(planner.config(), load, n0);
+    match (dp, oracle) {
+        (None, None) => Vec::new(),
+        (None, Some((end, cost))) => vec![Violation::new(
+            InvariantId::PlanOptimality,
+            artifact,
+            format!(
+                "planner reported infeasible but a plan ending at {end} machines with cost {cost} exists"
+            ),
+        )],
+        (Some(seq), None) => vec![Violation::new(
+            InvariantId::PlanOptimality,
+            artifact,
+            format!("planner produced [{seq}] but the oracle finds no feasible plan"),
+        )],
+        (Some(seq), Some((end, cost))) => {
+            let mut out = Vec::new();
+            let dp_end = seq.final_machines().unwrap_or(n0);
+            if dp_end != end {
+                out.push(Violation::new(
+                    InvariantId::PlanOptimality,
+                    artifact.clone(),
+                    format!(
+                        "plan ends with {dp_end} machines; the fewest feasible is {end}"
+                    ),
+                ));
+            } else {
+                let dp_cost = plan_cost(&seq, n0);
+                if (dp_cost - cost).abs() > COST_TOL {
+                    out.push(Violation::new(
+                        InvariantId::PlanOptimality,
+                        artifact.clone(),
+                        format!("plan costs {dp_cost} machine-intervals, optimum is {cost}"),
+                    ));
+                }
+            }
+            out
+        }
+    }
+}
+
+/// The DP's accounting for a produced plan: `n0` machine-intervals for the
+/// initial interval plus Algorithm 4's average allocation per move.
+fn plan_cost(seq: &MoveSeq, n0: u32) -> f64 {
+    let mut cost = n0 as f64;
+    for m in seq.moves() {
+        cost += if m.is_noop() {
+            m.from as f64
+        } else {
+            avg_machines_allocated(m.from, m.to) * m.duration() as f64
+        };
+    }
+    cost
+}
+
+/// Exhaustively enumerates every feasible move sequence over the horizon
+/// and returns `(fewest feasible end machines, min cost among plans ending
+/// there)`, mirroring the DP's objective; `None` when nothing is feasible.
+fn brute_force_optimum(cfg: &PlannerConfig, load: &[f64], n0: u32) -> Option<(u32, f64)> {
+    let q = cfg.q;
+    if load[0] > cap(n0, q) {
+        return None;
+    }
+    let t_max = load.len() - 1;
+    if t_max == 0 {
+        return Some((n0, n0 as f64));
+    }
+    let peak = load.iter().copied().fold(0.0, f64::max);
+    let z = machines_for_load(peak, q)
+        .max(n0)
+        .clamp(1, cfg.max_machines);
+
+    // best[n] = min cost of a feasible sequence ending at (t_max, n).
+    let mut best = vec![f64::INFINITY; z as usize + 1];
+    let mut stack: Vec<(usize, u32, f64)> = vec![(0, n0, n0 as f64)];
+    while let Some((t, b, cost)) = stack.pop() {
+        if t == t_max {
+            let slot = &mut best[b as usize];
+            if cost < *slot {
+                *slot = cost;
+            }
+            continue;
+        }
+        for a in 1..=z {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            // ceil of a non-negative finite move time
+            let dur = if a == b {
+                1
+            } else {
+                (move_time(b, a, cfg.partitions_per_node, cfg.d_intervals).ceil() as usize).max(1)
+            };
+            if t + dur > t_max {
+                continue;
+            }
+            let feasible = (1..=dur).all(|i| {
+                let capacity = if a == b {
+                    cap(b, q)
+                } else {
+                    eff_cap(b, a, i as f64 / dur as f64, q)
+                };
+                load[t + i] <= capacity
+            });
+            if !feasible {
+                continue;
+            }
+            let step = if a == b {
+                b as f64
+            } else {
+                avg_machines_allocated(b, a) * dur as f64
+            };
+            stack.push((t + dur, a, cost + step));
+        }
+    }
+    let end = (1..=z).find(|&n| best[n as usize].is_finite())?;
+    Some((end, best[end as usize]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstore_core::planner::Planner;
+
+    fn planner(max: u32, d: f64) -> Planner {
+        Planner::new(PlannerConfig {
+            q: 100.0,
+            d_intervals: d,
+            partitions_per_node: 1,
+            max_machines: max,
+        })
+    }
+
+    #[test]
+    fn feasible_plan_is_clean() {
+        let p = planner(10, 0.5);
+        let load = vec![150.0, 250.0, 350.0, 150.0];
+        assert!(check_plan(&p, &load, 2, "test").is_empty());
+    }
+
+    #[test]
+    fn optimality_agrees_on_small_instances() {
+        let p = planner(4, 0.5);
+        for load in [
+            vec![150.0, 250.0, 350.0, 150.0],
+            vec![150.0, 150.0, 380.0, 380.0, 120.0],
+            vec![110.0, 310.0, 110.0, 310.0],
+        ] {
+            let v = check_plan_optimality(&p, &load, 2, "test");
+            assert!(v.is_empty(), "{load:?}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn optimality_agrees_with_slow_moves() {
+        let p = planner(5, 4.0);
+        let mut load = vec![150.0; 7];
+        for v in &mut load[4..] {
+            *v = 420.0;
+        }
+        let v = check_plan_optimality(&p, &load, 2, "test");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn infeasible_scenarios_agree() {
+        let p = planner(4, 8.0);
+        // The jump at t = 1 leaves no time to migrate.
+        let load = vec![150.0, 800.0, 800.0];
+        assert!(check_plan_optimality(&p, &load, 2, "test").is_empty());
+    }
+
+    #[test]
+    fn capacity_check_catches_an_overloaded_plan() {
+        use pstore_core::Move;
+        let p = planner(10, 0.5);
+        let load = vec![150.0, 500.0, 150.0];
+        let seq = MoveSeq::new(vec![
+            Move {
+                start: 0,
+                end: 1,
+                from: 2,
+                to: 2,
+            },
+            Move {
+                start: 1,
+                end: 2,
+                from: 2,
+                to: 2,
+            },
+        ]);
+        let v = check_produced_plan(&p, &seq, &load, 2, "test");
+        assert!(v.iter().any(|v| v.invariant == InvariantId::PlanCapacity));
+    }
+}

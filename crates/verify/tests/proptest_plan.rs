@@ -1,0 +1,62 @@
+//! Property tests: every plan the DP produces for a random load curve must
+//! have zero invariant violations (`MOV-*`, `PLN-01/02`), and on small
+//! horizons must agree with the brute-force optimality oracle (`PLN-03`).
+
+use proptest::prelude::*;
+use pstore_core::planner::{Planner, PlannerConfig};
+use pstore_verify::plan::{check_plan, check_plan_optimality};
+
+/// A random load curve bounded so the peak can fit the hardware (infeasible
+/// instances still occur and must be handled gracefully).
+fn load_curve(max_cap: f64, len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0..max_cap, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever plan comes out of a mid-sized random scenario, it tiles the
+    /// horizon, starts at n0 and never exceeds effective capacity.
+    #[test]
+    fn random_plans_have_no_violations(
+        seed_load in load_curve(1_200.0, 18),
+        n0 in 1u32..=6,
+        d in 1u32..=24,
+    ) {
+        let planner = Planner::new(PlannerConfig {
+            q: 100.0,
+            d_intervals: d as f64 / 2.0,
+            partitions_per_node: 2,
+            max_machines: 12,
+        });
+        let violations = check_plan(&planner, &seed_load, n0, "proptest");
+        prop_assert!(
+            violations.is_empty(),
+            "{}",
+            pstore_core::invariant::report(&violations)
+        );
+    }
+
+    /// On small horizons the DP must agree with exhaustive enumeration on
+    /// feasibility, final machine count and cost.
+    #[test]
+    fn small_plans_match_the_oracle(
+        seed_load in load_curve(450.0, 6),
+        n0 in 1u32..=4,
+        d in 1u32..=8,
+    ) {
+        let planner = Planner::new(PlannerConfig {
+            q: 100.0,
+            d_intervals: d as f64 / 2.0,
+            partitions_per_node: 1,
+            max_machines: 4,
+        });
+        let mut violations = check_plan(&planner, &seed_load, n0, "proptest");
+        violations.extend(check_plan_optimality(&planner, &seed_load, n0, "proptest"));
+        prop_assert!(
+            violations.is_empty(),
+            "{}",
+            pstore_core::invariant::report(&violations)
+        );
+    }
+}

@@ -4,6 +4,7 @@
 //!
 //! Run with: `cargo run --release --example black_friday`
 
+#![allow(clippy::expect_used, clippy::unwrap_used)] // example code: abort loudly
 use pstore::core::controller::manual::{ManualOverride, Reservation};
 use pstore::core::params::SystemParams;
 use pstore::forecast::generators::B2wLoadModel;
@@ -35,7 +36,11 @@ fn main() {
         record_timeline: true,
     };
 
-    let pstore = run_fast(&cfg, eval, &mut pstore_spar_fast(train, eval[0], &params, params.q));
+    let pstore = run_fast(
+        &cfg,
+        eval,
+        &mut pstore_spar_fast(train, eval[0], &params, params.q),
+    );
     let simple = run_fast(&cfg, eval, &mut simple_schedule(8, 3));
 
     // The paper's full composite strategy (§1): predictive + reactive +

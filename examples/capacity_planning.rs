@@ -4,6 +4,7 @@
 //!
 //! Run with: `cargo run --release --example capacity_planning`
 
+#![allow(clippy::expect_used, clippy::unwrap_used)] // example code: abort loudly
 use pstore::core::params::SystemParams;
 use pstore::forecast::generators::B2wLoadModel;
 use pstore::sim::fast::{run_fast, FastSimConfig};
@@ -36,7 +37,10 @@ fn main() {
         record_timeline: false,
     };
 
-    println!("two weeks of load, peak {PEAK_TXN_RATE:.0} txn/s, Q = {:.0}, Q-hat = {:.0}\n", params.q, params.q_hat);
+    println!(
+        "two weeks of load, peak {PEAK_TXN_RATE:.0} txn/s, Q = {:.0}, Q-hat = {:.0}\n",
+        params.q, params.q_hat
+    );
     println!(
         "{:<22} {:>12} {:>14} {:>8}",
         "strategy", "avg machines", "% time short", "moves"
@@ -53,7 +57,11 @@ fn main() {
 
     report(
         "P-Store (SPAR)",
-        run_fast(&cfg, eval, &mut pstore_spar_fast(train, eval[0], &params, params.q)),
+        run_fast(
+            &cfg,
+            eval,
+            &mut pstore_spar_fast(train, eval[0], &params, params.q),
+        ),
     );
     report(
         "P-Store (oracle)",

@@ -5,6 +5,7 @@
 //!
 //! Run with: `cargo run --release --example live_migration`
 
+#![allow(clippy::expect_used, clippy::unwrap_used)] // example code: abort loudly
 use pstore::b2w::generator::{WorkloadConfig, WorkloadGenerator};
 use pstore::b2w::schema::b2w_catalog;
 use pstore::dbms::cluster::{Cluster, ClusterConfig};
@@ -74,7 +75,10 @@ fn main() {
     for node in 0..cluster.active_nodes() {
         let bytes: usize = report.iter().filter(|r| r.0 == node).map(|r| r.3).sum();
         let rows: usize = report.iter().filter(|r| r.0 == node).map(|r| r.4).sum();
-        println!("  node {node}: {rows:>7} rows, {:>6.2} MB", bytes as f64 / 1e6);
+        println!(
+            "  node {node}: {rows:>7} rows, {:>6.2} MB",
+            bytes as f64 / 1e6
+        );
     }
     println!(
         "\ntotal rows: {} (none lost; traffic added/removed some mid-move)",

@@ -2,6 +2,7 @@
 //! schedule — the P-Store pipeline in ~60 lines.
 //!
 //! Run with: `cargo run --release --example quickstart`
+#![allow(clippy::expect_used, clippy::unwrap_used)] // example code: abort loudly
 
 use pstore::core::planner::{Planner, PlannerConfig};
 use pstore::core::schedule::MigrationSchedule;
@@ -29,7 +30,11 @@ fn main() {
     // 3. Forecast the next three hours at 5-minute granularity.
     let horizon_min = spar.predict_horizon(&minutes[..train_len], 180);
     let mut curve: Vec<f64> = vec![minutes[train_len - 1]];
-    curve.extend(horizon_min.chunks(5).map(|w| w.iter().sum::<f64>() / w.len() as f64));
+    curve.extend(
+        horizon_min
+            .chunks(5)
+            .map(|w| w.iter().sum::<f64>() / w.len() as f64),
+    );
     println!(
         "forecast: now {:.0} req/min, in 3h {:.0} req/min",
         curve[0],
@@ -40,8 +45,8 @@ fn main() {
     //    above the prediction (Algorithms 1-3). Units: Q is capacity per
     //    machine in the same req/min units; D = 4646 s in 5-min intervals.
     let planner = Planner::new(PlannerConfig {
-        q: 3_500.0,          // one machine serves 3 500 req/min at target load
-        d_intervals: 15.5,   // D = 4646 s / 300 s
+        q: 3_500.0,        // one machine serves 3 500 req/min at target load
+        d_intervals: 15.5, // D = 4646 s / 300 s
         partitions_per_node: 6,
         max_machines: 10,
     });

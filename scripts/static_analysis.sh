@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Static-analysis gate for the workspace. Run from the repository root.
+#
+#   scripts/static_analysis.sh          # full gate (fmt, clippy, verify, proptests)
+#   scripts/static_analysis.sh --quick  # skip the proptest suites
+#
+# Every step must pass; the script stops at the first failure.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then
+    QUICK=1
+fi
+
+step() {
+    echo
+    echo "==> $*"
+}
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+step "cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+step "pstore-verify invariant sweep"
+cargo run -q --release -p pstore-verify
+
+if [[ "$QUICK" == "0" ]]; then
+    step "property-test suites"
+    cargo test -q -p pstore-verify --tests
+fi
+
+echo
+echo "static analysis: all checks passed"

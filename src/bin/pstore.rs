@@ -136,7 +136,10 @@ fn cmd_forecast(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_plan(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["load", "start", "q", "d-intervals", "partitions", "max"])?;
+    let flags = parse_flags(
+        args,
+        &["load", "start", "q", "d-intervals", "partitions", "max"],
+    )?;
     let load_str = get_flag(&flags, "load").ok_or("--load is required (comma-separated)")?;
     let load: Vec<f64> = load_str
         .split(',')
@@ -147,9 +150,14 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
     }
     let start: u32 = parse_num(get_flag(&flags, "start").unwrap_or("2"), "--start")?;
     let q: f64 = parse_num(get_flag(&flags, "q").unwrap_or("285"), "--q")?;
-    let d_intervals: f64 =
-        parse_num(get_flag(&flags, "d-intervals").unwrap_or("15.5"), "--d-intervals")?;
-    let partitions: u32 = parse_num(get_flag(&flags, "partitions").unwrap_or("6"), "--partitions")?;
+    let d_intervals: f64 = parse_num(
+        get_flag(&flags, "d-intervals").unwrap_or("15.5"),
+        "--d-intervals",
+    )?;
+    let partitions: u32 = parse_num(
+        get_flag(&flags, "partitions").unwrap_or("6"),
+        "--partitions",
+    )?;
     let max: u32 = parse_num(get_flag(&flags, "max").unwrap_or("10"), "--max")?;
 
     let planner = Planner::new(PlannerConfig {
@@ -160,7 +168,10 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
     });
     match planner.best_moves(&load, start) {
         Some(plan) => {
-            println!("optimal plan from {start} machines over {} intervals:", load.len() - 1);
+            println!(
+                "optimal plan from {start} machines over {} intervals:",
+                load.len() - 1
+            );
             for m in plan.moves() {
                 println!("  {m}");
             }
@@ -242,7 +253,11 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     };
 
     let r = match strategy {
-        "pstore" => run_fast(&cfg, eval, &mut pstore_spar_fast(train, eval[0], &params, params.q)),
+        "pstore" => run_fast(
+            &cfg,
+            eval,
+            &mut pstore_spar_fast(train, eval[0], &params, params.q),
+        ),
         "oracle" => run_fast(&cfg, eval, &mut pstore_oracle_fast(eval, &params, params.q)),
         "reactive" => run_fast(&cfg, eval, &mut reactive_fast(eval[0], &params, 0.10)),
         "simple" => run_fast(&cfg, eval, &mut simple_schedule(8, 3)),
@@ -286,8 +301,17 @@ mod tests {
 
     #[test]
     fn plan_command_round_trips() {
-        cmd_plan(&s(&["--load", "150,150,400,400", "--start", "2", "--q", "100", "--max", "8"]))
-            .unwrap();
+        cmd_plan(&s(&[
+            "--load",
+            "150,150,400,400",
+            "--start",
+            "2",
+            "--q",
+            "100",
+            "--max",
+            "8",
+        ]))
+        .unwrap();
         assert!(cmd_plan(&s(&[])).is_err()); // --load required
         assert!(cmd_plan(&s(&["--load", "1,x"])).is_err());
     }

@@ -29,11 +29,11 @@ pub use pstore_sim as sim;
 /// assert!(planner.best_moves(&[400.0, 500.0, 600.0], 2).is_some());
 /// ```
 pub mod prelude {
-    pub use pstore_core::controller::{
-        Action, LoadForecaster, Observation, OracleForecaster, ReactiveController,
-        SparForecaster, Strategy,
-    };
     pub use pstore_core::controller::pstore::{PStoreConfig, PStoreController};
+    pub use pstore_core::controller::{
+        Action, LoadForecaster, Observation, OracleForecaster, ReactiveController, SparForecaster,
+        Strategy,
+    };
     pub use pstore_core::params::SystemParams;
     pub use pstore_core::planner::{Planner, PlannerConfig};
     pub use pstore_core::schedule::MigrationSchedule;

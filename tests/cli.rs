@@ -1,4 +1,5 @@
 //! End-to-end tests of the `pstore` CLI binary.
+#![allow(clippy::expect_used)] // test helpers abort loudly on harness failures
 
 use std::process::Command;
 

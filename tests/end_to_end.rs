@@ -1,6 +1,7 @@
 //! End-to-end integration: predictor + planner + controller + engine +
 //! benchmark, exercised together through the detailed simulator.
 
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::float_cmp)] // test helpers abort loudly; exact-value asserts
 use pstore::core::controller::baselines::StaticController;
 use pstore::core::params::SystemParams;
 use pstore::sim::detailed::{run_detailed, DetailedSimConfig};
@@ -8,8 +9,7 @@ use pstore::sim::scenarios::{pstore_oracle, pstore_spar, reactive_default, Exper
 
 /// A small, fast configuration over a compressed half-day window.
 fn small_cfg(trace: &ExperimentTrace, seconds: usize) -> DetailedSimConfig {
-    let mut cfg =
-        DetailedSimConfig::paper_defaults(trace.wall_seconds[..seconds].to_vec(), 0xE2E);
+    let mut cfg = DetailedSimConfig::paper_defaults(trace.wall_seconds[..seconds].to_vec(), 0xE2E);
     cfg.workload.num_skus = 1_500;
     cfg.workload.initial_carts = 400;
     cfg.num_slots = 3_600;

@@ -1,6 +1,7 @@
 //! Long-horizon strategy ordering: the Fig 12 relationships must hold on
 //! the fast simulator over a synthetic month.
 
+#![allow(clippy::expect_used, clippy::unwrap_used)] // test helpers abort loudly on harness failures
 use pstore::core::params::SystemParams;
 use pstore::forecast::generators::B2wLoadModel;
 use pstore::sim::fast::{run_fast, FastSimConfig, FastSimResult};
@@ -93,7 +94,11 @@ fn reactive_is_short_more_often_than_pstore_at_comparable_cost() {
         &s.eval,
         &mut pstore_spar_fast(&s.train, s.eval[0], &s.params, s.params.q),
     );
-    let reactive = run_fast(&s.cfg, &s.eval, &mut reactive_fast(s.eval[0], &s.params, 0.10));
+    let reactive = run_fast(
+        &s.cfg,
+        &s.eval,
+        &mut reactive_fast(s.eval[0], &s.params, 0.10),
+    );
     assert!(
         reactive.insufficient_slots > pstore.insufficient_slots,
         "reactive {} vs pstore {}",

@@ -1,0 +1,212 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — groups,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `criterion_group!`/`criterion_main!` — with a much simpler engine: each
+//! benchmark body is warmed up once and then timed over a fixed number of
+//! iterations, reporting the mean wall-clock time per iteration. There is
+//! no statistical analysis, HTML report, or baseline comparison; the
+//! numbers are indicative only.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const MIN_ITERS: u32 = 10;
+const TARGET_TIME: Duration = Duration::from_millis(300);
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut body);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores throughput.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{id}", self.name), &mut body);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{id}", self.name), &mut |b: &mut Bencher| {
+            body(b, input);
+        });
+        self
+    }
+
+    /// Ends the group (no-op).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// Units-of-work declaration (ignored by the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark bodies; `iter` times a closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `body`, accumulating the per-iteration mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm-up and calibration pass.
+        let start = Instant::now();
+        black_box(body());
+        let once = start.elapsed();
+        let iters = if once.is_zero() {
+            1_000
+        } else {
+            let fit = TARGET_TIME.as_nanos() / once.as_nanos().max(1);
+            u32::try_from(fit)
+                .unwrap_or(u32::MAX)
+                .clamp(MIN_ITERS, 100_000)
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(body());
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Times `body(input)` where `setup()` builds a fresh input per
+    /// iteration; only the `body` portion is measured.
+    pub fn iter_with_setup<I, O, S, F>(&mut self, mut setup: S, mut body: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Warm-up and calibration pass (body time only).
+        let input = setup();
+        let start = Instant::now();
+        black_box(body(input));
+        let once = start.elapsed();
+        let iters = if once.is_zero() {
+            1_000
+        } else {
+            let fit = TARGET_TIME.as_nanos() / once.as_nanos().max(1);
+            u32::try_from(fit)
+                .unwrap_or(u32::MAX)
+                .clamp(MIN_ITERS, 100_000)
+        };
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(body(input));
+            total += start.elapsed();
+        }
+        self.total = total;
+        self.iters = iters;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, body: &mut F) {
+    let mut b = Bencher::default();
+    body(&mut b);
+    if b.iters == 0 {
+        println!("{name:<40} (no measurement)");
+    } else {
+        let per_iter = b.total.as_nanos() / u128::from(b.iters);
+        println!("{name:<40} {per_iter:>12} ns/iter ({} iters)", b.iters);
+    }
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` over group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,90 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container has no network access, so this crate re-implements
+//! the subset of proptest's API the workspace uses: the [`proptest!`]
+//! macro, range/tuple/regex-lite/collection strategies, `prop_map`,
+//! `prop_oneof!`, `any::<T>()`, and the `prop_assert*` macros. Test cases
+//! are generated from a deterministic per-test RNG (seeded by the test
+//! name), so failures reproduce across runs. There is **no shrinking**:
+//! a failing case reports the generated inputs as-is.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests. Each `name(arg in strategy, ...)` block runs
+/// `ProptestConfig::cases` times with deterministically-seeded inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (@impl ($config:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng =
+                    $crate::test_runner::TestRng::from_test_name(stringify!($name));
+                for case in 0..config.cases {
+                    let case_rng = &mut rng;
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), case_rng);)*
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "proptest case {case}/{} failed in `{}`",
+                            config.cases,
+                            stringify!($name),
+                        );
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}

@@ -1,0 +1,165 @@
+//! Regex-lite string strategies: a `&str` pattern acts as a strategy, as
+//! in real proptest. Only the subset the workspace uses is supported:
+//! literal characters, character classes like `[a-z0-9_]`, `.`, and the
+//! quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (star/plus capped at 8
+//! repetitions).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Inclusive character ranges; single chars are `(c, c)`.
+    Class(Vec<(char, char)>),
+    AnyPrintable,
+}
+
+#[derive(Debug, Clone)]
+struct Term {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+fn parse(pattern: &str) -> Vec<Term> {
+    let mut chars = pattern.chars().peekable();
+    let mut terms = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let Some(c) = chars.next() else {
+                        panic!("unterminated character class in pattern {pattern:?}");
+                    };
+                    match c {
+                        ']' => break,
+                        '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.take().unwrap_or('-');
+                            let hi = chars.next().unwrap_or('-');
+                            assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                            ranges.push((lo, hi));
+                        }
+                        c => {
+                            if let Some(p) = prev.replace(c) {
+                                ranges.push((p, p));
+                            }
+                        }
+                    }
+                }
+                if let Some(p) = prev {
+                    ranges.push((p, p));
+                }
+                assert!(!ranges.is_empty(), "empty character class in {pattern:?}");
+                Atom::Class(ranges)
+            }
+            '.' => Atom::AnyPrintable,
+            '\\' => Atom::Literal(chars.next().unwrap_or('\\')),
+            c => Atom::Literal(c),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo = lo.trim().parse().unwrap_or(0);
+                        let hi = hi.trim().parse().unwrap_or(lo + UNBOUNDED_CAP);
+                        (lo, hi)
+                    }
+                    None => {
+                        let n = spec.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                chars.next();
+                (1, UNBOUNDED_CAP)
+            }
+            _ => (1, 1),
+        };
+        terms.push(Term { atom, min, max });
+    }
+    terms
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::AnyPrintable => char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap_or(' '),
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|&(lo, hi)| u64::from(hi as u32 - lo as u32 + 1))
+                .sum();
+            let mut pick = rng.below(total);
+            for &(lo, hi) in ranges {
+                let width = u64::from(hi as u32 - lo as u32 + 1);
+                if pick < width {
+                    #[allow(clippy::cast_possible_truncation)]
+                    return char::from_u32(lo as u32 + pick as u32).unwrap_or(lo);
+                }
+                pick -= width;
+            }
+            unreachable!("pick is bounded by the total class width")
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for term in parse(self) {
+            let reps = term.min + rng.below(u64::from(term.max - term.min) + 1) as u32;
+            for _ in 0..reps {
+                out.push(sample_atom(&term.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..200 {
+            let s = "[a-z]{1,12}".generate(&mut rng);
+            assert!((1..=12).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut rng = TestRng::from_seed(5);
+        let s = "ab[0-9]{3}".generate(&mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with("ab"));
+        assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the trait and
+//! macro namespaces so `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(...)]` compile unchanged. The traits are inert markers — no
+//! in-tree code performs real (de)serialisation yet. See
+//! `vendor/serde_derive` for the expansion side.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -17,7 +17,7 @@
 // desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
 // lint policy only bans them in library code).
 #![allow(clippy::expect_used, clippy::unwrap_used)]
-use pstore_bench::{quick_mode, section};
+use pstore_bench::{section, RunReporter};
 use pstore_core::controller::pstore::PStoreConfig;
 use pstore_core::controller::pstore::PStoreController;
 use pstore_core::cost_model::machines_for_load;
@@ -40,7 +40,8 @@ fn row(label: &str, r: &FastSimResult) {
 }
 
 fn main() {
-    let quick = quick_mode();
+    let reporter = RunReporter::from_args();
+    let quick = reporter.quick();
     let eval_days = if quick { 10 } else { 28 };
     let raw = B2wLoadModel {
         seed: 0xAB1A,
@@ -228,4 +229,6 @@ fn main() {
     println!("-> the horizon must cover ~two maximal moves (2D/P, §5);");
     println!("   beyond that, receding-horizon replanning makes extra");
     println!("   lookahead redundant.");
+
+    reporter.finish();
 }

@@ -6,17 +6,18 @@
 // lint policy only bans them in library code).
 #![allow(clippy::expect_used, clippy::unwrap_used)]
 use pstore_bench::fig9::{run_all, Fig9Config};
-use pstore_bench::{quick_mode, section};
+use pstore_bench::{section, RunReporter};
 use pstore_sim::latency::{cdf_points, top_fraction};
 
 fn main() {
-    let quick = quick_mode();
+    let reporter = RunReporter::from_args();
+    let quick = reporter.quick();
     let cfg = Fig9Config {
         days: if quick { 1 } else { 3 },
         seed: 0x0709,
         quick,
     };
-    eprintln!("running the Fig 9 comparison to derive the CDFs...");
+    reporter.progress("running the Fig 9 comparison to derive the CDFs...");
     let (_, results) = run_all(&cfg);
 
     for (name, pick) in [("50th", 0usize), ("95th", 1), ("99th", 2)] {
@@ -57,4 +58,6 @@ fn main() {
     println!("(paper): static-10 best; P-Store close behind; static-4 beats");
     println!("P-Store only at the 50th percentile; reactive worst at every");
     println!("percentile because it reconfigures at peak capacity.");
+
+    reporter.finish();
 }

@@ -10,7 +10,7 @@
 // desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
 // lint policy only bans them in library code).
 #![allow(clippy::expect_used, clippy::unwrap_used)]
-use pstore_bench::{ascii_plot, quick_mode, section};
+use pstore_bench::{ascii_plot, section, RunReporter};
 use pstore_core::controller::forecaster::SparForecaster;
 use pstore_core::controller::pstore::PStoreConfig;
 use pstore_core::controller::pstore::PStoreController;
@@ -24,7 +24,8 @@ use pstore_sim::scenarios::{
 };
 
 fn main() {
-    let quick = quick_mode();
+    let reporter = RunReporter::from_args();
+    let quick = reporter.quick();
     let seed = 0x5B1C;
 
     // Training data: ordinary days. Evaluation: a day with a large spike
@@ -114,4 +115,6 @@ fn main() {
     } else {
         println!("WARNING: R x 8 did not win on p99 violations on this seed.");
     }
+
+    reporter.finish();
 }

@@ -9,7 +9,7 @@
 // desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
 // lint policy only bans them in library code).
 #![allow(clippy::expect_used, clippy::unwrap_used)]
-use pstore_bench::{quick_mode, section};
+use pstore_bench::{section, RunReporter};
 use pstore_core::params::SystemParams;
 use pstore_forecast::generators::B2wLoadModel;
 use pstore_sim::fast::{run_fast, FastSimConfig, FastSimResult};
@@ -28,7 +28,8 @@ struct Point {
 }
 
 fn main() {
-    let quick = quick_mode();
+    let reporter = RunReporter::from_args();
+    let quick = reporter.quick();
     let eval_days = if quick { 21 } else { 107 }; // 4.5 months = 28 + 107
     let (model, _) = B2wLoadModel::four_and_a_half_months(0x0812);
     let raw = model.generate(TRAINING_DAYS + eval_days);
@@ -63,10 +64,10 @@ fn main() {
         });
     };
 
-    eprintln!(
+    reporter.progress(&format!(
         "simulating {} strategy/knob combinations over {eval_days} days...",
         6 + 6 + 5 + 4 + 5
-    );
+    ));
 
     let q_sweep = [200.0, 230.0, 260.0, 285.0, 310.0, 335.0];
     for &q in &q_sweep {
@@ -158,4 +159,6 @@ fn main() {
     println!("Static; the oracle is a slightly better frontier than SPAR;");
     println!("reactive can match P-Store's shortfall only at much higher");
     println!("cost; Static is the worst frontier.");
+
+    reporter.finish();
 }

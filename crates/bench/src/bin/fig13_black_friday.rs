@@ -9,7 +9,7 @@
 // desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
 // lint policy only bans them in library code).
 #![allow(clippy::expect_used, clippy::unwrap_used)]
-use pstore_bench::{ascii_plot2, quick_mode, section};
+use pstore_bench::{ascii_plot2, section, RunReporter};
 use pstore_core::params::SystemParams;
 use pstore_forecast::generators::B2wLoadModel;
 use pstore_sim::fast::{run_fast, FastSimConfig, FastSimResult};
@@ -18,7 +18,8 @@ use pstore_sim::scenarios::{
 };
 
 fn main() {
-    let quick = quick_mode();
+    let reporter = RunReporter::from_args();
+    let quick = reporter.quick();
     // Black Friday is day 115 of the 135-day window (day 87 of evaluation).
     let (model, total_days) = B2wLoadModel::four_and_a_half_months(0x0812);
     let eval_days = if quick {
@@ -115,4 +116,6 @@ fn main() {
     println!("expected (paper): Simple matches the ordinary week but breaks");
     println!("on Black Friday; Static-10 wastes machines all quarter and");
     println!("still gets caught by the surge; P-Store tracks both.");
+
+    reporter.finish();
 }

@@ -6,10 +6,11 @@
 // desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
 // lint policy only bans them in library code).
 #![allow(clippy::expect_used, clippy::unwrap_used)]
-use pstore_bench::{ascii_plot, section};
+use pstore_bench::{ascii_plot, section, RunReporter};
 use pstore_forecast::generators::B2wLoadModel;
 
 fn main() {
+    let reporter = RunReporter::from_args();
     section("Fig 1: three days of B2W-style load (requests/min)");
     let load = B2wLoadModel::default().generate(3);
     println!("{}", ascii_plot(load.values(), 96, 14));
@@ -49,4 +50,6 @@ fn main() {
             peak_min % 60
         );
     }
+
+    reporter.finish();
 }

@@ -5,11 +5,12 @@
 // desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
 // lint policy only bans them in library code).
 #![allow(clippy::expect_used, clippy::unwrap_used)]
-use pstore_bench::{ascii_plot2, section};
+use pstore_bench::{ascii_plot2, section, RunReporter};
 use pstore_core::cost_model::{cap, machines_for_load};
 use pstore_forecast::generators::sine_demand;
 
 fn main() {
+    let reporter = RunReporter::from_args();
     let q = 285.0;
     let buffer = 1.10;
     let demand = sine_demand(1440, 1_400.0, 0.8, 1440);
@@ -38,4 +39,6 @@ fn main() {
     );
     println!("(the step function always sits on or above the ideal curve)");
     assert!(steps.iter().zip(&ideal).all(|(s, i)| *s >= *i - 1e-9));
+
+    reporter.finish();
 }

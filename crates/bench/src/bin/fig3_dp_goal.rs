@@ -6,11 +6,12 @@
 // desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
 // lint policy only bans them in library code).
 #![allow(clippy::expect_used, clippy::unwrap_used)]
-use pstore_bench::section;
+use pstore_bench::{section, RunReporter};
 use pstore_core::cost_model::cap;
 use pstore_core::planner::{Planner, PlannerConfig};
 
 fn main() {
+    let reporter = RunReporter::from_args();
     let q = 100.0;
     let planner = Planner::new(PlannerConfig {
         q,
@@ -58,4 +59,6 @@ fn main() {
     }
     println!("\n(the planner delays the scale-out as long as the migration");
     println!(" time allows, which minimises total machine-intervals)");
+
+    reporter.finish();
 }

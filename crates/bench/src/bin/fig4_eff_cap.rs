@@ -7,11 +7,12 @@
 // desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
 // lint policy only bans them in library code).
 #![allow(clippy::expect_used, clippy::unwrap_used)]
-use pstore_bench::section;
+use pstore_bench::{section, RunReporter};
 use pstore_core::cost_model::{avg_machines_allocated, move_time};
 use pstore_core::schedule::MigrationSchedule;
 
 fn main() {
+    let reporter = RunReporter::from_args();
     let q = 1.0; // capacity in machine-equivalents, as plotted in the paper
     for (b, a, label) in [
         (
@@ -61,4 +62,6 @@ fn main() {
     println!("Note how in case 3 the machines-allocated staircase runs well");
     println!("ahead of effective capacity: planning against raw allocation");
     println!("instead of Eq 7 would underprovision (the point of Fig 4c).");
+
+    reporter.finish();
 }

@@ -10,7 +10,7 @@
 // desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
 // lint policy only bans them in library code).
 #![allow(clippy::expect_used, clippy::unwrap_used)]
-use pstore_bench::{ascii_plot2, quick_mode, section};
+use pstore_bench::{ascii_plot2, section, RunReporter};
 use pstore_forecast::ar::{ArConfig, ArModel};
 use pstore_forecast::arma::{ArmaConfig, ArmaModel};
 use pstore_forecast::eval::{rolling_accuracy, EvalConfig};
@@ -41,7 +41,8 @@ fn rolling_mre(
 }
 
 fn main() {
-    let quick = quick_mode();
+    let reporter = RunReporter::from_args();
+    let quick = reporter.quick();
     let eval_days = if quick { 2 } else { 7 };
     let train_days = 28;
     let load = B2wLoadModel::default().generate(train_days + eval_days);
@@ -119,4 +120,6 @@ fn main() {
     } else {
         println!("WARNING: SPAR did not win on this seed — ordering not reproduced");
     }
+
+    reporter.finish();
 }

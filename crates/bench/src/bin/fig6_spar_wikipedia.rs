@@ -11,7 +11,7 @@
 // desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
 // lint policy only bans them in library code).
 #![allow(clippy::expect_used, clippy::unwrap_used)]
-use pstore_bench::{ascii_plot2, section};
+use pstore_bench::{ascii_plot2, section, RunReporter};
 use pstore_forecast::eval::{rolling_accuracy, EvalConfig};
 use pstore_forecast::generators::{WikipediaEdition, WikipediaLoadModel};
 use pstore_forecast::model::LoadPredictor;
@@ -31,6 +31,7 @@ fn spar_cfg() -> SparConfig {
 }
 
 fn main() {
+    let reporter = RunReporter::from_args();
     let train_days = 28;
     let eval_days = 28;
     let mut curves = Vec::new();
@@ -96,4 +97,6 @@ fn main() {
         "German error at 2h: {:.1}% (paper: under 10%); at 6h: {:.1}% (paper: ~13%)",
         de[1], de[5]
     );
+
+    reporter.finish();
 }

@@ -9,12 +9,13 @@
 #![allow(clippy::expect_used, clippy::unwrap_used)]
 // Simulation seconds are tiny; indexing a load curve by them cannot truncate.
 #![allow(clippy::cast_possible_truncation)]
-use pstore_bench::{ascii_plot, quick_mode, section};
+use pstore_bench::{ascii_plot, section, RunReporter};
 use pstore_core::controller::baselines::StaticController;
 use pstore_sim::detailed::{run_detailed, DetailedSimConfig};
 
 fn main() {
-    let quick = quick_mode();
+    let reporter = RunReporter::from_args();
+    let quick = reporter.quick();
     // Ramp 50 -> 650 txn/s over the run.
     let seconds = if quick { 300 } else { 1200 };
     let load: Vec<f64> = (0..seconds)
@@ -74,4 +75,6 @@ fn main() {
         }
         None => println!("the ramp never saturated — extend the load range"),
     }
+
+    reporter.finish();
 }

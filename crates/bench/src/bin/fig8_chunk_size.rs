@@ -10,7 +10,7 @@
 // desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
 // lint policy only bans them in library code).
 #![allow(clippy::expect_used, clippy::unwrap_used)]
-use pstore_bench::{quick_mode, section};
+use pstore_bench::{section, RunReporter};
 use pstore_core::controller::{Action, Observation, ReconfigReason, ReconfigRequest, Strategy};
 use pstore_sim::detailed::{run_detailed, DetailedSimConfig};
 use pstore_sim::latency::SLA_THRESHOLD_S;
@@ -42,7 +42,8 @@ impl Strategy for HalveData {
 }
 
 fn main() {
-    let quick = quick_mode();
+    let reporter = RunReporter::from_args();
+    let quick = reporter.quick();
     // The 1 -> 2 move takes T = D/(2P) ≈ 387 s at the paper's D; quick mode
     // scales D down so the move still completes inside a short run.
     let seconds = if quick { 200 } else { 520 };
@@ -120,4 +121,6 @@ fn main() {
     println!("static; larger chunks finish no faster at the same rate but");
     println!("concentrate partition occupancy into longer bursts, pushing");
     println!("p99 past the 500 ms SLA.");
+
+    reporter.finish();
 }

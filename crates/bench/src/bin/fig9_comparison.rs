@@ -8,20 +8,21 @@
 // lint policy only bans them in library code).
 #![allow(clippy::expect_used, clippy::unwrap_used)]
 use pstore_bench::fig9::{run_all, Fig9Config};
-use pstore_bench::{ascii_plot, ascii_plot2, hms, quick_mode, section};
+use pstore_bench::{ascii_plot, ascii_plot2, hms, section, RunReporter};
 use pstore_sim::latency::{cdf_points, top_fraction, SLA_THRESHOLD_S};
 
 fn main() {
-    let quick = quick_mode();
+    let reporter = RunReporter::from_args();
+    let quick = reporter.quick();
     let cfg = Fig9Config {
         days: if quick { 1 } else { 3 },
         seed: 0x0709,
         quick,
     };
-    eprintln!(
+    reporter.progress(&format!(
         "running {} day(s) x 4 approaches (this is the paper's 7.2-hour experiment)...",
         cfg.days
-    );
+    ));
     let (trace, results) = run_all(&cfg);
 
     // Plot-friendly dumps: one per-second CSV per approach.
@@ -59,7 +60,7 @@ fn main() {
         ) {
             eprintln!("could not write {}: {e}", path.display());
         } else {
-            eprintln!("wrote {}", path.display());
+            reporter.progress(&format!("wrote {}", path.display()));
         }
     }
 
@@ -163,4 +164,6 @@ fn main() {
         println!("WARNING: headline shape not reproduced on this seed");
     }
     let _ = SLA_THRESHOLD_S;
+
+    reporter.finish();
 }

@@ -7,7 +7,7 @@
 // desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
 // lint policy only bans them in library code).
 #![allow(clippy::expect_used, clippy::unwrap_used)]
-use pstore_bench::{quick_mode, section};
+use pstore_bench::{section, RunReporter};
 use pstore_forecast::ar::{ArConfig, ArModel};
 use pstore_forecast::arma::{ArmaConfig, ArmaModel};
 use pstore_forecast::eval::{rolling_accuracy, suggest_inflation, EvalConfig};
@@ -33,7 +33,8 @@ fn report(models: &[Box<dyn LoadPredictor>], data: &[f64], taus: &[usize], cfg: 
 }
 
 fn main() {
-    let quick = quick_mode();
+    let reporter = RunReporter::from_args();
+    let quick = reporter.quick();
     let stride = if quick { 101 } else { 31 };
     let fit_stride = if quick { 8 } else { 3 };
 
@@ -130,4 +131,6 @@ fn main() {
     println!("classical baseline; plain AR/ARMA trail at long horizons; the");
     println!("seasonal-naive floor shows how much of the signal is pure");
     println!("periodicity.");
+
+    reporter.finish();
 }

@@ -6,10 +6,11 @@
 // desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
 // lint policy only bans them in library code).
 #![allow(clippy::expect_used, clippy::unwrap_used)]
-use pstore_bench::section;
+use pstore_bench::{section, RunReporter};
 use pstore_core::schedule::MigrationSchedule;
 
 fn main() {
+    let reporter = RunReporter::from_args();
     let schedule = MigrationSchedule::plan(3, 14);
     schedule.check_valid().expect("schedule invariants");
 
@@ -57,4 +58,6 @@ fn main() {
     println!("Each sender appears in every round (senders stay fully");
     println!("utilised); without the three-phase split the move would need");
     println!("at least 12 rounds (paper, §4.4.1).");
+
+    reporter.finish();
 }

@@ -7,16 +7,17 @@
 // lint policy only bans them in library code).
 #![allow(clippy::expect_used, clippy::unwrap_used)]
 use pstore_bench::fig9::{run_all, Fig9Config};
-use pstore_bench::{quick_mode, section};
+use pstore_bench::{section, RunReporter};
 
 fn main() {
-    let quick = quick_mode();
+    let reporter = RunReporter::from_args();
+    let quick = reporter.quick();
     let cfg = Fig9Config {
         days: if quick { 1 } else { 3 },
         seed: 0x0709,
         quick,
     };
-    eprintln!("running the Fig 9 comparison to derive Table 2...");
+    reporter.progress("running the Fig 9 comparison to derive Table 2...");
     let (_, results) = run_all(&cfg);
 
     section("Table 2: SLA violations and average machines allocated");
@@ -58,4 +59,6 @@ fn main() {
         "  dropped arrivals (client timeouts) : static-4 {}, reactive {}, P-Store {}",
         results[1].dropped, reactive.dropped, pstore.dropped
     );
+
+    reporter.finish();
 }

@@ -10,7 +10,7 @@
 // desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
 // lint policy only bans them in library code).
 #![allow(clippy::expect_used, clippy::unwrap_used)]
-use pstore_bench::{quick_mode, section};
+use pstore_bench::{section, RunReporter};
 use pstore_core::params::SystemParams;
 use pstore_forecast::generators::{WikipediaEdition, WikipediaLoadModel};
 use pstore_sim::fast::{run_fast, FastSimConfig, FastSimResult};
@@ -32,7 +32,8 @@ fn upsample_hourly(hourly: &[f64]) -> Vec<f64> {
 }
 
 fn main() {
-    let quick = quick_mode();
+    let reporter = RunReporter::from_args();
+    let quick = reporter.quick();
     let train_days = 28;
     let eval_days = if quick { 7 } else { 28 };
 
@@ -103,4 +104,6 @@ fn main() {
     println!("the shallow ramps mean even the reactive baseline rarely gets");
     println!("caught out — prediction pays in proportion to load dynamism,");
     println!("which is why the paper targets online retail.");
+
+    reporter.finish();
 }

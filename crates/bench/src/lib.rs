@@ -110,6 +110,116 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// Shared run harness for the experiment binaries: uniform handling of
+/// `--quick` (smaller runs), `--quiet` (suppress progress chatter) and
+/// `--trace <path>` (write a telemetry JSONL trace of the run and print a
+/// summary at exit).
+///
+/// Tracing only produces events when the workspace is built with the
+/// `telemetry` feature (`cargo run -p pstore-bench --features telemetry
+/// --bin fig9_comparison -- --trace /tmp/fig9.jsonl`); without it the
+/// instrumentation compiles away and `--trace` writes an empty file (a
+/// warning is printed). The emitted file is readable by `pstore-trace`.
+pub struct RunReporter {
+    quick: bool,
+    quiet: bool,
+    trace_path: Option<std::path::PathBuf>,
+    // Keeps the JSONL sink installed for the lifetime of the run.
+    _sink_guard: Option<pstore_telemetry::SinkGuard>,
+}
+
+impl RunReporter {
+    /// Parses the process arguments and, when `--trace <path>` is present,
+    /// installs a JSONL telemetry sink for the rest of the run.
+    ///
+    /// # Panics
+    /// Exits with a message if `--trace` is given without a path or the
+    /// trace file cannot be created.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let quick = args.iter().any(|a| a == "--quick");
+        let quiet = args.iter().any(|a| a == "--quiet");
+        let trace_path = args.iter().position(|a| a == "--trace").map(|i| {
+            let Some(path) = args.get(i + 1) else {
+                eprintln!("error: --trace requires a file path argument");
+                std::process::exit(2);
+            };
+            std::path::PathBuf::from(path)
+        });
+        let sink_guard = trace_path.as_ref().map(|path| {
+            let sink = match pstore_telemetry::JsonlSink::create(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot create trace file {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            };
+            #[cfg(not(feature = "telemetry"))]
+            eprintln!(
+                "warning: --trace given but this binary was built without the \
+                 `telemetry` feature; the trace will be empty"
+            );
+            pstore_telemetry::install(std::rc::Rc::new(sink))
+        });
+        RunReporter {
+            quick,
+            quiet,
+            trace_path,
+            _sink_guard: sink_guard,
+        }
+    }
+
+    /// Whether `--quick` was given.
+    #[must_use]
+    pub fn quick(&self) -> bool {
+        self.quick
+    }
+
+    /// Whether `--quiet` was given.
+    #[must_use]
+    pub fn quiet(&self) -> bool {
+        self.quiet
+    }
+
+    /// Prints a progress line to stderr unless `--quiet` was given.
+    pub fn progress(&self, msg: &str) {
+        if !self.quiet {
+            eprintln!("{msg}");
+        }
+    }
+
+    /// Finalises the run: snapshots the metrics registry into the trace,
+    /// flushes the sink, and prints a compact summary of the emitted trace.
+    pub fn finish(self) {
+        let Some(path) = self.trace_path.clone() else {
+            return;
+        };
+        pstore_telemetry::emit_metrics_snapshot();
+        pstore_telemetry::flush();
+        // Drop the guard (uninstalling the sink and closing the file)
+        // before reading the trace back.
+        drop(self);
+        match pstore_telemetry::trace::read_jsonl(&path) {
+            Ok((events, line_errors)) => {
+                let report = pstore_telemetry::trace::RunReport::from_events(&events);
+                eprintln!(
+                    "trace: {} events -> {} ({} reconfigurations, {} chunk moves, \
+                     {} planner calls, {} parse errors); inspect with `pstore-trace {}`",
+                    events.len(),
+                    path.display(),
+                    report.reconfigs.len(),
+                    report.chunk_moves,
+                    report.planner_calls,
+                    line_errors.len(),
+                    path.display(),
+                );
+            }
+            Err(e) => eprintln!("trace: failed to read back {}: {e}", path.display()),
+        }
+    }
+}
+
 /// Writes a CSV file (numeric rows with a header) — plot-friendly dumps of
 /// experiment data.
 ///

@@ -114,6 +114,14 @@ impl<F: LoadForecaster> PStoreController<F> {
             return Action::None;
         }
         self.stats.emergency_moves += 1;
+        pstore_telemetry::tel_event!(
+            pstore_telemetry::kinds::SCALE_DECISION,
+            "interval" => obs.interval,
+            "machines" => obs.machines,
+            "target" => target,
+            "rate" => self.cfg.emergency_rate_multiplier,
+            "reason" => "emergency",
+        );
         Action::Reconfigure(ReconfigRequest {
             target,
             rate_multiplier: self.cfg.emergency_rate_multiplier,
@@ -165,10 +173,26 @@ impl<F: LoadForecaster> Strategy for PStoreController<F> {
             self.scale_in_streak += 1;
             if self.scale_in_streak < self.cfg.scale_in_confirmations {
                 self.stats.suppressed_scale_ins += 1;
+                pstore_telemetry::tel_event!(
+                    pstore_telemetry::kinds::SCALE_DECISION,
+                    "interval" => obs.interval,
+                    "machines" => obs.machines,
+                    "target" => first.to,
+                    "rate" => 1.0,
+                    "reason" => "scale-in-suppressed",
+                );
                 return Action::None;
             }
             self.scale_in_streak = 0;
             self.stats.planned_moves += 1;
+            pstore_telemetry::tel_event!(
+                pstore_telemetry::kinds::SCALE_DECISION,
+                "interval" => obs.interval,
+                "machines" => obs.machines,
+                "target" => first.to,
+                "rate" => 1.0,
+                "reason" => "planned",
+            );
             return Action::Reconfigure(ReconfigRequest {
                 target: first.to,
                 rate_multiplier: 1.0,
@@ -178,6 +202,14 @@ impl<F: LoadForecaster> Strategy for PStoreController<F> {
 
         self.scale_in_streak = 0;
         self.stats.planned_moves += 1;
+        pstore_telemetry::tel_event!(
+            pstore_telemetry::kinds::SCALE_DECISION,
+            "interval" => obs.interval,
+            "machines" => obs.machines,
+            "target" => first.to,
+            "rate" => 1.0,
+            "reason" => "planned",
+        );
         Action::Reconfigure(ReconfigRequest {
             target: first.to,
             rate_multiplier: 1.0,

@@ -111,6 +111,14 @@ impl Strategy for ReactiveController {
             self.low_streak = 0;
             let target = self.sized_target(load).max(obs.machines);
             if target > obs.machines {
+                pstore_telemetry::tel_event!(
+                    pstore_telemetry::kinds::SCALE_DECISION,
+                    "interval" => obs.interval,
+                    "machines" => obs.machines,
+                    "target" => target,
+                    "rate" => 1.0,
+                    "reason" => "reactive-out",
+                );
                 return Action::Reconfigure(ReconfigRequest {
                     target,
                     rate_multiplier: 1.0,
@@ -127,6 +135,14 @@ impl Strategy for ReactiveController {
             self.low_streak += 1;
             if self.low_streak >= self.cfg.scale_in_patience {
                 self.low_streak = 0;
+                pstore_telemetry::tel_event!(
+                    pstore_telemetry::kinds::SCALE_DECISION,
+                    "interval" => obs.interval,
+                    "machines" => obs.machines,
+                    "target" => shrunk,
+                    "rate" => 1.0,
+                    "reason" => "reactive-in",
+                );
                 return Action::Reconfigure(ReconfigRequest {
                     target: shrunk,
                     rate_multiplier: 1.0,

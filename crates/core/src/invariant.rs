@@ -76,6 +76,18 @@ pub enum InvariantId {
     /// FOR-02: SPAR reproduces a strictly periodic signal — predictions
     /// over future periods stay close to the periodic continuation (§5.1).
     ForecastPeriodicity,
+    /// TEL-01: every `span_begin` in a telemetry trace has exactly one
+    /// matching `span_end` (reconfigurations in particular always
+    /// terminate).
+    TelemetryReconfigPairing,
+    /// TEL-02: span events nest LIFO — an end always closes the innermost
+    /// open span, ids are unique among open spans, and no span dangles at
+    /// end of trace.
+    TelemetrySpanNesting,
+    /// TEL-03: merging latency histograms is associative and
+    /// order-insensitive on bucket contents, so per-phase histograms can
+    /// be combined in any order without changing percentile readouts.
+    TelemetryHistogramMerge,
 }
 
 impl InvariantId {
@@ -100,6 +112,9 @@ impl InvariantId {
             InvariantId::PlanOptimality => "PLN-03",
             InvariantId::ForecastFinite => "FOR-01",
             InvariantId::ForecastPeriodicity => "FOR-02",
+            InvariantId::TelemetryReconfigPairing => "TEL-01",
+            InvariantId::TelemetrySpanNesting => "TEL-02",
+            InvariantId::TelemetryHistogramMerge => "TEL-03",
         }
     }
 
@@ -125,6 +140,9 @@ impl InvariantId {
             InvariantId::PlanOptimality => "Algorithms 1–3",
             InvariantId::ForecastFinite => "§5",
             InvariantId::ForecastPeriodicity => "§5.1",
+            InvariantId::TelemetryReconfigPairing => "§4.4 (moves terminate)",
+            InvariantId::TelemetrySpanNesting => "docs/observability.md",
+            InvariantId::TelemetryHistogramMerge => "docs/observability.md",
         }
     }
 }

@@ -166,6 +166,14 @@ impl Planner {
             let c = self.cost(t_max, end_nodes, load, n0, z, &mut memo);
             if c.is_finite() {
                 let seq = self.backtrack(t_max, end_nodes, z, &memo);
+                pstore_telemetry::tel_event!(
+                    pstore_telemetry::kinds::PLANNER,
+                    "horizon" => t_max,
+                    "n0" => n0,
+                    "feasible" => true,
+                    "cost" => c,
+                    "end_machines" => end_nodes,
+                );
                 #[cfg(feature = "check-invariants")]
                 {
                     let violations = crate::moves::check_moves(seq.moves());
@@ -186,6 +194,12 @@ impl Planner {
                 return Some(seq);
             }
         }
+        pstore_telemetry::tel_event!(
+            pstore_telemetry::kinds::PLANNER,
+            "horizon" => t_max,
+            "n0" => n0,
+            "feasible" => false,
+        );
         None
     }
 

@@ -76,6 +76,12 @@ impl MigrationSchedule {
     pub fn plan(b: u32, a: u32) -> Self {
         assert!(b > 0 && a > 0, "machine counts must be positive");
         let schedule = Self::plan_unchecked(b, a);
+        pstore_telemetry::tel_event!(
+            pstore_telemetry::kinds::SCHEDULE_PLANNED,
+            "from" => b,
+            "to" => a,
+            "rounds" => schedule.rounds.len(),
+        );
         #[cfg(feature = "check-invariants")]
         {
             let violations = schedule.check_violations();

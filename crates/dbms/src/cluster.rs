@@ -101,6 +101,9 @@ struct Reconfig {
     pairs: Vec<PairTransfer>,
     in_flight: HashMap<u64, InFlight>,
     pending_pairs: usize,
+    /// Telemetry span covering this reconfiguration (0 = no span).
+    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+    span_id: u64,
 }
 
 /// Result of one migration chunk.
@@ -434,11 +437,26 @@ impl Cluster {
                 .push(Node::new(self.cfg.partitions_per_node, num_tables));
         }
         let pending = pairs.iter().filter(|p| !p.is_done()).count();
+        #[cfg(feature = "telemetry")]
+        let span_id = if pstore_telemetry::enabled() {
+            pstore_telemetry::begin_span(
+                pstore_telemetry::kinds::SPAN_RECONFIG,
+                &[
+                    ("from", pstore_telemetry::Value::from(self.plan.machines())),
+                    ("to", pstore_telemetry::Value::from(new_plan.machines())),
+                ],
+            )
+        } else {
+            0
+        };
+        #[cfg(not(feature = "telemetry"))]
+        let span_id = 0u64;
         self.reconfig = Some(Reconfig {
             new_plan,
             pairs,
             in_flight: HashMap::new(),
             pending_pairs: pending,
+            span_id,
         });
         if pending == 0 {
             self.commit_reconfig();
@@ -524,6 +542,24 @@ impl Cluster {
         let n_rows = rows.len();
         dst.partitions[local].install_rows(slot, rows);
 
+        pstore_telemetry::tel_event!(
+            pstore_telemetry::kinds::CHUNK_MOVE,
+            "from" => from,
+            "to" => to,
+            "slot" => slot,
+            "bytes" => bytes,
+            "rows" => n_rows,
+            "slot_completed" => emptied,
+        );
+        #[cfg(feature = "telemetry")]
+        if pstore_telemetry::enabled() {
+            pstore_telemetry::with_registry(|r| {
+                r.inc_counter("reconfig.chunks_moved", 1);
+                r.inc_counter("reconfig.bytes_moved", bytes as u64);
+                r.inc_counter("reconfig.rows_moved", n_rows as u64);
+            });
+        }
+
         let mut slot_completed = false;
         let mut pair_done = false;
         let mut reconfig_done = false;
@@ -598,6 +634,12 @@ impl Cluster {
             unreachable!("commit requires reconfig");
         };
         debug_assert_eq!(reconfig.pending_pairs, 0);
+        #[cfg(feature = "telemetry")]
+        pstore_telemetry::end_span(
+            pstore_telemetry::kinds::SPAN_RECONFIG,
+            reconfig.span_id,
+            &[],
+        );
         let target = reconfig.new_plan.machines();
         self.plan = reconfig.new_plan;
         self.overrides.clear();

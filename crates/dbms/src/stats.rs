@@ -47,6 +47,24 @@ impl SkewSummary {
     }
 }
 
+impl SkewSummary {
+    /// Flattens the summary into `(name, value)` gauge entries under
+    /// `prefix` (e.g. `skew.access.max_over_mean`) — the wire format the
+    /// detailed simulator records into the telemetry metrics registry and
+    /// `table0_uniformity` reads back.
+    pub fn gauge_entries(&self, prefix: &str) -> Vec<(String, f64)> {
+        #[allow(clippy::cast_precision_loss)] // partition counts are tiny
+        let partitions = self.partitions as f64;
+        vec![
+            (format!("{prefix}.partitions"), partitions),
+            (format!("{prefix}.mean"), self.mean),
+            (format!("{prefix}.max"), self.max),
+            (format!("{prefix}.max_over_mean"), self.max_over_mean),
+            (format!("{prefix}.stddev_over_mean"), self.stddev_over_mean),
+        ]
+    }
+}
+
 impl std::fmt::Display for SkewSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -87,6 +105,19 @@ mod tests {
     fn empty_and_zero_inputs_are_none() {
         assert!(SkewSummary::from_values(&[]).is_none());
         assert!(SkewSummary::from_values(&[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn gauge_entries_flatten_all_fields() {
+        let s = SkewSummary::from_values(&[10.0, 10.0, 20.0]).unwrap();
+        let entries = s.gauge_entries("skew.access");
+        assert_eq!(entries.len(), 5);
+        assert!(entries.iter().all(|(k, _)| k.starts_with("skew.access.")));
+        let max = entries
+            .iter()
+            .find(|(k, _)| k == "skew.access.max")
+            .unwrap();
+        assert_eq!(max.1, 20.0);
     }
 
     #[test]

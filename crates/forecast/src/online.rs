@@ -83,8 +83,20 @@ impl OnlinePredictor {
             Ok(m) => {
                 self.model = Some(m);
                 self.observations_since_fit = 0;
+                pstore_telemetry::tel_event!(
+                    pstore_telemetry::kinds::FORECAST_RETRAIN,
+                    "history" => self.history.len(),
+                    "ok" => true,
+                );
             }
-            Err(_) => self.fit_failures += 1,
+            Err(_) => {
+                self.fit_failures += 1;
+                pstore_telemetry::tel_event!(
+                    pstore_telemetry::kinds::FORECAST_RETRAIN,
+                    "history" => self.history.len(),
+                    "ok" => false,
+                );
+            }
         }
     }
 
@@ -109,11 +121,16 @@ impl OnlinePredictor {
             return None;
         }
         let raw = model.predict_horizon(&self.history, h);
-        Some(
-            raw.into_iter()
-                .map(|v| if v < 0.0 { 0.0 } else { v })
-                .collect(),
-        )
+        let curve: Vec<f64> = raw
+            .into_iter()
+            .map(|v| if v < 0.0 { 0.0 } else { v })
+            .collect();
+        pstore_telemetry::tel_event!(
+            pstore_telemetry::kinds::FORECAST_PREDICT,
+            "horizon" => h,
+            "peak" => curve.iter().copied().fold(0.0, f64::max),
+        );
+        Some(curve)
     }
 
     /// Number of retained measurements.

@@ -250,6 +250,9 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
         if time >= horizon && heap.is_empty() {
             break;
         }
+        // Stamp telemetry events with simulation time rather than wall time.
+        #[cfg(feature = "telemetry")]
+        pstore_telemetry::set_time(time);
         match event {
             Event::Second(s) => {
                 recorder.advance_to(time);
@@ -293,6 +296,12 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
                 let window = cfg.monitor_interval_s;
                 let measured = arrivals_in_window as f64 / window;
                 arrivals_in_window = 0;
+                // Each monitor tick also samples the §8.1 uniformity
+                // figures (Table 2's companion analysis): access and data
+                // skew land in the metrics registry as gauges and in the
+                // trace as `skew_sample` events.
+                #[cfg(feature = "telemetry")]
+                record_skew_sample(&cluster);
                 let obs = Observation {
                     interval: k,
                     load: measured,
@@ -418,6 +427,39 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
         aborted,
         dropped,
         procedure_mix,
+    }
+}
+
+/// Records access- and data-skew summaries over the cluster's partitions
+/// into the telemetry registry (gauges under `skew.access.*` /
+/// `skew.data.*`) and emits one `skew_sample` event per quantity.
+#[cfg(feature = "telemetry")]
+fn record_skew_sample(cluster: &Cluster) {
+    use pstore_dbms::stats::SkewSummary;
+    if !pstore_telemetry::enabled() {
+        return;
+    }
+    let report = cluster.partition_report();
+    #[allow(clippy::cast_precision_loss)] // access/byte counts are far below 2^53
+    let access: Vec<f64> = report.iter().map(|r| r.2 as f64).collect();
+    #[allow(clippy::cast_precision_loss)]
+    let data: Vec<f64> = report.iter().map(|r| r.3 as f64).collect();
+    for (prefix, values) in [("skew.access", &access), ("skew.data", &data)] {
+        let Some(summary) = SkewSummary::from_values(values) else {
+            continue;
+        };
+        pstore_telemetry::with_registry(|reg| {
+            for (name, value) in summary.gauge_entries(prefix) {
+                reg.set_gauge(&name, value);
+            }
+        });
+        pstore_telemetry::emit(
+            pstore_telemetry::Event::new(pstore_telemetry::kinds::SKEW_SAMPLE)
+                .with("metric", prefix)
+                .with("partitions", summary.partitions)
+                .with("max_over_mean", summary.max_over_mean)
+                .with("stddev_over_mean", summary.stddev_over_mean),
+        );
     }
 }
 

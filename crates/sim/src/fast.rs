@@ -101,6 +101,9 @@ struct MoveState {
     duration_slots: f64,
     /// Slots elapsed so far.
     elapsed: f64,
+    /// Telemetry span covering the move (0 when telemetry is off).
+    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+    span_id: u64,
 }
 
 /// Runs the slot-based simulation of a strategy over a per-slot load curve
@@ -124,6 +127,11 @@ pub fn run_fast(cfg: &FastSimConfig, load: &[f64], strategy: &mut dyn Strategy) 
     let mut capacity_timeline = Vec::new();
 
     for (slot, &demand) in load.iter().enumerate() {
+        #[cfg(feature = "telemetry")]
+        {
+            #[allow(clippy::cast_precision_loss)] // slot counts are far below 2^53
+            pstore_telemetry::set_time(slot as f64 * cfg.slot_duration_s);
+        }
         // Controller decision at tick boundaries.
         if slot % cfg.tick_every_slots == 0 {
             let window =
@@ -140,12 +148,27 @@ pub fn run_fast(cfg: &FastSimConfig, load: &[f64], strategy: &mut dyn Strategy) 
                 let target = req.target.clamp(1, cfg.params.max_machines);
                 if in_move.is_none() && target != machines {
                     let t_s = move_time(machines, target, p, d_s) / req.rate_multiplier.max(0.1);
+                    #[cfg(feature = "telemetry")]
+                    let span_id = if pstore_telemetry::enabled() {
+                        pstore_telemetry::begin_span(
+                            pstore_telemetry::kinds::SPAN_RECONFIG,
+                            &[
+                                ("from", pstore_telemetry::Value::from(machines)),
+                                ("to", pstore_telemetry::Value::from(target)),
+                            ],
+                        )
+                    } else {
+                        0
+                    };
+                    #[cfg(not(feature = "telemetry"))]
+                    let span_id = 0u64;
                     in_move = Some(MoveState {
                         schedule: MigrationSchedule::plan(machines, target),
                         from: machines,
                         to: target,
                         duration_slots: (t_s / cfg.slot_duration_s).max(1e-9),
                         elapsed: 0.0,
+                        span_id,
                     });
                 }
             }
@@ -163,6 +186,12 @@ pub fn run_fast(cfg: &FastSimConfig, load: &[f64], strategy: &mut dyn Strategy) 
                 if mv.elapsed >= mv.duration_slots {
                     machines = mv.to;
                     reconfigs += 1;
+                    #[cfg(feature = "telemetry")]
+                    pstore_telemetry::end_span(
+                        pstore_telemetry::kinds::SPAN_RECONFIG,
+                        mv.span_id,
+                        &[],
+                    );
                     in_move = None;
                 }
                 (alloc, capacity)
@@ -178,6 +207,17 @@ pub fn run_fast(cfg: &FastSimConfig, load: &[f64], strategy: &mut dyn Strategy) 
             machines_timeline.push(alloc as f32);
             capacity_timeline.push(capacity as f32);
         }
+    }
+
+    // A move still in flight when the trace ends would leave a dangling
+    // span (TEL-02); close it explicitly, marked truncated.
+    #[cfg(feature = "telemetry")]
+    if let Some(mv) = &in_move {
+        pstore_telemetry::end_span(
+            pstore_telemetry::kinds::SPAN_RECONFIG,
+            mv.span_id,
+            &[("truncated", pstore_telemetry::Value::from(true))],
+        );
     }
 
     FastSimResult {

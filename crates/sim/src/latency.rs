@@ -98,7 +98,7 @@ impl LatencyRecorder {
         } else {
             samples.iter().sum::<f64>() / n as f64
         };
-        self.seconds.push(SecondMetrics {
+        let metrics = SecondMetrics {
             second: self.current_second,
             throughput: n as u64,
             p50: pick(0.50),
@@ -107,7 +107,39 @@ impl LatencyRecorder {
             mean,
             machines: self.machines,
             reconfiguring: self.reconfiguring,
-        });
+        };
+        pstore_telemetry::tel_event!(
+            pstore_telemetry::kinds::SECOND,
+            "second" => metrics.second,
+            "throughput" => metrics.throughput,
+            "p50" => metrics.p50,
+            "p95" => metrics.p95,
+            "p99" => metrics.p99,
+            "mean" => metrics.mean,
+            "machines" => metrics.machines,
+            "reconfiguring" => metrics.reconfiguring,
+        );
+        #[cfg(feature = "telemetry")]
+        if pstore_telemetry::enabled() {
+            pstore_telemetry::with_registry(|r| {
+                let phase = if metrics.reconfiguring {
+                    "latency.p99.reconfig"
+                } else {
+                    "latency.p99.stable"
+                };
+                r.record_histogram(phase, metrics.p99);
+                r.inc_counter("latency.seconds", 1);
+            });
+            if metrics.p99 > SLA_THRESHOLD_S {
+                pstore_telemetry::with_registry(|r| r.inc_counter("sla.violation_seconds", 1));
+                pstore_telemetry::emit(
+                    pstore_telemetry::Event::new(pstore_telemetry::kinds::SLA_VIOLATION)
+                        .with("second", metrics.second)
+                        .with("p99", metrics.p99),
+                );
+            }
+        }
+        self.seconds.push(metrics);
         self.current_second += 1;
     }
 
@@ -274,5 +306,102 @@ mod tests {
         let secs = r.finish();
         assert_eq!(secs.len(), 6);
         assert!(secs.iter().all(|s| s.throughput == 0));
+    }
+
+    #[test]
+    fn advance_to_gap_seconds_have_zero_percentiles_and_current_flags() {
+        // Gap seconds created by advance_to must appear with zero
+        // throughput AND zero percentiles, carrying whatever machine
+        // count / reconfiguring flag is current when they flush.
+        let mut r = LatencyRecorder::new();
+        r.set_machines(3.0);
+        r.record(0.2, 0.040);
+        r.advance_to(1.0); // flush second 0 under the old settings
+        r.set_machines(5.0);
+        r.set_reconfiguring(true);
+        r.advance_to(4.0); // seconds 1..3 idle under the new settings
+        let secs = r.finish();
+        assert_eq!(secs.len(), 5);
+        assert_eq!(secs[0].machines, 3.0);
+        assert!(!secs[0].reconfiguring);
+        for s in &secs[1..=3] {
+            assert_eq!(s.throughput, 0);
+            assert_eq!((s.p50, s.p95, s.p99, s.mean), (0.0, 0.0, 0.0, 0.0));
+            assert_eq!(s.machines, 5.0);
+            assert!(s.reconfiguring);
+        }
+        // Seconds stay contiguous across the gap.
+        for (i, s) in secs.iter().enumerate() {
+            assert_eq!(s.second, i as u64);
+        }
+    }
+
+    #[test]
+    fn advance_to_same_second_does_not_flush() {
+        let mut r = LatencyRecorder::new();
+        r.record(0.1, 0.010);
+        r.advance_to(0.9); // still inside second 0
+        r.record(0.95, 0.030);
+        let secs = r.finish();
+        assert_eq!(secs.len(), 1);
+        assert_eq!(secs[0].throughput, 2);
+    }
+
+    #[test]
+    fn finish_flushes_the_final_partial_second() {
+        // Samples in a second that never completes must still be reported:
+        // finish() flushes the trailing partial second exactly once.
+        let mut r = LatencyRecorder::new();
+        r.record(2.3, 0.100);
+        r.record(2.8, 0.300);
+        let secs = r.finish();
+        assert_eq!(secs.len(), 3);
+        let last = secs[2];
+        assert_eq!(last.second, 2);
+        assert_eq!(last.throughput, 2);
+        assert_eq!(last.p50, 0.100);
+        assert_eq!(last.p99, 0.300);
+        assert_eq!(last.mean, 0.200);
+    }
+
+    #[test]
+    fn finish_on_empty_recorder_reports_one_empty_second() {
+        let secs = LatencyRecorder::new().finish();
+        assert_eq!(secs.len(), 1);
+        assert_eq!(secs[0].second, 0);
+        assert_eq!(secs[0].throughput, 0);
+    }
+
+    #[test]
+    fn sla_violation_boundary_is_strictly_greater() {
+        // §8.2: a violation is a second whose percentile *exceeds* 500 ms.
+        // Exactly-at-threshold seconds are compliant.
+        let mk = |p: f64| SecondMetrics {
+            second: 0,
+            throughput: 1,
+            p50: p,
+            p95: p,
+            p99: p,
+            mean: p,
+            machines: 1.0,
+            reconfiguring: false,
+        };
+        let secs = vec![
+            mk(SLA_THRESHOLD_S),                // exactly at: no violation
+            mk(SLA_THRESHOLD_S + f64::EPSILON), // barely over: violation
+            mk(SLA_THRESHOLD_S - 1e-12),        // barely under: no violation
+        ];
+        let v = count_sla_violations(&secs, SLA_THRESHOLD_S);
+        assert_eq!((v.p50, v.p95, v.p99), (1, 1, 1));
+    }
+
+    #[test]
+    fn single_sample_second_has_equal_percentiles() {
+        // rank = ceil(n*q).clamp(1, n): with n = 1 every percentile is the
+        // sample itself.
+        let mut r = LatencyRecorder::new();
+        r.record(0.5, 0.123);
+        let s = r.finish()[0];
+        assert_eq!((s.p50, s.p95, s.p99, s.mean), (0.123, 0.123, 0.123, 0.123));
     }
 }

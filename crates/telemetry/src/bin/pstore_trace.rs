@@ -1,0 +1,58 @@
+//! `pstore-trace`: read a JSONL telemetry trace and print a run report.
+//!
+//! ```text
+//! pstore-trace <trace.jsonl>
+//! ```
+//!
+//! Exit codes: 0 = clean; 1 = structural problems (unmatched or
+//! misnested spans, unparseable lines); 2 = usage or I/O error. CI's
+//! telemetry smoke step relies on these.
+
+use pstore_telemetry::trace::{read_jsonl, RunReport};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: pstore-trace <trace.jsonl>");
+        return ExitCode::from(2);
+    };
+    if args.next().is_some() {
+        eprintln!("usage: pstore-trace <trace.jsonl>");
+        return ExitCode::from(2);
+    }
+    let path = PathBuf::from(path);
+
+    let (events, line_errors) = match read_jsonl(&path) {
+        Ok(read) => read,
+        Err(e) => {
+            eprintln!("pstore-trace: cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = RunReport::from_events(&events);
+    print!("{}", report.render());
+
+    let mut failed = false;
+    if !line_errors.is_empty() {
+        failed = true;
+        eprintln!("pstore-trace: {} unparseable line(s):", line_errors.len());
+        for e in line_errors.iter().take(10) {
+            eprintln!("  line {}: {}", e.line, e.msg);
+        }
+    }
+    if !report.span_errors.is_empty() {
+        failed = true;
+        eprintln!(
+            "pstore-trace: {} span error(s) (see report)",
+            report.span_errors.len()
+        );
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

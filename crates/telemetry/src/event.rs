@@ -1,0 +1,345 @@
+//! Structured events: the unit every sink records.
+//!
+//! An [`Event`] is a stable `kind` string (see [`kinds`]) plus a small
+//! flat list of typed fields. Events carry a global sequence number (so
+//! traces have a total order even when the sim clock stalls) and the
+//! simulated-time timestamp that was current when they were emitted.
+
+use crate::json::{self, Json};
+
+/// A typed field value attached to an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, ids, slots, bytes).
+    U64(u64),
+    /// Signed integer (deltas).
+    I64(i64),
+    /// Floating point (latencies, rates, costs).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Short string (names, reasons).
+    Str(String),
+}
+
+impl Value {
+    /// The value as `u64` if it is an unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (integers widen losslessly up to 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        #[allow(clippy::cast_precision_loss)] // telemetry readout, 2^53 is ample
+        match self {
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        // usize -> u64 is lossless on every supported target.
+        Value::U64(u64::try_from(v).unwrap_or(u64::MAX))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// One structured telemetry record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Global monotonic sequence number (total order across a run).
+    pub seq: u64,
+    /// Simulated time in seconds, if a clock was set when emitting.
+    pub t: Option<f64>,
+    /// Stable event kind; one of the [`kinds`] constants.
+    pub kind: String,
+    /// Flat key/value payload, in insertion order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Creates an event of `kind` with no fields (seq/t filled at emit).
+    pub fn new(kind: &str) -> Self {
+        Event {
+            seq: 0,
+            t: None,
+            kind: kind.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Builder-style field append.
+    #[must_use]
+    pub fn with(mut self, key: &str, value: impl Into<Value>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Looks up a field by key.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Field as `u64`, if present and unsigned.
+    pub fn field_u64(&self, key: &str) -> Option<u64> {
+        self.field(key).and_then(Value::as_u64)
+    }
+
+    /// Field as `f64`, if present and numeric.
+    pub fn field_f64(&self, key: &str) -> Option<f64> {
+        self.field(key).and_then(Value::as_f64)
+    }
+
+    /// Field as `&str`, if present and a string.
+    pub fn field_str(&self, key: &str) -> Option<&str> {
+        self.field(key).and_then(Value::as_str)
+    }
+
+    /// Serialises the event as a single-line JSON object.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(64 + 24 * self.fields.len());
+        out.push_str("{\"seq\":");
+        let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{}", self.seq));
+        if let Some(t) = self.t {
+            out.push_str(",\"t\":");
+            json::write_f64(&mut out, t);
+        }
+        out.push_str(",\"kind\":");
+        json::write_str(&mut out, &self.kind);
+        for (k, v) in &self.fields {
+            out.push(',');
+            json::write_str(&mut out, k);
+            out.push(':');
+            match v {
+                Value::U64(n) => {
+                    let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{n}"));
+                }
+                Value::I64(n) => {
+                    let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{n}"));
+                }
+                Value::F64(n) => json::write_f64(&mut out, *n),
+                Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Value::Str(s) => json::write_str(&mut out, s),
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses an event back from a JSON object produced by
+    /// [`Event::to_json_line`].
+    ///
+    /// Numbers that are non-negative integers parse as [`Value::U64`];
+    /// negative integers as [`Value::I64`]; everything else as
+    /// [`Value::F64`]. Unknown shapes (nested arrays/objects) are
+    /// rejected — trace lines are flat by construction.
+    ///
+    /// # Errors
+    /// Returns a description of the structural problem when the object
+    /// is missing `seq`/`kind` or holds a non-scalar field.
+    pub fn from_json(value: &Json) -> Result<Event, String> {
+        let obj = value.as_obj().ok_or("trace line is not a JSON object")?;
+        let seq = obj
+            .get("seq")
+            .and_then(Json::as_num)
+            .ok_or("missing numeric \"seq\"")?;
+        if seq < 0.0 || seq.fract() != 0.0 {
+            return Err("\"seq\" is not a non-negative integer".to_string());
+        }
+        let kind = obj
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("missing string \"kind\"")?
+            .to_string();
+        let t = match obj.get("t") {
+            Some(Json::Num(n)) => Some(*n),
+            Some(Json::Null) | None => None,
+            Some(_) => return Err("\"t\" is not a number".to_string()),
+        };
+        let mut fields = Vec::new();
+        for (k, v) in obj {
+            if k == "seq" || k == "t" || k == "kind" {
+                continue;
+            }
+            let value = match v {
+                Json::Num(n) => num_to_value(*n),
+                Json::Bool(b) => Value::Bool(*b),
+                Json::Str(s) => Value::Str(s.clone()),
+                Json::Null => Value::F64(f64::NAN),
+                Json::Arr(_) | Json::Obj(_) => {
+                    return Err(format!("field \"{k}\" is not a scalar"));
+                }
+            };
+            fields.push((k.clone(), value));
+        }
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        // checked non-negative integral above
+        let seq = seq as u64;
+        Ok(Event {
+            seq,
+            t,
+            kind,
+            fields,
+        })
+    }
+}
+
+fn num_to_value(n: f64) -> Value {
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    // guarded: integral, in-range, non-negative
+    if n.fract() == 0.0 && (0.0..=9_007_199_254_740_992.0).contains(&n) {
+        Value::U64(n as u64)
+    } else if n.fract() == 0.0 && (-9_007_199_254_740_992.0..0.0).contains(&n) {
+        #[allow(clippy::cast_possible_truncation)] // integral, in i64 range
+        Value::I64(n as i64)
+    } else {
+        Value::F64(n)
+    }
+}
+
+/// Stable event-kind names.
+///
+/// These strings are the contract between the instrumented crates, the
+/// JSONL traces on disk, `pstore-trace`, and the `TEL-*` invariants in
+/// `pstore-verify`. Add new kinds freely; never rename existing ones.
+pub mod kinds {
+    /// A span opened: fields `id`, `name`, plus span-specific extras.
+    pub const SPAN_BEGIN: &str = "span_begin";
+    /// A span closed: fields `id`, `name`, plus span-specific extras.
+    pub const SPAN_END: &str = "span_end";
+    /// Span name used for a reconfiguration (begin fields: `from`, `to`).
+    pub const SPAN_RECONFIG: &str = "reconfig";
+    /// One chunk migrated: `from`, `to`, `slot`, `bytes`, `rows`,
+    /// `slot_completed`.
+    pub const CHUNK_MOVE: &str = "chunk_move";
+    /// DP planner invocation: `horizon`, `n0`, `feasible`, `cost`,
+    /// `end_machines`.
+    pub const PLANNER: &str = "planner";
+    /// Forecaster retrain attempt: `history`, `ok`.
+    pub const FORECAST_RETRAIN: &str = "forecast_retrain";
+    /// Forecast emitted: `horizon`, `peak`.
+    pub const FORECAST_PREDICT: &str = "forecast_predict";
+    /// Controller decision to reconfigure: `interval`, `machines`,
+    /// `target`, `rate`, `reason`.
+    pub const SCALE_DECISION: &str = "scale_decision";
+    /// Per-second latency snapshot: `second`, `throughput`, `p50`, `p95`,
+    /// `p99`, `mean`, `machines`, `reconfiguring`.
+    pub const SECOND: &str = "second";
+    /// A second whose p99 exceeded the SLA: `second`, `p99`.
+    pub const SLA_VIOLATION: &str = "sla_violation";
+    /// Periodic skew observation: `metric`, `value`.
+    pub const SKEW_SAMPLE: &str = "skew_sample";
+    /// Migration schedule planned: `from`, `to`, `rounds`.
+    pub const SCHEDULE_PLANNED: &str = "schedule_planned";
+    /// End-of-run metrics registry dump: one field per counter/gauge.
+    pub const METRICS_SNAPSHOT: &str = "metrics_snapshot";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_json_round_trip() {
+        let mut ev = Event::new(kinds::CHUNK_MOVE)
+            .with("from", 3u32)
+            .with("to", 7u32)
+            .with("bytes", 1_048_576u64)
+            .with("frac", 0.25)
+            .with("done", true)
+            .with("why", "scale-out");
+        ev.seq = 42;
+        ev.t = Some(12.5);
+        let line = ev.to_json_line();
+        let parsed = Event::from_json(&crate::json::parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed.seq, 42);
+        assert_eq!(parsed.t, Some(12.5));
+        assert_eq!(parsed.kind, kinds::CHUNK_MOVE);
+        assert_eq!(parsed.field_u64("from"), Some(3));
+        assert_eq!(parsed.field_u64("bytes"), Some(1_048_576));
+        assert_eq!(parsed.field_f64("frac"), Some(0.25));
+        assert_eq!(parsed.field("done").and_then(Value::as_bool), Some(true));
+        assert_eq!(parsed.field_str("why"), Some("scale-out"));
+    }
+
+    #[test]
+    fn from_json_rejects_structural_problems() {
+        let bad = crate::json::parse(r#"{"kind":"x"}"#).unwrap();
+        assert!(Event::from_json(&bad).is_err());
+        let nested = crate::json::parse(r#"{"seq":1,"kind":"x","a":[1]}"#).unwrap();
+        assert!(Event::from_json(&nested).is_err());
+        let arr = crate::json::parse("[1,2]").unwrap();
+        assert!(Event::from_json(&arr).is_err());
+    }
+
+    #[test]
+    fn negative_integers_parse_as_i64() {
+        let v = crate::json::parse(r#"{"seq":0,"kind":"x","d":-5}"#).unwrap();
+        let ev = Event::from_json(&v).unwrap();
+        assert_eq!(ev.field("d"), Some(&Value::I64(-5)));
+    }
+}

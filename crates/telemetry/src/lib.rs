@@ -1,0 +1,383 @@
+//! pstore-telemetry: structured tracing, metrics registry, and
+//! run-trace tooling for the P-Store workspace.
+//!
+//! Three layers:
+//!
+//! 1. **Metrics** ([`metrics`]): counters, gauges, and mergeable
+//!    log-bucketed latency histograms with `SecondMetrics`-compatible
+//!    p50/p95/p99/max readout.
+//! 2. **Events and spans** ([`event`], this module): plain structured
+//!    events plus begin/end span pairs with globally unique ids, emitted
+//!    through a thread-local [`Sink`] (no-op by default, in-memory for
+//!    tests, JSONL for runs).
+//! 3. **Traces** ([`trace`], the `pstore-trace` binary): read a JSONL
+//!    trace back, validate span pairing/nesting, and render a run report
+//!    (reconfiguration timeline, per-phase histograms, top counters).
+//!
+//! # Zero cost when disabled
+//!
+//! Instrumented crates (`pstore-sim`, `pstore-dbms`, `pstore-core`,
+//! `pstore-forecast`, `pstore-bench`) each declare their own `telemetry`
+//! cargo feature and guard every call site with it — directly with
+//! `#[cfg(feature = "telemetry")]` or via the [`tel_event!`] /
+//! [`tel_span!`] macros, whose bodies carry that `cfg` and therefore
+//! resolve against the *calling* crate's features. With the feature off
+//! the instrumentation compiles to nothing: no sink lookup, no
+//! allocation, no branch.
+//!
+//! # Threading model
+//!
+//! Sink, clock, and metrics registry are thread-local. Simulator runs
+//! are single-threaded, and `cargo test` runs tests on many threads in
+//! one process — per-thread state means tests cannot contaminate each
+//! other. [`install`] returns a [`SinkGuard`] that restores the previous
+//! sink on drop, so even panicking tests clean up.
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod trace;
+
+pub use event::{kinds, Event, Value};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use sink::{JsonlSink, MemorySink, MemorySinkHandle, NoopSink, Sink};
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+thread_local! {
+    static SINK: RefCell<Option<Rc<dyn Sink>>> = const { RefCell::new(None) };
+    static CLOCK: Cell<f64> = const { Cell::new(f64::NAN) };
+    static REGISTRY: RefCell<MetricsRegistry> = RefCell::new(MetricsRegistry::new());
+}
+
+/// Global event sequence (total order across threads within a process).
+static SEQ: AtomicU64 = AtomicU64::new(1);
+/// Global span-id source; 0 is reserved for "no span".
+static SPAN_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// Installs `sink` as this thread's event sink. The returned guard
+/// restores the previous sink when dropped; keep it alive for the
+/// duration of the run or test.
+#[must_use = "dropping the guard immediately uninstalls the sink"]
+pub fn install(sink: Rc<dyn Sink>) -> SinkGuard {
+    let previous = SINK.with(|s| s.borrow_mut().replace(sink));
+    SinkGuard { previous }
+}
+
+/// Restores the previously installed sink on drop.
+pub struct SinkGuard {
+    previous: Option<Rc<dyn Sink>>,
+}
+
+impl Drop for SinkGuard {
+    fn drop(&mut self) {
+        let restored = self.previous.take();
+        SINK.with(|s| *s.borrow_mut() = restored);
+    }
+}
+
+/// True when a sink is installed on this thread. The macros check this
+/// before building an event, so uninstrumented runs with the feature on
+/// still skip all field formatting.
+pub fn enabled() -> bool {
+    SINK.with(|s| s.borrow().is_some())
+}
+
+/// Sets the thread's simulated-time clock; subsequent events carry `t`.
+pub fn set_time(t: f64) {
+    CLOCK.with(|c| c.set(t));
+}
+
+/// Clears the thread's clock (events carry no `t`).
+pub fn clear_time() {
+    CLOCK.with(|c| c.set(f64::NAN));
+}
+
+/// Emits an event through the installed sink, stamping `seq` and the
+/// current clock. A no-op without a sink.
+pub fn emit(mut event: Event) {
+    SINK.with(|s| {
+        if let Some(sink) = s.borrow().as_ref() {
+            event.seq = SEQ.fetch_add(1, Ordering::Relaxed);
+            let t = CLOCK.with(Cell::get);
+            event.t = if t.is_finite() { Some(t) } else { None };
+            sink.record(&event);
+        }
+    });
+}
+
+/// Flushes the installed sink, if any.
+pub fn flush() {
+    SINK.with(|s| {
+        if let Some(sink) = s.borrow().as_ref() {
+            sink.flush();
+        }
+    });
+}
+
+/// Allocates a fresh globally unique span id (never 0).
+pub fn next_span_id() -> u64 {
+    SPAN_IDS.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Emits a `span_begin` event for a new span and returns its id.
+/// `extras` become additional fields on the begin event.
+pub fn begin_span(name: &str, extras: &[(&str, Value)]) -> u64 {
+    let id = next_span_id();
+    let mut ev = Event::new(kinds::SPAN_BEGIN)
+        .with("id", id)
+        .with("name", name);
+    for (k, v) in extras {
+        ev = ev.with(k, v.clone());
+    }
+    emit(ev);
+    id
+}
+
+/// Emits the matching `span_end` for `id`. Ignores id 0 so callers can
+/// keep a "no span" sentinel without branching.
+pub fn end_span(name: &str, id: u64, extras: &[(&str, Value)]) {
+    if id == 0 {
+        return;
+    }
+    let mut ev = Event::new(kinds::SPAN_END)
+        .with("id", id)
+        .with("name", name);
+    for (k, v) in extras {
+        ev = ev.with(k, v.clone());
+    }
+    emit(ev);
+}
+
+/// RAII span: emits `span_begin` on creation and `span_end` on drop.
+/// For spans whose lifetime does not follow lexical scope (e.g. a
+/// reconfiguration tracked across simulator events), use
+/// [`begin_span`]/[`end_span`] with a stored id instead.
+pub struct SpanGuard {
+    name: String,
+    id: u64,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name`.
+    pub fn enter(name: &str) -> Self {
+        let id = begin_span(name, &[]);
+        SpanGuard {
+            name: name.to_string(),
+            id,
+        }
+    }
+
+    /// The span's id (to correlate child events).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        end_span(&self.name, self.id, &[]);
+    }
+}
+
+/// Runs `f` with mutable access to this thread's metrics registry.
+pub fn with_registry<R>(f: impl FnOnce(&mut MetricsRegistry) -> R) -> R {
+    REGISTRY.with(|r| f(&mut r.borrow_mut()))
+}
+
+/// Clears this thread's metrics registry (between runs or tests).
+pub fn reset_registry() {
+    with_registry(MetricsRegistry::clear);
+}
+
+/// Emits a [`kinds::METRICS_SNAPSHOT`] event carrying every counter and
+/// gauge in this thread's registry, then flushes the sink. Histograms
+/// are summarised as `<name>.p50/.p95/.p99/.max/.count` fields.
+pub fn emit_metrics_snapshot() {
+    if !enabled() {
+        return;
+    }
+    let ev = with_registry(|r| {
+        let mut ev = Event::new(kinds::METRICS_SNAPSHOT);
+        for (name, v) in r.counters() {
+            ev = ev.with(name, v);
+        }
+        for (name, v) in r.gauges() {
+            ev = ev.with(name, v);
+        }
+        for (name, h) in r.histograms() {
+            ev = ev
+                .with(&format!("{name}.count"), h.count())
+                .with(&format!("{name}.p50"), h.quantile(0.50))
+                .with(&format!("{name}.p95"), h.quantile(0.95))
+                .with(&format!("{name}.p99"), h.quantile(0.99))
+                .with(&format!("{name}.max"), h.max());
+        }
+        ev
+    });
+    emit(ev);
+    flush();
+}
+
+/// Builds and emits an [`Event`] — but only when the **calling** crate's
+/// `telemetry` feature is enabled; otherwise the whole statement
+/// compiles away. Skips event construction when no sink is installed.
+///
+/// ```ignore
+/// tel_event!(kinds::CHUNK_MOVE, "from" => from_node, "to" => to_node);
+/// ```
+#[macro_export]
+macro_rules! tel_event {
+    ($kind:expr $(, $key:literal => $value:expr)* $(,)?) => {
+        #[cfg(feature = "telemetry")]
+        {
+            if $crate::enabled() {
+                $crate::emit(
+                    $crate::Event::new($kind)$(.with($key, $value))*
+                );
+            }
+        }
+    };
+}
+
+/// Opens an RAII span bound to `$guard` for the rest of the enclosing
+/// scope — only when the calling crate's `telemetry` feature is enabled;
+/// otherwise `$guard` is `()`.
+///
+/// ```ignore
+/// tel_span!(guard, "planner");
+/// ```
+#[macro_export]
+macro_rules! tel_span {
+    ($guard:ident, $name:expr) => {
+        #[cfg(feature = "telemetry")]
+        let $guard = $crate::SpanGuard::enter($name);
+        #[cfg(not(feature = "telemetry"))]
+        let $guard = ();
+        let _ = &$guard;
+    };
+}
+
+/// Runs `$body` only when the calling crate's `telemetry` feature is
+/// enabled — for instrumentation too stateful for [`tel_event!`]
+/// (storing span ids, updating the registry).
+#[macro_export]
+macro_rules! tel_scope {
+    ($body:block) => {
+        #[cfg(feature = "telemetry")]
+        $body
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_without_sink_is_noop() {
+        assert!(!enabled());
+        emit(Event::new("orphan")); // must not panic
+    }
+
+    #[test]
+    fn install_emit_and_guard_restore() {
+        let (sink, handle) = MemorySink::new();
+        {
+            let _guard = install(Rc::new(sink));
+            assert!(enabled());
+            set_time(3.25);
+            emit(Event::new("a").with("x", 1u64));
+            clear_time();
+            emit(Event::new("b"));
+        }
+        assert!(!enabled());
+        let events = handle.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].t, Some(3.25));
+        assert_eq!(events[1].t, None);
+        assert!(events[0].seq < events[1].seq);
+    }
+
+    #[test]
+    fn span_guard_emits_balanced_pair() {
+        let (sink, handle) = MemorySink::new();
+        let _guard = install(Rc::new(sink));
+        {
+            let span = SpanGuard::enter("outer");
+            assert_ne!(span.id(), 0);
+            emit(Event::new("inside"));
+        }
+        let events = handle.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, kinds::SPAN_BEGIN);
+        assert_eq!(events[2].kind, kinds::SPAN_END);
+        assert_eq!(events[0].field_u64("id"), events[2].field_u64("id"));
+        assert_eq!(events[0].field_str("name"), Some("outer"));
+    }
+
+    #[test]
+    fn manual_span_ignores_zero_id() {
+        let (sink, handle) = MemorySink::new();
+        let _guard = install(Rc::new(sink));
+        end_span("none", 0, &[]);
+        assert!(handle.is_empty());
+        let id = begin_span(
+            "reconfig",
+            &[("from", Value::U64(2)), ("to", Value::U64(4))],
+        );
+        end_span("reconfig", id, &[]);
+        let events = handle.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].field_u64("from"), Some(2));
+    }
+
+    #[test]
+    fn registry_is_per_thread() {
+        reset_registry();
+        with_registry(|r| r.inc_counter("c", 1));
+        let other = std::thread::spawn(|| with_registry(|r| r.counter("c")))
+            .join()
+            .unwrap();
+        assert_eq!(other, 0);
+        assert_eq!(with_registry(|r| r.counter("c")), 1);
+        reset_registry();
+    }
+
+    #[test]
+    fn metrics_snapshot_summarises_registry() {
+        let (sink, handle) = MemorySink::new();
+        let _guard = install(Rc::new(sink));
+        reset_registry();
+        with_registry(|r| {
+            r.inc_counter("moves", 4);
+            r.set_gauge("skew", 1.25);
+            r.record_histogram("lat", 0.2);
+        });
+        emit_metrics_snapshot();
+        let events = handle.of_kind(kinds::METRICS_SNAPSHOT);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].field_u64("moves"), Some(4));
+        assert_eq!(events[0].field_f64("skew"), Some(1.25));
+        assert_eq!(events[0].field_u64("lat.count"), Some(1));
+        reset_registry();
+    }
+
+    #[test]
+    fn nested_install_restores_outer_sink() {
+        let (outer, outer_h) = MemorySink::new();
+        let _outer_guard = install(Rc::new(outer));
+        {
+            let (inner, inner_h) = MemorySink::new();
+            let _inner_guard = install(Rc::new(inner));
+            emit(Event::new("inner"));
+            assert_eq!(inner_h.len(), 1);
+        }
+        emit(Event::new("outer"));
+        let outer_events = outer_h.events();
+        assert_eq!(outer_events.len(), 1);
+        assert_eq!(outer_events[0].kind, "outer");
+    }
+}

@@ -1,0 +1,498 @@
+//! Trace reading and run reports.
+//!
+//! A trace is a JSONL file (one [`Event`] per line) written by
+//! [`crate::JsonlSink`]. This module reads traces back, validates span
+//! pairing and nesting (the checks behind `pstore-verify`'s `TEL-01` and
+//! `TEL-02`), and renders the run report printed by the `pstore-trace`
+//! binary.
+
+use crate::event::{kinds, Event};
+use crate::json;
+use crate::metrics::Histogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A line that failed to parse: line number (1-based) and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineError {
+    /// 1-based line number in the trace file.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+/// Reads a JSONL trace. Blank lines are skipped; malformed lines are
+/// collected as [`LineError`]s rather than aborting the read, so a
+/// truncated trace still yields its prefix.
+///
+/// # Errors
+/// Returns `Err` only for I/O failures (missing/unreadable file).
+pub fn read_jsonl(path: &Path) -> std::io::Result<(Vec<Event>, Vec<LineError>)> {
+    let text = std::fs::read_to_string(path)?;
+    let mut events = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = json::parse(line)
+            .map_err(|e| e.to_string())
+            .and_then(|v| Event::from_json(&v));
+        match parsed {
+            Ok(ev) => events.push(ev),
+            Err(msg) => errors.push(LineError { line: idx + 1, msg }),
+        }
+    }
+    Ok((events, errors))
+}
+
+/// A structural problem with the spans in a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpanError {
+    /// `span_end` whose id was never opened (or already closed).
+    EndWithoutBegin {
+        /// Offending event's sequence number.
+        seq: u64,
+        /// The unmatched span id.
+        id: u64,
+    },
+    /// `span_begin` reusing an id that is still open.
+    DuplicateBegin {
+        /// Offending event's sequence number.
+        seq: u64,
+        /// The reused span id.
+        id: u64,
+    },
+    /// `span_end` that closes a span other than the innermost open one
+    /// (spans must nest LIFO).
+    BadNesting {
+        /// Offending event's sequence number.
+        seq: u64,
+        /// The id that was closed.
+        closed: u64,
+        /// The innermost open id that should have closed first.
+        expected: u64,
+    },
+    /// Span still open at end of trace.
+    Unclosed {
+        /// The dangling span id.
+        id: u64,
+        /// The span's name, for the report.
+        name: String,
+    },
+    /// Span event missing its `id` field.
+    MissingId {
+        /// Offending event's sequence number.
+        seq: u64,
+    },
+}
+
+impl std::fmt::Display for SpanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpanError::EndWithoutBegin { seq, id } => {
+                write!(f, "seq {seq}: span_end for id {id} which is not open")
+            }
+            SpanError::DuplicateBegin { seq, id } => {
+                write!(f, "seq {seq}: span_begin reuses open id {id}")
+            }
+            SpanError::BadNesting {
+                seq,
+                closed,
+                expected,
+            } => write!(
+                f,
+                "seq {seq}: span {closed} closed while span {expected} is still innermost"
+            ),
+            SpanError::Unclosed { id, name } => {
+                write!(f, "span {id} (\"{name}\") never closed")
+            }
+            SpanError::MissingId { seq } => {
+                write!(f, "seq {seq}: span event without an \"id\" field")
+            }
+        }
+    }
+}
+
+/// Validates span pairing and LIFO nesting over a trace.
+///
+/// Every `span_begin` must have exactly one matching `span_end`, ends
+/// must close the innermost open span, and no span may remain open at
+/// end of trace. This is the shared implementation behind `TEL-01`
+/// (pairing) and `TEL-02` (nesting) in `pstore-verify`.
+pub fn span_errors(events: &[Event]) -> Vec<SpanError> {
+    let mut errors = Vec::new();
+    // Stack of (id, name) for open spans, in open order.
+    let mut stack: Vec<(u64, String)> = Vec::new();
+    for ev in events {
+        match ev.kind.as_str() {
+            kinds::SPAN_BEGIN => match ev.field_u64("id") {
+                None => errors.push(SpanError::MissingId { seq: ev.seq }),
+                Some(id) => {
+                    if stack.iter().any(|(open, _)| *open == id) {
+                        errors.push(SpanError::DuplicateBegin { seq: ev.seq, id });
+                    } else {
+                        let name = ev.field_str("name").unwrap_or("?").to_string();
+                        stack.push((id, name));
+                    }
+                }
+            },
+            kinds::SPAN_END => match ev.field_u64("id") {
+                None => errors.push(SpanError::MissingId { seq: ev.seq }),
+                Some(id) => match stack.last() {
+                    Some((top, _)) if *top == id => {
+                        stack.pop();
+                    }
+                    Some((top, _)) if stack.iter().any(|(open, _)| *open == id) => {
+                        errors.push(SpanError::BadNesting {
+                            seq: ev.seq,
+                            closed: id,
+                            expected: *top,
+                        });
+                        stack.retain(|(open, _)| *open != id);
+                    }
+                    _ => errors.push(SpanError::EndWithoutBegin { seq: ev.seq, id }),
+                },
+            },
+            _ => {}
+        }
+    }
+    for (id, name) in stack {
+        errors.push(SpanError::Unclosed { id, name });
+    }
+    errors
+}
+
+/// One completed reconfiguration reconstructed from a trace.
+#[derive(Debug, Clone)]
+pub struct ReconfigSummary {
+    /// Start time (sim seconds), if the begin event carried a clock.
+    pub start: Option<f64>,
+    /// End time (sim seconds), if the end event carried a clock.
+    pub end: Option<f64>,
+    /// Machine count before.
+    pub from: Option<u64>,
+    /// Machine count after.
+    pub to: Option<u64>,
+    /// Chunk-move events observed while this span was open.
+    pub chunk_moves: u64,
+    /// Bytes moved across those chunk moves.
+    pub bytes_moved: u64,
+}
+
+/// Aggregated view of a whole trace, renderable as a text report.
+#[derive(Debug, Default)]
+pub struct RunReport {
+    /// Total events in the trace.
+    pub events: usize,
+    /// Completed reconfigurations, in start order.
+    pub reconfigs: Vec<ReconfigSummary>,
+    /// Event counts by kind, descending.
+    pub kind_counts: Vec<(String, usize)>,
+    /// p99 histogram of `second` events outside reconfigurations.
+    pub stable_p99: Histogram,
+    /// p99 histogram of `second` events during reconfigurations.
+    pub reconfig_p99: Histogram,
+    /// Throughput histogram over all `second` events.
+    pub throughput: Histogram,
+    /// Count of `sla_violation` events.
+    pub sla_violations: u64,
+    /// Count of `planner` events.
+    pub planner_calls: u64,
+    /// Count of feasible `planner` events.
+    pub planner_feasible: u64,
+    /// Count of `forecast_predict` events.
+    pub forecasts: u64,
+    /// Count of `chunk_move` events (anywhere in the trace).
+    pub chunk_moves: u64,
+    /// Structural span problems (also reported by `pstore-verify`).
+    pub span_errors: Vec<SpanError>,
+    /// The trailing `metrics_snapshot` event, if the run emitted one.
+    pub metrics_snapshot: Option<Event>,
+}
+
+impl RunReport {
+    /// Builds a report from parsed trace events.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut report = RunReport {
+            events: events.len(),
+            ..RunReport::default()
+        };
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        // Open reconfig spans: id -> index into report.reconfigs.
+        let mut open_reconfigs: BTreeMap<u64, usize> = BTreeMap::new();
+
+        for ev in events {
+            *counts.entry(ev.kind.as_str()).or_insert(0) += 1;
+            match ev.kind.as_str() {
+                kinds::SPAN_BEGIN if ev.field_str("name") == Some(kinds::SPAN_RECONFIG) => {
+                    if let Some(id) = ev.field_u64("id") {
+                        report.reconfigs.push(ReconfigSummary {
+                            start: ev.t,
+                            end: None,
+                            from: ev.field_u64("from"),
+                            to: ev.field_u64("to"),
+                            chunk_moves: 0,
+                            bytes_moved: 0,
+                        });
+                        open_reconfigs.insert(id, report.reconfigs.len() - 1);
+                    }
+                }
+                kinds::SPAN_END if ev.field_str("name") == Some(kinds::SPAN_RECONFIG) => {
+                    if let Some(idx) = ev.field_u64("id").and_then(|id| open_reconfigs.remove(&id))
+                    {
+                        report.reconfigs[idx].end = ev.t;
+                    }
+                }
+                kinds::CHUNK_MOVE => {
+                    report.chunk_moves += 1;
+                    let bytes = ev.field_u64("bytes").unwrap_or(0);
+                    // Attribute to every open reconfiguration (normally one).
+                    for idx in open_reconfigs.values() {
+                        report.reconfigs[*idx].chunk_moves += 1;
+                        report.reconfigs[*idx].bytes_moved += bytes;
+                    }
+                }
+                kinds::SECOND => {
+                    if let Some(p99) = ev.field_f64("p99") {
+                        let during = ev
+                            .field("reconfiguring")
+                            .and_then(crate::Value::as_bool)
+                            .unwrap_or(!open_reconfigs.is_empty());
+                        if during {
+                            report.reconfig_p99.record(p99);
+                        } else {
+                            report.stable_p99.record(p99);
+                        }
+                    }
+                    if let Some(tp) = ev.field_f64("throughput") {
+                        report.throughput.record(tp);
+                    }
+                }
+                kinds::SLA_VIOLATION => report.sla_violations += 1,
+                kinds::PLANNER => {
+                    report.planner_calls += 1;
+                    if ev.field("feasible").and_then(crate::Value::as_bool) == Some(true) {
+                        report.planner_feasible += 1;
+                    }
+                }
+                kinds::FORECAST_PREDICT => report.forecasts += 1,
+                kinds::METRICS_SNAPSHOT => report.metrics_snapshot = Some(ev.clone()),
+                _ => {}
+            }
+        }
+
+        let mut kind_counts: Vec<(String, usize)> = counts
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        kind_counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        report.kind_counts = kind_counts;
+        report.span_errors = span_errors(events);
+        report
+    }
+
+    /// Renders the human-readable report text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "trace: {} events", self.events);
+        let _ = writeln!(out);
+
+        let _ = writeln!(out, "== event kinds ==");
+        for (kind, n) in self.kind_counts.iter().take(12) {
+            let _ = writeln!(out, "  {kind:<20} {n:>8}");
+        }
+        let _ = writeln!(out);
+
+        let _ = writeln!(
+            out,
+            "== reconfigurations ({} total, {} chunk moves) ==",
+            self.reconfigs.len(),
+            self.chunk_moves
+        );
+        for (i, r) in self.reconfigs.iter().enumerate() {
+            let from = r.from.map_or("?".to_string(), |v| v.to_string());
+            let to = r.to.map_or("?".to_string(), |v| v.to_string());
+            let window = match (r.start, r.end) {
+                (Some(s), Some(e)) => format!("t={s:.1}s..{e:.1}s ({:.1}s)", e - s),
+                (Some(s), None) => format!("t={s:.1}s.. (unfinished)"),
+                _ => "t=?".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  #{i:<3} {from:>3} -> {to:<3} machines  {window}  {} chunks, {} bytes",
+                r.chunk_moves, r.bytes_moved
+            );
+        }
+        let _ = writeln!(out);
+
+        let _ = writeln!(out, "== per-second latency (p99, seconds) ==");
+        let _ = writeln!(
+            out,
+            "  phase        seconds     p50      p95      p99      max"
+        );
+        for (label, h) in [
+            ("stable", &self.stable_p99),
+            ("reconfig", &self.reconfig_p99),
+        ] {
+            let _ = writeln!(
+                out,
+                "  {label:<10} {:>8} {:>8.4} {:>8.4} {:>8.4} {:>8.4}",
+                h.count(),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+                h.max()
+            );
+        }
+        let _ = writeln!(out, "  SLA-violation seconds: {}", self.sla_violations);
+        let _ = writeln!(out);
+
+        let _ = writeln!(out, "== counters ==");
+        let _ = writeln!(
+            out,
+            "  planner calls: {} ({} feasible)   forecasts: {}   throughput seconds: {}",
+            self.planner_calls,
+            self.planner_feasible,
+            self.forecasts,
+            self.throughput.count()
+        );
+        if let Some(snap) = &self.metrics_snapshot {
+            let _ = writeln!(out, "  metrics snapshot ({} fields):", snap.fields.len());
+            for (k, v) in snap.fields.iter().take(24) {
+                let rendered = match v {
+                    crate::Value::U64(n) => n.to_string(),
+                    crate::Value::I64(n) => n.to_string(),
+                    crate::Value::F64(n) => format!("{n:.4}"),
+                    crate::Value::Bool(b) => b.to_string(),
+                    crate::Value::Str(s) => s.clone(),
+                };
+                let _ = writeln!(out, "    {k:<32} {rendered}");
+            }
+        }
+
+        if !self.span_errors.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "== span errors ({}) ==", self.span_errors.len());
+            for e in &self.span_errors {
+                let _ = writeln!(out, "  {e}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn span(kind: &str, seq: u64, id: u64, name: &str) -> Event {
+        let mut ev = Event::new(kind).with("id", id).with("name", name);
+        ev.seq = seq;
+        ev
+    }
+
+    #[test]
+    fn well_nested_spans_pass() {
+        let events = vec![
+            span(kinds::SPAN_BEGIN, 1, 1, "outer"),
+            span(kinds::SPAN_BEGIN, 2, 2, "inner"),
+            span(kinds::SPAN_END, 3, 2, "inner"),
+            span(kinds::SPAN_END, 4, 1, "outer"),
+        ];
+        assert!(span_errors(&events).is_empty());
+    }
+
+    #[test]
+    fn detects_unmatched_and_misnested_spans() {
+        let unclosed = vec![span(kinds::SPAN_BEGIN, 1, 1, "a")];
+        assert!(matches!(
+            span_errors(&unclosed)[0],
+            SpanError::Unclosed { id: 1, .. }
+        ));
+
+        let stray_end = vec![span(kinds::SPAN_END, 1, 9, "a")];
+        assert!(matches!(
+            span_errors(&stray_end)[0],
+            SpanError::EndWithoutBegin { id: 9, .. }
+        ));
+
+        let crossed = vec![
+            span(kinds::SPAN_BEGIN, 1, 1, "a"),
+            span(kinds::SPAN_BEGIN, 2, 2, "b"),
+            span(kinds::SPAN_END, 3, 1, "a"),
+            span(kinds::SPAN_END, 4, 2, "b"),
+        ];
+        let errs = span_errors(&crossed);
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            SpanError::BadNesting {
+                closed: 1,
+                expected: 2,
+                ..
+            }
+        )));
+
+        let dup = vec![
+            span(kinds::SPAN_BEGIN, 1, 1, "a"),
+            span(kinds::SPAN_BEGIN, 2, 1, "a"),
+        ];
+        assert!(span_errors(&dup)
+            .iter()
+            .any(|e| matches!(e, SpanError::DuplicateBegin { id: 1, .. })));
+    }
+
+    #[test]
+    fn report_reconstructs_reconfig_timeline() {
+        let mut events = Vec::new();
+        let mut begin = span(kinds::SPAN_BEGIN, 1, 5, kinds::SPAN_RECONFIG)
+            .with("from", 2u64)
+            .with("to", 4u64);
+        begin.t = Some(10.0);
+        events.push(begin);
+        let mut mv = Event::new(kinds::CHUNK_MOVE).with("bytes", 1000u64);
+        mv.seq = 2;
+        events.push(mv);
+        let mut end = span(kinds::SPAN_END, 3, 5, kinds::SPAN_RECONFIG);
+        end.t = Some(25.0);
+        events.push(end);
+        let mut sec = Event::new(kinds::SECOND)
+            .with("p99", 0.04)
+            .with("throughput", 500.0)
+            .with("reconfiguring", false);
+        sec.seq = 4;
+        events.push(sec);
+
+        let report = RunReport::from_events(&events);
+        assert_eq!(report.reconfigs.len(), 1);
+        let r = &report.reconfigs[0];
+        assert_eq!(r.from, Some(2));
+        assert_eq!(r.to, Some(4));
+        assert_eq!(r.chunk_moves, 1);
+        assert_eq!(r.bytes_moved, 1000);
+        assert_eq!(r.start, Some(10.0));
+        assert_eq!(r.end, Some(25.0));
+        assert_eq!(report.stable_p99.count(), 1);
+        assert_eq!(report.reconfig_p99.count(), 0);
+        assert!(report.span_errors.is_empty());
+        let text = report.render();
+        assert!(text.contains("reconfigurations (1 total"));
+    }
+
+    #[test]
+    fn read_jsonl_collects_line_errors() {
+        let path = std::env::temp_dir().join("pstore_telemetry_trace_test.jsonl");
+        std::fs::write(
+            &path,
+            "{\"seq\":1,\"kind\":\"a\"}\nnot json\n\n{\"seq\":2,\"kind\":\"b\"}\n",
+        )
+        .unwrap();
+        let (events, errors) = read_jsonl(&path).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].line, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -13,6 +13,9 @@
 //!   optimality against a brute-force oracle on small horizons.
 //! * [`forecast`] — load predictions: finite and (on the production path)
 //!   non-negative values, SPAR periodicity sanity.
+//! * [`telemetry`] — telemetry traces and metrics: span pairing and LIFO
+//!   nesting over event streams, histogram-merge associativity
+//!   (`TEL-01..03`, see docs/observability.md).
 //!
 //! Each checker returns structured [`Violation`] diagnostics naming the
 //! artifact, the invariant id (`SCH-01` ...) and an explanation, so a single
@@ -36,6 +39,7 @@ pub mod forecast;
 pub mod moves;
 pub mod plan;
 pub mod schedule;
+pub mod telemetry;
 
 pub use pstore_core::{InvariantId, Violation};
 

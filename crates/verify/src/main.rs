@@ -10,14 +10,16 @@
 //!    `PLN-01/02`),
 //! 3. small randomized instances cross-checked against a brute-force
 //!    optimality oracle (`PLN-03`),
-//! 4. forecaster output on periodic and noisy series (`FOR-*`).
+//! 4. forecaster output on periodic and noisy series (`FOR-*`),
+//! 5. telemetry span traces generated through the live span API plus
+//!    randomized histogram merges (`TEL-*`).
 
 use pstore_core::planner::{Planner, PlannerConfig};
 use pstore_forecast::{
     ArConfig, ArModel, ArmaConfig, ArmaModel, HoltWintersConfig, HoltWintersModel, LoadPredictor,
     OnlinePredictor, SparConfig, SparModel,
 };
-use pstore_verify::{forecast, plan, schedule, CheckStats, Violation};
+use pstore_verify::{forecast, plan, schedule, telemetry, CheckStats, Violation};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -29,6 +31,8 @@ const PLANNER_SCENARIOS: usize = 128;
 const ORACLE_SCENARIOS: usize = 100;
 /// Randomized forecast series per model family.
 const FORECAST_SERIES: usize = 16;
+/// Randomized telemetry span-trace / histogram-merge scenarios.
+const TELEMETRY_SCENARIOS: usize = 64;
 
 fn main() {
     let mut all = Vec::new();
@@ -58,6 +62,13 @@ fn main() {
 
     let stats = forecast_sweep();
     report_phase("forecast sweep: periodicity + randomized series", &stats);
+    all.extend(stats.violations);
+
+    let stats = telemetry_sweep();
+    report_phase(
+        &format!("telemetry sweep: {TELEMETRY_SCENARIOS} span traces + histogram merges"),
+        &stats,
+    );
     all.extend(stats.violations);
 
     if all.is_empty() {
@@ -287,6 +298,59 @@ fn forecast_sweep() -> CheckStats {
 
 fn cfg_min_history(cfg: &SparConfig) -> usize {
     cfg.min_history()
+}
+
+/// Phase 5: every trace produced through the live span API must satisfy
+/// `TEL-01`/`TEL-02`, and randomized histogram merges must satisfy
+/// `TEL-03` regardless of sample values or grouping.
+fn telemetry_sweep() -> CheckStats {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0004);
+    let mut stats = CheckStats::default();
+    for case in 0..TELEMETRY_SCENARIOS {
+        // Generate a well-formed randomized span tree through the real
+        // begin/end API, captured by an in-memory sink.
+        let (sink, handle) = pstore_telemetry::MemorySink::new();
+        let guard = pstore_telemetry::install(std::rc::Rc::new(sink));
+        let depth = rng.random_range(1usize..=4);
+        let width = rng.random_range(1usize..=4);
+        emit_span_tree(&mut rng, depth, width);
+        drop(guard);
+        stats.absorb(telemetry::check_trace_spans(
+            &format!("span trace {case}"),
+            &handle.events(),
+        ));
+
+        // Random sample sets, including empties and extreme magnitudes.
+        let mut set = || -> Vec<f64> {
+            let n = rng.random_range(0usize..200);
+            (0..n)
+                .map(|_| {
+                    let exp = rng.random_range(-7.0..6.0f64);
+                    10f64.powf(exp)
+                })
+                .collect()
+        };
+        let sets = [set(), set(), set()];
+        stats.absorb(telemetry::check_histogram_merge(
+            &format!("histogram merge {case}"),
+            &sets,
+        ));
+    }
+    stats
+}
+
+/// Emits a random tree of nested spans (interleaved with plain events)
+/// through the live telemetry API.
+fn emit_span_tree(rng: &mut StdRng, depth: usize, width: usize) {
+    for _ in 0..width {
+        let id = pstore_telemetry::begin_span("reconfig", &[]);
+        pstore_telemetry::emit(pstore_telemetry::Event::new("chunk_move").with("bytes", 1000u64));
+        if depth > 1 && rng.random_range(0u32..2) == 0 {
+            let child_width = rng.random_range(1usize..=width);
+            emit_span_tree(rng, depth - 1, child_width);
+        }
+        pstore_telemetry::end_span("reconfig", id, &[]);
+    }
 }
 
 /// A positive, roughly periodic series with multiplicative noise — the

@@ -1,0 +1,151 @@
+//! Telemetry-trace checkers: the `TEL-*` invariant family.
+//!
+//! `TEL-01` (reconfiguration/span pairing) and `TEL-02` (LIFO span
+//! nesting) reuse [`pstore_telemetry::trace::span_errors`] — the same
+//! implementation the `pstore-trace` binary runs over JSONL files — and
+//! translate each structural error into a [`Violation`]. `TEL-03` checks
+//! that merging latency histograms is associative and commutative on
+//! bucket contents, so per-phase histograms can be combined in any order
+//! without changing percentile readouts.
+
+use pstore_core::{InvariantId, Violation};
+use pstore_telemetry::trace::{span_errors, SpanError};
+use pstore_telemetry::{Event, Histogram};
+
+/// Checks span pairing (`TEL-01`) and nesting (`TEL-02`) over a trace.
+///
+/// Pairing violations are ends without a begin and spans left open at end
+/// of trace; nesting violations are duplicate open ids, out-of-LIFO-order
+/// closes, and span events missing their id.
+pub fn check_trace_spans(artifact: &str, events: &[Event]) -> Vec<Violation> {
+    span_errors(events)
+        .into_iter()
+        .map(|err| {
+            let invariant = match err {
+                SpanError::EndWithoutBegin { .. } | SpanError::Unclosed { .. } => {
+                    InvariantId::TelemetryReconfigPairing
+                }
+                SpanError::DuplicateBegin { .. }
+                | SpanError::BadNesting { .. }
+                | SpanError::MissingId { .. } => InvariantId::TelemetrySpanNesting,
+            };
+            Violation::new(invariant, artifact, err.to_string())
+        })
+        .collect()
+}
+
+/// Builds a histogram over one sample set.
+fn hist_of(samples: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+/// Checks that histogram merging is associative and commutative on bucket
+/// contents (`TEL-03`): `(a + b) + c` must equal `a + (b + c)` and
+/// `a + b` must equal `b + a`, up to floating-point reassociation of the
+/// running sum (see [`Histogram::content_eq`]).
+pub fn check_histogram_merge(artifact: &str, sets: &[Vec<f64>; 3]) -> Vec<Violation> {
+    let [a, b, c] = sets;
+    let (ha, hb, hc) = (hist_of(a), hist_of(b), hist_of(c));
+    let mut violations = Vec::new();
+
+    let mut left = ha.clone();
+    left.merge(&hb);
+    left.merge(&hc);
+    let mut right_tail = hb.clone();
+    right_tail.merge(&hc);
+    let mut right = ha.clone();
+    right.merge(&right_tail);
+    if !left.content_eq(&right) {
+        violations.push(Violation::new(
+            InvariantId::TelemetryHistogramMerge,
+            artifact,
+            format!(
+                "(a+b)+c != a+(b+c): counts {} vs {}, p99 {} vs {}",
+                left.count(),
+                right.count(),
+                left.quantile(0.99),
+                right.quantile(0.99)
+            ),
+        ));
+    }
+
+    let mut ab = ha.clone();
+    ab.merge(&hb);
+    let mut ba = hb.clone();
+    ba.merge(&ha);
+    if !ab.content_eq(&ba) {
+        violations.push(Violation::new(
+            InvariantId::TelemetryHistogramMerge,
+            artifact,
+            "a+b != b+a: merge is not commutative on bucket contents".to_string(),
+        ));
+    }
+
+    // Merging must preserve the total sample count exactly.
+    let expected = a.len() + b.len() + c.len();
+    if left.count() != expected as u64 {
+        violations.push(Violation::new(
+            InvariantId::TelemetryHistogramMerge,
+            artifact,
+            format!("merged count {} != total samples {expected}", left.count()),
+        ));
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstore_telemetry::kinds;
+
+    fn begin(seq: u64, id: u64) -> Event {
+        let mut e = Event::new(kinds::SPAN_BEGIN)
+            .with("id", id)
+            .with("name", "reconfig");
+        e.seq = seq;
+        e
+    }
+
+    fn end(seq: u64, id: u64) -> Event {
+        let mut e = Event::new(kinds::SPAN_END).with("id", id);
+        e.seq = seq;
+        e
+    }
+
+    #[test]
+    fn well_formed_nested_spans_are_clean() {
+        let trace = vec![begin(1, 10), begin(2, 11), end(3, 11), end(4, 10)];
+        assert!(check_trace_spans("t", &trace).is_empty());
+    }
+
+    #[test]
+    fn dangling_span_is_a_pairing_violation() {
+        let trace = vec![begin(1, 10)];
+        let v = check_trace_spans("t", &trace);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, InvariantId::TelemetryReconfigPairing);
+    }
+
+    #[test]
+    fn out_of_order_close_is_a_nesting_violation() {
+        let trace = vec![begin(1, 10), begin(2, 11), end(3, 10), end(4, 11)];
+        let v = check_trace_spans("t", &trace);
+        assert!(v
+            .iter()
+            .any(|x| x.invariant == InvariantId::TelemetrySpanNesting));
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_on_simple_sets() {
+        let sets = [
+            vec![0.001, 0.01, 0.5],
+            vec![0.2, 0.2, 3.0],
+            vec![0.0004, 10.0],
+        ];
+        assert!(check_histogram_merge("t", &sets).is_empty());
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the `TEL-*` telemetry invariants: histogram merging
+//! is associative/commutative on arbitrary sample sets (`TEL-03`), and
+//! span traces produced through the live API always pair and nest
+//! (`TEL-01`/`TEL-02`).
+
+use proptest::prelude::*;
+use pstore_verify::telemetry::{check_histogram_merge, check_trace_spans};
+
+/// One sample set: latencies/loads spanning many orders of magnitude,
+/// including zero, negatives (clamped by the histogram) and tiny values.
+fn sample_set() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(0.0),
+            -1e3..1e3f64,
+            (-7.0..6.0f64).prop_map(|e| 10f64.powf(e)),
+        ],
+        0..64,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// TEL-03: merging any three histograms is associative and
+    /// commutative on bucket contents.
+    #[test]
+    fn histogram_merge_is_associative(a in sample_set(), b in sample_set(), c in sample_set()) {
+        let violations = check_histogram_merge("proptest", &[a, b, c]);
+        prop_assert!(
+            violations.is_empty(),
+            "{}",
+            pstore_core::invariant::report(&violations)
+        );
+    }
+
+    /// TEL-01/02: any properly bracketed sequence of begin/end events —
+    /// encoded as a balanced depth profile — passes the span checker.
+    #[test]
+    fn balanced_span_traces_are_clean(profile in prop::collection::vec(any::<bool>(), 0..40)) {
+        let mut events = Vec::new();
+        let mut stack = Vec::new();
+        let mut next_id = 1u64;
+        let mut seq = 1u64;
+        for open in profile {
+            if open || stack.is_empty() {
+                let mut e = pstore_telemetry::Event::new(pstore_telemetry::kinds::SPAN_BEGIN)
+                    .with("id", next_id)
+                    .with("name", "reconfig");
+                e.seq = seq;
+                events.push(e);
+                stack.push(next_id);
+                next_id += 1;
+            } else {
+                let id = stack.pop().unwrap();
+                let mut e = pstore_telemetry::Event::new(pstore_telemetry::kinds::SPAN_END)
+                    .with("id", id);
+                e.seq = seq;
+                events.push(e);
+            }
+            seq += 1;
+        }
+        while let Some(id) = stack.pop() {
+            let mut e = pstore_telemetry::Event::new(pstore_telemetry::kinds::SPAN_END)
+                .with("id", id);
+            e.seq = seq;
+            events.push(e);
+            seq += 1;
+        }
+        let violations = check_trace_spans("proptest", &events);
+        prop_assert!(
+            violations.is_empty(),
+            "{}",
+            pstore_core::invariant::report(&violations)
+        );
+    }
+
+    /// An unbalanced trace (one dangling begin) is always flagged.
+    #[test]
+    fn dangling_span_is_always_flagged(extra in 1u64..100) {
+        let mut e = pstore_telemetry::Event::new(pstore_telemetry::kinds::SPAN_BEGIN)
+            .with("id", extra)
+            .with("name", "reconfig");
+        e.seq = 1;
+        let violations = check_trace_spans("proptest", &[e]);
+        prop_assert_eq!(violations.len(), 1);
+    }
+}

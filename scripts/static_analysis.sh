@@ -25,12 +25,26 @@ cargo fmt --all --check
 step "cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -q -- -D warnings
 
+step "cargo clippy (telemetry feature) -- -D warnings"
+cargo clippy -q -p pstore-bench -p pstore-sim --all-targets \
+    --features telemetry -- -D warnings
+
 step "pstore-verify invariant sweep"
 cargo run -q --release -p pstore-verify
+
+step "telemetry smoke: traced run + pstore-trace validation"
+TRACE_FILE="$(mktemp /tmp/pstore-smoke.XXXXXX.jsonl)"
+trap 'rm -f "$TRACE_FILE"' EXIT
+cargo run -q --release -p pstore-bench --features telemetry \
+    --bin telemetry_smoke -- --quiet --trace "$TRACE_FILE"
+# pstore-trace exits 1 on parse errors or unmatched spans (TEL-01/02).
+cargo run -q --release -p pstore-telemetry --bin pstore-trace -- "$TRACE_FILE"
 
 if [[ "$QUICK" == "0" ]]; then
     step "property-test suites"
     cargo test -q -p pstore-verify --tests
+    step "pstore-sim tests with telemetry feature"
+    cargo test -q -p pstore-sim --features telemetry
 fi
 
 echo

@@ -96,6 +96,10 @@ struct CartState {
 pub struct WorkloadGenerator {
     cfg: WorkloadConfig,
     rng: StdRng,
+    /// SKU names, precomputed once: `random_sku` on the per-transaction
+    /// path clones a table entry instead of re-deriving the hash and
+    /// formatting a fresh string every call.
+    sku_names: Vec<String>,
     clock: i64,
     next_cart: u64,
     next_checkout: u64,
@@ -120,6 +124,7 @@ impl WorkloadGenerator {
         let rng = StdRng::seed_from_u64(cfg.seed);
         WorkloadGenerator {
             rng,
+            sku_names: (0..cfg.num_skus).map(sku_name).collect(),
             cfg,
             clock: 0,
             next_cart: 0,
@@ -149,9 +154,10 @@ impl WorkloadGenerator {
 
     /// Loader procedures seeding the stock table.
     pub fn seed_stock_procedures(&self) -> Vec<SeedStock> {
-        (0..self.cfg.num_skus)
-            .map(|i| SeedStock {
-                sku: sku_name(i),
+        self.sku_names
+            .iter()
+            .map(|sku| SeedStock {
+                sku: sku.clone(),
                 quantity: self.cfg.initial_stock,
             })
             .collect()
@@ -171,7 +177,7 @@ impl WorkloadGenerator {
     }
 
     fn random_sku(&mut self) -> String {
-        sku_name(self.rng.random_range(0..self.cfg.num_skus))
+        self.sku_names[self.rng.random_range(0..self.sku_names.len())].clone()
     }
 
     /// Emits an AddLineToCart for the most recently created cart.

@@ -1,0 +1,48 @@
+//! Microbenchmark for the B2W workload generator: `next_txn` runs once
+//! per simulated transaction, so its cost (and allocation behaviour — see
+//! `crates/dbms/tests/warm_path_alloc.rs`) bounds every detailed-sim cell.
+
+#![allow(clippy::expect_used, clippy::unwrap_used)] // benchmark setup aborts loudly
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pstore_b2w::generator::{WorkloadConfig, WorkloadGenerator};
+use std::hint::black_box;
+
+fn warm_generator() -> WorkloadGenerator {
+    let mut gen = WorkloadGenerator::new(WorkloadConfig {
+        num_skus: 5_000,
+        initial_carts: 1_500,
+        ..WorkloadConfig::default()
+    });
+    // Realise the initial carts so the steady-state mix (including
+    // checkouts against existing carts) is what gets measured.
+    let _ = gen.initial_load();
+    gen
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload/generator");
+    group.throughput(Throughput::Elements(1_000));
+    group.sample_size(30);
+    group.bench_function("next_txn_1k", |b| {
+        let mut gen = warm_generator();
+        b.iter(|| {
+            for _ in 0..1_000 {
+                black_box(gen.next_txn());
+            }
+        })
+    });
+    group.bench_function("initial_load", |b| {
+        b.iter(|| {
+            let mut gen = WorkloadGenerator::new(WorkloadConfig {
+                num_skus: 2_000,
+                initial_carts: 500,
+                ..WorkloadConfig::default()
+            });
+            black_box(gen.initial_load())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_workload);
+criterion_main!(benches);

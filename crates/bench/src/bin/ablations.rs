@@ -17,6 +17,7 @@
 // desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
 // lint policy only bans them in library code).
 #![allow(clippy::expect_used, clippy::unwrap_used)]
+use pstore_bench::sweep::{Cell, Sweep};
 use pstore_bench::{section, RunReporter};
 use pstore_core::controller::pstore::PStoreConfig;
 use pstore_core::controller::pstore::PStoreController;
@@ -29,6 +30,7 @@ use pstore_sim::scenarios::{
     greedy_fast, per_tick, pstore_spar_fast, tick_spar_config, PEAK_TXN_RATE, TICKS_PER_DAY,
     TRAINING_DAYS,
 };
+use std::sync::Arc;
 
 fn row(label: &str, r: &FastSimResult) {
     println!(
@@ -54,8 +56,8 @@ fn main() {
         .copied()
         .fold(0.0, f64::max);
     let scaled = raw.scaled(PEAK_TXN_RATE / peak);
-    let train = scaled.values()[..eval_start].to_vec();
-    let eval = scaled.values()[eval_start..].to_vec();
+    let train: Arc<Vec<f64>> = Arc::new(scaled.values()[..eval_start].to_vec());
+    let eval: Arc<Vec<f64>> = Arc::new(scaled.values()[eval_start..].to_vec());
 
     let params = SystemParams::b2w_paper();
     let cfg = FastSimConfig {
@@ -71,30 +73,34 @@ fn main() {
         max_machines: params.max_machines,
     };
 
-    println!(
-        "{:<44} {:>10} {:>12} {:>8}",
-        "configuration", "avg mach", "% short", "moves"
-    );
+    // Every ablation run is an independent fast-sim cell; fan them all
+    // out together and print the sections from the collected results.
+    let mut cells: Vec<Cell<FastSimResult>> = Vec::new();
 
-    section("Ablation 1: dynamic program vs greedy lookahead");
-    let dp = run_fast(
-        &cfg,
-        &eval,
-        &mut pstore_spar_fast(&train, eval[0], &params, params.q),
-    );
-    let greedy = run_fast(
-        &cfg,
-        &eval,
-        &mut greedy_fast(&train, eval[0], &params, params.q),
-    );
-    row("P-Store DP (paper)", &dp);
-    row("greedy horizon-peak provisioning", &greedy);
-    println!(
-        "-> the DP saves {:.1}% of machine cost at comparable shortfall",
-        100.0 * (1.0 - dp.cost_machine_slots / greedy.cost_machine_slots)
-    );
-
-    section("Ablation 2: effective-capacity awareness (Eq 7)");
+    // Ablation 1: dynamic program vs greedy lookahead.
+    {
+        let (cfg, params) = (cfg.clone(), params.clone());
+        let (train, eval) = (Arc::clone(&train), Arc::clone(&eval));
+        cells.push(Cell::new("dp", move || {
+            run_fast(
+                &cfg,
+                &eval,
+                &mut pstore_spar_fast(&train, eval[0], &params, params.q),
+            )
+        }));
+    }
+    {
+        let (cfg, params) = (cfg.clone(), params.clone());
+        let (train, eval) = (Arc::clone(&train), Arc::clone(&eval));
+        cells.push(Cell::new("greedy", move || {
+            run_fast(
+                &cfg,
+                &eval,
+                &mut greedy_fast(&train, eval[0], &params, params.q),
+            )
+        }));
+    }
+    // Ablation 2: effective-capacity awareness (Eq 7).
     // With the paper's P = 6, moves take only minutes and Eq 7 changes
     // little; run this ablation with a single migration stream per machine
     // (P = 1), where moves span 30-60 minutes and mid-flight capacity
@@ -121,22 +127,27 @@ fn main() {
         q: 335.0,
         ..planner_cfg_p1.clone()
     };
-    let flash = pstore_forecast::generators::flash_sale_load(
-        eval.len() / 1440,
-        800.0,
-        2_800.0,
-        600,
-        10,
-        180,
-    )
-    .values()
-    .to_vec();
-    let oracle_controller = |planner: Planner| {
+    let flash: Arc<Vec<f64>> = Arc::new(
+        pstore_forecast::generators::flash_sale_load(
+            eval.len() / 1440,
+            800.0,
+            2_800.0,
+            600,
+            10,
+            180,
+        )
+        .values()
+        .to_vec(),
+    );
+    fn oracle_controller(
+        flash: &[f64],
+        planner: Planner,
+    ) -> PStoreController<pstore_core::controller::forecaster::OracleForecaster> {
         let q = planner.config().q;
         PStoreController::new(
             planner,
             pstore_core::controller::forecaster::OracleForecaster::new(
-                pstore_sim::scenarios::per_tick(&flash),
+                pstore_sim::scenarios::per_tick(flash),
             ),
             PStoreConfig {
                 horizon: 48,
@@ -146,25 +157,127 @@ fn main() {
                 initial_machines: machines_for_load(flash[0], q).clamp(1, 10),
             },
         )
-    };
-    let aware_p1 = run_fast(
-        &cfg_p1,
-        &flash,
-        &mut oracle_controller(Planner::new(planner_cfg_tight.clone())),
-    );
-    let naive_p1 = run_fast(
-        &cfg_p1,
-        &flash,
-        &mut oracle_controller(Planner::with_options(
+    }
+    {
+        let (cfg_p1, planner_cfg_tight, flash) = (
+            cfg_p1.clone(),
             planner_cfg_tight.clone(),
-            PlannerOptions {
-                effective_capacity_aware: false,
-                jit_allocation_cost: true,
-            },
-        )),
+            Arc::clone(&flash),
+        );
+        cells.push(Cell::new("eff-cap aware", move || {
+            run_fast(
+                &cfg_p1,
+                &flash,
+                &mut oracle_controller(&flash, Planner::new(planner_cfg_tight)),
+            )
+        }));
+    }
+    {
+        let (cfg_p1, planner_cfg_tight, flash) = (
+            cfg_p1.clone(),
+            planner_cfg_tight.clone(),
+            Arc::clone(&flash),
+        );
+        cells.push(Cell::new("eff-cap naive", move || {
+            run_fast(
+                &cfg_p1,
+                &flash,
+                &mut oracle_controller(
+                    &flash,
+                    Planner::with_options(
+                        planner_cfg_tight,
+                        PlannerOptions {
+                            effective_capacity_aware: false,
+                            jit_allocation_cost: true,
+                        },
+                    ),
+                ),
+            )
+        }));
+    }
+
+    // Ablation 3: scale-in confirmation cycles.
+    for confirmations in [1u32, 3] {
+        let (cfg, params, planner_cfg) = (cfg.clone(), params.clone(), planner_cfg.clone());
+        let (train, eval) = (Arc::clone(&train), Arc::clone(&eval));
+        cells.push(Cell::new(format!("confirm {confirmations}"), move || {
+            let mut forecaster = pstore_core::controller::forecaster::SparForecaster::new(
+                tick_spar_config(),
+                7 * TICKS_PER_DAY,
+                40 * TICKS_PER_DAY,
+            );
+            forecaster.seed(&per_tick(&train));
+            let mut c = PStoreController::new(
+                Planner::new(planner_cfg),
+                forecaster,
+                PStoreConfig {
+                    horizon: 48,
+                    prediction_inflation: 1.15,
+                    scale_in_confirmations: confirmations,
+                    emergency_rate_multiplier: 1.0,
+                    initial_machines: machines_for_load(eval[0] * 1.15, params.q).clamp(1, 10),
+                },
+            );
+            run_fast(&cfg, &eval, &mut c)
+        }));
+    }
+
+    // Ablation 4: planning horizon. §5: the forecast window must cover two
+    // maximal reconfigurations (2D/P). With P = 1 the biggest move takes
+    // ~12 ticks; horizons below that force emergency fallbacks.
+    let horizons = [4usize, 8, 16, 32, 64];
+    for horizon in horizons {
+        let (cfg_p1, params, planner_cfg_p1) =
+            (cfg_p1.clone(), params.clone(), planner_cfg_p1.clone());
+        let (train, eval) = (Arc::clone(&train), Arc::clone(&eval));
+        cells.push(Cell::new(format!("horizon {horizon}"), move || {
+            let mut forecaster = pstore_core::controller::forecaster::SparForecaster::new(
+                tick_spar_config(),
+                7 * TICKS_PER_DAY,
+                40 * TICKS_PER_DAY,
+            );
+            forecaster.seed(&per_tick(&train));
+            let mut c = PStoreController::new(
+                Planner::new(planner_cfg_p1),
+                forecaster,
+                PStoreConfig {
+                    horizon,
+                    prediction_inflation: 1.15,
+                    scale_in_confirmations: 3,
+                    emergency_rate_multiplier: 1.0,
+                    initial_machines: machines_for_load(eval[0] * 1.15, params.q).clamp(1, 10),
+                },
+            );
+            run_fast(&cfg_p1, &eval, &mut c)
+        }));
+    }
+
+    let sweep = Sweep::from_reporter(&reporter);
+    reporter.progress(&format!(
+        "running {} ablation cells on {} thread(s)...",
+        cells.len(),
+        sweep.threads().min(cells.len())
+    ));
+    let results = sweep.run(cells);
+    let (dp, greedy) = (&results[0], &results[1]);
+    let (aware_p1, naive_p1) = (&results[2], &results[3]);
+
+    println!(
+        "{:<44} {:>10} {:>12} {:>8}",
+        "configuration", "avg mach", "% short", "moves"
     );
-    row("eff-cap aware, P=1 (paper algorithm)", &aware_p1);
-    row("naive: moves grant cap(A) instantly, P=1", &naive_p1);
+
+    section("Ablation 1: dynamic program vs greedy lookahead");
+    row("P-Store DP (paper)", dp);
+    row("greedy horizon-peak provisioning", greedy);
+    println!(
+        "-> the DP saves {:.1}% of machine cost at comparable shortfall",
+        100.0 * (1.0 - dp.cost_machine_slots / greedy.cost_machine_slots)
+    );
+
+    section("Ablation 2: effective-capacity awareness (Eq 7)");
+    row("eff-cap aware, P=1 (paper algorithm)", aware_p1);
+    row("naive: moves grant cap(A) instantly, P=1", naive_p1);
     println!(
         "-> ignoring Eq 7 leaves the system short {:.3}% of the time vs {:.3}%",
         naive_p1.pct_insufficient(),
@@ -172,59 +285,20 @@ fn main() {
     );
 
     section("Ablation 3: scale-in confirmation cycles");
-    for confirmations in [1u32, 3] {
-        let mut forecaster = pstore_core::controller::forecaster::SparForecaster::new(
-            tick_spar_config(),
-            7 * TICKS_PER_DAY,
-            40 * TICKS_PER_DAY,
-        );
-        forecaster.seed(&per_tick(&train));
-        let mut c = PStoreController::new(
-            Planner::new(planner_cfg.clone()),
-            forecaster,
-            PStoreConfig {
-                horizon: 48,
-                prediction_inflation: 1.15,
-                scale_in_confirmations: confirmations,
-                emergency_rate_multiplier: 1.0,
-                initial_machines: machines_for_load(eval[0] * 1.15, params.q).clamp(1, 10),
-            },
-        );
-        let r = run_fast(&cfg, &eval, &mut c);
+    for (i, confirmations) in [1u32, 3].into_iter().enumerate() {
         row(
             &format!(
                 "{confirmations} confirmation(s){}",
                 if confirmations == 3 { " (paper)" } else { "" }
             ),
-            &r,
+            &results[4 + i],
         );
     }
     println!("-> fewer confirmations = more churn (extra moves) for the same capacity");
 
     section("Ablation 4: planning horizon (ticks of 5 min, P = 1)");
-    // §5: the forecast window must cover two maximal reconfigurations
-    // (2D/P). With P = 1 the biggest move takes ~12 ticks; horizons below
-    // that force emergency fallbacks.
-    for horizon in [4usize, 8, 16, 32, 64] {
-        let mut forecaster = pstore_core::controller::forecaster::SparForecaster::new(
-            tick_spar_config(),
-            7 * TICKS_PER_DAY,
-            40 * TICKS_PER_DAY,
-        );
-        forecaster.seed(&per_tick(&train));
-        let mut c = PStoreController::new(
-            Planner::new(planner_cfg_p1.clone()),
-            forecaster,
-            PStoreConfig {
-                horizon,
-                prediction_inflation: 1.15,
-                scale_in_confirmations: 3,
-                emergency_rate_multiplier: 1.0,
-                initial_machines: machines_for_load(eval[0] * 1.15, params.q).clamp(1, 10),
-            },
-        );
-        let r = run_fast(&cfg_p1, &eval, &mut c);
-        row(&format!("horizon {horizon}"), &r);
+    for (i, horizon) in horizons.into_iter().enumerate() {
+        row(&format!("horizon {horizon}"), &results[6 + i]);
     }
     println!("-> the horizon must cover ~two maximal moves (2D/P, §5);");
     println!("   beyond that, receding-horizon replanning makes extra");

@@ -5,7 +5,8 @@
 // desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
 // lint policy only bans them in library code).
 #![allow(clippy::expect_used, clippy::unwrap_used)]
-use pstore_bench::fig9::{run_all, Fig9Config};
+use pstore_bench::fig9::{run_all_sweep, Fig9Config};
+use pstore_bench::sweep::Sweep;
 use pstore_bench::{section, RunReporter};
 use pstore_sim::latency::{cdf_points, top_fraction};
 
@@ -18,7 +19,7 @@ fn main() {
         quick,
     };
     reporter.progress("running the Fig 9 comparison to derive the CDFs...");
-    let (_, results) = run_all(&cfg);
+    let (_, results) = run_all_sweep(&cfg, &Sweep::from_reporter(&reporter));
 
     for (name, pick) in [("50th", 0usize), ("95th", 1), ("99th", 2)] {
         section(&format!(

@@ -9,6 +9,7 @@
 // desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
 // lint policy only bans them in library code).
 #![allow(clippy::expect_used, clippy::unwrap_used)]
+use pstore_bench::sweep::{Cell, Sweep};
 use pstore_bench::{section, RunReporter};
 use pstore_core::params::SystemParams;
 use pstore_forecast::generators::B2wLoadModel;
@@ -17,6 +18,7 @@ use pstore_sim::scenarios::{
     pstore_oracle_fast, pstore_spar_fast, reactive_fast, simple_schedule, static_alloc,
     PEAK_TXN_RATE, TRAINING_DAYS,
 };
+use std::sync::Arc;
 
 struct Point {
     strategy: &'static str,
@@ -25,6 +27,17 @@ struct Point {
     pct_short: f64,
     avg_machines: f64,
     reconfigs: u64,
+}
+
+fn point(strategy: &'static str, knob: String, r: &FastSimResult) -> Point {
+    Point {
+        strategy,
+        knob,
+        cost: r.cost_machine_slots,
+        pct_short: r.pct_insufficient(),
+        avg_machines: r.avg_machines(),
+        reconfigs: r.reconfigurations,
+    }
 }
 
 fn main() {
@@ -41,8 +54,8 @@ fn main() {
         .copied()
         .fold(0.0, f64::max);
     let scaled = raw.scaled(PEAK_TXN_RATE / normal_peak);
-    let train = &scaled.values()[..eval_start];
-    let eval = &scaled.values()[eval_start..];
+    let train: Arc<Vec<f64>> = Arc::new(scaled.values()[..eval_start].to_vec());
+    let eval: Arc<Vec<f64>> = Arc::new(scaled.values()[eval_start..].to_vec());
 
     let params = SystemParams::b2w_paper();
     let cfg = FastSimConfig {
@@ -52,49 +65,63 @@ fn main() {
         record_timeline: false,
     };
 
-    let mut points: Vec<Point> = Vec::new();
-    let push = |points: &mut Vec<Point>, strategy, knob: String, r: &FastSimResult| {
-        points.push(Point {
-            strategy,
-            knob,
-            cost: r.cost_machine_slots,
-            pct_short: r.pct_insufficient(),
-            avg_machines: r.avg_machines(),
-            reconfigs: r.reconfigurations,
-        });
-    };
-
-    reporter.progress(&format!(
-        "simulating {} strategy/knob combinations over {eval_days} days...",
-        6 + 6 + 5 + 4 + 5
-    ));
-
+    // One sweep cell per strategy/knob combination; every cell re-derives
+    // its controller from the shared (read-only) train/eval curves, so the
+    // cells are independent and the grid order fixes the output order.
+    let mut cells: Vec<Cell<Point>> = Vec::new();
     let q_sweep = [200.0, 230.0, 260.0, 285.0, 310.0, 335.0];
     for &q in &q_sweep {
-        let mut s = pstore_oracle_fast(eval, &params, q);
-        let r = run_fast(&cfg, eval, &mut s);
-        push(&mut points, "P-Store Oracle", format!("Q={q:.0}"), &r);
+        let (cfg, params, eval) = (cfg.clone(), params.clone(), Arc::clone(&eval));
+        cells.push(Cell::new(format!("oracle Q={q:.0}"), move || {
+            let mut s = pstore_oracle_fast(&eval, &params, q);
+            let r = run_fast(&cfg, &eval, &mut s);
+            point("P-Store Oracle", format!("Q={q:.0}"), &r)
+        }));
     }
     for &q in &q_sweep {
-        let mut s = pstore_spar_fast(train, eval[0], &params, q);
-        let r = run_fast(&cfg, eval, &mut s);
-        push(&mut points, "P-Store SPAR", format!("Q={q:.0}"), &r);
+        let (cfg, params) = (cfg.clone(), params.clone());
+        let (train, eval) = (Arc::clone(&train), Arc::clone(&eval));
+        cells.push(Cell::new(format!("spar Q={q:.0}"), move || {
+            let mut s = pstore_spar_fast(&train, eval[0], &params, q);
+            let r = run_fast(&cfg, &eval, &mut s);
+            point("P-Store SPAR", format!("Q={q:.0}"), &r)
+        }));
     }
     for headroom in [0.05, 0.15, 0.3, 0.5, 0.8] {
-        let mut s = reactive_fast(eval[0], &params, headroom);
-        let r = run_fast(&cfg, eval, &mut s);
-        push(&mut points, "Reactive", format!("buf={headroom:.2}"), &r);
+        let (cfg, params, eval) = (cfg.clone(), params.clone(), Arc::clone(&eval));
+        cells.push(Cell::new(
+            format!("reactive buf={headroom:.2}"),
+            move || {
+                let mut s = reactive_fast(eval[0], &params, headroom);
+                let r = run_fast(&cfg, &eval, &mut s);
+                point("Reactive", format!("buf={headroom:.2}"), &r)
+            },
+        ));
     }
     for (day, night) in [(6u32, 2u32), (8, 3), (10, 4), (10, 6)] {
-        let mut s = simple_schedule(day, night);
-        let r = run_fast(&cfg, eval, &mut s);
-        push(&mut points, "Simple", format!("{day}/{night}"), &r);
+        let (cfg, eval) = (cfg.clone(), Arc::clone(&eval));
+        cells.push(Cell::new(format!("simple {day}/{night}"), move || {
+            let mut s = simple_schedule(day, night);
+            let r = run_fast(&cfg, &eval, &mut s);
+            point("Simple", format!("{day}/{night}"), &r)
+        }));
     }
     for n in [2u32, 4, 6, 8, 10] {
-        let mut s = static_alloc(n);
-        let r = run_fast(&cfg, eval, &mut s);
-        push(&mut points, "Static", format!("n={n}"), &r);
+        let (cfg, eval) = (cfg.clone(), Arc::clone(&eval));
+        cells.push(Cell::new(format!("static n={n}"), move || {
+            let mut s = static_alloc(n);
+            let r = run_fast(&cfg, &eval, &mut s);
+            point("Static", format!("n={n}"), &r)
+        }));
     }
+
+    let sweep = Sweep::from_reporter(&reporter);
+    reporter.progress(&format!(
+        "simulating {} strategy/knob combinations over {eval_days} days on {} thread(s)...",
+        cells.len(),
+        sweep.threads().min(cells.len())
+    ));
+    let points = sweep.run(cells);
 
     // Normalise cost to the default P-Store SPAR point (Q = 285).
     let base = points

@@ -7,7 +7,8 @@
 // desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
 // lint policy only bans them in library code).
 #![allow(clippy::expect_used, clippy::unwrap_used)]
-use pstore_bench::fig9::{run_all, Fig9Config};
+use pstore_bench::fig9::{run_all_sweep, Fig9Config};
+use pstore_bench::sweep::Sweep;
 use pstore_bench::{ascii_plot, ascii_plot2, hms, section, RunReporter};
 use pstore_sim::latency::{cdf_points, top_fraction, SLA_THRESHOLD_S};
 
@@ -19,11 +20,13 @@ fn main() {
         seed: 0x0709,
         quick,
     };
+    let sweep = Sweep::from_reporter(&reporter);
     reporter.progress(&format!(
-        "running {} day(s) x 4 approaches (this is the paper's 7.2-hour experiment)...",
-        cfg.days
+        "running {} day(s) x 4 approaches on {} thread(s) (this is the paper's 7.2-hour experiment)...",
+        cfg.days,
+        sweep.threads().min(4)
     ));
-    let (trace, results) = run_all(&cfg);
+    let (trace, results) = run_all_sweep(&cfg, &sweep);
 
     // Plot-friendly dumps: one per-second CSV per approach.
     for r in &results {

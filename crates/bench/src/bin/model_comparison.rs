@@ -7,29 +7,61 @@
 // desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
 // lint policy only bans them in library code).
 #![allow(clippy::expect_used, clippy::unwrap_used)]
+use pstore_bench::sweep::{Cell, Sweep};
 use pstore_bench::{section, RunReporter};
 use pstore_forecast::ar::{ArConfig, ArModel};
 use pstore_forecast::arma::{ArmaConfig, ArmaModel};
-use pstore_forecast::eval::{rolling_accuracy, suggest_inflation, EvalConfig};
+use pstore_forecast::eval::{rolling_accuracy, suggest_inflation, EvalConfig, HorizonAccuracy};
 use pstore_forecast::generators::{B2wLoadModel, WikipediaEdition, WikipediaLoadModel};
 use pstore_forecast::holt_winters::{HoltWintersConfig, HoltWintersModel};
 use pstore_forecast::model::{LoadPredictor, SeasonalNaive};
 use pstore_forecast::spar::{SparConfig, SparModel};
+use std::sync::Arc;
 
-fn report(models: &[Box<dyn LoadPredictor>], data: &[f64], taus: &[usize], cfg: &EvalConfig) {
+/// What one model cell produces: its display name, per-tau accuracy, and
+/// (for the B2W set) the calibrated inflation factor.
+struct ModelEval {
+    name: String,
+    acc: Vec<HorizonAccuracy>,
+    inflation: Option<f64>,
+}
+
+fn print_table(evals: &[ModelEval], taus: &[usize]) {
     print!("{:<16}", "model");
     for tau in taus {
         print!(" {:>9}", format!("tau={tau}"));
     }
     println!();
-    for m in models {
-        let acc = rolling_accuracy(m.as_ref(), data, taus, cfg);
-        print!("{:<16}", m.name());
-        for a in &acc {
+    for e in evals {
+        print!("{:<16}", e.name);
+        for a in &e.acc {
             print!(" {:>8.1}%", 100.0 * a.mre);
         }
         println!();
     }
+}
+
+/// Builds one cell that fits `make_model` and evaluates it with the
+/// rolling-origin protocol (plus, optionally, the inflation calibration
+/// at `inflation_tau`).
+fn model_cell(
+    data: Arc<Vec<f64>>,
+    taus: Vec<usize>,
+    cfg: EvalConfig,
+    inflation_tau: Option<usize>,
+    make_model: impl FnOnce(&[f64]) -> Box<dyn LoadPredictor> + Send + 'static,
+) -> Cell<ModelEval> {
+    Cell::new("model", move || {
+        let m = make_model(&data);
+        let acc = rolling_accuracy(m.as_ref(), &data, &taus, &cfg);
+        let inflation =
+            inflation_tau.map(|tau| suggest_inflation(m.as_ref(), &data, tau, 0.95, &cfg));
+        ModelEval {
+            name: m.name().to_string(),
+            acc,
+            inflation,
+        }
+    })
 }
 
 fn main() {
@@ -38,92 +70,144 @@ fn main() {
     let stride = if quick { 101 } else { 31 };
     let fit_stride = if quick { 8 } else { 3 };
 
-    section("B2W-style load (per-minute, daily period): MRE by tau");
     let load = B2wLoadModel::default().generate(if quick { 30 } else { 35 });
-    let data = load.values();
+    let data: Arc<Vec<f64>> = Arc::new(load.values().to_vec());
     let train = 28 * 1440;
     let cfg = EvalConfig {
         eval_start: train,
         origin_stride: stride,
     };
-    let models: Vec<Box<dyn LoadPredictor>> = vec![
-        Box::new(SparModel::fit(&data[..train], &SparConfig::b2w_default()).expect("SPAR")),
-        Box::new(
-            ArmaModel::fit(
-                &data[..train],
-                &ArmaConfig {
-                    p: 30,
-                    q: 10,
-                    long_ar_order: Some(60),
-                    ridge_lambda: 1e-4,
-                    stride: fit_stride,
-                },
-            )
-            .expect("ARMA"),
-        ),
-        Box::new(
-            ArModel::fit(
-                &data[..train],
-                &ArConfig {
-                    order: 30,
-                    ridge_lambda: 1e-4,
-                    stride: fit_stride,
-                },
-            )
-            .expect("AR"),
-        ),
-        Box::new(HoltWintersModel::fit(&data[..train], &HoltWintersConfig::default()).expect("HW")),
-        Box::new(SeasonalNaive::new(1440)),
-    ];
-    report(&models, data, &[10, 30, 60], &cfg);
+    let b2w_taus = vec![10usize, 30, 60];
 
-    section("Calibrated prediction inflation (95th percentile coverage)");
-    // What §8.2's fixed 15% buys: the factor each model would actually need
-    // for 95% of actuals to fall under inflated predictions at tau = 60.
-    for m in &models {
-        let f = suggest_inflation(m.as_ref(), data, 60, 0.95, &cfg);
-        println!(
-            "{:<16} needs x{:.3} (paper's fixed inflation: x1.150)",
-            m.name(),
-            f
-        );
+    // One cell per (workload, model): each fits on the training prefix and
+    // rolls through the evaluation window independently.
+    let mut cells: Vec<Cell<ModelEval>> = Vec::new();
+    type MakeModel = Box<dyn FnOnce(&[f64]) -> Box<dyn LoadPredictor> + Send>;
+    let b2w_models: Vec<MakeModel> = vec![
+        Box::new(move |data: &[f64]| {
+            Box::new(SparModel::fit(&data[..train], &SparConfig::b2w_default()).expect("SPAR"))
+                as Box<dyn LoadPredictor>
+        }),
+        Box::new(move |data: &[f64]| {
+            Box::new(
+                ArmaModel::fit(
+                    &data[..train],
+                    &ArmaConfig {
+                        p: 30,
+                        q: 10,
+                        long_ar_order: Some(60),
+                        ridge_lambda: 1e-4,
+                        stride: fit_stride,
+                    },
+                )
+                .expect("ARMA"),
+            )
+        }),
+        Box::new(move |data: &[f64]| {
+            Box::new(
+                ArModel::fit(
+                    &data[..train],
+                    &ArConfig {
+                        order: 30,
+                        ridge_lambda: 1e-4,
+                        stride: fit_stride,
+                    },
+                )
+                .expect("AR"),
+            )
+        }),
+        Box::new(move |data: &[f64]| {
+            Box::new(
+                HoltWintersModel::fit(&data[..train], &HoltWintersConfig::default()).expect("HW"),
+            )
+        }),
+        Box::new(|_: &[f64]| Box::new(SeasonalNaive::new(1440)) as Box<dyn LoadPredictor>),
+    ];
+    let n_b2w = b2w_models.len();
+    for make in b2w_models {
+        cells.push(model_cell(
+            Arc::clone(&data),
+            b2w_taus.clone(),
+            cfg.clone(),
+            Some(60),
+            make,
+        ));
     }
 
-    section("Wikipedia-style hourly load (German edition): MRE by tau (hours)");
     let wiki = WikipediaLoadModel::new(WikipediaEdition::German, 2016).generate(if quick {
         42
     } else {
         56
     });
-    let wdata = wiki.values();
+    let wdata: Arc<Vec<f64>> = Arc::new(wiki.values().to_vec());
     let wtrain = 28 * 24;
     let wcfg = EvalConfig {
         eval_start: wtrain,
         origin_stride: 1,
     };
-    let spar_cfg = SparConfig {
-        period: 24,
-        n_periods: 7,
-        m_recent: 12,
-        taus: vec![1, 2, 3, 4, 5, 6],
-        ridge_lambda: 1e-4,
-        max_rows: 20_000,
-    };
-    let wiki_models: Vec<Box<dyn LoadPredictor>> = vec![
-        Box::new(SparModel::fit(&wdata[..wtrain], &spar_cfg).expect("SPAR")),
-        Box::new(
-            HoltWintersModel::fit(
-                &wdata[..wtrain],
-                &HoltWintersConfig {
-                    period: 24,
-                    ..HoltWintersConfig::default()
-                },
+    let wiki_taus = vec![1usize, 3, 6];
+    let wiki_models: Vec<MakeModel> = vec![
+        Box::new(move |data: &[f64]| {
+            let spar_cfg = SparConfig {
+                period: 24,
+                n_periods: 7,
+                m_recent: 12,
+                taus: vec![1, 2, 3, 4, 5, 6],
+                ridge_lambda: 1e-4,
+                max_rows: 20_000,
+            };
+            Box::new(SparModel::fit(&data[..wtrain], &spar_cfg).expect("SPAR"))
+                as Box<dyn LoadPredictor>
+        }),
+        Box::new(move |data: &[f64]| {
+            Box::new(
+                HoltWintersModel::fit(
+                    &data[..wtrain],
+                    &HoltWintersConfig {
+                        period: 24,
+                        ..HoltWintersConfig::default()
+                    },
+                )
+                .expect("HW"),
             )
-            .expect("HW"),
-        ),
-        Box::new(SeasonalNaive::new(24)),
+        }),
+        Box::new(|_: &[f64]| Box::new(SeasonalNaive::new(24)) as Box<dyn LoadPredictor>),
     ];
-    report(&wiki_models, wdata, &[1, 3, 6], &wcfg);
+    for make in wiki_models {
+        cells.push(model_cell(
+            Arc::clone(&wdata),
+            wiki_taus.clone(),
+            wcfg.clone(),
+            None,
+            make,
+        ));
+    }
+
+    let sweep = Sweep::from_reporter(&reporter);
+    reporter.progress(&format!(
+        "fitting and evaluating {} model/workload cells on {} thread(s)...",
+        cells.len(),
+        sweep.threads().min(cells.len())
+    ));
+    let evals = sweep.run(cells);
+    let (b2w_evals, wiki_evals) = evals.split_at(n_b2w);
+
+    section("B2W-style load (per-minute, daily period): MRE by tau");
+    print_table(b2w_evals, &b2w_taus);
+
+    section("Calibrated prediction inflation (95th percentile coverage)");
+    // What §8.2's fixed 15% buys: the factor each model would actually need
+    // for 95% of actuals to fall under inflated predictions at tau = 60.
+    for e in b2w_evals {
+        println!(
+            "{:<16} needs x{:.3} (paper's fixed inflation: x1.150)",
+            e.name,
+            e.inflation.unwrap_or(f64::NAN)
+        );
+    }
+
+    section("Wikipedia-style hourly load (German edition): MRE by tau (hours)");
+    print_table(wiki_evals, &wiki_taus);
 
     println!();
     println!("Expected: SPAR leads on both workloads (multiple previous");

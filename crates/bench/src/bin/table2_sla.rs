@@ -6,7 +6,8 @@
 // desired behaviour, so `expect`/`unwrap` are permitted here (the workspace
 // lint policy only bans them in library code).
 #![allow(clippy::expect_used, clippy::unwrap_used)]
-use pstore_bench::fig9::{run_all, Fig9Config};
+use pstore_bench::fig9::{run_all_sweep, Fig9Config};
+use pstore_bench::sweep::Sweep;
 use pstore_bench::{section, RunReporter};
 
 fn main() {
@@ -18,7 +19,7 @@ fn main() {
         quick,
     };
     reporter.progress("running the Fig 9 comparison to derive Table 2...");
-    let (_, results) = run_all(&cfg);
+    let (_, results) = run_all_sweep(&cfg, &Sweep::from_reporter(&reporter));
 
     section("Table 2: SLA violations and average machines allocated");
     println!(

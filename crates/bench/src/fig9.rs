@@ -3,6 +3,7 @@
 //! provisioning approaches — static peak (10 machines), static trough
 //! (4 machines), E-Store-style reactive, and P-Store with SPAR.
 
+use crate::sweep::{Cell, Sweep};
 use pstore_core::params::SystemParams;
 use pstore_sim::detailed::{run_detailed, DetailedSimConfig, DetailedSimResult};
 use pstore_sim::scenarios::{pstore_spar, reactive_default, static_alloc, ExperimentTrace};
@@ -92,23 +93,27 @@ pub fn run_approach(
     result
 }
 
-/// Runs all four approaches over one shared trace, in parallel (each run
-/// is deterministic and independent). Returns the trace and results in
+/// Runs all four approaches over one shared trace on the default
+/// ([`Sweep::new`] with 0) thread pool. Returns the trace and results in
 /// [`Approach::ALL`] order.
 pub fn run_all(cfg: &Fig9Config) -> (ExperimentTrace, Vec<DetailedSimResult>) {
+    run_all_sweep(cfg, &Sweep::new(0))
+}
+
+/// Runs all four approaches over one shared trace as cells of `sweep`
+/// (each run is deterministic and independent; results and any captured
+/// telemetry are reassembled in [`Approach::ALL`] order regardless of
+/// thread count).
+pub fn run_all_sweep(cfg: &Fig9Config, sweep: &Sweep) -> (ExperimentTrace, Vec<DetailedSimResult>) {
     let trace = ExperimentTrace::b2w(cfg.days, cfg.seed);
-    let results = std::thread::scope(|scope| {
-        let handles: Vec<_> = Approach::ALL
-            .iter()
-            .map(|&a| {
-                let trace = &trace;
-                scope.spawn(move || run_approach(cfg, trace, a))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-            .collect::<Vec<_>>()
-    });
+    let cells: Vec<Cell<DetailedSimResult>> = Approach::ALL
+        .iter()
+        .map(|&a| {
+            let cfg = cfg.clone();
+            let trace = trace.clone();
+            Cell::new(a.label(), move || run_approach(&cfg, &trace, a))
+        })
+        .collect();
+    let results = sweep.run(cells);
     (trace, results)
 }

@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod fig9;
+pub mod sweep;
 
 /// Renders a numeric series as a compact ASCII area plot.
 ///
@@ -111,9 +112,11 @@ pub fn quick_mode() -> bool {
 }
 
 /// Shared run harness for the experiment binaries: uniform handling of
-/// `--quick` (smaller runs), `--quiet` (suppress progress chatter) and
-/// `--trace <path>` (write a telemetry JSONL trace of the run and print a
-/// summary at exit).
+/// `--quick` (smaller runs), `--quiet` (suppress progress chatter),
+/// `--threads N` (worker threads for the [`sweep`] runner; default:
+/// `RAYON_NUM_THREADS`, else available parallelism) and `--trace <path>`
+/// (write a telemetry JSONL trace of the run and print a summary at
+/// exit).
 ///
 /// Tracing only produces events when the workspace is built with the
 /// `telemetry` feature (`cargo run -p pstore-bench --features telemetry
@@ -123,6 +126,7 @@ pub fn quick_mode() -> bool {
 pub struct RunReporter {
     quick: bool,
     quiet: bool,
+    threads: usize,
     trace_path: Option<std::path::PathBuf>,
     // Keeps the JSONL sink installed for the lifetime of the run.
     _sink_guard: Option<pstore_telemetry::SinkGuard>,
@@ -140,6 +144,15 @@ impl RunReporter {
         let args: Vec<String> = std::env::args().collect();
         let quick = args.iter().any(|a| a == "--quick");
         let quiet = args.iter().any(|a| a == "--quiet");
+        let threads = args.iter().position(|a| a == "--threads").map_or(0, |i| {
+            match args.get(i + 1).map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => n,
+                _ => {
+                    eprintln!("error: --threads requires a positive integer argument");
+                    std::process::exit(2);
+                }
+            }
+        });
         let trace_path = args.iter().position(|a| a == "--trace").map(|i| {
             let Some(path) = args.get(i + 1) else {
                 eprintln!("error: --trace requires a file path argument");
@@ -165,6 +178,7 @@ impl RunReporter {
         RunReporter {
             quick,
             quiet,
+            threads,
             trace_path,
             _sink_guard: sink_guard,
         }
@@ -180,6 +194,13 @@ impl RunReporter {
     #[must_use]
     pub fn quiet(&self) -> bool {
         self.quiet
+    }
+
+    /// The `--threads N` argument (0 when absent: the sweep runner
+    /// resolves via `RAYON_NUM_THREADS`, else available parallelism).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Prints a progress line to stderr unless `--quiet` was given.

@@ -1,0 +1,342 @@
+//! Parallel scenario-sweep runner for the experiment binaries.
+//!
+//! Every figure in §8 of the paper is assembled from *independent*
+//! simulator runs — a `(scenario, strategy, seed)` grid where each cell
+//! is deterministic given its inputs and shares nothing with its
+//! neighbours. [`Sweep`] fans those cells across a thread pool and
+//! reassembles the outputs so the result is **byte-identical to a
+//! serial run**, at any thread count.
+//!
+//! # Determinism contract
+//!
+//! For a fixed cell list and fixed per-cell seeds, everything observable
+//! after [`Sweep::run`] returns is independent of the thread count:
+//!
+//! * **Results** come back in cell order (the pool tags each result
+//!   with its cell index and sorts; nothing is emitted on completion
+//!   order).
+//! * **Telemetry events** emitted by a cell are captured into a
+//!   per-cell in-memory sink on the worker thread, then forwarded to
+//!   the main thread's sink in cell order after all cells finish. Span
+//!   ids are renumbered to `(cell + 1) << 32 | ordinal` during the
+//!   replay — the raw ids from the global allocator depend on thread
+//!   interleaving, the renumbered ones only on the cell's own event
+//!   stream. Sequence numbers are re-stamped in forwarding order.
+//! * **Metrics** (counters, gauges, histograms) recorded by a cell land
+//!   in the worker thread's registry, are snapshotted per cell, and are
+//!   merged into the calling thread's registry in cell order. Counter
+//!   and histogram-bucket merges are commutative on integers, so they
+//!   would be order-independent anyway; gauge last-write-wins and
+//!   `f64` sum accumulation are not, which is why the merge is ordered.
+//!
+//! Worker threads never touch shared state while cells run — capture is
+//! per-thread (`pstore-telemetry`'s sink and registry are thread-local)
+//! and the merge happens single-threaded afterwards. Keeping the shared
+//! state this small is deliberate: it is the surface a future `loom`
+//! model has to cover (see ROADMAP).
+//!
+//! # Thread-count resolution
+//!
+//! [`Sweep::from_reporter`] (or [`Sweep::new`] with 0) resolves the
+//! thread count as: explicit `--threads N` argument → the
+//! `RAYON_NUM_THREADS` environment variable → available parallelism.
+
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use pstore_telemetry as tel;
+
+/// One independent unit of work in a sweep: a label (for progress
+/// reporting) plus a closure that runs the cell and returns its result.
+///
+/// The closure must be self-contained (`Send`, no references into the
+/// caller): it runs on a worker thread. Determinism is the cell's
+/// responsibility — seed any RNG from the cell's own inputs, never from
+/// global state.
+pub struct Cell<R> {
+    label: String,
+    run: Box<dyn FnOnce() -> R + Send>,
+}
+
+impl<R> Cell<R> {
+    /// Creates a cell.
+    pub fn new(label: impl Into<String>, run: impl FnOnce() -> R + Send + 'static) -> Self {
+        Cell {
+            label: label.into(),
+            run: Box::new(run),
+        }
+    }
+
+    /// The cell's display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// What one cell produced on its worker thread: the result plus the
+/// telemetry captured while it ran (empty when capture was off).
+struct CellOutcome<R> {
+    result: R,
+    events: Vec<tel::Event>,
+    metrics: tel::MetricsRegistry,
+}
+
+/// The sweep runner: a thread count plus the capture/merge machinery.
+#[derive(Debug, Clone, Copy)]
+pub struct Sweep {
+    threads: usize,
+}
+
+impl Sweep {
+    /// Creates a runner with an explicit thread count; 0 means "auto"
+    /// (`RAYON_NUM_THREADS`, else available parallelism).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Sweep { threads }
+    }
+
+    /// Creates a runner from a [`crate::RunReporter`]'s `--threads`
+    /// argument (auto when the flag was absent).
+    #[must_use]
+    pub fn from_reporter(reporter: &crate::RunReporter) -> Self {
+        Sweep::new(reporter.threads())
+    }
+
+    /// The thread count the pool will use (resolved, never 0).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        if self.threads == 0 {
+            // Mirrors the pool's own resolution.
+            match rayon::ThreadPoolBuilder::new().num_threads(0).build() {
+                Ok(pool) => pool.current_num_threads(),
+                Err(_) => 1,
+            }
+        } else {
+            self.threads
+        }
+    }
+
+    /// Runs every cell on the pool and returns their results in cell
+    /// order. See the module docs for the determinism contract.
+    ///
+    /// Telemetry capture turns on exactly when the calling thread has a
+    /// sink installed (e.g. `--trace` in a figure binary); otherwise
+    /// the cells run uninstrumented, same as the serial path.
+    pub fn run<R: Send + 'static>(&self, cells: Vec<Cell<R>>) -> Vec<R> {
+        let capture = tel::enabled();
+        let pool = match rayon::ThreadPoolBuilder::new()
+            .num_threads(self.threads)
+            .build()
+        {
+            Ok(p) => p,
+            Err(_) => {
+                // Unreachable with the vendored pool; degrade to serial
+                // in-place execution rather than crash the experiment.
+                return cells.into_iter().map(|c| (c.run)()).collect();
+            }
+        };
+        let outcomes: Vec<CellOutcome<R>> = pool.install(|| {
+            cells
+                .into_par_iter()
+                .map(move |cell| run_cell(cell, capture))
+                .collect()
+        });
+
+        // Single-threaded deterministic merge, in cell order.
+        let mut results = Vec::with_capacity(outcomes.len());
+        for (cell_idx, outcome) in outcomes.into_iter().enumerate() {
+            if capture {
+                forward_cell_events(cell_idx, outcome.events);
+                tel::with_registry(|r| r.merge(&outcome.metrics));
+            }
+            results.push(outcome.result);
+        }
+        results
+    }
+}
+
+/// Runs one cell on the current (worker) thread, capturing its
+/// telemetry into a private sink and a freshly cleared registry when
+/// `capture` is set.
+fn run_cell<R>(cell: Cell<R>, capture: bool) -> CellOutcome<R> {
+    if !capture {
+        return CellOutcome {
+            result: (cell.run)(),
+            events: Vec::new(),
+            metrics: tel::MetricsRegistry::new(),
+        };
+    }
+    let (sink, handle) = tel::MemorySink::new();
+    // Worker threads are reused across cells; start each cell from a
+    // clean registry so metrics cannot leak between cells.
+    tel::reset_registry();
+    let guard = tel::install(Rc::new(sink));
+    let result = (cell.run)();
+    drop(guard);
+    let events = handle.events();
+    let metrics = tel::with_registry(|r| r.clone());
+    tel::reset_registry();
+    CellOutcome {
+        result,
+        events,
+        metrics,
+    }
+}
+
+/// Forwards one cell's captured events to the calling thread's sink,
+/// renumbering span ids into the cell-local deterministic scheme.
+fn forward_cell_events(cell_idx: usize, events: Vec<tel::Event>) {
+    let cell = u64::try_from(cell_idx).unwrap_or(u64::MAX);
+    let mut id_map: HashMap<u64, u64> = HashMap::new();
+    let mut next_local: u64 = 0;
+    for mut ev in events {
+        if ev.kind == tel::kinds::SPAN_BEGIN || ev.kind == tel::kinds::SPAN_END {
+            for (key, value) in &mut ev.fields {
+                if key == "id" {
+                    if let tel::Value::U64(old) = value {
+                        let new = *id_map.entry(*old).or_insert_with(|| {
+                            next_local += 1;
+                            ((cell + 1) << 32) | next_local
+                        });
+                        *value = tel::Value::U64(new);
+                    }
+                }
+            }
+        }
+        tel::forward(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic instrumented cell: emits events, opens a span, and
+    /// records metrics derived from its seed.
+    fn synthetic_cell(seed: u64) -> Cell<u64> {
+        Cell::new(format!("cell-{seed}"), move || {
+            let span = tel::begin_span("work", &[("seed", tel::Value::U64(seed))]);
+            #[allow(clippy::cast_precision_loss)] // tiny test values
+            for i in 0..5u64 {
+                tel::emit(tel::Event::new("tick").with("i", i).with("seed", seed));
+                tel::with_registry(|r| {
+                    r.inc_counter("ticks", 1);
+                    r.record_histogram("lat", 1e-3 * (seed + 1) as f64 * (i + 1) as f64);
+                });
+            }
+            #[allow(clippy::cast_precision_loss)] // tiny test values
+            tel::with_registry(|r| r.set_gauge("last_seed", seed as f64));
+            tel::end_span("work", span, &[]);
+            seed * 10
+        })
+    }
+
+    /// Runs a sweep of synthetic cells under a fresh memory sink and
+    /// returns (results, forwarded events, merged registry).
+    fn run_capture(threads: usize, n: u64) -> (Vec<u64>, Vec<tel::Event>, tel::MetricsRegistry) {
+        let (sink, handle) = tel::MemorySink::new();
+        tel::reset_registry();
+        let guard = tel::install(Rc::new(sink));
+        let cells: Vec<Cell<u64>> = (0..n).map(synthetic_cell).collect();
+        let results = Sweep::new(threads).run(cells);
+        drop(guard);
+        let registry = tel::with_registry(|r| r.clone());
+        tel::reset_registry();
+        (results, handle.events(), registry)
+    }
+
+    /// Strips the fields that legitimately differ across in-process
+    /// runs (the global `seq` counter keeps advancing), keeping order,
+    /// kinds, timestamps and payloads — including renumbered span ids.
+    #[allow(clippy::type_complexity)] // one-off test projection
+    fn normalised(events: &[tel::Event]) -> Vec<(String, Option<f64>, Vec<(String, tel::Value)>)> {
+        events
+            .iter()
+            .map(|e| (e.kind.clone(), e.t, e.fields.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn results_come_back_in_cell_order_at_any_thread_count() {
+        for threads in [1, 2, 8] {
+            let cells: Vec<Cell<u64>> = (0..20).map(|i| Cell::new("c", move || i)).collect();
+            let results = Sweep::new(threads).run(cells);
+            assert_eq!(results, (0..20).collect::<Vec<u64>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_capture_identical_telemetry() {
+        let (r1, e1, m1) = run_capture(1, 6);
+        let (r8, e8, m8) = run_capture(8, 6);
+        assert_eq!(r1, r8);
+        assert_eq!(normalised(&e1), normalised(&e8));
+        assert_eq!(m1.counter("ticks"), m8.counter("ticks"));
+        assert_eq!(m1.counter("ticks"), 30);
+        // Gauges: last cell wins in both runs.
+        assert_eq!(
+            m1.gauge("last_seed").map(f64::to_bits),
+            Some(5f64.to_bits())
+        );
+        assert_eq!(
+            m1.gauge("last_seed").map(f64::to_bits),
+            m8.gauge("last_seed").map(f64::to_bits)
+        );
+        // Histogram merge associativity in anger: same buckets/count,
+        // sum within tolerance.
+        let (h1, h8) = (m1.histogram("lat"), m8.histogram("lat"));
+        match (h1, h8) {
+            (Some(h1), Some(h8)) => assert!(h1.content_eq(h8)),
+            _ => panic!("lat histogram missing"),
+        }
+    }
+
+    #[test]
+    fn span_ids_are_renumbered_deterministically() {
+        let (_, events, _) = run_capture(4, 3);
+        let begins: Vec<u64> = events
+            .iter()
+            .filter(|e| e.kind == tel::kinds::SPAN_BEGIN)
+            .filter_map(|e| e.field_u64("id"))
+            .collect();
+        // Cell c's only span gets id (c+1)<<32 | 1, in cell order.
+        assert_eq!(begins, vec![(1 << 32) | 1, (2 << 32) | 1, (3 << 32) | 1]);
+        // Every end id pairs with a begin id.
+        for e in events.iter().filter(|e| e.kind == tel::kinds::SPAN_END) {
+            let id = e.field_u64("id");
+            assert!(id.is_some_and(|id| begins.contains(&id)));
+        }
+    }
+
+    #[test]
+    fn without_a_sink_cells_run_uninstrumented() {
+        assert!(!tel::enabled());
+        tel::reset_registry();
+        let results = Sweep::new(2).run((0..4).map(synthetic_cell).collect());
+        assert_eq!(results, vec![0, 10, 20, 30]);
+        // Nothing leaked into the calling thread's registry.
+        assert_eq!(tel::with_registry(|r| r.counter("ticks")), 0);
+    }
+
+    #[test]
+    fn cells_see_a_clean_registry_each() {
+        // A cell must not observe metrics from a previously run cell on
+        // the same worker thread: force single-thread reuse.
+        let (sink, _handle) = tel::MemorySink::new();
+        let guard = tel::install(Rc::new(sink));
+        let cells: Vec<Cell<u64>> = (0..3)
+            .map(|_| {
+                Cell::new("probe", || {
+                    let before = tel::with_registry(|r| r.counter("probe"));
+                    tel::with_registry(|r| r.inc_counter("probe", 1));
+                    before
+                })
+            })
+            .collect();
+        let observed = Sweep::new(1).run(cells);
+        drop(guard);
+        tel::reset_registry();
+        assert_eq!(observed, vec![0, 0, 0]);
+    }
+}

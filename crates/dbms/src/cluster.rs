@@ -170,9 +170,19 @@ pub struct Cluster {
     catalog: Catalog,
     cfg: ClusterConfig,
     plan: SlotPlan,
-    /// Routing overrides for slots whose migration has completed while the
-    /// surrounding reconfiguration is still running.
-    overrides: HashMap<u64, u32>,
+    /// Dense slot → node routing cache: the committed plan with completed
+    /// in-flight moves applied on top (the role the override map used to
+    /// play, but resolved with one indexed load instead of two hash
+    /// lookups). In-flight slots keep routing to their source node until
+    /// their last chunk lands, exactly as before.
+    route_node: Vec<u32>,
+    /// Dense slot → local-partition cache. `local_of_slot` is a pure hash
+    /// of the slot id, so this never changes after construction.
+    route_local: Vec<u32>,
+    /// Cluster-wide per-slot access counters, maintained incrementally on
+    /// the execute path — [`slot_access_report`](Self::slot_access_report)
+    /// reads this instead of re-aggregating every partition's counters.
+    slot_access_totals: Vec<u64>,
     nodes: Vec<Node>,
     reconfig: Option<Reconfig>,
     stats: ClusterStats,
@@ -197,11 +207,18 @@ impl Cluster {
         let nodes = (0..initial_nodes)
             .map(|_| Node::new(cfg.partitions_per_node, num_tables))
             .collect();
+        let route_node = plan.assignments().to_vec();
+        #[allow(clippy::cast_possible_truncation)] // the bucket is below P, a u32
+        let route_local = (0..cfg.num_slots as u64)
+            .map(|slot| bucket_of(&slot.to_le_bytes(), cfg.partitions_per_node as u64) as u32)
+            .collect();
         Cluster {
             catalog,
-            cfg,
             plan,
-            overrides: HashMap::new(),
+            route_node,
+            route_local,
+            slot_access_totals: vec![0; cfg.num_slots],
+            cfg,
             nodes,
             reconfig: None,
             stats: ClusterStats::default(),
@@ -244,17 +261,20 @@ impl Cluster {
         bucket_of(&key.routing_bytes(), self.cfg.num_slots as u64)
     }
 
-    /// The node currently serving `slot` (respecting migration overrides).
+    /// The virtual slot a single routing-key component hashes to, without
+    /// materialising a [`Key`] (no heap allocation for integer components
+    /// or strings up to 59 bytes). Agrees with
+    /// `slot_of_key(&Key::new(vec![part.clone()]))` for every component.
+    pub fn slot_of_routing(&self, part: &crate::value::KeyValue) -> u64 {
+        part.with_hash_bytes(|bytes| bucket_of(bytes, self.cfg.num_slots as u64))
+    }
+
+    /// The node currently serving `slot`. In-flight slots keep routing to
+    /// their migration source until the last chunk lands; the cache entry
+    /// flips to the destination at that moment.
     #[allow(clippy::cast_possible_truncation)] // slot ids fit usize on supported targets
     pub fn node_of_slot(&self, slot: u64) -> u32 {
-        if let Some(infl) = self.reconfig.as_ref().and_then(|r| r.in_flight.get(&slot)) {
-            // In-flight slots are still anchored at the source.
-            return infl.from;
-        }
-        self.overrides
-            .get(&slot)
-            .copied()
-            .unwrap_or_else(|| self.plan.owner(slot as usize))
+        self.route_node[slot as usize]
     }
 
     /// The local partition index a slot maps to on whichever node owns it.
@@ -262,10 +282,10 @@ impl Cluster {
     /// Hashed (rather than `slot % P`) so it stays uncorrelated with the
     /// slot-to-node assignment — `slot % machines` and `slot % P` share
     /// factors, which would leave some (node, partition) combinations
-    /// permanently empty.
-    #[allow(clippy::cast_possible_truncation)] // the bucket is below P, a u32
+    /// permanently empty. Precomputed per slot at construction.
+    #[allow(clippy::cast_possible_truncation)] // slot ids fit usize on supported targets
     pub fn local_of_slot(&self, slot: u64) -> u32 {
-        crate::hash::bucket_of(&slot.to_le_bytes(), self.cfg.partitions_per_node as u64) as u32
+        self.route_local[slot as usize]
     }
 
     /// The (node, local-partition) pair serving `slot`.
@@ -278,10 +298,35 @@ impl Cluster {
     /// # Errors
     /// Propagates the procedure's [`TxnError`] on abort.
     pub fn execute(&mut self, proc: &dyn Procedure) -> Result<TxnOutput, TxnError> {
-        let routing = Key::new(vec![proc.routing_key()]);
-        let slot = self.slot_of_key(&routing);
+        let slot = self.slot_of_routing(&proc.routing_key());
+        self.execute_at_slot(proc, slot)
+    }
+
+    /// Executes a stored procedure whose routing slot the caller has
+    /// already resolved (e.g. a simulator that needed the slot for queue
+    /// placement before deciding to execute) — skips re-hashing the
+    /// routing key.
+    ///
+    /// # Errors
+    /// Propagates the procedure's [`TxnError`] on abort.
+    ///
+    /// # Panics
+    /// Debug builds assert that `slot` matches the procedure's routing
+    /// key; a mismatched slot in release builds misroutes the transaction.
+    #[allow(clippy::cast_possible_truncation)] // slot ids fit usize on supported targets
+    pub fn execute_at_slot(
+        &mut self,
+        proc: &dyn Procedure,
+        slot: u64,
+    ) -> Result<TxnOutput, TxnError> {
+        debug_assert_eq!(
+            slot,
+            self.slot_of_routing(&proc.routing_key()),
+            "caller-resolved slot disagrees with the routing key"
+        );
         let local = self.local_of_slot(slot) as usize;
         let num_slots = self.cfg.num_slots as u64;
+        self.slot_access_totals[slot as usize] += 1;
 
         let in_flight = self
             .reconfig
@@ -470,8 +515,31 @@ impl Cluster {
 
     /// Aggregated per-slot access counts across all partitions since the
     /// last [`reset_slot_accesses`](Self::reset_slot_accesses) — the input
-    /// to skew-driven rebalancing.
+    /// to skew-driven rebalancing. Served from the incrementally-maintained
+    /// cluster-wide counters (no walk over nodes and partitions); see
+    /// [`rebuild_slot_access_report`](Self::rebuild_slot_access_report) for
+    /// the from-scratch audit path.
     pub fn slot_access_report(&self) -> HashMap<u64, u64> {
+        self.slot_access_totals
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(s, &c)| (s as u64, c))
+            .collect()
+    }
+
+    /// The dense per-slot access counters, indexed by slot id — the
+    /// allocation-free view of [`slot_access_report`](Self::slot_access_report).
+    pub fn slot_access_counts(&self) -> &[u64] {
+        &self.slot_access_totals
+    }
+
+    /// Re-aggregates the per-slot access counts by walking every
+    /// partition's own counters — the O(nodes × partitions × slots) path
+    /// [`slot_access_report`](Self::slot_access_report) used to take on
+    /// every monitoring interval. Kept as the audit oracle: the
+    /// incremental totals must always match this rebuild.
+    pub fn rebuild_slot_access_report(&self) -> HashMap<u64, u64> {
         let mut out: HashMap<u64, u64> = HashMap::new();
         for node in &self.nodes {
             for p in &node.partitions {
@@ -486,6 +554,7 @@ impl Cluster {
     /// Clears all per-slot access counters (start a fresh monitoring
     /// window).
     pub fn reset_slot_accesses(&mut self) {
+        self.slot_access_totals.fill(0);
         for node in &mut self.nodes {
             for p in &mut node.partitions {
                 p.reset_slot_accesses();
@@ -566,7 +635,7 @@ impl Cluster {
         if emptied {
             // Slot fully relocated: switch routing, clear tracking.
             reconfig.in_flight.remove(&slot);
-            self.overrides.insert(slot, to);
+            self.route_node[slot as usize] = to;
             let pair = &mut reconfig.pairs[pair_idx];
             pair.next += 1;
             slot_completed = true;
@@ -642,7 +711,12 @@ impl Cluster {
         );
         let target = reconfig.new_plan.machines();
         self.plan = reconfig.new_plan;
-        self.overrides.clear();
+        // Completed moves already flipped their routing-cache entries to
+        // the destination, which is the new plan's owner; unmoved slots
+        // kept their owner. The cache therefore already equals the new
+        // plan — re-sync defensively and assert the invariant.
+        debug_assert_eq!(self.route_node, self.plan.assignments());
+        self.route_node.copy_from_slice(self.plan.assignments());
         // Drop drained nodes on scale-in.
         if (target as usize) < self.nodes.len() {
             for node in &self.nodes[target as usize..] {
@@ -1040,6 +1114,102 @@ mod tests {
         assert!(c.export_table(0).is_err());
         c.run_reconfiguration_to_completion(8192).unwrap();
         assert_eq!(c.export_table(0).unwrap().len(), 120);
+    }
+
+    #[test]
+    fn incremental_slot_access_report_matches_rebuild() {
+        // The report is maintained incrementally on the execute path; it
+        // must agree with a from-scratch walk over every partition's own
+        // counters at all times — settled, mid-migration, and after a
+        // window reset.
+        let mut c = cluster(2);
+        load_keys(&mut c, 300);
+        assert_eq!(c.slot_access_report(), c.rebuild_slot_access_report());
+        assert!(!c.slot_access_report().is_empty());
+
+        c.begin_reconfiguration(4).unwrap();
+        let mut i = 0usize;
+        while c.reconfiguring() {
+            let pairs = c.pair_transfers().len();
+            let _ = c.migrate_chunk(i % pairs, 512).unwrap();
+            let _ = c.execute(&Get {
+                key: format!("key-{}", i % 300),
+            });
+            c.execute(&Put {
+                key: format!("mid-{i}"),
+                value: 0,
+            })
+            .unwrap();
+            i += 1;
+            assert!(i < 100_000, "migration did not converge");
+        }
+        assert_eq!(c.slot_access_report(), c.rebuild_slot_access_report());
+
+        c.reset_slot_accesses();
+        assert_eq!(c.slot_access_report(), HashMap::new());
+        assert_eq!(c.rebuild_slot_access_report(), HashMap::new());
+        load_keys(&mut c, 50);
+        assert_eq!(c.slot_access_report(), c.rebuild_slot_access_report());
+        // The dense view agrees with the sparse report entry-by-entry.
+        let report = c.slot_access_report();
+        for (slot, &count) in c.slot_access_counts().iter().enumerate() {
+            assert_eq!(report.get(&(slot as u64)).copied().unwrap_or(0), count);
+        }
+    }
+
+    #[test]
+    fn slot_of_routing_matches_slot_of_key() {
+        let c = cluster(3);
+        let mut parts = vec![
+            KeyValue::Int(0),
+            KeyValue::Int(-7),
+            KeyValue::Int(i64::MAX),
+            KeyValue::Str(String::new()),
+            KeyValue::Str("cart-00deadbeef42".into()),
+            // Longer than the 59-byte stack-buffer fast path.
+            KeyValue::Str("x".repeat(200)),
+        ];
+        for i in 0..64 {
+            parts.push(KeyValue::Str(format!("key-{i}")));
+        }
+        for part in parts {
+            assert_eq!(
+                c.slot_of_routing(&part),
+                c.slot_of_key(&Key::new(vec![part.clone()])),
+                "mismatch for {part:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn routing_cache_tracks_plan_across_reconfigurations() {
+        let mut c = cluster(2);
+        load_keys(&mut c, 200);
+        for &target in &[5u32, 3, 1, 4] {
+            c.begin_reconfiguration(target).unwrap();
+            c.run_reconfiguration_to_completion(2048).unwrap();
+            for slot in 0..64usize {
+                let owner = c.current_plan().owner(slot);
+                assert_eq!(c.node_of_slot(slot as u64), owner);
+                assert!(owner < target);
+            }
+        }
+        check_all_keys(&mut c, 200);
+    }
+
+    #[test]
+    fn execute_at_slot_matches_execute() {
+        let mut c = cluster(3);
+        for i in 0..50 {
+            let put = Put {
+                key: format!("key-{i}"),
+                value: i,
+            };
+            let slot = c.slot_of_routing(&put.routing_key());
+            c.execute_at_slot(&put, slot).unwrap();
+        }
+        check_all_keys(&mut c, 50);
+        assert_eq!(c.slot_access_report(), c.rebuild_slot_access_report());
     }
 
     #[test]

@@ -56,8 +56,10 @@ pub struct PartitionStore {
     accesses: u64,
     /// Per-slot access counters (the detailed tier of E-Store-style
     /// two-tier monitoring; cheap enough to keep always on at slot
-    /// granularity).
-    slot_accesses: HashMap<u64, u64>,
+    /// granularity). Dense, indexed by slot id and grown on demand:
+    /// incrementing is a bounds check and an add, with no hashing on the
+    /// per-transaction path. A reset keeps the allocation.
+    slot_accesses: Vec<u64>,
 }
 
 impl PartitionStore {
@@ -67,7 +69,7 @@ impl PartitionStore {
             num_tables,
             slots: HashMap::new(),
             accesses: 0,
-            slot_accesses: HashMap::new(),
+            slot_accesses: Vec::new(),
         }
     }
 
@@ -88,19 +90,29 @@ impl PartitionStore {
 
     /// Records an access attributed to a specific slot (hot-spot
     /// detection).
+    #[allow(clippy::cast_possible_truncation)] // slot ids fit usize on supported targets
     pub fn record_slot_access(&mut self, slot: u64) {
         self.accesses += 1;
-        *self.slot_accesses.entry(slot).or_default() += 1;
+        let idx = slot as usize;
+        if idx >= self.slot_accesses.len() {
+            self.slot_accesses.resize(idx + 1, 0);
+        }
+        self.slot_accesses[idx] += 1;
     }
 
-    /// Per-slot access counters accumulated so far.
+    /// Per-slot access counters accumulated so far (non-zero entries only).
     pub fn slot_accesses(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.slot_accesses.iter().map(|(&s, &c)| (s, c))
+        self.slot_accesses
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(s, &c)| (s as u64, c))
     }
 
     /// Resets the per-slot counters (start of a new monitoring window).
+    /// Keeps the dense allocation so warm-path recording never reallocates.
     pub fn reset_slot_accesses(&mut self) {
-        self.slot_accesses.clear();
+        self.slot_accesses.fill(0);
     }
 
     /// Logical accesses recorded so far.

@@ -143,7 +143,11 @@ impl<'a> TxnCtx<'a> {
     /// (in H-Store such a transaction would have had to be declared
     /// multi-partition, which this engine, like the B2W workload, forbids).
     fn check_slot(&self, key: &Key) {
-        let s = crate::hash::bucket_of(&key.routing_bytes(), self.num_slots);
+        // Allocation-free: hashes the routing component from a stack
+        // buffer, so per-access slot checks stay off the heap.
+        let s = key
+            .routing_part()
+            .with_hash_bytes(|b| crate::hash::bucket_of(b, self.num_slots));
         assert_eq!(
             s, self.slot,
             "single-partition violation: key {key} hashes to slot {s}, \

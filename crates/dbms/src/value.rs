@@ -142,6 +142,36 @@ impl KeyValue {
         }
     }
 
+    /// Runs `f` over the stable hash bytes of this component without
+    /// heap-allocating for the common case (integer keys and strings up to
+    /// 59 bytes fit a stack buffer). Produces exactly the bytes
+    /// [`Key::routing_bytes`] would for a single-component key — the
+    /// allocation-free routing path of the per-transaction hot loop.
+    pub fn with_hash_bytes<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        match self {
+            KeyValue::Int(i) => {
+                let mut buf = [0u8; 9];
+                buf[0] = 2;
+                buf[1..9].copy_from_slice(&i.to_le_bytes());
+                f(&buf)
+            }
+            KeyValue::Str(s) if s.len() <= 59 => {
+                let mut buf = [0u8; 64];
+                buf[0] = 4;
+                // Keys are tiny; the serialised format caps strings at 4 GiB.
+                #[allow(clippy::cast_possible_truncation)]
+                buf[1..5].copy_from_slice(&(s.len() as u32).to_le_bytes());
+                buf[5..5 + s.len()].copy_from_slice(s.as_bytes());
+                f(&buf[..5 + s.len()])
+            }
+            KeyValue::Str(_) => {
+                let mut out = Vec::new();
+                self.hash_bytes(&mut out);
+                f(&out)
+            }
+        }
+    }
+
     /// Estimated in-memory size in bytes.
     pub fn size_estimate(&self) -> usize {
         match self {

@@ -1,0 +1,156 @@
+//! Allocation accounting for the per-transaction warm path, measured with
+//! a counting global allocator (test binary only — the library never
+//! swaps allocators).
+//!
+//! The engine's dispatch path — routing-key hashing, slot lookup, dense
+//! slot-access counters, procedure statistics — must stay off the heap
+//! once warm: it runs once per simulated transaction, hundreds of
+//! thousands of times per experiment cell. Workload *content* (B2W
+//! transactions own their key strings) is excluded by design; its
+//! allocation budget is bounded separately below.
+
+use pstore_dbms::catalog::{columns, Catalog, ColumnType, TableSchema};
+use pstore_dbms::cluster::{Cluster, ClusterConfig};
+use pstore_dbms::txn::{Procedure, TxnCtx, TxnError, TxnOutput};
+use pstore_dbms::value::{Key, KeyValue};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation and reallocation routed through the global
+/// allocator.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System`, only adding a counter.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations (incl. reallocations) performed while running `f`.
+fn allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let out = f();
+    (ALLOCS.load(Ordering::Relaxed) - before, out)
+}
+
+fn test_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add_table(TableSchema::new(
+        "KV",
+        columns(&[("k", ColumnType::Int), ("v", ColumnType::Int)]),
+        1,
+    ));
+    cat
+}
+
+/// A read-only probe: routes by an integer key and checks for a row that
+/// is absent, touching routing, the slot-check, the storage lookup, and
+/// the procedure/statistics bookkeeping — without producing owned output.
+/// The key is owned by the probe (as a real transaction owns its data), so
+/// executing it measures only the engine's work.
+struct Probe {
+    id: i64,
+    key: Key,
+}
+
+impl Probe {
+    fn new(id: i64) -> Self {
+        Probe {
+            id,
+            key: Key::int(id),
+        }
+    }
+}
+
+impl Procedure for Probe {
+    fn name(&self) -> &'static str {
+        "Probe"
+    }
+    fn routing_key(&self) -> KeyValue {
+        KeyValue::Int(self.id)
+    }
+    fn execute(&self, ctx: &mut TxnCtx<'_>) -> Result<TxnOutput, TxnError> {
+        let _ = ctx.get(0, &self.key);
+        Ok(TxnOutput::None)
+    }
+}
+
+#[test]
+fn warm_engine_dispatch_path_is_allocation_free() {
+    let mut cluster = Cluster::new(
+        test_catalog(),
+        ClusterConfig {
+            partitions_per_node: 4,
+            num_slots: 128,
+        },
+        3,
+    );
+    // Warm up: touch every slot so the dense per-partition counters have
+    // grown to their final size and the procedure-stats entry exists.
+    for key in 0..2_000i64 {
+        let p = Probe::new(key);
+        let slot = cluster.slot_of_routing(&p.routing_key());
+        cluster.execute_at_slot(&p, slot).unwrap();
+    }
+
+    let probes: Vec<Probe> = (0..1_000i64).map(Probe::new).collect();
+    let (n, ()) = allocations(|| {
+        for p in &probes {
+            let slot = cluster.slot_of_routing(&p.routing_key());
+            cluster.execute_at_slot(p, slot).unwrap();
+        }
+    });
+    assert_eq!(
+        n, 0,
+        "warm per-transaction dispatch path allocated {n} times over 1000 txns"
+    );
+}
+
+#[test]
+fn slot_of_routing_never_allocates_for_typical_keys() {
+    let cluster = Cluster::new(test_catalog(), ClusterConfig::default(), 2);
+    let int_key = KeyValue::Int(0x00de_adbe_ef42);
+    let str_key = KeyValue::Str("cart-00deadbeef42".into());
+    let (n, _) = allocations(|| {
+        let mut acc = 0u64;
+        for _ in 0..1_000 {
+            acc ^= cluster.slot_of_routing(&int_key);
+            acc ^= cluster.slot_of_routing(&str_key);
+        }
+        acc
+    });
+    assert_eq!(n, 0, "slot_of_routing allocated {n} times");
+}
+
+#[test]
+fn slot_access_reset_keeps_buffers_and_stays_allocation_free() {
+    let mut cluster = Cluster::new(test_catalog(), ClusterConfig::default(), 2);
+    let probes: Vec<Probe> = (0..1_000i64).map(Probe::new).collect();
+    for p in &probes {
+        cluster.execute(p).unwrap();
+    }
+    let (n, ()) = allocations(|| {
+        cluster.reset_slot_accesses();
+        for p in &probes {
+            let slot = cluster.slot_of_routing(&p.routing_key());
+            cluster.execute_at_slot(p, slot).unwrap();
+        }
+        let counts = cluster.slot_access_counts();
+        assert_eq!(counts.iter().sum::<u64>(), 1_000);
+    });
+    assert_eq!(n, 0, "reset + warm re-count allocated {n} times");
+}

@@ -38,7 +38,6 @@ use pstore_core::params::SystemParams;
 use pstore_core::schedule::MigrationSchedule;
 use pstore_dbms::cluster::{Cluster, ClusterConfig};
 use pstore_dbms::txn::Procedure;
-use pstore_dbms::value::Key;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::cmp::Reverse;
@@ -140,8 +139,6 @@ pub struct DetailedSimResult {
 enum Event {
     /// Per-second bookkeeping: generate next second's arrivals.
     Second(u64),
-    /// A transaction arrival.
-    Arrival,
     /// Controller monitoring tick.
     Monitor(usize),
     /// A chunk of the (from, to) migration stream.
@@ -245,8 +242,55 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
     let mut committed = 0u64;
     let mut aborted = 0u64;
     let mut dropped = 0u64;
+    // The current second's arrival times, sorted ascending, drained by
+    // cursor. Arrivals vastly outnumber every other event, so keeping them
+    // out of the heap turns n pushes and n pops of `O(log heap)` each into
+    // one sort of an already-allocated buffer per second. A stable sort
+    // preserves generation order on (measure-zero) exact-time ties, which
+    // is what the old per-arrival heap seq numbers did.
+    let mut arrivals: Vec<f64> = Vec::new();
+    let mut next_arrival = 0usize;
 
-    while let Some(Reverse(Timed { time, event, .. })) = heap.pop() {
+    loop {
+        // Arrivals due before the next scheduled event run first; ties go
+        // to the heap event (arrival times are strictly inside a second,
+        // so they can never tie with the integer-timed Second events that
+        // bound their window).
+        if let Some(&at) = arrivals.get(next_arrival) {
+            if heap.peek().is_none_or(|r| at < r.0.time) {
+                next_arrival += 1;
+                #[cfg(feature = "telemetry")]
+                pstore_telemetry::set_time(at);
+                arrivals_in_window += 1;
+                let txn = gen.next_txn();
+                // Resolve the routing slot once; execute_at_slot reuses it
+                // instead of re-hashing the routing key.
+                let slot = cluster.slot_of_routing(&txn.routing_key());
+                let (node, local) = cluster.partition_of_slot(slot);
+                let b = &mut busy[node as usize][local as usize];
+                let wait = (*b - at).max(0.0);
+                if wait > cfg.max_queue_delay_s {
+                    // Client timeout: the request is shed, observed at the
+                    // timeout latency, and never executes.
+                    dropped += 1;
+                    recorder.record(at, cfg.max_queue_delay_s + cfg.service_mean_s);
+                    continue;
+                }
+                match cluster.execute_at_slot(&txn, slot) {
+                    Ok(_) => committed += 1,
+                    Err(_) => aborted += 1,
+                }
+                let service = cfg.service_mean_s
+                    * (1.0 + rng.random_range(-cfg.service_jitter..cfg.service_jitter));
+                let start = b.max(at);
+                *b = start + service;
+                recorder.record(at, *b - at);
+                continue;
+            }
+        }
+        let Some(Reverse(Timed { time, event, .. })) = heap.pop() else {
+            break;
+        };
         if time >= horizon && heap.is_empty() {
             break;
         }
@@ -257,39 +301,20 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
             Event::Second(s) => {
                 recorder.advance_to(time);
                 if (s as f64) < horizon {
-                    // Generate this second's Poisson arrivals.
+                    // Generate this second's Poisson arrivals into the
+                    // reused buffer (the previous second's are always fully
+                    // drained: they are strictly earlier than this event).
+                    debug_assert_eq!(next_arrival, arrivals.len());
                     let lambda = cfg.load[s as usize].max(0.0);
                     let n = sample_poisson(&mut rng, lambda);
+                    arrivals.clear();
+                    next_arrival = 0;
                     for _ in 0..n {
-                        let at = time + rng.random_range(0.0..1.0);
-                        push(&mut heap, &mut seq, at, Event::Arrival);
+                        arrivals.push(time + rng.random_range(0.0..1.0));
                     }
+                    arrivals.sort_by(f64::total_cmp);
                     push(&mut heap, &mut seq, time + 1.0, Event::Second(s + 1));
                 }
-            }
-            Event::Arrival => {
-                arrivals_in_window += 1;
-                let txn = gen.next_txn();
-                let slot = cluster.slot_of_key(&Key::new(vec![txn.routing_key()]));
-                let (node, local) = cluster.partition_of_slot(slot);
-                let b = &mut busy[node as usize][local as usize];
-                let wait = (*b - time).max(0.0);
-                if wait > cfg.max_queue_delay_s {
-                    // Client timeout: the request is shed, observed at the
-                    // timeout latency, and never executes.
-                    dropped += 1;
-                    recorder.record(time, cfg.max_queue_delay_s + cfg.service_mean_s);
-                    continue;
-                }
-                match cluster.execute(&txn) {
-                    Ok(_) => committed += 1,
-                    Err(_) => aborted += 1,
-                }
-                let service = cfg.service_mean_s
-                    * (1.0 + rng.random_range(-cfg.service_jitter..cfg.service_jitter));
-                let start = b.max(time);
-                *b = start + service;
-                recorder.record(time, *b - time);
             }
             Event::Monitor(k) => {
                 recorder.advance_to(time);

@@ -109,6 +109,24 @@ pub fn emit(mut event: Event) {
     });
 }
 
+/// Re-emits an already-stamped event through the installed sink,
+/// assigning a fresh global `seq` but preserving its `t` and fields.
+///
+/// This is the replay half of cross-thread capture: a sweep runner
+/// records worker-thread events into per-cell [`MemorySink`]s and then
+/// forwards them to the main thread's sink in a deterministic cell
+/// order, so the merged trace is identical at any worker count (the
+/// workers' original `seq` stamps reflect scheduling and are discarded).
+/// A no-op without a sink.
+pub fn forward(mut event: Event) {
+    SINK.with(|s| {
+        if let Some(sink) = s.borrow().as_ref() {
+            event.seq = SEQ.fetch_add(1, Ordering::Relaxed);
+            sink.record(&event);
+        }
+    });
+}
+
 /// Flushes the installed sink, if any.
 pub fn flush() {
     SINK.with(|s| {

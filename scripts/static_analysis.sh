@@ -32,6 +32,21 @@ cargo clippy -q -p pstore-bench -p pstore-sim --all-targets \
 step "pstore-verify invariant sweep"
 cargo run -q --release -p pstore-verify
 
+step "microbenchmarks compile (cargo bench --no-run)"
+cargo bench -q --no-run
+
+step "perf baseline smoke + sweep determinism (--threads 1 vs 2)"
+BENCH_T1="$(mktemp /tmp/pstore-bench-t1.XXXXXX.json)"
+BENCH_T2="$(mktemp /tmp/pstore-bench-t2.XXXXXX.json)"
+cargo run -q --release -p pstore-bench --bin bench_baseline -- \
+    --quick --threads 1 --quiet --out "$BENCH_T1" > /dev/null
+cargo run -q --release -p pstore-bench --bin bench_baseline -- \
+    --quick --threads 2 --quiet --out "$BENCH_T2" > /dev/null
+# Timing fields legitimately differ; the simulation counters must not.
+diff <(grep -E 'committed_txns|dropped_txns|"cells"' "$BENCH_T1") \
+     <(grep -E 'committed_txns|dropped_txns|"cells"' "$BENCH_T2")
+rm -f "$BENCH_T1" "$BENCH_T2"
+
 step "telemetry smoke: traced run + pstore-trace validation"
 TRACE_FILE="$(mktemp /tmp/pstore-smoke.XXXXXX.jsonl)"
 trap 'rm -f "$TRACE_FILE"' EXIT
@@ -45,6 +60,9 @@ if [[ "$QUICK" == "0" ]]; then
     cargo test -q -p pstore-verify --tests
     step "pstore-sim tests with telemetry feature"
     cargo test -q -p pstore-sim --features telemetry
+    step "fig9 serial-vs-parallel determinism (release, ~4 min)"
+    cargo test -q --release -p pstore-bench --test sweep_determinism \
+        -- --ignored
 fi
 
 echo

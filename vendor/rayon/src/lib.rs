@@ -1,0 +1,329 @@
+//! Offline vendored stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so this crate implements
+//! just the surface `pstore-bench`'s sweep runner uses, on plain
+//! `std::thread`:
+//!
+//! * [`ThreadPoolBuilder`] / [`ThreadPool`] — `new()`, `num_threads()`,
+//!   `build()`, `install()`, and per-pool `current_num_threads()`.
+//! * [`current_num_threads`] — the installed pool's size, else the
+//!   `RAYON_NUM_THREADS` environment variable, else the machine's
+//!   available parallelism.
+//! * `Vec<T>::into_par_iter().map(f).collect::<Vec<R>>()` via
+//!   [`prelude`] — an eager, order-preserving parallel map.
+//!
+//! Unlike real rayon there is no work-stealing deque: `collect` spawns
+//! scoped worker threads that pull item indices from a shared atomic
+//! counter and the results are reassembled in input order, so output
+//! ordering is deterministic regardless of scheduling. Workers are real
+//! OS threads even for a one-thread pool, which keeps thread-local state
+//! (e.g. telemetry sinks) behaving identically at every pool size.
+//!
+//! Swap back to the registry `rayon` if the build ever gains network
+//! access; the call sites compile unchanged against the real API.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! Traits that make `.into_par_iter()` available, mirroring
+    //! `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+thread_local! {
+    /// Size of the pool whose `install` scope we are inside, if any.
+    static CURRENT_POOL: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Resolves the default thread count: `RAYON_NUM_THREADS` if set to a
+/// positive integer, else `std::thread::available_parallelism()`.
+fn default_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// The number of threads the current thread pool uses: the enclosing
+/// [`ThreadPool::install`] scope's size, else the global default.
+pub fn current_num_threads() -> usize {
+    CURRENT_POOL
+        .with(|c| c.get())
+        .unwrap_or_else(default_num_threads)
+}
+
+/// Error building a thread pool. The stand-in never fails to build; the
+/// type exists so call sites can keep real rayon's `Result` handling.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (auto-detected) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pool size; 0 means "use the default" as in real rayon.
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    /// Never fails in this stand-in; the `Result` mirrors real rayon.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_num_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A fixed-size thread pool. The stand-in holds no persistent worker
+/// threads — workers are spawned per parallel call — but the observable
+/// behaviour (parallelism degree, deterministic collect order) matches.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` with this pool installed as the current pool: parallel
+    /// iterators inside use this pool's thread count.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = CURRENT_POOL.with(|c| c.replace(Some(self.num_threads)));
+        // Restore on unwind too, so a panicking op cannot leak the
+        // override into unrelated code on this thread.
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0;
+                CURRENT_POOL.with(|c| c.set(prev));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+}
+
+/// Conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelIterator` for the types the workspace uses.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// The parallel-iterator operations the workspace uses: `map` followed
+/// by an order-preserving `collect`.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Consumes the iterator, producing all items in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps each element through `f` (applied on worker threads).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Executes the pipeline and collects the results in input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+}
+
+/// Parallel iterator over an owned `Vec`.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// A mapped parallel iterator (the `map` adapter).
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync + Send,
+{
+    type Item = R;
+    fn run(self) -> Vec<R> {
+        parallel_map(current_num_threads(), self.base.run(), &self.f)
+    }
+}
+
+/// Applies `f` to every item on up to `threads` scoped worker threads,
+/// returning results in input order. Workers claim indices from a shared
+/// counter; each result is tagged with its index and the tagged results
+/// are sorted back into input order, so the output is identical at any
+/// thread count. Worker panics propagate to the caller.
+fn parallel_map<T, R, F>(threads: usize, items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads.clamp(1, n);
+    // Hand items to workers through take-once slots: safe-code ownership
+    // transfer without relying on a work-stealing deque.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let slots = &slots;
+                let next = &next;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = slots[i]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .take();
+                        if let Some(item) = item {
+                            local.push((i, f(item)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    });
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<i64> = pool.install(|| {
+            (0..100)
+                .collect::<Vec<i64>>()
+                .into_par_iter()
+                .map(|x| x * 2)
+                .collect()
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn single_thread_pool_matches_serial() {
+        let pool1 = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool8 = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let items: Vec<u64> = (0..37).collect();
+        let a: Vec<u64> = pool1.install(|| items.clone().into_par_iter().map(|x| x * x).collect());
+        let b: Vec<u64> = pool8.install(|| items.into_par_iter().map(|x| x * x).collect());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn install_scopes_current_num_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+        // Outside the scope the default applies again.
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<u8> = vec![1u8, 2, 3]
+                .into_par_iter()
+                .map(|x| {
+                    assert!(x < 3, "boom");
+                    x
+                })
+                .collect();
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn zero_num_threads_means_default() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+}

@@ -88,6 +88,19 @@ pub enum InvariantId {
     /// order-insensitive on bucket contents, so per-phase histograms can
     /// be combined in any order without changing percentile readouts.
     TelemetryHistogramMerge,
+    /// CON-01: the sweep pool's work queue executes every cell exactly
+    /// once and reassembles results in cell order, at any thread count
+    /// and under any interleaving (loom model: claim counter + take-once
+    /// slots; runtime check: fault-injected sweeps lose no cell).
+    ConcurrencyQueueIntegrity,
+    /// CON-02: every cell's result (and captured telemetry) is fully
+    /// visible to the merging thread before the ordered merge starts —
+    /// the join barrier publishes all worker writes.
+    ConcurrencyMergeBarrier,
+    /// CON-03: a cell never observes telemetry-registry state from
+    /// another cell, including the previous cell run back-to-back on the
+    /// same reused worker thread.
+    ConcurrencyRegistryIsolation,
 }
 
 impl InvariantId {
@@ -115,6 +128,9 @@ impl InvariantId {
             InvariantId::TelemetryReconfigPairing => "TEL-01",
             InvariantId::TelemetrySpanNesting => "TEL-02",
             InvariantId::TelemetryHistogramMerge => "TEL-03",
+            InvariantId::ConcurrencyQueueIntegrity => "CON-01",
+            InvariantId::ConcurrencyMergeBarrier => "CON-02",
+            InvariantId::ConcurrencyRegistryIsolation => "CON-03",
         }
     }
 
@@ -143,6 +159,9 @@ impl InvariantId {
             InvariantId::TelemetryReconfigPairing => "§4.4 (moves terminate)",
             InvariantId::TelemetrySpanNesting => "docs/observability.md",
             InvariantId::TelemetryHistogramMerge => "docs/observability.md",
+            InvariantId::ConcurrencyQueueIntegrity => "§8 (experiment grids)",
+            InvariantId::ConcurrencyMergeBarrier => "§8 (determinism contract)",
+            InvariantId::ConcurrencyRegistryIsolation => "docs/observability.md",
         }
     }
 }
@@ -218,6 +237,25 @@ mod tests {
         assert!(s.contains("Table 1"));
         assert!(s.contains("schedule 3->14"));
         assert!(s.contains("12"));
+    }
+
+    #[test]
+    fn concurrency_codes_follow_family_convention() {
+        let family = [
+            InvariantId::ConcurrencyQueueIntegrity,
+            InvariantId::ConcurrencyMergeBarrier,
+            InvariantId::ConcurrencyRegistryIsolation,
+        ];
+        for (i, id) in family.iter().enumerate() {
+            assert_eq!(id.code(), format!("CON-{:02}", i + 1));
+            assert!(!id.paper_ref().is_empty());
+        }
+        let v = Violation::new(
+            InvariantId::ConcurrencyQueueIntegrity,
+            "sweep threads=4",
+            "cell 3 missing from results",
+        );
+        assert!(v.to_string().contains("CON-01"));
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //! * [`telemetry`] — telemetry traces and metrics: span pairing and LIFO
 //!   nesting over event streams, histogram-merge associativity
 //!   (`TEL-01..03`, see docs/observability.md).
+//! * [`concurrency`] — the parallel sweep surface: fault-injected pools
+//!   lose no cell and attribute failures deterministically, the ordered
+//!   merge observes every cell's results and telemetry, and cells never
+//!   see another cell's registry state (`CON-01..03`; the exhaustive
+//!   interleaving layer lives in `vendor/rayon/tests/loom_models.rs`).
 //!
 //! Each checker returns structured [`Violation`] diagnostics naming the
 //! artifact, the invariant id (`SCH-01` ...) and an explanation, so a single
@@ -35,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub mod concurrency;
 pub mod forecast;
 pub mod moves;
 pub mod plan;

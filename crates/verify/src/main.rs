@@ -19,7 +19,7 @@ use pstore_forecast::{
     ArConfig, ArModel, ArmaConfig, ArmaModel, HoltWintersConfig, HoltWintersModel, LoadPredictor,
     OnlinePredictor, SparConfig, SparModel,
 };
-use pstore_verify::{forecast, plan, schedule, telemetry, CheckStats, Violation};
+use pstore_verify::{concurrency, forecast, plan, schedule, telemetry, CheckStats, Violation};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -27,12 +27,16 @@ use rand::{RngExt, SeedableRng};
 const MAX_MACHINES: u32 = 64;
 /// Randomized end-to-end planner scenarios (the acceptance bar is >= 100).
 const PLANNER_SCENARIOS: usize = 128;
-/// Randomized small instances cross-checked against the brute-force oracle.
+/// Randomized instances (up to 12 machines × 16 intervals) cross-checked
+/// against the memoised optimality oracle.
 const ORACLE_SCENARIOS: usize = 100;
 /// Randomized forecast series per model family.
 const FORECAST_SERIES: usize = 16;
 /// Randomized telemetry span-trace / histogram-merge scenarios.
 const TELEMETRY_SCENARIOS: usize = 64;
+/// Parallel thread count for the concurrency sweep (each checker also
+/// runs at 1 thread, the forced worker-reuse case).
+const CONCURRENCY_THREADS: usize = 4;
 
 fn main() {
     let mut all = Vec::new();
@@ -54,7 +58,7 @@ fn main() {
     let (stats, planned) = oracle_sweep();
     report_phase(
         &format!(
-            "optimality oracle: {ORACLE_SCENARIOS} small instances vs brute force ({planned} feasible)"
+            "optimality oracle: {ORACLE_SCENARIOS} instances up to 12 machines x 16 intervals vs memoised oracle ({planned} feasible)"
         ),
         &stats,
     );
@@ -67,6 +71,15 @@ fn main() {
     let stats = telemetry_sweep();
     report_phase(
         &format!("telemetry sweep: {TELEMETRY_SCENARIOS} span traces + histogram merges"),
+        &stats,
+    );
+    all.extend(stats.violations);
+
+    let stats = concurrency_sweep();
+    report_phase(
+        &format!(
+            "concurrency sweep: fault-injected pool + merge + isolation at threads 1 and {CONCURRENCY_THREADS}"
+        ),
         &stats,
     );
     all.extend(stats.violations);
@@ -158,13 +171,17 @@ fn random_load(rng: &mut StdRng, horizon: usize, q: f64, n0: u32, max_machines: 
         .collect()
 }
 
-/// Phase 3: small instances where the brute-force oracle is tractable.
+/// Phase 3: randomized instances cross-checked against the memoised
+/// optimality oracle. The memoised `(interval, machines)` value-iteration
+/// is polynomial, so the sweep covers instances up to 12 machines × 16
+/// intervals — well past what the naive enumeration (kept as the oracle's
+/// own reference, see `proptest_plan.rs`) could handle.
 fn oracle_sweep() -> (CheckStats, usize) {
     let mut rng = StdRng::seed_from_u64(0x5EED_0002);
     let mut stats = CheckStats::default();
     let mut planned = 0usize;
     for case in 0..ORACLE_SCENARIOS {
-        let max_machines = rng.random_range(2u32..=5);
+        let max_machines = rng.random_range(2u32..=12);
         let cfg = PlannerConfig {
             q: 100.0,
             d_intervals: rng.random_range(0.3..6.0),
@@ -172,7 +189,7 @@ fn oracle_sweep() -> (CheckStats, usize) {
             max_machines,
         };
         let n0 = rng.random_range(1u32..=max_machines);
-        let horizon = rng.random_range(3usize..=6);
+        let horizon = rng.random_range(6usize..=16);
         let load = random_load(&mut rng, horizon, cfg.q, n0, max_machines);
         let planner = Planner::new(cfg);
         let label = format!("oracle scenario {case}");
@@ -335,6 +352,21 @@ fn telemetry_sweep() -> CheckStats {
             &format!("histogram merge {case}"),
             &sets,
         ));
+    }
+    stats
+}
+
+/// Phase 6: the `CON-*` runtime checks — fault-injected sweeps, the
+/// merge happens-before edge and registry isolation, each at 1 thread
+/// (forced worker reuse) and at [`CONCURRENCY_THREADS`]. The exhaustive
+/// interleaving exploration of the same invariants runs separately as
+/// `RUSTFLAGS="--cfg loom" cargo test -p rayon --release`.
+fn concurrency_sweep() -> CheckStats {
+    let mut stats = CheckStats::default();
+    for threads in [1, CONCURRENCY_THREADS] {
+        stats.absorb(concurrency::check_queue_integrity(threads));
+        stats.absorb(concurrency::check_merge_barrier(threads));
+        stats.absorb(concurrency::check_registry_isolation(threads));
     }
     stats
 }

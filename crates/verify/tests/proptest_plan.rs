@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 use pstore_core::planner::{Planner, PlannerConfig};
-use pstore_verify::plan::{check_plan, check_plan_optimality};
+use pstore_verify::plan::{
+    brute_force_optimum, check_plan, check_plan_optimality, memoised_optimum,
+};
 
 /// A random load curve bounded so the peak can fit the hardware (infeasible
 /// instances still occur and must be handled gracefully).
@@ -58,5 +60,37 @@ proptest! {
             "{}",
             pstore_core::invariant::report(&violations)
         );
+    }
+
+    /// The memoised `(interval, machines)` value-iteration must agree with
+    /// the naive depth-first enumeration — same feasibility verdict, same
+    /// fewest-machines endpoint, same optimal cost — on every instance
+    /// small enough for the naive oracle to finish.
+    #[test]
+    fn memoised_oracle_agrees_with_naive_enumeration(
+        seed_load in load_curve(450.0, 7),
+        n0 in 1u32..=4,
+        d in 1u32..=10,
+        partitions in 1u32..=2,
+    ) {
+        let cfg = PlannerConfig {
+            q: 100.0,
+            d_intervals: d as f64 / 2.0,
+            partitions_per_node: partitions,
+            max_machines: 4,
+        };
+        let naive = brute_force_optimum(&cfg, &seed_load, n0);
+        let memo = memoised_optimum(&cfg, &seed_load, n0);
+        match (naive, memo) {
+            (None, None) => {}
+            (Some((ne, nc)), Some((me, mc))) => {
+                prop_assert_eq!(ne, me, "end machine counts disagree");
+                prop_assert!(
+                    (nc - mc).abs() <= 1e-6,
+                    "naive cost {} vs memoised {}", nc, mc
+                );
+            }
+            other => prop_assert!(false, "feasibility disagreement: {:?}", other),
+        }
     }
 }

@@ -60,6 +60,16 @@ if [[ "$QUICK" == "0" ]]; then
     cargo test -q -p pstore-verify --tests
     step "pstore-sim tests with telemetry feature"
     cargo test -q -p pstore-sim --features telemetry
+    step "loom model checking: thread-pool concurrency invariants (CON-01..03)"
+    # Exhaustively explores the pool's interleavings with its primitives
+    # swapped to the vendored loom types (see docs/invariants.md).
+    RUSTFLAGS="--cfg loom" cargo test -q -p rayon --release
+    if cargo miri --version > /dev/null 2>&1; then
+        step "cargo miri test: UB check on the unsafe-free core crates"
+        cargo miri test -q -p pstore-core -p pstore-forecast
+    else
+        step "cargo miri test: skipped (miri not installed on this toolchain)"
+    fi
     step "fig9 serial-vs-parallel determinism (release, ~4 min)"
     cargo test -q --release -p pstore-bench --test sweep_determinism \
         -- --ignored

@@ -1,0 +1,8 @@
+//! Spin-loop hints. Under the model a spin hint is a scheduling point:
+//! the spinning thread yields so the thread it is waiting on can make
+//! progress (a real CPU hint would model nothing).
+
+/// Yields the model baton; drop-in for `std::hint::spin_loop`.
+pub fn spin_loop() {
+    crate::rt::yield_now();
+}

@@ -1,0 +1,37 @@
+//! Offline vendored stand-in for [loom](https://github.com/tokio-rs/loom),
+//! API-compatible with the subset this workspace models.
+//!
+//! `loom::model` runs a closure under a bounded-exhaustive model
+//! checker: every interleaving of the model threads' visible operations
+//! (atomic accesses, mutex operations, joins, yields) is explored
+//! depth-first, and atomic loads additionally branch over every store
+//! they could coherently observe. Happens-before is tracked with vector
+//! clocks, so a load that is *not* ordered after a store genuinely can
+//! return the stale value — which is how missing `Acquire`/`Release`
+//! pairs are caught as real assertion failures instead of lucky passes.
+//!
+//! ```
+//! use loom::sync::atomic::{AtomicUsize, Ordering};
+//! use loom::sync::Arc;
+//!
+//! loom::model(|| {
+//!     let flag = Arc::new(AtomicUsize::new(0));
+//!     let f2 = flag.clone();
+//!     let t = loom::thread::spawn(move || f2.store(1, Ordering::Release));
+//!     let _ = flag.load(Ordering::Acquire);
+//!     t.join().unwrap();
+//! });
+//! ```
+//!
+//! Known approximations (documented in [`rt`]): `SeqCst` is treated as
+//! `AcqRel`, there are no spurious `compare_exchange_weak` failures,
+//! and condvars/`UnsafeCell` access tracking are not implemented.
+
+mod rt;
+
+pub mod hint;
+pub mod model;
+pub mod sync;
+pub mod thread;
+
+pub use model::model;

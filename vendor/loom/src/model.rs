@@ -1,0 +1,56 @@
+//! Exploration entry points: [`model`] and the tunable [`Builder`].
+
+use crate::rt;
+
+/// Configures and runs a model-checking exploration.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Maximum number of *preemptive* context switches per execution
+    /// (CHESS-style bounding). `None` explores every schedule.
+    pub preemption_bound: Option<usize>,
+    /// Safety valve on the number of executions explored.
+    pub max_executions: u64,
+    /// Safety valve on decision points within one execution; a model
+    /// with an unbounded spin loop trips this instead of hanging.
+    pub max_branches: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        let d = rt::Config::default();
+        Builder {
+            preemption_bound: d.preemption_bound,
+            max_executions: d.max_executions,
+            max_branches: d.max_branches,
+        }
+    }
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Explores every permitted schedule of `f`, panicking with the
+    /// first failing execution's panic payload (after printing the
+    /// schedule that reached it).
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let cfg = rt::Config {
+            preemption_bound: self.preemption_bound,
+            max_executions: self.max_executions,
+            max_branches: self.max_branches,
+        };
+        rt::explore(&cfg, f);
+    }
+}
+
+/// Runs `f` under the model checker with default bounds (exhaustive).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f);
+}

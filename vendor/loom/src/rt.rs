@@ -1,0 +1,846 @@
+//! The model-checking runtime: a cooperative scheduler that serialises
+//! model threads (real OS threads passing a baton), explores every
+//! scheduling and load-value choice depth-first across repeated
+//! executions, and tracks happens-before with vector clocks so stale
+//! reads through insufficiently ordered atomics are actually produced.
+//!
+//! One model thread is *active* at a time. Every visible operation
+//! (atomic access, mutex lock, join, yield) is a decision point: the
+//! active thread asks the [`Explorer`] which runnable thread executes
+//! next, hands over the baton, and waits until it is scheduled again.
+//! Relaxed/acquire loads additionally branch on *which* store in the
+//! modification order they observe (restricted by coherence and by the
+//! reader's vector clock), which is what lets the checker catch
+//! `Relaxed`-where-`Acquire/Release`-is-required bugs rather than only
+//! interleaving bugs.
+//!
+//! Approximations versus real loom: `SeqCst` is modelled as `AcqRel`
+//! (the single total order of SC operations is not tracked), condvars
+//! and `UnsafeCell` access tracking are not implemented, and spurious
+//! CAS failures are not generated. The models in this workspace rely on
+//! none of those.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError};
+
+/// Panic payload used to unwind model threads once an execution has
+/// failed (or deadlocked): every thread parked at a decision point is
+/// woken, panics with this token, and its wrapper swallows it.
+pub(crate) struct Abandon;
+
+/// A vector clock: component `t` is thread `t`'s logical time. Missing
+/// components read as zero so clocks can grow as threads spawn.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    /// `self` happens-before-or-equals `other` (pointwise `<=`).
+    fn le(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.0.get(i).copied().unwrap_or(0))
+    }
+
+    /// Pointwise maximum (join) of the two clocks, stored into `self`.
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// Advances component `tid` by one (a new event on that thread).
+    fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+}
+
+/// One recorded choice in the decision tree: how many alternatives the
+/// point had and which one the current execution takes.
+#[derive(Debug)]
+struct Decision {
+    choices: usize,
+    index: usize,
+}
+
+/// Depth-first explorer over the decision tree. The path persists across
+/// executions: a prefix is replayed, the first unexplored branch is
+/// taken, and [`Explorer::advance`] backtracks to the next leaf.
+#[derive(Debug)]
+pub(crate) struct Explorer {
+    path: Vec<Decision>,
+    cursor: usize,
+    max_branches: usize,
+}
+
+impl Explorer {
+    fn new(max_branches: usize) -> Self {
+        Explorer {
+            path: Vec::new(),
+            cursor: 0,
+            max_branches,
+        }
+    }
+
+    /// Consumes one decision point with `choices` alternatives and
+    /// returns the index to take in this execution.
+    fn decide(&mut self, choices: usize) -> usize {
+        let idx = if self.cursor < self.path.len() {
+            let d = &self.path[self.cursor];
+            assert_eq!(
+                d.choices, choices,
+                "loom: nondeterministic model (decision point changed between executions)"
+            );
+            d.index
+        } else {
+            assert!(
+                self.path.len() < self.max_branches,
+                "loom: execution exceeded max_branches ({}); bound the model (shorter loops, fewer threads)",
+                self.max_branches
+            );
+            self.path.push(Decision { choices, index: 0 });
+            0
+        };
+        self.cursor += 1;
+        idx
+    }
+
+    /// Backtracks to the next unexplored execution; `false` when the
+    /// whole tree has been visited.
+    fn advance(&mut self) -> bool {
+        while let Some(d) = self.path.last_mut() {
+            if d.index + 1 < d.choices {
+                d.index += 1;
+                self.cursor = 0;
+                return true;
+            }
+            self.path.pop();
+        }
+        false
+    }
+
+    /// Short human-readable form of the current path, for failure
+    /// reports.
+    fn describe(&self) -> String {
+        let ids: Vec<String> = self.path.iter().map(|d| d.index.to_string()).collect();
+        format!("[{}]", ids.join(","))
+    }
+}
+
+/// Why a thread cannot currently run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockedOn {
+    /// Waiting to acquire the mutex with this object id.
+    Mutex(usize),
+    /// Waiting for this thread id to finish.
+    Join(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Blocked(BlockedOn),
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadSt {
+    status: Status,
+    clock: VClock,
+}
+
+/// One store in an atomic's modification order.
+#[derive(Debug)]
+struct StoreEvt {
+    value: u64,
+    /// The synchronises-with clock an acquire load of this store joins;
+    /// `None` for relaxed stores (and initial values), which is exactly
+    /// why acquiring a relaxed store publishes nothing.
+    release: Option<VClock>,
+    /// The storing thread's clock at the store, for coherence: a reader
+    /// whose clock already covers a later store cannot read this one.
+    when: VClock,
+}
+
+#[derive(Debug)]
+struct AtomicObj {
+    stores: Vec<StoreEvt>,
+    /// Per-thread floor into `stores`: the newest index each thread has
+    /// read or written (reads may never move backwards — coherence).
+    seen: Vec<usize>,
+}
+
+impl AtomicObj {
+    fn seen_mut(&mut self, tid: usize) -> &mut usize {
+        if self.seen.len() <= tid {
+            self.seen.resize(tid + 1, 0);
+        }
+        &mut self.seen[tid]
+    }
+}
+
+#[derive(Debug)]
+struct MutexObj {
+    locked_by: Option<usize>,
+    /// Clock released by the last unlock; joined on every acquisition.
+    clock: VClock,
+}
+
+#[derive(Debug)]
+enum Obj {
+    Atomic(AtomicObj),
+    Mutex(MutexObj),
+}
+
+/// Mutable model state, shared by every model thread of one execution.
+struct State {
+    threads: Vec<ThreadSt>,
+    objs: Vec<Obj>,
+    /// Thread currently holding the baton (`usize::MAX` once abandoned).
+    active: usize,
+    preemptions: usize,
+    preemption_bound: Option<usize>,
+    failed: bool,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    explorer: Explorer,
+}
+
+impl State {
+    fn fail(&mut self, message: String) {
+        if self.panic.is_none() {
+            self.panic = Some(Box::new(message));
+        }
+        self.failed = true;
+        self.active = usize::MAX;
+    }
+
+    fn atomic_mut(&mut self, obj: usize) -> &mut AtomicObj {
+        match &mut self.objs[obj] {
+            Obj::Atomic(a) => a,
+            Obj::Mutex(_) => panic!("loom: object {obj} is not an atomic"),
+        }
+    }
+
+    fn mutex_mut(&mut self, obj: usize) -> &mut MutexObj {
+        match &mut self.objs[obj] {
+            Obj::Mutex(m) => m,
+            Obj::Atomic(_) => panic!("loom: object {obj} is not a mutex"),
+        }
+    }
+}
+
+/// One execution's shared scheduler: the state plus the condvar model
+/// threads park on while another thread holds the baton.
+pub(crate) struct Execution {
+    state: StdMutex<State>,
+    cv: Condvar,
+    /// OS handles of non-scoped spawns, drained by the driver.
+    os_handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    /// `(execution, model thread id)` of the model thread running on
+    /// this OS thread, if any.
+    static CTX: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The current model thread's context; panics outside `loom::model`.
+pub(crate) fn ctx() -> (Arc<Execution>, usize) {
+    CTX.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|(e, t)| (e.clone(), *t))
+            .expect("loom primitives may only be used inside loom::model")
+    })
+}
+
+fn lock_state(exec: &Execution) -> StdMutexGuard<'_, State> {
+    exec.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn acquire_ish(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn release_ish(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+impl Execution {
+    fn new(explorer: Explorer, preemption_bound: Option<usize>) -> Self {
+        Execution {
+            state: StdMutex::new(State {
+                threads: Vec::new(),
+                objs: Vec::new(),
+                active: 0,
+                preemptions: 0,
+                preemption_bound,
+                failed: false,
+                panic: None,
+                explorer,
+            }),
+            cv: Condvar::new(),
+            os_handles: StdMutex::new(Vec::new()),
+        }
+    }
+
+    /// Registers a new model thread (child of `parent`, or the root when
+    /// `parent` is `None`) and returns its id. Not a decision point: the
+    /// child only becomes observable once it is first scheduled.
+    pub(crate) fn thread_create(&self, parent: Option<usize>) -> usize {
+        let mut st = lock_state(self);
+        let tid = st.threads.len();
+        let mut clock = match parent {
+            Some(p) => {
+                st.threads[p].clock.tick(p);
+                st.threads[p].clock.clone()
+            }
+            None => VClock::default(),
+        };
+        clock.tick(tid);
+        st.threads.push(ThreadSt {
+            status: Status::Runnable,
+            clock,
+        });
+        tid
+    }
+
+    /// Parks until `tid` holds the baton (a freshly spawned thread's
+    /// first schedule-in). Panics with [`Abandon`] if the execution
+    /// fails first.
+    fn wait_until_active(&self, tid: usize) {
+        let mut st = lock_state(self);
+        while st.active != tid {
+            if st.failed {
+                drop(st);
+                resume_unwind(Box::new(Abandon));
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// The scheduling decision at a visible-operation boundary: chooses
+    /// which runnable thread executes its next operation. Consumes an
+    /// explorer decision only when there is a genuine choice. With a
+    /// preemption bound, switching away from a still-runnable thread
+    /// spends budget; forced switches (block/exit) are free.
+    fn choose_next(&self, st: &mut State, current: usize, current_runnable: bool) {
+        if st.failed {
+            st.active = usize::MAX;
+            self.cv.notify_all();
+            return;
+        }
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st
+                .threads
+                .iter()
+                .any(|t| matches!(t.status, Status::Blocked(_)))
+            {
+                let blocked: Vec<(usize, Status)> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| matches!(t.status, Status::Blocked(_)))
+                    .map(|(i, t)| (i, t.status))
+                    .collect();
+                st.fail(format!(
+                    "loom: deadlock — every unfinished thread is blocked: {blocked:?}"
+                ));
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let out_of_budget = st.preemption_bound.is_some_and(|b| st.preemptions >= b);
+        let choices: Vec<usize> =
+            if current_runnable && out_of_budget && runnable.contains(&current) {
+                vec![current]
+            } else {
+                runnable
+            };
+        let pick = if choices.len() == 1 {
+            choices[0]
+        } else {
+            choices[st.explorer.decide(choices.len())]
+        };
+        if current_runnable && pick != current {
+            st.preemptions += 1;
+        }
+        st.active = pick;
+        self.cv.notify_all();
+    }
+
+    /// The entry point of every visible operation: offers the scheduler
+    /// a switch, then parks until this thread is scheduled to perform
+    /// the operation. Returns with the state lock held; the caller
+    /// executes the operation under it (execution is serialised, so the
+    /// operation is atomic).
+    fn op_boundary(&self, tid: usize) -> StdMutexGuard<'_, State> {
+        let mut st = lock_state(self);
+        if st.failed {
+            drop(st);
+            resume_unwind(Box::new(Abandon));
+        }
+        debug_assert_eq!(st.active, tid, "loom: inactive thread reached an operation");
+        self.choose_next(&mut st, tid, true);
+        while st.active != tid {
+            if st.failed {
+                drop(st);
+                resume_unwind(Box::new(Abandon));
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        st
+    }
+
+    /// Blocks the current thread on `reason`, hands the baton elsewhere
+    /// and parks until rescheduled (the waker resets the status to
+    /// runnable). Returns with the lock held so the caller can re-try.
+    fn block<'a>(
+        &'a self,
+        mut st: StdMutexGuard<'a, State>,
+        tid: usize,
+        reason: BlockedOn,
+    ) -> StdMutexGuard<'a, State> {
+        st.threads[tid].status = Status::Blocked(reason);
+        self.choose_next(&mut st, tid, false);
+        while st.active != tid {
+            if st.failed {
+                drop(st);
+                resume_unwind(Box::new(Abandon));
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        st
+    }
+
+    /// Normal termination of a model thread: stamps the final clock,
+    /// wakes joiners and hands the baton to the next runnable thread.
+    fn thread_exit(&self, tid: usize) {
+        let mut st = lock_state(self);
+        st.threads[tid].clock.tick(tid);
+        st.threads[tid].status = Status::Finished;
+        for t in &mut st.threads {
+            if t.status == Status::Blocked(BlockedOn::Join(tid)) {
+                t.status = Status::Runnable;
+            }
+        }
+        self.choose_next(&mut st, tid, false);
+        self.cv.notify_all();
+    }
+
+    /// Termination of a thread that unwound with [`Abandon`]: only
+    /// bookkeeping, no scheduling decisions (the execution is dead).
+    fn thread_exit_abandoned(&self, tid: usize) {
+        let mut st = lock_state(self);
+        st.threads[tid].status = Status::Finished;
+        st.active = usize::MAX;
+        self.cv.notify_all();
+    }
+
+    /// Records the first real panic of the execution and switches every
+    /// other thread into abandon mode.
+    fn record_failure(&self, tid: usize, payload: Box<dyn std::any::Any + Send>) {
+        let mut st = lock_state(self);
+        if st.panic.is_none() {
+            st.panic = Some(payload);
+        }
+        st.failed = true;
+        st.threads[tid].status = Status::Finished;
+        st.active = usize::MAX;
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn push_os_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.os_handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(h);
+    }
+}
+
+// ---- model-thread entry ---------------------------------------------
+
+/// Runs `body` as model thread `tid` of `exec`: installs the TLS
+/// context, parks until first scheduled, and classifies the outcome
+/// (normal exit / abandoned unwind / real failure). Never panics, so it
+/// is safe as the top frame of scoped and free OS threads alike.
+pub(crate) fn run_model_thread(exec: &Arc<Execution>, tid: usize, body: impl FnOnce()) {
+    CTX.with(|c| *c.borrow_mut() = Some((exec.clone(), tid)));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        exec.wait_until_active(tid);
+        body();
+    }));
+    match outcome {
+        Ok(()) => exec.thread_exit(tid),
+        Err(p) if p.is::<Abandon>() => exec.thread_exit_abandoned(tid),
+        Err(p) => exec.record_failure(tid, p),
+    }
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+// ---- operations (called from the sync/thread façades) ----------------
+
+/// A pure scheduling point with no attached operation.
+pub(crate) fn yield_now() {
+    let (exec, tid) = ctx();
+    let _st = exec.op_boundary(tid);
+}
+
+/// Model `join`: waits for `target` to finish, then joins its final
+/// clock (the happens-before edge `join` provides).
+pub(crate) fn thread_join(target: usize) {
+    let (exec, tid) = ctx();
+    let mut st = exec.op_boundary(tid);
+    while st.threads[target].status != Status::Finished {
+        st = exec.block(st, tid, BlockedOn::Join(target));
+    }
+    st.threads[tid].clock.tick(tid);
+    let target_clock = st.threads[target].clock.clone();
+    st.threads[tid].clock.join(&target_clock);
+}
+
+/// Non-panicking variant of [`thread_join`] for drop paths: does
+/// nothing once the execution has failed.
+pub(crate) fn thread_join_quiet(target: usize) {
+    let (exec, _) = ctx();
+    {
+        let st = lock_state(&exec);
+        if st.failed {
+            return;
+        }
+    }
+    thread_join(target);
+}
+
+/// Registers a new modelled atomic with an initial value. The initial
+/// "store" carries the creator's clock (creation happens-before any
+/// read that is ordered after it) but no release clock, mirroring
+/// unsynchronised initialisation.
+pub(crate) fn alloc_atomic(init: u64) -> usize {
+    let (exec, tid) = ctx();
+    let mut st = lock_state(&exec);
+    st.threads[tid].clock.tick(tid);
+    let when = st.threads[tid].clock.clone();
+    st.objs.push(Obj::Atomic(AtomicObj {
+        stores: vec![StoreEvt {
+            value: init,
+            release: None,
+            when,
+        }],
+        seen: Vec::new(),
+    }));
+    st.objs.len() - 1
+}
+
+/// Registers a new modelled mutex.
+pub(crate) fn alloc_mutex() -> usize {
+    let (exec, tid) = ctx();
+    let mut st = lock_state(&exec);
+    st.threads[tid].clock.tick(tid);
+    let clock = st.threads[tid].clock.clone();
+    st.objs.push(Obj::Mutex(MutexObj {
+        locked_by: None,
+        clock,
+    }));
+    st.objs.len() - 1
+}
+
+/// Atomic load: picks (a decision, when several are coherent) which
+/// store in the modification order to observe. Eligible stores form a
+/// suffix: everything from the newest store the reader is already aware
+/// of — via its clock or its own previous accesses — onwards. Acquire
+/// loads join the chosen store's release clock, if any.
+pub(crate) fn atomic_load(obj: usize, ord: Ordering) -> u64 {
+    assert!(
+        !matches!(ord, Ordering::Release | Ordering::AcqRel),
+        "loom: invalid ordering for a load"
+    );
+    let (exec, tid) = ctx();
+    let mut st = exec.op_boundary(tid);
+    st.threads[tid].clock.tick(tid);
+    let clock = st.threads[tid].clock.clone();
+    let state = &mut *st;
+    let a = state.atomic_mut(obj);
+    let n = a.stores.len();
+    let mut lo = *a.seen_mut(tid);
+    for (j, s) in a.stores.iter().enumerate().skip(lo) {
+        if s.when.le(&clock) {
+            lo = j;
+        }
+    }
+    let pick = if n - lo > 1 {
+        lo + state.explorer.decide(n - lo)
+    } else {
+        lo
+    };
+    let a = state.atomic_mut(obj);
+    *a.seen_mut(tid) = pick;
+    let value = a.stores[pick].value;
+    let rel = if acquire_ish(ord) {
+        a.stores[pick].release.clone()
+    } else {
+        None
+    };
+    if let Some(rel) = rel {
+        state.threads[tid].clock.join(&rel);
+    }
+    value
+}
+
+/// Atomic store: appends to the modification order; release stores
+/// publish the storing thread's clock for later acquire loads.
+pub(crate) fn atomic_store(obj: usize, value: u64, ord: Ordering) {
+    assert!(
+        !matches!(ord, Ordering::Acquire | Ordering::AcqRel),
+        "loom: invalid ordering for a store"
+    );
+    let (exec, tid) = ctx();
+    let mut st = exec.op_boundary(tid);
+    st.threads[tid].clock.tick(tid);
+    let when = st.threads[tid].clock.clone();
+    let release = release_ish(ord).then(|| when.clone());
+    let a = st.atomic_mut(obj);
+    a.stores.push(StoreEvt {
+        value,
+        release,
+        when,
+    });
+    let idx = a.stores.len() - 1;
+    *a.seen_mut(tid) = idx;
+}
+
+/// Atomic read-modify-write: reads the *latest* store (RMW atomicity
+/// pins it to the tail of the modification order), applies `f`, and
+/// appends the result. The new store continues the release sequence of
+/// the store it read: its release clock is the union of the previous
+/// store's release clock and — when the RMW itself releases — the
+/// writer's own clock. A relaxed RMW therefore forwards an earlier
+/// release clock but contributes none of its own.
+pub(crate) fn atomic_rmw(obj: usize, ord: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+    let (exec, tid) = ctx();
+    let mut st = exec.op_boundary(tid);
+    st.threads[tid].clock.tick(tid);
+    let state = &mut *st;
+    let a = state.atomic_mut(obj);
+    let last = a.stores.len() - 1;
+    let old = a.stores[last].value;
+    let prev_release = a.stores[last].release.clone();
+    if acquire_ish(ord) {
+        if let Some(rel) = &prev_release {
+            state.threads[tid].clock.join(rel);
+        }
+    }
+    let when = state.threads[tid].clock.clone();
+    let release = if release_ish(ord) {
+        let mut r = prev_release.unwrap_or_default();
+        r.join(&when);
+        Some(r)
+    } else {
+        prev_release
+    };
+    let a = state.atomic_mut(obj);
+    a.stores.push(StoreEvt {
+        value: f(old),
+        release,
+        when,
+    });
+    let idx = a.stores.len() - 1;
+    *a.seen_mut(tid) = idx;
+    old
+}
+
+/// Atomic compare-exchange: an RMW when the latest value matches
+/// `current`, otherwise a load of the latest value with `failure`
+/// ordering semantics.
+pub(crate) fn atomic_cas(
+    obj: usize,
+    current: u64,
+    new: u64,
+    success: Ordering,
+    failure: Ordering,
+) -> Result<u64, u64> {
+    let (exec, tid) = ctx();
+    let mut st = exec.op_boundary(tid);
+    st.threads[tid].clock.tick(tid);
+    let state = &mut *st;
+    let a = state.atomic_mut(obj);
+    let last = a.stores.len() - 1;
+    let old = a.stores[last].value;
+    let prev_release = a.stores[last].release.clone();
+    if old == current {
+        if acquire_ish(success) {
+            if let Some(rel) = &prev_release {
+                state.threads[tid].clock.join(rel);
+            }
+        }
+        let when = state.threads[tid].clock.clone();
+        let release = if release_ish(success) {
+            let mut r = prev_release.unwrap_or_default();
+            r.join(&when);
+            Some(r)
+        } else {
+            prev_release
+        };
+        let a = state.atomic_mut(obj);
+        a.stores.push(StoreEvt {
+            value: new,
+            release,
+            when,
+        });
+        let idx = a.stores.len() - 1;
+        *a.seen_mut(tid) = idx;
+        Ok(old)
+    } else {
+        // A failed CAS still observed the latest value.
+        *a.seen_mut(tid) = last;
+        if acquire_ish(failure) {
+            if let Some(rel) = &prev_release {
+                state.threads[tid].clock.join(rel);
+            }
+        }
+        Err(old)
+    }
+}
+
+/// Mutex acquisition: blocks while held, joins the mutex clock on
+/// success (the release/acquire edge every unlock→lock pair gives).
+pub(crate) fn mutex_lock(obj: usize) {
+    let (exec, tid) = ctx();
+    let mut st = exec.op_boundary(tid);
+    loop {
+        let m = st.mutex_mut(obj);
+        match m.locked_by {
+            None => {
+                m.locked_by = Some(tid);
+                let mclock = m.clock.clone();
+                st.threads[tid].clock.tick(tid);
+                st.threads[tid].clock.join(&mclock);
+                return;
+            }
+            Some(owner) => {
+                assert_ne!(owner, tid, "loom: recursive mutex lock would deadlock");
+                st = exec.block(st, tid, BlockedOn::Mutex(obj));
+            }
+        }
+    }
+}
+
+/// Mutex release: publishes the holder's clock into the mutex and wakes
+/// waiters. Not a decision point (release is not a read), and
+/// deliberately non-panicking so guard drops are safe mid-abandon.
+pub(crate) fn mutex_unlock(obj: usize) {
+    let (exec, tid) = ctx();
+    let mut st = lock_state(&exec);
+    if st.failed {
+        return;
+    }
+    st.threads[tid].clock.tick(tid);
+    let clock = st.threads[tid].clock.clone();
+    let m = st.mutex_mut(obj);
+    debug_assert_eq!(m.locked_by, Some(tid), "loom: unlock by non-owner");
+    m.locked_by = None;
+    m.clock = clock;
+    for t in &mut st.threads {
+        if t.status == Status::Blocked(BlockedOn::Mutex(obj)) {
+            t.status = Status::Runnable;
+        }
+    }
+    exec.cv.notify_all();
+}
+
+// ---- driver ----------------------------------------------------------
+
+/// Configuration for the exploration: see [`crate::model::Builder`].
+#[derive(Debug, Clone)]
+pub(crate) struct Config {
+    pub(crate) preemption_bound: Option<usize>,
+    pub(crate) max_executions: u64,
+    pub(crate) max_branches: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: None,
+            max_executions: 2_000_000,
+            max_branches: 50_000,
+        }
+    }
+}
+
+/// Explores every schedule of `f` within the configured bounds,
+/// re-panicking with the original payload if any execution fails.
+pub(crate) fn explore<F>(cfg: &Config, f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let mut explorer = Explorer::new(cfg.max_branches);
+    let mut executions: u64 = 0;
+    loop {
+        executions += 1;
+        assert!(
+            executions <= cfg.max_executions,
+            "loom: exceeded max_executions ({}); bound the model",
+            cfg.max_executions
+        );
+        let exec = Arc::new(Execution::new(explorer, cfg.preemption_bound));
+        let root = exec.thread_create(None);
+        debug_assert_eq!(root, 0);
+        let main = {
+            let exec = exec.clone();
+            let f = f.clone();
+            std::thread::spawn(move || run_model_thread(&exec, 0, move || f()))
+        };
+        let _ = main.join();
+        // Free-spawned threads may still be finishing (they schedule
+        // among themselves once the root exits); join their OS handles,
+        // including any they spawned in turn.
+        loop {
+            let handles: Vec<_> = exec
+                .os_handles
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .drain(..)
+                .collect();
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        let state = match Arc::try_unwrap(exec) {
+            Ok(e) => e.state.into_inner().unwrap_or_else(PoisonError::into_inner),
+            Err(_) => panic!("loom: execution state leaked out of the model"),
+        };
+        explorer = state.explorer;
+        if let Some(payload) = state.panic {
+            eprintln!(
+                "loom: failing execution found after {executions} run(s), schedule {}",
+                explorer.describe()
+            );
+            resume_unwind(payload);
+        }
+        if !explorer.advance() {
+            break;
+        }
+    }
+}

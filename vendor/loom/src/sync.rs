@@ -1,0 +1,239 @@
+//! Modelled synchronisation primitives: `Mutex` and the atomics.
+//!
+//! Each primitive registers an object with the runtime at construction
+//! (so construction is only legal inside `loom::model`) and routes
+//! every access through a scheduler decision point. The data itself
+//! lives in ordinary `std` containers — safe because the model
+//! serialises execution and grants access only per the modelled
+//! protocol.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError};
+
+use crate::rt;
+
+pub use std::sync::Arc;
+
+/// Modelled mutex. Lock acquisition is a blocking decision point and an
+/// acquire of the clock published by the previous unlock; unlocking
+/// publishes the holder's clock.
+pub struct Mutex<T> {
+    id: usize,
+    data: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(data: T) -> Self {
+        Mutex {
+            id: rt::alloc_mutex(),
+            data: StdMutex::new(data),
+        }
+    }
+
+    /// Never returns `Err`: model mutexes do not poison (a panic while
+    /// holding one fails the whole model instead).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        rt::mutex_lock(self.id);
+        let inner = self.data.lock().unwrap_or_else(PoisonError::into_inner);
+        Ok(MutexGuard {
+            id: self.id,
+            inner: Some(inner),
+        })
+    }
+
+    /// Consumes the mutex; ownership proves exclusive access, so this
+    /// is not a modelled operation.
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self
+            .data
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").field("id", &self.id).finish()
+    }
+}
+
+/// Guard for a [`Mutex`]; releases the model lock on drop.
+pub struct MutexGuard<'a, T> {
+    id: usize,
+    inner: Option<StdMutexGuard<'a, T>>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        match &self.inner {
+            Some(g) => g,
+            None => unreachable!("loom: guard accessed after release"),
+        }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.inner {
+            Some(g) => g,
+            None => unreachable!("loom: guard accessed after release"),
+        }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock before the model lock so the data is
+        // never reachable while the model still considers it owned.
+        self.inner = None;
+        rt::mutex_unlock(self.id);
+    }
+}
+
+pub mod atomic {
+    //! Modelled atomics over a `u64` core. Loads branch over every
+    //! store they could coherently observe; only release stores carry a
+    //! clock for acquire loads to join — which is how missing orderings
+    //! become observable stale reads.
+
+    use crate::rt;
+
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! modelled_atomic {
+        ($(#[$doc:meta])* $name:ident, $prim:ty) => {
+            $(#[$doc])*
+            #[derive(Debug)]
+            pub struct $name {
+                id: usize,
+            }
+
+            impl $name {
+                #[allow(clippy::unnecessary_cast)]
+                pub fn new(value: $prim) -> Self {
+                    $name {
+                        id: rt::alloc_atomic(value as u64),
+                    }
+                }
+
+                #[allow(clippy::unnecessary_cast)]
+                pub fn load(&self, order: Ordering) -> $prim {
+                    rt::atomic_load(self.id, order) as $prim
+                }
+
+                #[allow(clippy::unnecessary_cast)]
+                pub fn store(&self, value: $prim, order: Ordering) {
+                    rt::atomic_store(self.id, value as u64, order);
+                }
+
+                #[allow(clippy::unnecessary_cast)]
+                pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                    rt::atomic_rmw(self.id, order, |_| value as u64) as $prim
+                }
+
+                #[allow(clippy::unnecessary_cast)]
+                pub fn fetch_add(&self, value: $prim, order: Ordering) -> $prim {
+                    rt::atomic_rmw(self.id, order, |old| {
+                        old.wrapping_add(value as u64)
+                    }) as $prim
+                }
+
+                #[allow(clippy::unnecessary_cast)]
+                pub fn fetch_sub(&self, value: $prim, order: Ordering) -> $prim {
+                    rt::atomic_rmw(self.id, order, |old| {
+                        old.wrapping_sub(value as u64)
+                    }) as $prim
+                }
+
+                #[allow(clippy::unnecessary_cast)]
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    rt::atomic_cas(self.id, current as u64, new as u64, success, failure)
+                        .map(|v| v as $prim)
+                        .map_err(|v| v as $prim)
+                }
+
+                /// The model generates no spurious failures, so `_weak`
+                /// is the strong variant.
+                #[allow(clippy::unnecessary_cast)]
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    modelled_atomic!(
+        /// Modelled `std::sync::atomic::AtomicUsize`.
+        AtomicUsize,
+        usize
+    );
+    modelled_atomic!(
+        /// Modelled `std::sync::atomic::AtomicU64`.
+        AtomicU64,
+        u64
+    );
+    modelled_atomic!(
+        /// Modelled `std::sync::atomic::AtomicU32`.
+        AtomicU32,
+        u32
+    );
+
+    /// Modelled `std::sync::atomic::AtomicBool` (stored as 0/1).
+    #[derive(Debug)]
+    pub struct AtomicBool {
+        id: usize,
+    }
+
+    impl AtomicBool {
+        pub fn new(value: bool) -> Self {
+            AtomicBool {
+                id: rt::alloc_atomic(u64::from(value)),
+            }
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            rt::atomic_load(self.id, order) != 0
+        }
+
+        pub fn store(&self, value: bool, order: Ordering) {
+            rt::atomic_store(self.id, u64::from(value), order);
+        }
+
+        pub fn swap(&self, value: bool, order: Ordering) -> bool {
+            rt::atomic_rmw(self.id, order, |_| u64::from(value)) != 0
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            rt::atomic_cas(
+                self.id,
+                u64::from(current),
+                u64::from(new),
+                success,
+                failure,
+            )
+            .map(|v| v != 0)
+            .map_err(|v| v != 0)
+        }
+    }
+}

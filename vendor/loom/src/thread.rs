@@ -1,0 +1,154 @@
+//! Modelled threads: free spawns, scoped spawns, joins and yields.
+//!
+//! Every spawned closure runs on a real OS thread, but only while it
+//! holds the scheduler baton, so execution is fully serialised and the
+//! interleaving is chosen by the explorer. `join` contributes the
+//! usual happens-before edge (the joiner's clock absorbs the joined
+//! thread's final clock).
+
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+use crate::rt;
+
+/// Hands the baton to the scheduler without performing an operation —
+/// a pure interleaving point, like `std::thread::yield_now`.
+pub fn yield_now() {
+    rt::yield_now();
+}
+
+/// Handle to a free (non-scoped) model thread.
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: Arc<StdMutex<Option<T>>>,
+}
+
+/// Spawns a model thread. The backing OS thread is joined by the model
+/// driver at the end of the execution, so dropping the handle detaches
+/// the model thread exactly like `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (exec, parent) = rt::ctx();
+    let tid = exec.thread_create(Some(parent));
+    let slot = Arc::new(StdMutex::new(None));
+    let slot2 = slot.clone();
+    let exec2 = exec.clone();
+    let os = std::thread::spawn(move || {
+        rt::run_model_thread(&exec2, tid, move || {
+            let v = f();
+            *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+        });
+    });
+    exec.push_os_handle(os);
+    JoinHandle { tid, slot }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its value. A panic in
+    /// the thread fails the whole model, so the `Err` arm is only
+    /// reachable in degenerate abandon races.
+    pub fn join(self) -> std::thread::Result<T> {
+        rt::thread_join(self.tid);
+        match self
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+        {
+            Some(v) => Ok(v),
+            None => Err(Box::new("loom: joined thread produced no value")),
+        }
+    }
+}
+
+/// Scoped-spawn environment; see [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a scoped model thread.
+///
+/// Dropping the handle without joining performs a *model* join (quietly
+/// skipped once the execution has failed). This is required for
+/// soundness, not just tidiness: `std::thread::scope` blocks the OS
+/// thread at scope exit while the parent still holds the scheduler
+/// baton, so any scoped thread left model-unjoined there would deadlock
+/// the checker itself.
+pub struct ScopedJoinHandle<'scope, T> {
+    tid: usize,
+    slot: Arc<StdMutex<Option<T>>>,
+    joined: bool,
+    _marker: PhantomData<&'scope ()>,
+}
+
+/// Drop-in for `std::thread::scope`, backed by the real thing: scoped
+/// OS threads are created underneath, but scheduling and joins go
+/// through the model.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    std::thread::scope(|s| {
+        let wrapper = Scope { inner: s };
+        f(&wrapper)
+    })
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let (exec, parent) = rt::ctx();
+        let tid = exec.thread_create(Some(parent));
+        let slot = Arc::new(StdMutex::new(None));
+        let slot2 = slot.clone();
+        self.inner.spawn(move || {
+            rt::run_model_thread(&exec, tid, move || {
+                let v = f();
+                *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+            });
+        });
+        ScopedJoinHandle {
+            tid,
+            slot,
+            joined: false,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish and returns its value; see
+    /// [`JoinHandle::join`] for the `Err` arm.
+    pub fn join(mut self) -> std::thread::Result<T> {
+        self.joined = true;
+        rt::thread_join(self.tid);
+        match self
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+        {
+            Some(v) => Ok(v),
+            None => Err(Box::new("loom: joined thread produced no value")),
+        }
+    }
+}
+
+impl<T> Drop for ScopedJoinHandle<'_, T> {
+    fn drop(&mut self) {
+        if !self.joined {
+            // Swallow an Abandon unwind: this drop may itself run during
+            // an unwind, and a second panic would abort the process.
+            let tid = self.tid;
+            let _ = catch_unwind(AssertUnwindSafe(|| rt::thread_join_quiet(tid)));
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Litmus tests for the vendored model checker itself. These run under
+//! plain `cargo test` (the checker needs no `--cfg loom`; only code
+//! that *swaps* std primitives for loom ones does) and pin down the
+//! two properties the workspace's CON models rely on:
+//!
+//! 1. correctly ordered protocols pass *exhaustively*, and
+//! 2. under-ordered protocols (Relaxed where Acquire/Release is
+//!    required) are caught as real failures, not missed.
+
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Mutex};
+
+/// Message passing with a Release store / Acquire load pair: once the
+/// flag is observed set, the payload must be visible. Exhaustive.
+#[test]
+fn message_passing_release_acquire_passes() {
+    loom::model(|| {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (d2, f2) = (data.clone(), flag.clone());
+        let t = loom::thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "stale read past acquire");
+        }
+        t.join().unwrap();
+    });
+}
+
+/// The same protocol with the flag store downgraded to Relaxed: no
+/// synchronises-with edge, so the checker must find an execution where
+/// the flag is set but the payload is still stale.
+#[test]
+#[should_panic(expected = "stale read slipped through")]
+fn message_passing_relaxed_is_caught() {
+    loom::model(|| {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (d2, f2) = (data.clone(), flag.clone());
+        let t = loom::thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(
+                data.load(Ordering::Relaxed),
+                42,
+                "stale read slipped through"
+            );
+        }
+        t.join().unwrap();
+    });
+}
+
+/// Release-sequence continuation: an RMW in the middle of the chain
+/// forwards the head's release clock even when the RMW itself is
+/// Relaxed, exactly as C++17 §32.4 specifies.
+#[test]
+fn rmw_continues_release_sequence() {
+    loom::model(|| {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (d2, f2) = (data.clone(), flag.clone());
+        let t1 = loom::thread::spawn(move || {
+            d2.store(7, Ordering::Relaxed);
+            f2.store(1, Ordering::Release);
+        });
+        let f3 = flag.clone();
+        let t2 = loom::thread::spawn(move || {
+            // Relaxed RMW: must not break the release sequence headed
+            // by the Release store above.
+            f3.fetch_add(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Acquire) == 2 {
+            // Both the release store and the RMW happened; the acquire
+            // load reading the RMW's value still synchronises with the
+            // sequence head.
+            assert_eq!(data.load(Ordering::Relaxed), 7);
+        }
+        t1.join().unwrap();
+        t2.join().unwrap();
+    });
+}
+
+/// Lost updates are impossible: RMWs always read the latest store.
+#[test]
+fn concurrent_fetch_add_never_loses_updates() {
+    loom::model(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let (a, b) = (n.clone(), n.clone());
+        let t1 = loom::thread::spawn(move || a.fetch_add(1, Ordering::Relaxed));
+        let t2 = loom::thread::spawn(move || b.fetch_add(1, Ordering::Relaxed));
+        t1.join().unwrap();
+        t2.join().unwrap();
+        assert_eq!(n.load(Ordering::Relaxed), 2);
+    });
+}
+
+/// Mutexes provide both mutual exclusion and the unlock→lock
+/// happens-before edge.
+#[test]
+fn mutex_mutual_exclusion_and_handoff() {
+    loom::model(|| {
+        let m = Arc::new(Mutex::new(0u64));
+        let (m1, m2) = (m.clone(), m.clone());
+        let t1 = loom::thread::spawn(move || {
+            let mut g = m1.lock().unwrap();
+            *g += 1;
+        });
+        let t2 = loom::thread::spawn(move || {
+            let mut g = m2.lock().unwrap();
+            *g += 1;
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+        assert_eq!(*m.lock().unwrap(), 2);
+    });
+}
+
+/// Classic ABBA deadlock: the checker must find the interleaving where
+/// both threads hold one lock and wait for the other, and report it.
+#[test]
+#[should_panic(expected = "deadlock")]
+fn abba_deadlock_is_detected() {
+    loom::model(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a1, b1) = (a.clone(), b.clone());
+        let t = loom::thread::spawn(move || {
+            let _ga = a1.lock().unwrap();
+            let _gb = b1.lock().unwrap();
+        });
+        let _gb = b.lock().unwrap();
+        let _ga = a.lock().unwrap();
+        drop((_ga, _gb));
+        t.join().unwrap();
+    });
+}
+
+/// `join` transfers the joined thread's clock: everything it did, even
+/// Relaxed, is visible afterwards.
+#[test]
+fn join_transfers_clock() {
+    loom::model(|| {
+        let data = Arc::new(AtomicUsize::new(0));
+        let d2 = data.clone();
+        let t = loom::thread::spawn(move || d2.store(9, Ordering::Relaxed));
+        t.join().unwrap();
+        assert_eq!(data.load(Ordering::Relaxed), 9);
+    });
+}
+
+/// Scoped threads work like `std::thread::scope`, with joins modelled.
+#[test]
+fn scoped_threads_are_modelled() {
+    loom::model(|| {
+        let n = AtomicUsize::new(0);
+        loom::thread::scope(|s| {
+            let h1 = s.spawn(|| n.fetch_add(1, Ordering::AcqRel));
+            let h2 = s.spawn(|| n.fetch_add(1, Ordering::AcqRel));
+            h1.join().unwrap();
+            h2.join().unwrap();
+        });
+        assert_eq!(n.load(Ordering::Acquire), 2);
+    });
+}
+
+/// The model visits *every* interleaving: two writers racing a single
+/// overwrite means both final values must be seen across executions.
+#[test]
+fn exploration_covers_all_final_values() {
+    let seen = Arc::new(StdAtomicU64::new(0));
+    let seen2 = seen.clone();
+    loom::model(move || {
+        let v = Arc::new(AtomicUsize::new(0));
+        let (v1, v2) = (v.clone(), v.clone());
+        let t1 = loom::thread::spawn(move || v1.store(1, Ordering::Relaxed));
+        let t2 = loom::thread::spawn(move || v2.store(2, Ordering::Relaxed));
+        t1.join().unwrap();
+        t2.join().unwrap();
+        // Join covers both stores, so the load returns the final value
+        // in modification order: 1 or 2 depending on the schedule.
+        let last = v.load(Ordering::Relaxed);
+        seen2.fetch_or(1u64 << last, StdOrdering::Relaxed);
+    });
+    assert_eq!(
+        seen.load(StdOrdering::Relaxed) & 0b110,
+        0b110,
+        "exploration missed a final value"
+    );
+}
+
+/// A preemption bound of zero still runs to completion (threads only
+/// switch when they block or finish).
+#[test]
+fn preemption_bound_zero_completes() {
+    let mut b = loom::model::Builder::new();
+    b.preemption_bound = Some(0);
+    b.check(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = n.clone();
+        let t = loom::thread::spawn(move || n2.fetch_add(1, Ordering::AcqRel));
+        t.join().unwrap();
+        assert_eq!(n.load(Ordering::Acquire), 1);
+    });
+}
+
+/// Loom primitives refuse to run outside `loom::model`.
+#[test]
+#[should_panic(expected = "inside loom::model")]
+fn primitives_require_model_context() {
+    let _ = AtomicUsize::new(0);
+}

@@ -25,8 +25,32 @@
 #![forbid(unsafe_code)]
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+use crate::sync::{AtomicUsize, Mutex, Ordering};
+
+pub mod sync {
+    //! The synchronisation primitives the pool is built on.
+    //!
+    //! Under `--cfg loom` every primitive (and `thread::scope`) is the
+    //! `loom` model-checked variant, so `pstore-verify`'s CON models
+    //! (`tests/loom_models.rs`) explore every interleaving of the real
+    //! [`crate::parallel_map`] implementation rather than a
+    //! transliteration of it. Normal builds use `std` directly; the two
+    //! APIs are call-compatible for the subset used here.
+    #[cfg(loom)]
+    pub use loom::sync::atomic::{AtomicUsize, Ordering};
+    #[cfg(loom)]
+    pub use loom::sync::Mutex;
+    #[cfg(loom)]
+    pub use loom::thread;
+
+    #[cfg(not(loom))]
+    pub use std::sync::atomic::{AtomicUsize, Ordering};
+    #[cfg(not(loom))]
+    pub use std::sync::Mutex;
+    #[cfg(not(loom))]
+    pub use std::thread;
+}
 
 pub mod prelude {
     //! Traits that make `.into_par_iter()` available, mirroring
@@ -216,7 +240,12 @@ where
 /// counter; each result is tagged with its index and the tagged results
 /// are sorted back into input order, so the output is identical at any
 /// thread count. Worker panics propagate to the caller.
-fn parallel_map<T, R, F>(threads: usize, items: Vec<T>, f: &F) -> Vec<R>
+///
+/// Public so the `loom` interleaving models (`tests/loom_models.rs`,
+/// compiled under `--cfg loom`) can model-check this exact
+/// implementation; ordinary callers should go through the parallel
+/// iterator API.
+pub fn parallel_map<T, R, F>(threads: usize, items: Vec<T>, f: &F) -> Vec<R>
 where
     T: Send,
     R: Send,
@@ -231,7 +260,7 @@ where
     // transfer without relying on a work-stealing deque.
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let next = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+    let mut tagged: Vec<(usize, R)> = sync::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let slots = &slots;
@@ -264,7 +293,10 @@ where
     tagged.into_iter().map(|(_, r)| r).collect()
 }
 
-#[cfg(test)]
+// The std-backed tests exercise real threading and env-dependent pool
+// sizing; under `--cfg loom` the crate is built for model checking and
+// only `tests/loom_models.rs` applies.
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::prelude::*;
     use super::*;

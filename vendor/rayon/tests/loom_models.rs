@@ -1,0 +1,195 @@
+//! Loom interleaving models for the sweep's concurrency surface
+//! (ROADMAP: "concurrency checking of exactly the sweep surface").
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`; run with
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p rayon --release
+//! ```
+//!
+//! Three invariants are modelled, mirrored as `CON-01..CON-03` runtime
+//! checks in `pstore-verify`:
+//!
+//! * **CON-01** — work-queue pop/execute/store-result ordering: the
+//!   pool's claim-counter + take-once-slot protocol executes every item
+//!   exactly once and reassembles results in input order, under every
+//!   interleaving. Checked against the *real* [`rayon::parallel_map`]
+//!   (its primitives are loom types under this cfg), not a model of it.
+//! * **CON-02** — the "all results present before the ordered merge
+//!   starts" happens-before edge: result slots written `Relaxed` are
+//!   safely published by a `Release` completion count acquired by the
+//!   merge thread.
+//! * **CON-03** — telemetry-registry isolation when one worker runs two
+//!   cells back-to-back: per-worker registries with the reset/snapshot/
+//!   reset discipline of `pstore_bench::sweep::run_cell` never leak one
+//!   cell's metrics into another's snapshot.
+//!
+//! Each invariant has a negative twin seeding the bug the model must
+//! catch (`Relaxed` where `Acquire/Release` is required, a torn
+//! load/store claim, a shared registry), asserting the checker has the
+//! discriminating power the positive results rely on.
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Mutex};
+
+// ---- CON-01: work-queue pop / execute / store-result ----------------
+
+/// The real pool, model-checked: 2 workers racing over 3 items must
+/// produce every result, in input order, in every interleaving.
+#[test]
+fn con_01_parallel_map_executes_each_item_once_in_order() {
+    loom::model(|| {
+        let out = rayon::parallel_map(2, vec![10u64, 20, 30], &|x| x + 1);
+        assert_eq!(out, vec![11, 21, 31], "CON-01: lost or reordered item");
+    });
+}
+
+/// Negative twin: replace the atomic claim (`fetch_add`) with a torn
+/// load/store pair and the model must find the double-execution.
+#[test]
+#[should_panic(expected = "CON-01 seeded bug")]
+fn con_01_torn_claim_is_caught() {
+    loom::model(|| {
+        let next = Arc::new(AtomicUsize::new(0));
+        let executed = Arc::new(AtomicUsize::new(0));
+        let n = 2;
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let (next, executed) = (next.clone(), executed.clone());
+                loom::thread::spawn(move || loop {
+                    // Seeded bug: a non-atomic claim protocol.
+                    let i = next.load(Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    next.store(i + 1, Ordering::Relaxed);
+                    executed.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            executed.load(Ordering::Relaxed),
+            n,
+            "CON-01 seeded bug: torn claim executed an item more than once"
+        );
+    });
+}
+
+// ---- CON-02: results visible before the ordered merge ----------------
+
+/// Shared state of the merge model: one result slot per cell plus the
+/// completion counter the merge thread waits on.
+fn merge_model(claim_order: Ordering) {
+    let slots = Arc::new([AtomicUsize::new(0), AtomicUsize::new(0)]);
+    let done = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..2usize)
+        .map(|w| {
+            let (slots, done) = (slots.clone(), done.clone());
+            loom::thread::spawn(move || {
+                // Store the result relaxed: publication safety must come
+                // from the completion counter alone.
+                slots[w].store(w + 1, Ordering::Relaxed);
+                done.fetch_add(1, claim_order);
+            })
+        })
+        .collect();
+    // The merge thread: bounded poll, then assert only in executions
+    // where both completions were observed.
+    for _ in 0..3 {
+        if done.load(Ordering::Acquire) == 2 {
+            assert_eq!(slots[0].load(Ordering::Relaxed), 1, "CON-02 stale slot");
+            assert_eq!(slots[1].load(Ordering::Relaxed), 2, "CON-02 stale slot");
+            break;
+        }
+        loom::thread::yield_now();
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// `Release` completion signals: once the merge acquires both, every
+/// result slot is visible. Exhaustive.
+#[test]
+fn con_02_merge_observes_all_results() {
+    loom::model(|| merge_model(Ordering::Release));
+}
+
+/// Negative twin: downgrade the completion signal to `Relaxed` and the
+/// merge can observe `done == 2` while a slot is still stale — the
+/// exact bug class CON-02 exists to exclude.
+#[test]
+#[should_panic(expected = "CON-02 stale slot")]
+fn con_02_relaxed_completion_is_caught() {
+    loom::model(|| merge_model(Ordering::Relaxed));
+}
+
+// ---- CON-03: registry isolation across back-to-back cells ------------
+
+/// One cell's slice of `run_cell`'s registry discipline, against a
+/// worker-local registry: start clean, record, snapshot, reset.
+fn run_cell_model(reg: &Mutex<u64>, contribution: u64) -> u64 {
+    {
+        let before = *reg.lock().unwrap();
+        assert_eq!(before, 0, "CON-03 leak: cell started on a dirty registry");
+    }
+    {
+        let mut g = reg.lock().unwrap();
+        *g += contribution;
+    }
+    let snapshot = *reg.lock().unwrap();
+    {
+        let mut g = reg.lock().unwrap();
+        *g = 0;
+    }
+    snapshot
+}
+
+/// Worker A runs two cells back-to-back on its thread-local registry
+/// while worker B runs a third on its own; no interleaving may leak one
+/// cell's metrics into another cell's view or snapshot.
+#[test]
+fn con_03_back_to_back_cells_see_clean_registries() {
+    loom::model(|| {
+        let a = loom::thread::spawn(|| {
+            // Thread-local registry: created on (and confined to) the
+            // worker, exactly like pstore-telemetry's.
+            let reg = Mutex::new(0u64);
+            let s0 = run_cell_model(&reg, 3);
+            let s1 = run_cell_model(&reg, 5);
+            (s0, s1)
+        });
+        let b = loom::thread::spawn(|| {
+            let reg = Mutex::new(0u64);
+            run_cell_model(&reg, 7)
+        });
+        let (s0, s1) = a.join().unwrap();
+        let s2 = b.join().unwrap();
+        assert_eq!(
+            (s0, s1, s2),
+            (3, 5, 7),
+            "CON-03: snapshot polluted by another cell"
+        );
+    });
+}
+
+/// Negative twin: make the registry process-global instead of
+/// thread-local and the model finds the interleaving where one worker's
+/// metrics leak into the other's cell — the bug class the thread-local
+/// design excludes.
+#[test]
+#[should_panic(expected = "CON-03 leak")]
+fn con_03_shared_registry_leak_is_caught() {
+    loom::model(|| {
+        let reg = Arc::new(Mutex::new(0u64));
+        let (r1, r2) = (reg.clone(), reg.clone());
+        let a = loom::thread::spawn(move || run_cell_model(&r1, 3));
+        let b = loom::thread::spawn(move || run_cell_model(&r2, 5));
+        a.join().unwrap();
+        b.join().unwrap();
+    });
+}

@@ -114,9 +114,13 @@ pub fn quick_mode() -> bool {
 /// Shared run harness for the experiment binaries: uniform handling of
 /// `--quick` (smaller runs), `--quiet` (suppress progress chatter),
 /// `--threads N` (worker threads for the [`sweep`] runner; default:
-/// `RAYON_NUM_THREADS`, else available parallelism) and `--trace <path>`
+/// `RAYON_NUM_THREADS`, else available parallelism), `--trace <path>`
 /// (write a telemetry JSONL trace of the run and print a summary at
-/// exit).
+/// exit), `--summary <path>` (write a `pstore-run-summary/v1` JSON
+/// digest at exit — the input format of `pstore-trace diff`), and
+/// `--expose-metrics <port>` (serve live Prometheus-text metrics on
+/// `127.0.0.1:<port>` for the duration of the run; port 0 picks an
+/// ephemeral port, printed to stderr).
 ///
 /// Tracing only produces events when the workspace is built with the
 /// `telemetry` feature (`cargo run -p pstore-bench --features telemetry
@@ -128,17 +132,23 @@ pub struct RunReporter {
     quiet: bool,
     threads: usize,
     trace_path: Option<std::path::PathBuf>,
-    // Keeps the JSONL sink installed for the lifetime of the run.
+    summary_path: Option<std::path::PathBuf>,
+    // Set when `--summary` was given without `--trace`: the trace goes to
+    // a temp file that is deleted after the summary is derived from it.
+    trace_is_temp: bool,
+    exposer: Option<pstore_telemetry::Exposer>,
+    // Keeps the telemetry sink installed for the lifetime of the run.
     _sink_guard: Option<pstore_telemetry::SinkGuard>,
 }
 
 impl RunReporter {
-    /// Parses the process arguments and, when `--trace <path>` is present,
-    /// installs a JSONL telemetry sink for the rest of the run.
+    /// Parses the process arguments and, when `--trace`, `--summary` or
+    /// `--expose-metrics` is present, installs a telemetry sink (JSONL
+    /// writer, live-metrics tee, or both) for the rest of the run.
     ///
     /// # Panics
-    /// Exits with a message if `--trace` is given without a path or the
-    /// trace file cannot be created.
+    /// Exits with a message if a flag is given without its argument or
+    /// the trace file cannot be created.
     #[must_use]
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
@@ -153,33 +163,87 @@ impl RunReporter {
                 }
             }
         });
-        let trace_path = args.iter().position(|a| a == "--trace").map(|i| {
-            let Some(path) = args.get(i + 1) else {
-                eprintln!("error: --trace requires a file path argument");
-                std::process::exit(2);
-            };
-            std::path::PathBuf::from(path)
+        let path_arg = |flag: &str| {
+            args.iter().position(|a| a == flag).map(|i| {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("error: {flag} requires a file path argument");
+                    std::process::exit(2);
+                };
+                std::path::PathBuf::from(path)
+            })
+        };
+        let mut trace_path = path_arg("--trace");
+        let summary_path = path_arg("--summary");
+        let expose_port = args.iter().position(|a| a == "--expose-metrics").map(|i| {
+            match args.get(i + 1).map(|v| v.parse::<u16>()) {
+                Some(Ok(port)) => port,
+                _ => {
+                    eprintln!("error: --expose-metrics requires a port number (0 = ephemeral)");
+                    std::process::exit(2);
+                }
+            }
         });
-        let sink_guard = trace_path.as_ref().map(|path| {
-            let sink = match pstore_telemetry::JsonlSink::create(path) {
-                Ok(s) => s,
+
+        // `--summary` derives its numbers from a trace read-back; when no
+        // `--trace` destination was named, write to a temp file and clean
+        // it up in `finish()`.
+        let trace_is_temp = summary_path.is_some() && trace_path.is_none();
+        if trace_is_temp {
+            trace_path = Some(
+                std::env::temp_dir()
+                    .join(format!("pstore_summary_trace_{}.jsonl", std::process::id())),
+            );
+        }
+
+        #[cfg(not(feature = "telemetry"))]
+        if trace_path.is_some() || expose_port.is_some() {
+            eprintln!(
+                "warning: --trace/--summary/--expose-metrics given but this binary was \
+                 built without the `telemetry` feature; traces and metrics will be empty"
+            );
+        }
+
+        let jsonl: Option<std::rc::Rc<dyn pstore_telemetry::Sink>> =
+            trace_path.as_ref().map(|path| {
+                let sink = match pstore_telemetry::JsonlSink::create(path) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("error: cannot create trace file {}: {e}", path.display());
+                        std::process::exit(2);
+                    }
+                };
+                std::rc::Rc::new(sink) as std::rc::Rc<dyn pstore_telemetry::Sink>
+            });
+        let (sink_guard, exposer) = if let Some(port) = expose_port {
+            // Tee every event into the live-metrics aggregate (and through
+            // to the JSONL file when tracing too), then serve it.
+            let (tee, shared) = pstore_telemetry::TimeSeriesSink::create(jsonl);
+            let exposer = match pstore_telemetry::Exposer::bind(port, shared) {
+                Ok(e) => e,
                 Err(e) => {
-                    eprintln!("error: cannot create trace file {}: {e}", path.display());
+                    eprintln!("error: cannot bind metrics port {port}: {e}");
                     std::process::exit(2);
                 }
             };
-            #[cfg(not(feature = "telemetry"))]
             eprintln!(
-                "warning: --trace given but this binary was built without the \
-                 `telemetry` feature; the trace will be empty"
+                "metrics: serving Prometheus text on http://{}/metrics",
+                exposer.addr()
             );
-            pstore_telemetry::install(std::rc::Rc::new(sink))
-        });
+            (
+                Some(pstore_telemetry::install(std::rc::Rc::new(tee))),
+                Some(exposer),
+            )
+        } else {
+            (jsonl.map(pstore_telemetry::install), None)
+        };
         RunReporter {
             quick,
             quiet,
             threads,
             trace_path,
+            summary_path,
+            trace_is_temp,
+            exposer,
             _sink_guard: sink_guard,
         }
     }
@@ -203,6 +267,13 @@ impl RunReporter {
         self.threads
     }
 
+    /// The address of the live metrics endpoint when `--expose-metrics`
+    /// was given (useful with port 0, where the OS picks the port).
+    #[must_use]
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.exposer.as_ref().map(pstore_telemetry::Exposer::addr)
+    }
+
     /// Prints a progress line to stderr unless `--quiet` was given.
     pub fn progress(&self, msg: &str) {
         if !self.quiet {
@@ -211,11 +282,18 @@ impl RunReporter {
     }
 
     /// Finalises the run: snapshots the metrics registry into the trace,
-    /// flushes the sink, and prints a compact summary of the emitted trace.
-    pub fn finish(self) {
+    /// flushes the sink, stops the metrics endpoint, prints a compact
+    /// summary of the emitted trace and, with `--summary <path>`, writes
+    /// a `pstore-run-summary/v1` JSON digest for `pstore-trace diff`.
+    pub fn finish(mut self) {
+        if let Some(exposer) = self.exposer.as_mut() {
+            exposer.shutdown();
+        }
         let Some(path) = self.trace_path.clone() else {
             return;
         };
+        let summary_path = self.summary_path.clone();
+        let trace_is_temp = self.trace_is_temp;
         pstore_telemetry::emit_metrics_snapshot();
         pstore_telemetry::flush();
         // Drop the guard (uninstalling the sink and closing the file)
@@ -224,19 +302,36 @@ impl RunReporter {
         match pstore_telemetry::trace::read_jsonl(&path) {
             Ok((events, line_errors)) => {
                 let report = pstore_telemetry::trace::RunReport::from_events(&events);
-                eprintln!(
-                    "trace: {} events -> {} ({} reconfigurations, {} chunk moves, \
-                     {} planner calls, {} parse errors); inspect with `pstore-trace {}`",
-                    events.len(),
-                    path.display(),
-                    report.reconfigs.len(),
-                    report.chunk_moves,
-                    report.planner_calls,
-                    line_errors.len(),
-                    path.display(),
-                );
+                if !trace_is_temp {
+                    eprintln!(
+                        "trace: {} events -> {} ({} reconfigurations, {} chunk moves, \
+                         {} planner calls, {} parse errors); inspect with `pstore-trace {}`",
+                        events.len(),
+                        path.display(),
+                        report.reconfigs.len(),
+                        report.chunk_moves,
+                        report.planner_calls,
+                        line_errors.len(),
+                        path.display(),
+                    );
+                }
+                if let Some(spath) = &summary_path {
+                    if let Some(parent) = spath.parent() {
+                        let _ = std::fs::create_dir_all(parent);
+                    }
+                    let summary = pstore_telemetry::RunSummary::from_events(&events);
+                    match std::fs::write(spath, summary.to_json()) {
+                        Ok(()) => eprintln!("summary: wrote {}", spath.display()),
+                        Err(e) => {
+                            eprintln!("summary: failed to write {}: {e}", spath.display());
+                        }
+                    }
+                }
             }
             Err(e) => eprintln!("trace: failed to read back {}: {e}", path.display()),
+        }
+        if trace_is_temp {
+            let _ = std::fs::remove_file(&path);
         }
     }
 }

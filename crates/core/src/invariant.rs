@@ -88,6 +88,16 @@ pub enum InvariantId {
     /// order-insensitive on bucket contents, so per-phase histograms can
     /// be combined in any order without changing percentile readouts.
     TelemetryHistogramMerge,
+    /// TEL-04: trace events are totally ordered — `seq` strictly
+    /// increases and sim-time `t` never regresses while any span is open
+    /// (a reset to an earlier `t` is only legal at the boundary between
+    /// independent runs, where the span stack is empty).
+    TelemetryOrdering,
+    /// TEL-05: the span-tree profiler conserves time — a parent's total
+    /// time is at least the sum of its children's totals (self time is
+    /// never negative), and the flamegraph-folded output re-sums to the
+    /// tree it was rendered from.
+    TelemetryProfileConservation,
     /// CON-01: the sweep pool's work queue executes every cell exactly
     /// once and reassembles results in cell order, at any thread count
     /// and under any interleaving (loom model: claim counter + take-once
@@ -128,6 +138,8 @@ impl InvariantId {
             InvariantId::TelemetryReconfigPairing => "TEL-01",
             InvariantId::TelemetrySpanNesting => "TEL-02",
             InvariantId::TelemetryHistogramMerge => "TEL-03",
+            InvariantId::TelemetryOrdering => "TEL-04",
+            InvariantId::TelemetryProfileConservation => "TEL-05",
             InvariantId::ConcurrencyQueueIntegrity => "CON-01",
             InvariantId::ConcurrencyMergeBarrier => "CON-02",
             InvariantId::ConcurrencyRegistryIsolation => "CON-03",
@@ -159,6 +171,8 @@ impl InvariantId {
             InvariantId::TelemetryReconfigPairing => "§4.4 (moves terminate)",
             InvariantId::TelemetrySpanNesting => "docs/observability.md",
             InvariantId::TelemetryHistogramMerge => "docs/observability.md",
+            InvariantId::TelemetryOrdering => "docs/observability.md",
+            InvariantId::TelemetryProfileConservation => "docs/observability.md",
             InvariantId::ConcurrencyQueueIntegrity => "§8 (experiment grids)",
             InvariantId::ConcurrencyMergeBarrier => "§8 (determinism contract)",
             InvariantId::ConcurrencyRegistryIsolation => "docs/observability.md",
@@ -256,6 +270,21 @@ mod tests {
             "cell 3 missing from results",
         );
         assert!(v.to_string().contains("CON-01"));
+    }
+
+    #[test]
+    fn telemetry_codes_follow_family_convention() {
+        let family = [
+            InvariantId::TelemetryReconfigPairing,
+            InvariantId::TelemetrySpanNesting,
+            InvariantId::TelemetryHistogramMerge,
+            InvariantId::TelemetryOrdering,
+            InvariantId::TelemetryProfileConservation,
+        ];
+        for (i, id) in family.iter().enumerate() {
+            assert_eq!(id.code(), format!("TEL-{:02}", i + 1));
+            assert!(!id.paper_ref().is_empty());
+        }
     }
 
     #[test]

@@ -150,6 +150,10 @@ impl Planner {
             return (load[0] <= cap(n0, self.cfg.q)).then(MoveSeq::default);
         }
 
+        // Profiler span over the DP search (begin/end via RAII so every
+        // return path closes it).
+        pstore_telemetry::tel_span!(planner_span, "planner_dp");
+
         // Z: machines needed for the predicted peak, bounded by hardware.
         let peak = load.iter().copied().fold(0.0, f64::max);
         let z = machines_for_load(peak, self.cfg.q)

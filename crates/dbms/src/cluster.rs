@@ -603,6 +603,14 @@ impl Cluster {
             moved: HashSet::new(),
         });
 
+        // Per-chunk work span: nests inside the open reconfiguration
+        // span and makes extract/install cost visible to the profiler.
+        #[cfg(feature = "telemetry")]
+        let step_span = if pstore_telemetry::enabled() {
+            pstore_telemetry::begin_span("chunk_step", &[])
+        } else {
+            0
+        };
         let (src, dst) = two_nodes(&mut self.nodes, from as usize, to as usize);
         let (rows, bytes, emptied) = src.partitions[local].extract_chunk(slot, budget_bytes.max(1));
         for (tid, key, _) in &rows {
@@ -610,6 +618,8 @@ impl Cluster {
         }
         let n_rows = rows.len();
         dst.partitions[local].install_rows(slot, rows);
+        #[cfg(feature = "telemetry")]
+        pstore_telemetry::end_span("chunk_step", step_span, &[]);
 
         pstore_telemetry::tel_event!(
             pstore_telemetry::kinds::CHUNK_MOVE,
@@ -695,6 +705,26 @@ impl Cluster {
                 stalled_passes < 3,
                 "reconfiguration stalled: no chunk made progress"
             );
+        }
+    }
+
+    /// Closes the telemetry span of an in-flight reconfiguration without
+    /// committing it — for simulators whose run ends mid-migration. The
+    /// engine state is untouched (the run is over); only the trace is
+    /// balanced so every `span_begin` pairs (TEL-01/02) and downstream
+    /// cells can legally reset the sim clock (TEL-04). No-op when nothing
+    /// is in flight or telemetry is off.
+    pub fn end_truncated_reconfig_span(&mut self) {
+        #[cfg(feature = "telemetry")]
+        if let Some(reconfig) = self.reconfig.as_mut() {
+            if reconfig.span_id != 0 {
+                pstore_telemetry::end_span(
+                    pstore_telemetry::kinds::SPAN_RECONFIG,
+                    reconfig.span_id,
+                    &[("truncated", pstore_telemetry::Value::from(true))],
+                );
+                reconfig.span_id = 0;
+            }
         }
     }
 

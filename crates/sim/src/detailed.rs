@@ -192,6 +192,18 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
     assert!(cfg.monitor_interval_s > 0.0, "monitor interval must be > 0");
     let p = cfg.params.partitions_per_node;
 
+    // Root span for the whole run; the sim clock starts at 0 so setup
+    // and warm-up events are stamped (at t=0, they take no sim time).
+    #[cfg(feature = "telemetry")]
+    let run_span = {
+        pstore_telemetry::set_time(0.0);
+        if pstore_telemetry::enabled() {
+            pstore_telemetry::begin_span("detailed_sim", &[])
+        } else {
+            0
+        }
+    };
+
     let mut cluster = Cluster::new(
         b2w_catalog(),
         ClusterConfig {
@@ -203,6 +215,12 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
             .clamp(1, cfg.params.max_machines),
     );
     let mut gen = WorkloadGenerator::new(cfg.workload.clone());
+    #[cfg(feature = "telemetry")]
+    let warmup_span = if pstore_telemetry::enabled() {
+        pstore_telemetry::begin_span("warmup", &[])
+    } else {
+        0
+    };
     for proc in gen.seed_stock_procedures() {
         cluster.execute(&proc).expect("stock seeding");
     }
@@ -215,6 +233,8 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
         let txn = gen.next_txn();
         let _ = cluster.execute(&txn);
     }
+    #[cfg(feature = "telemetry")]
+    pstore_telemetry::end_span("warmup", warmup_span, &[]);
 
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xD15C);
     let mut busy = vec![vec![0.0f64; p as usize]; cfg.params.max_machines as usize];
@@ -333,7 +353,17 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
                     machines: cluster.active_nodes(),
                     reconfiguring: migration.is_some(),
                 };
+                // The tick span closes before any reconfiguration span
+                // opens in `start_migration`, keeping spans LIFO-nested.
+                #[cfg(feature = "telemetry")]
+                let tick_span = if pstore_telemetry::enabled() {
+                    pstore_telemetry::begin_span("tick", &[])
+                } else {
+                    0
+                };
                 let action = strategy.tick(&obs);
+                #[cfg(feature = "telemetry")]
+                pstore_telemetry::end_span("tick", tick_span, &[]);
                 if let Action::Reconfigure(req) = action {
                     if migration.is_none() && req.target != cluster.active_nodes() {
                         let target = req.target.clamp(1, cfg.params.max_machines);
@@ -433,6 +463,15 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
             }
         }
     }
+
+    // A migration still in flight when the run ends would leave the
+    // engine's reconfig span dangling (TEL-01) and the root close below
+    // out of LIFO order (TEL-02); close it explicitly, marked truncated.
+    if migration.is_some() {
+        cluster.end_truncated_reconfig_span();
+    }
+    #[cfg(feature = "telemetry")]
+    pstore_telemetry::end_span("detailed_sim", run_span, &[]);
 
     let seconds = recorder.finish();
     let violations = count_sla_violations(&seconds, SLA_THRESHOLD_S);

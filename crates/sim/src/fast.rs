@@ -126,6 +126,17 @@ pub fn run_fast(cfg: &FastSimConfig, load: &[f64], strategy: &mut dyn Strategy) 
     let mut machines_timeline = Vec::new();
     let mut capacity_timeline = Vec::new();
 
+    // Root span for the whole run (profiled by `pstore-trace profile`).
+    #[cfg(feature = "telemetry")]
+    let run_span = {
+        pstore_telemetry::set_time(0.0);
+        if pstore_telemetry::enabled() {
+            pstore_telemetry::begin_span("fast_sim", &[])
+        } else {
+            0
+        }
+    };
+
     for (slot, &demand) in load.iter().enumerate() {
         #[cfg(feature = "telemetry")]
         {
@@ -219,6 +230,8 @@ pub fn run_fast(cfg: &FastSimConfig, load: &[f64], strategy: &mut dyn Strategy) 
             &[("truncated", pstore_telemetry::Value::from(true))],
         );
     }
+    #[cfg(feature = "telemetry")]
+    pstore_telemetry::end_span("fast_sim", run_span, &[]);
 
     FastSimResult {
         strategy: strategy.name().to_string(),

@@ -1,48 +1,140 @@
-//! `pstore-trace`: read a JSONL telemetry trace and print a run report.
+//! `pstore-trace`: run-analysis toolchain over JSONL telemetry traces.
 //!
 //! ```text
-//! pstore-trace <trace.jsonl>
+//! pstore-trace report   <trace.jsonl>                 # run report (default)
+//! pstore-trace profile  <trace.jsonl> [--wall] [--folded]
+//! pstore-trace timeline <trace.jsonl> [--width N]
+//! pstore-trace diff     <baseline> <candidate> [--tolerances <file>]
+//!                       [--bless] [--verbose]
+//! pstore-trace <trace.jsonl>                          # legacy = report
 //! ```
 //!
-//! Exit codes: 0 = clean; 1 = structural problems (unmatched or
-//! misnested spans, unparseable lines); 2 = usage or I/O error. CI's
-//! telemetry smoke step relies on these.
+//! `diff` arguments may be `.jsonl` traces (summarised on the fly) or
+//! `.json` summary documents (e.g. the goldens under `results/golden/`).
+//! `--bless` rewrites the baseline file with the candidate's summary —
+//! the golden-refresh workflow after an intentional metrics change.
+//!
+//! Exit codes: 0 = clean; 1 = regression or structural problems
+//! (unmatched/misnested spans, unparseable lines, ordering violations);
+//! 2 = usage or I/O error. CI's telemetry smoke and trace-diff steps
+//! rely on these.
 
-use pstore_telemetry::trace::{read_jsonl, RunReport};
-use std::path::PathBuf;
+use pstore_telemetry::summary::{diff, RunSummary, ToleranceTable};
+use pstore_telemetry::trace::{order_errors, read_jsonl, LineError, RunReport};
+use pstore_telemetry::{timeline, Event, Profile, ProfileClock};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: pstore-trace <subcommand> ...
+  report   <trace.jsonl>
+  profile  <trace.jsonl> [--wall] [--folded]
+  timeline <trace.jsonl> [--width N]
+  diff     <baseline.jsonl|.json> <candidate.jsonl|.json> [--tolerances <file>] [--bless] [--verbose]
+  <trace.jsonl>   (legacy: same as report)";
+
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let Some(path) = args.next() else {
-        eprintln!("usage: pstore-trace <trace.jsonl>");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(first) = args.first() else {
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    if args.next().is_some() {
-        eprintln!("usage: pstore-trace <trace.jsonl>");
-        return ExitCode::from(2);
+    match first.as_str() {
+        "report" => cmd_report(&args[1..]),
+        "profile" => cmd_profile(&args[1..]),
+        "timeline" => cmd_timeline(&args[1..]),
+        "diff" => cmd_diff(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        _ if first.starts_with('-') => {
+            eprintln!("pstore-trace: unknown option \"{first}\"\n{USAGE}");
+            ExitCode::from(2)
+        }
+        // Legacy single-argument form: treat the argument as a trace path.
+        _ => cmd_report(&args[..]),
     }
-    let path = PathBuf::from(path);
+}
 
-    let (events, line_errors) = match read_jsonl(&path) {
+/// Reads a trace, printing line errors to stderr. `Err` carries the exit
+/// code (2 on I/O failure).
+fn load_trace(path: &Path) -> Result<(Vec<Event>, Vec<LineError>), ExitCode> {
+    let (events, line_errors) = match read_jsonl(path) {
         Ok(read) => read,
         Err(e) => {
             eprintln!("pstore-trace: cannot read {}: {e}", path.display());
+            return Err(ExitCode::from(2));
+        }
+    };
+    if !line_errors.is_empty() {
+        eprintln!(
+            "pstore-trace: {} unparseable line(s) in {}:",
+            line_errors.len(),
+            path.display()
+        );
+        for e in line_errors.iter().take(10) {
+            eprintln!("  line {}: {}", e.line, e.msg);
+        }
+    }
+    Ok((events, line_errors))
+}
+
+/// A parsed flag: name plus optional value.
+type Flag<'a> = (&'a str, Option<&'a str>);
+
+/// Parses `<path> [flags...]`, validating flags against `allowed`.
+fn parse_path_and_flags<'a>(
+    args: &'a [String],
+    allowed: &[&str],
+) -> Result<(PathBuf, Vec<Flag<'a>>), String> {
+    let mut path = None;
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg.starts_with('-') {
+            if !allowed.contains(&arg.as_str()) {
+                return Err(format!("unknown flag \"{arg}\""));
+            }
+            // Flags taking a value: --width, --tolerances.
+            let takes_value = matches!(arg.as_str(), "--width" | "--tolerances");
+            let value = if takes_value {
+                Some(
+                    it.next()
+                        .ok_or_else(|| format!("flag \"{arg}\" needs a value"))?
+                        .as_str(),
+                )
+            } else {
+                None
+            };
+            flags.push((arg.as_str(), value));
+        } else if path.is_none() {
+            path = Some(PathBuf::from(arg));
+        } else {
+            return Err(format!("unexpected argument \"{arg}\""));
+        }
+    }
+    let path = path.ok_or("missing trace path")?;
+    Ok((path, flags))
+}
+
+fn cmd_report(args: &[String]) -> ExitCode {
+    let (path, _) = match parse_path_and_flags(args, &[]) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("pstore-trace report: {e}\n{USAGE}");
             return ExitCode::from(2);
         }
+    };
+    let (events, line_errors) = match load_trace(&path) {
+        Ok(read) => read,
+        Err(code) => return code,
     };
 
     let report = RunReport::from_events(&events);
     print!("{}", report.render());
 
-    let mut failed = false;
-    if !line_errors.is_empty() {
-        failed = true;
-        eprintln!("pstore-trace: {} unparseable line(s):", line_errors.len());
-        for e in line_errors.iter().take(10) {
-            eprintln!("  line {}: {}", e.line, e.msg);
-        }
-    }
+    let ordering = order_errors(&events);
+    let mut failed = !line_errors.is_empty();
     if !report.span_errors.is_empty() {
         failed = true;
         eprintln!(
@@ -50,9 +142,169 @@ fn main() -> ExitCode {
             report.span_errors.len()
         );
     }
+    if !ordering.is_empty() {
+        failed = true;
+        eprintln!("pstore-trace: {} ordering violation(s):", ordering.len());
+        for e in ordering.iter().take(10) {
+            eprintln!("  {e}");
+        }
+    }
     if failed {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+fn cmd_profile(args: &[String]) -> ExitCode {
+    let (path, flags) = match parse_path_and_flags(args, &["--wall", "--folded"]) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("pstore-trace profile: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let clock = if flags.iter().any(|(f, _)| *f == "--wall") {
+        ProfileClock::Wall
+    } else {
+        ProfileClock::Sim
+    };
+    let folded = flags.iter().any(|(f, _)| *f == "--folded");
+    let (events, line_errors) = match load_trace(&path) {
+        Ok(read) => read,
+        Err(code) => return code,
+    };
+    let prof = Profile::from_events(&events, clock);
+    if folded {
+        print!("{}", prof.folded());
+    } else {
+        print!("{}", prof.render(clock));
+    }
+    if line_errors.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn cmd_timeline(args: &[String]) -> ExitCode {
+    let (path, flags) = match parse_path_and_flags(args, &["--width"]) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("pstore-trace timeline: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut width = timeline::DEFAULT_WIDTH;
+    if let Some((_, Some(value))) = flags.iter().find(|(f, _)| *f == "--width") {
+        match value.parse::<usize>() {
+            Ok(w) => width = w,
+            Err(_) => {
+                eprintln!("pstore-trace timeline: --width wants an integer, got \"{value}\"");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let (events, line_errors) = match load_trace(&path) {
+        Ok(read) => read,
+        Err(code) => return code,
+    };
+    print!("{}", timeline::render(&events, width));
+    if line_errors.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut tolerances: Option<PathBuf> = None;
+    let mut bless = false;
+    let mut verbose = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tolerances" => {
+                let Some(value) = it.next() else {
+                    eprintln!("pstore-trace diff: --tolerances needs a path");
+                    return ExitCode::from(2);
+                };
+                tolerances = Some(PathBuf::from(value));
+            }
+            "--bless" => bless = true,
+            "--verbose" => verbose = true,
+            _ if arg.starts_with('-') => {
+                eprintln!("pstore-trace diff: unknown flag \"{arg}\"\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            _ => paths.push(PathBuf::from(arg)),
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("pstore-trace diff: need exactly <baseline> and <candidate>\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let (baseline_path, candidate_path) = (&paths[0], &paths[1]);
+
+    let table = match tolerances {
+        None => ToleranceTable::builtin(),
+        Some(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("pstore-trace diff: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match ToleranceTable::from_json_str(&text) {
+                Ok(table) => table,
+                Err(e) => {
+                    eprintln!(
+                        "pstore-trace diff: bad tolerance file {}: {e}",
+                        path.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let candidate = match RunSummary::load(candidate_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pstore-trace diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if bless {
+        if let Err(e) = std::fs::write(baseline_path, candidate.to_json()) {
+            eprintln!(
+                "pstore-trace diff: cannot bless {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+        println!(
+            "blessed: {} now holds the summary of {}",
+            baseline_path.display(),
+            candidate_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let baseline = match RunSummary::load(baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pstore-trace diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = diff(&baseline, &candidate, &table);
+    print!("{}", report.render(verbose));
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
     }
 }

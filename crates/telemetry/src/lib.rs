@@ -34,18 +34,29 @@
 //! sink on drop, so even panicking tests clean up.
 
 pub mod event;
+pub mod expose;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod sink;
+pub mod summary;
+pub mod timeline;
+pub mod timeseries;
 pub mod trace;
 
 pub use event::{kinds, Event, Value};
+pub use expose::Exposer;
 pub use metrics::{Histogram, MetricsRegistry};
+pub use profile::{Profile, ProfileClock};
 pub use sink::{JsonlSink, MemorySink, MemorySinkHandle, NoopSink, Sink};
+pub use summary::RunSummary;
+pub use timeseries::{LiveMetrics, TimeSeriesSink};
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 thread_local! {
     static SINK: RefCell<Option<Rc<dyn Sink>>> = const { RefCell::new(None) };
@@ -57,6 +68,16 @@ thread_local! {
 static SEQ: AtomicU64 = AtomicU64::new(1);
 /// Global span-id source; 0 is reserved for "no span".
 static SPAN_IDS: AtomicU64 = AtomicU64::new(1);
+/// Process-wide wall-clock epoch: the first emission anchors it, and all
+/// `wall_us` stamps are microseconds since then.
+static WALL_EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Microseconds of wall-clock time since the process's telemetry epoch
+/// (the first call anchors the epoch at "now", returning 0).
+pub fn wall_now_us() -> u64 {
+    let epoch = WALL_EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
 
 /// Installs `sink` as this thread's event sink. The returned guard
 /// restores the previous sink when dropped; keep it alive for the
@@ -96,14 +117,15 @@ pub fn clear_time() {
     CLOCK.with(|c| c.set(f64::NAN));
 }
 
-/// Emits an event through the installed sink, stamping `seq` and the
-/// current clock. A no-op without a sink.
+/// Emits an event through the installed sink, stamping `seq`, the
+/// current sim clock, and a wall-clock stamp. A no-op without a sink.
 pub fn emit(mut event: Event) {
     SINK.with(|s| {
         if let Some(sink) = s.borrow().as_ref() {
             event.seq = SEQ.fetch_add(1, Ordering::Relaxed);
             let t = CLOCK.with(Cell::get);
             event.t = if t.is_finite() { Some(t) } else { None };
+            event.wall_us = Some(wall_now_us());
             sink.record(&event);
         }
     });

@@ -1,0 +1,275 @@
+//! ASCII Gantt timeline: machine activity, reconfiguration windows, and
+//! chunk moves over simulated time.
+//!
+//! One row per machine (node), one column per time bucket:
+//!
+//! - `.` — node not provisioned at that time
+//! - `#` — node active (serving)
+//! - `=` — node inside a reconfiguration window whose machine range
+//!   covers it (scale-out adds it / scale-in drains it)
+//! - `M` — at least one chunk moved from or to the node in the bucket
+//!
+//! Built from `second` events (activity), `reconfig` span pairs
+//! (windows, with `from`/`to` machine counts), and `chunk_move` events
+//! (endpoints are 0-based node ids). Output is deterministic for a
+//! fixed-seed trace: it depends only on event payloads, never on wall
+//! time.
+
+use crate::event::{kinds, Event};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Default number of time-bucket columns.
+pub const DEFAULT_WIDTH: usize = 96;
+
+struct ReconfigWindow {
+    t_begin: f64,
+    t_end: f64,
+    from: u64,
+    to: u64,
+    finished: bool,
+}
+
+/// Renders the timeline for a trace; `width` is the column count
+/// (clamped to `[16, 512]`).
+pub fn render(events: &[Event], width: usize) -> String {
+    let width = width.clamp(16, 512);
+    let mut seconds: Vec<(f64, u64)> = Vec::new();
+    let mut moves: Vec<(f64, u64, u64)> = Vec::new();
+    let mut open: BTreeMap<u64, ReconfigWindow> = BTreeMap::new();
+    let mut windows: Vec<ReconfigWindow> = Vec::new();
+    let mut t_max = f64::NEG_INFINITY;
+    let mut t_min = f64::INFINITY;
+
+    for ev in events {
+        let Some(t) = ev.t else { continue };
+        t_min = t_min.min(t);
+        t_max = t_max.max(t);
+        match ev.kind.as_str() {
+            kinds::SECOND => {
+                if let Some(m) = ev.field_u64("machines") {
+                    seconds.push((t, m));
+                }
+            }
+            kinds::CHUNK_MOVE => {
+                if let (Some(from), Some(to)) = (ev.field_u64("from"), ev.field_u64("to")) {
+                    moves.push((t, from, to));
+                }
+            }
+            kinds::SPAN_BEGIN if ev.field_str("name") == Some(kinds::SPAN_RECONFIG) => {
+                if let (Some(id), Some(from), Some(to)) =
+                    (ev.field_u64("id"), ev.field_u64("from"), ev.field_u64("to"))
+                {
+                    open.insert(
+                        id,
+                        ReconfigWindow {
+                            t_begin: t,
+                            t_end: t,
+                            from,
+                            to,
+                            finished: false,
+                        },
+                    );
+                }
+            }
+            kinds::SPAN_END if ev.field_str("name") == Some(kinds::SPAN_RECONFIG) => {
+                if let Some(id) = ev.field_u64("id") {
+                    if let Some(mut w) = open.remove(&id) {
+                        w.t_end = t;
+                        w.finished = true;
+                        windows.push(w);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // Unclosed reconfigurations run to the end of the trace.
+    for (_, mut w) in open {
+        w.t_end = t_max;
+        windows.push(w);
+    }
+    windows.sort_by(|a, b| a.t_begin.total_cmp(&b.t_begin));
+
+    if !t_min.is_finite() || t_max <= t_min {
+        return "== timeline ==\n  (no timestamped events in trace)\n".to_string();
+    }
+
+    let nodes = node_count(&seconds, &windows, &moves);
+    let span = t_max - t_min;
+    let bucket = |t: f64| -> usize {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        // clamped into [0, width-1]
+        {
+            #[allow(clippy::cast_precision_loss)] // width <= 512
+            let raw = ((t - t_min) / span * width as f64).floor();
+            (raw.max(0.0) as usize).min(width - 1)
+        }
+    };
+
+    let mut grid = vec![vec!['.'; width]; nodes];
+    // Activity: machines >= node index + 1 at a sampled second.
+    for &(t, machines) in &seconds {
+        let col = bucket(t);
+        for (node, row) in grid.iter_mut().enumerate() {
+            let node = u64::try_from(node).unwrap_or(u64::MAX);
+            if node < machines && row[col] == '.' {
+                row[col] = '#';
+            }
+        }
+    }
+    // Reconfiguration windows shade the machine range they change.
+    for w in &windows {
+        let lo = w.from.min(w.to);
+        let hi = w.from.max(w.to);
+        for col in bucket(w.t_begin)..=bucket(w.t_end) {
+            for (node, row) in grid.iter_mut().enumerate() {
+                let node = u64::try_from(node).unwrap_or(u64::MAX);
+                if node >= lo && node < hi {
+                    row[col] = '=';
+                }
+            }
+        }
+    }
+    // Chunk moves mark both endpoints.
+    for &(t, from, to) in &moves {
+        let col = bucket(t);
+        for node in [from, to] {
+            if let Ok(node) = usize::try_from(node) {
+                if let Some(row) = grid.get_mut(node) {
+                    row[col] = 'M';
+                }
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "== timeline ==");
+    let _ = writeln!(
+        out,
+        "  t = {t_min:.1}s .. {t_max:.1}s  ({:.2}s per column, {width} columns)",
+        span / {
+            #[allow(clippy::cast_precision_loss)] // width <= 512
+            {
+                width as f64
+            }
+        }
+    );
+    let _ = writeln!(
+        out,
+        "  legend: '.' off  '#' active  '=' reconfiguring  'M' chunk move"
+    );
+    for (node, row) in grid.iter().enumerate().rev() {
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "  node {node:>3} |{line}|");
+    }
+    let _ = writeln!(out, "  reconfigurations: {}", windows.len());
+    for w in &windows {
+        let suffix = if w.finished { "" } else { "  (unfinished)" };
+        let _ = writeln!(
+            out,
+            "    {:>4} -> {:<4} @ {:.1}s .. {:.1}s ({:.1}s){suffix}",
+            w.from,
+            w.to,
+            w.t_begin,
+            w.t_end,
+            w.t_end - w.t_begin
+        );
+    }
+    let _ = writeln!(out, "  chunk moves: {}", moves.len());
+    out
+}
+
+fn node_count(
+    seconds: &[(f64, u64)],
+    windows: &[ReconfigWindow],
+    moves: &[(f64, u64, u64)],
+) -> usize {
+    let mut max = 1u64;
+    for &(_, m) in seconds {
+        max = max.max(m);
+    }
+    for w in windows {
+        max = max.max(w.from).max(w.to);
+    }
+    for &(_, from, to) in moves {
+        max = max.max(from + 1).max(to + 1);
+    }
+    usize::try_from(max.min(512)).unwrap_or(512)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev_at(t: f64, kind: &str) -> Event {
+        let mut ev = Event::new(kind);
+        ev.t = Some(t);
+        ev
+    }
+
+    fn sample_trace() -> Vec<Event> {
+        let mut events = Vec::new();
+        for s in 0..10 {
+            let machines = if s < 5 { 2u64 } else { 3u64 };
+            let mut ev = ev_at(f64::from(s), kinds::SECOND).with("machines", machines);
+            ev.fields.push(("p99".to_string(), 0.01f64.into()));
+            events.push(ev);
+        }
+        events.push(
+            ev_at(4.0, kinds::SPAN_BEGIN)
+                .with("id", 7u64)
+                .with("name", kinds::SPAN_RECONFIG)
+                .with("from", 2u64)
+                .with("to", 3u64),
+        );
+        events.push(
+            ev_at(4.5, kinds::CHUNK_MOVE)
+                .with("from", 0u64)
+                .with("to", 2u64)
+                .with("bytes", 4096u64),
+        );
+        events.push(
+            ev_at(6.0, kinds::SPAN_END)
+                .with("id", 7u64)
+                .with("name", kinds::SPAN_RECONFIG),
+        );
+        events
+    }
+
+    #[test]
+    fn renders_rows_windows_and_moves() {
+        let out = render(&sample_trace(), 32);
+        assert!(out.contains("node   0"));
+        assert!(out.contains("node   2"));
+        assert!(!out.contains("node   3"));
+        assert!(out.contains("reconfigurations: 1"));
+        assert!(out.contains("2 -> 3"));
+        assert!(out.contains("chunk moves: 1"));
+        assert!(out.contains('M'));
+        assert!(out.contains('='));
+        assert!(out.contains('#'));
+    }
+
+    #[test]
+    fn deterministic_for_same_trace() {
+        let trace = sample_trace();
+        assert_eq!(render(&trace, 48), render(&trace, 48));
+    }
+
+    #[test]
+    fn unfinished_reconfig_is_flagged() {
+        let mut trace = sample_trace();
+        trace.retain(|e| e.kind != kinds::SPAN_END);
+        let out = render(&trace, 32);
+        assert!(out.contains("(unfinished)"));
+    }
+
+    #[test]
+    fn empty_trace_degrades_gracefully() {
+        let out = render(&[], 32);
+        assert!(out.contains("no timestamped events"));
+        let untimed = vec![Event::new(kinds::SECOND)];
+        assert!(render(&untimed, 32).contains("no timestamped events"));
+    }
+}

@@ -164,6 +164,82 @@ pub fn span_errors(events: &[Event]) -> Vec<SpanError> {
     errors
 }
 
+/// An ordering problem in a trace (the `TEL-04` invariant).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderError {
+    /// `seq` did not strictly increase between consecutive events.
+    SeqNotIncreasing {
+        /// Previous event's sequence number.
+        prev: u64,
+        /// Offending event's sequence number.
+        seq: u64,
+    },
+    /// `t` went backwards while spans were still open.
+    TimeRegression {
+        /// Offending event's sequence number.
+        seq: u64,
+        /// The previous timestamp.
+        prev_t: f64,
+        /// The regressed timestamp.
+        t: f64,
+    },
+}
+
+impl std::fmt::Display for OrderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrderError::SeqNotIncreasing { prev, seq } => {
+                write!(f, "seq {seq} follows seq {prev}: not strictly increasing")
+            }
+            OrderError::TimeRegression { seq, prev_t, t } => {
+                write!(f, "seq {seq}: t={t} regresses below t={prev_t} mid-run")
+            }
+        }
+    }
+}
+
+/// Validates trace ordering (`TEL-04` in `pstore-verify`): `seq` must
+/// strictly increase, and the sim clock `t` must be non-decreasing —
+/// except that `t` may reset when no span is open, because a merged
+/// sweep trace restarts simulated time at 0 for each cell (cell
+/// boundaries always coincide with an empty span stack).
+pub fn order_errors(events: &[Event]) -> Vec<OrderError> {
+    let mut errors = Vec::new();
+    let mut prev_seq: Option<u64> = None;
+    let mut prev_t: Option<f64> = None;
+    let mut open_depth: usize = 0;
+    for ev in events {
+        if let Some(prev) = prev_seq {
+            if ev.seq <= prev {
+                errors.push(OrderError::SeqNotIncreasing { prev, seq: ev.seq });
+            }
+        }
+        prev_seq = Some(ev.seq);
+        if let Some(t) = ev.t {
+            match prev_t {
+                Some(p) if t < p => {
+                    if open_depth == 0 {
+                        prev_t = Some(t); // legitimate per-cell clock reset
+                    } else {
+                        errors.push(OrderError::TimeRegression {
+                            seq: ev.seq,
+                            prev_t: p,
+                            t,
+                        });
+                    }
+                }
+                _ => prev_t = Some(t),
+            }
+        }
+        match ev.kind.as_str() {
+            kinds::SPAN_BEGIN => open_depth += 1,
+            kinds::SPAN_END => open_depth = open_depth.saturating_sub(1),
+            _ => {}
+        }
+    }
+    errors
+}
+
 /// One completed reconfiguration reconstructed from a trace.
 #[derive(Debug, Clone)]
 pub struct ReconfigSummary {
@@ -479,6 +555,59 @@ mod tests {
         assert!(report.span_errors.is_empty());
         let text = report.render();
         assert!(text.contains("reconfigurations (1 total"));
+    }
+
+    #[test]
+    fn order_errors_flags_seq_and_time_regressions() {
+        let at = |seq: u64, t: f64, kind: &str| {
+            let mut ev = Event::new(kind);
+            ev.seq = seq;
+            ev.t = Some(t);
+            ev
+        };
+        // Clean, monotone trace.
+        let clean = vec![at(1, 0.0, "a"), at(2, 1.0, "b"), at(3, 1.0, "c")];
+        assert!(order_errors(&clean).is_empty());
+
+        // Duplicate / regressing seq.
+        let dup_seq = vec![at(5, 0.0, "a"), at(5, 1.0, "b"), at(3, 2.0, "c")];
+        let errs = order_errors(&dup_seq);
+        assert_eq!(errs.len(), 2);
+        assert!(matches!(
+            errs[0],
+            OrderError::SeqNotIncreasing { prev: 5, seq: 5 }
+        ));
+
+        // t regression while a span is open is an error...
+        let mid_span = vec![
+            {
+                let mut ev = span(kinds::SPAN_BEGIN, 1, 1, "run");
+                ev.t = Some(5.0);
+                ev
+            },
+            at(2, 3.0, "x"),
+        ];
+        assert!(matches!(
+            order_errors(&mid_span)[0],
+            OrderError::TimeRegression { seq: 2, .. }
+        ));
+
+        // ...but a reset at an empty span stack (sweep cell boundary) is fine.
+        let cell_boundary = vec![
+            {
+                let mut ev = span(kinds::SPAN_BEGIN, 1, 1, "run");
+                ev.t = Some(0.0);
+                ev
+            },
+            at(2, 9.0, "x"),
+            {
+                let mut ev = span(kinds::SPAN_END, 3, 1, "run");
+                ev.t = Some(9.0);
+                ev
+            },
+            at(4, 0.0, "next_cell_start"),
+        ];
+        assert!(order_errors(&cell_boundary).is_empty());
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Property tests for the trace-diff gate: a summary diffed against
+//! itself is always clean (for any metric set and any tolerance table),
+//! and a drift strictly beyond tolerance always regresses.
+
+use proptest::prelude::*;
+use pstore_telemetry::summary::{diff, RunSummary, ToleranceTable};
+use std::collections::BTreeMap;
+
+/// Metric names drawn from the real summary vocabulary plus arbitrary
+/// extras, with values spanning counters, latencies, and byte counts.
+fn metrics_map() -> impl Strategy<Value = BTreeMap<String, f64>> {
+    let name = prop_oneof![
+        Just("events".to_string()),
+        Just("reconfigs".to_string()),
+        Just("sla_violation_seconds".to_string()),
+        Just("stable_p99.p99".to_string()),
+        Just("stable_p99.count".to_string()),
+        Just("throughput.mean".to_string()),
+        Just("bytes_moved".to_string()),
+        (0u64..50).prop_map(|i| format!("custom.metric_{i}")),
+    ];
+    let value = prop_oneof![
+        Just(0.0),
+        0.0..1e9f64,
+        (-6.0..9.0f64).prop_map(|e| 10f64.powf(e)),
+    ];
+    prop::collection::vec((name, value), 0..24).prop_map(|pairs| pairs.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Self-diff is clean for any summary under the builtin table.
+    #[test]
+    fn self_diff_is_always_clean(metrics in metrics_map()) {
+        let s = RunSummary { metrics };
+        let report = diff(&s, &s, &ToleranceTable::builtin());
+        prop_assert!(report.is_clean(), "self-diff regressed: {}", report.render(true));
+    }
+
+    /// Self-diff stays clean even under an all-zero tolerance table
+    /// (identical values never drift).
+    #[test]
+    fn self_diff_is_clean_with_zero_tolerances(metrics in metrics_map()) {
+        let s = RunSummary { metrics };
+        let table = ToleranceTable::from_json_str(
+            r#"{"default": {"rel": 0.0, "abs": 0.0}}"#
+        ).unwrap_or_else(|e| panic!("{e}"));
+        prop_assert!(diff(&s, &s, &table).is_clean());
+    }
+
+    /// A drift strictly beyond both slack components always regresses,
+    /// and the offending metric is named in the rendered report.
+    #[test]
+    fn drift_beyond_tolerance_always_regresses(
+        base_value in 0.01..1e6f64,
+        rel in 0.0..0.5f64,
+        abs in 0.0..10.0f64,
+        direction in any::<bool>(),
+    ) {
+        let mut base = BTreeMap::new();
+        base.insert("probe".to_string(), base_value);
+        let slack = abs.max(rel * base_value);
+        let delta = slack * 1.01 + 1e-9;
+        let cand_value = if direction { base_value + delta } else { base_value - delta };
+        let mut cand = base.clone();
+        cand.insert("probe".to_string(), cand_value);
+        let table = ToleranceTable::from_json_str(&format!(
+            r#"{{"default": {{"rel": {rel}, "abs": {abs}}}}}"#
+        )).unwrap_or_else(|e| panic!("{e}"));
+        let report = diff(
+            &RunSummary { metrics: base },
+            &RunSummary { metrics: cand },
+            &table,
+        );
+        prop_assert!(!report.is_clean());
+        prop_assert!(report.render(false).contains("FAIL probe"));
+    }
+
+    /// Round-tripping any summary through JSON never changes the diff
+    /// verdict: parse(to_json(s)) self-diffs clean against s.
+    #[test]
+    fn json_round_trip_preserves_cleanliness(metrics in metrics_map()) {
+        // to_json/from_json only guarantee finite numbers; the generator
+        // above only produces finite values.
+        let s = RunSummary { metrics };
+        let back = RunSummary::from_json_str(&s.to_json())
+            .unwrap_or_else(|e| panic!("{e}"));
+        let table = ToleranceTable::from_json_str(
+            r#"{"default": {"rel": 1e-12, "abs": 1e-12}}"#
+        ).unwrap_or_else(|e| panic!("{e}"));
+        prop_assert!(diff(&s, &back, &table).is_clean());
+    }
+}

@@ -1,0 +1,260 @@
+//! End-to-end tests of the `pstore-trace` binary: subcommand behaviour,
+//! exit codes, and robustness to malformed traces (truncated lines,
+//! unknown kinds, out-of-order seq) — the CLI must report line-numbered
+//! errors and exit non-zero instead of panicking.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_pstore-trace")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn pstore-trace")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pstore_trace_cli_{}_{name}", std::process::id()))
+}
+
+fn write(path: &Path, text: &str) {
+    std::fs::write(path, text).expect("write fixture");
+}
+
+/// A small well-formed trace in event-time order: one reconfiguration
+/// with a chunk move, nested spans for the profiler, and per-second
+/// samples.
+fn good_trace() -> String {
+    let second = |seq: u64, s: u64, machines: u64, reconf: bool| {
+        format!(
+            r#"{{"seq":{seq},"t":{s},"kind":"second","second":{s},"throughput":1000,"p50":0.004,"p95":0.01,"p99":0.02,"mean":0.005,"machines":{machines},"reconfiguring":{reconf}}}"#
+        )
+    };
+    let lines = vec![
+        r#"{"seq":1,"t":0,"wall_us":0,"kind":"span_begin","id":1,"name":"detailed_sim"}"#
+            .to_string(),
+        second(2, 0, 2, false),
+        second(3, 1, 2, false),
+        r#"{"seq":4,"t":2,"kind":"span_begin","id":2,"name":"reconfig","from":2,"to":3}"#
+            .to_string(),
+        second(5, 2, 2, true),
+        r#"{"seq":6,"t":2.5,"kind":"chunk_move","from":0,"to":2,"slot":5,"bytes":4096,"rows":16}"#
+            .to_string(),
+        second(7, 3, 3, true),
+        r#"{"seq":8,"t":4,"kind":"span_end","id":2,"name":"reconfig"}"#.to_string(),
+        second(9, 4, 3, false),
+        second(10, 5, 3, false),
+        r#"{"seq":11,"t":5,"kind":"sla_violation","second":5,"p99":0.2}"#.to_string(),
+        r#"{"seq":12,"t":6,"kind":"span_end","id":1,"name":"detailed_sim"}"#.to_string(),
+    ];
+    lines.join("\n") + "\n"
+}
+
+#[test]
+fn report_subcommand_and_legacy_form_agree() {
+    let path = tmp("good.jsonl");
+    write(&path, &good_trace());
+    let sub = run(&["report", path.to_str().unwrap()]);
+    let legacy = run(&[path.to_str().unwrap()]);
+    assert!(sub.status.success(), "stderr: {}", stderr(&sub));
+    assert!(legacy.status.success());
+    assert_eq!(stdout(&sub), stdout(&legacy));
+    assert!(stdout(&sub).contains("reconfigurations (1 total"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn profile_renders_tree_and_folded_deterministically() {
+    let path = tmp("profile.jsonl");
+    write(&path, &good_trace());
+    let tree = run(&["profile", path.to_str().unwrap()]);
+    assert!(tree.status.success(), "stderr: {}", stderr(&tree));
+    let text = stdout(&tree);
+    assert!(text.contains("span profile (sim clock)"));
+    assert!(text.contains("detailed_sim"));
+    assert!(text.contains("reconfig"));
+
+    let folded = run(&["profile", path.to_str().unwrap(), "--folded"]);
+    let folded_text = stdout(&folded);
+    // reconfig span: t=2..4 => 2s total; detailed_sim self = 6s - 2s.
+    assert!(folded_text.contains("detailed_sim 1 4000000"));
+    assert!(folded_text.contains("detailed_sim;reconfig 1 2000000"));
+
+    let again = run(&["profile", path.to_str().unwrap(), "--folded"]);
+    assert_eq!(folded_text, stdout(&again));
+
+    let wall = run(&["profile", path.to_str().unwrap(), "--wall"]);
+    assert!(wall.status.success());
+    assert!(stdout(&wall).contains("wall clock"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn timeline_renders_gantt() {
+    let path = tmp("timeline.jsonl");
+    write(&path, &good_trace());
+    let out = run(&["timeline", path.to_str().unwrap(), "--width", "32"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("== timeline =="));
+    assert!(text.contains("node   0"));
+    assert!(text.contains("2 -> 3"));
+    assert!(text.contains("chunk moves: 1"));
+    assert_eq!(
+        text,
+        stdout(&run(&["timeline", path.to_str().unwrap(), "--width", "32"]))
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn truncated_line_reports_line_number_and_fails() {
+    let path = tmp("truncated.jsonl");
+    let mut text = good_trace();
+    text.push_str("{\"seq\":13,\"t\":7,\"kind\":\"seco"); // mid-write truncation
+    write(&path, &text);
+    let out = run(&["report", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("unparseable line(s)"), "stderr: {err}");
+    assert!(err.contains("line 13"), "stderr: {err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn unknown_kind_is_tolerated_not_fatal() {
+    let path = tmp("unknown_kind.jsonl");
+    let text = good_trace() + "{\"seq\":13,\"t\":7,\"kind\":\"experimental_new_kind\",\"x\":1}\n";
+    write(&path, &text);
+    let out = run(&["report", path.to_str().unwrap()]);
+    // Unknown kinds are forward-compatible data, not corruption.
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("experimental_new_kind"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn out_of_order_seq_fails_with_ordering_violation() {
+    let path = tmp("out_of_order.jsonl");
+    let text = good_trace().replace("{\"seq\":6,", "{\"seq\":3,");
+    write(&path, &text);
+    let out = run(&["report", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("ordering violation"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn missing_file_and_bad_usage_exit_2() {
+    let out = run(&["report", "/nonexistent/definitely_missing.jsonl"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["profile"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["profile", "x.jsonl", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["diff", "only_one.jsonl"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["timeline", "x.jsonl", "--width", "abc"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn diff_self_is_clean_and_regression_fails_naming_metric() {
+    let trace_path = tmp("diff_base.jsonl");
+    write(&trace_path, &good_trace());
+
+    // Self-diff on the raw trace: exit 0.
+    let out = run(&[
+        "diff",
+        trace_path.to_str().unwrap(),
+        trace_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("no regression"));
+
+    // Bless a golden summary from the trace: exit 0, file written.
+    let golden = tmp("diff_golden.json");
+    let out = run(&[
+        "diff",
+        golden.to_str().unwrap(),
+        trace_path.to_str().unwrap(),
+        "--bless",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let golden_text = std::fs::read_to_string(&golden).unwrap();
+    assert!(golden_text.contains("pstore-run-summary/v1"));
+
+    // Trace vs its own golden: clean.
+    let out = run(&[
+        "diff",
+        golden.to_str().unwrap(),
+        trace_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+    // Seeded regression: inflate every stable p99 sample 2x.
+    let bad_path = tmp("diff_bad.jsonl");
+    write(
+        &bad_path,
+        &good_trace().replace("\"p99\":0.02", "\"p99\":0.04"),
+    );
+    let out = run(&["diff", golden.to_str().unwrap(), bad_path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    assert!(text.contains("FAIL stable_p99"), "stdout: {text}");
+
+    // A loose tolerance file waves the same regression through.
+    let tol = tmp("diff_tol.json");
+    write(
+        &tol,
+        r#"{"metrics": {"stable_p99.*": {"rel": 5.0}, "reconfig_p99.*": {"rel": 5.0}, "sla_violation_seconds": {"abs": 10}}}"#,
+    );
+    let out = run(&[
+        "diff",
+        golden.to_str().unwrap(),
+        bad_path.to_str().unwrap(),
+        "--tolerances",
+        tol.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stdout: {}", stdout(&out));
+
+    for p in [&trace_path, &golden, &bad_path, &tol] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn diff_refuses_corrupt_trace() {
+    let good = tmp("diff_ok.jsonl");
+    write(&good, &good_trace());
+    let corrupt = tmp("diff_corrupt.jsonl");
+    write(&corrupt, &(good_trace() + "garbage line\n"));
+    let out = run(&["diff", good.to_str().unwrap(), corrupt.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("malformed line"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    let _ = std::fs::remove_file(&good);
+    let _ = std::fs::remove_file(&corrupt);
+}

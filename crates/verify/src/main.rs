@@ -70,7 +70,9 @@ fn main() {
 
     let stats = telemetry_sweep();
     report_phase(
-        &format!("telemetry sweep: {TELEMETRY_SCENARIOS} span traces + histogram merges"),
+        &format!(
+            "telemetry sweep: {TELEMETRY_SCENARIOS} span traces (pairing, ordering, profile conservation) + histogram merges"
+        ),
         &stats,
     );
     all.extend(stats.violations);
@@ -318,23 +320,33 @@ fn cfg_min_history(cfg: &SparConfig) -> usize {
 }
 
 /// Phase 5: every trace produced through the live span API must satisfy
-/// `TEL-01`/`TEL-02`, and randomized histogram merges must satisfy
-/// `TEL-03` regardless of sample values or grouping.
+/// `TEL-01`/`TEL-02` (pairing/nesting), `TEL-04` (total event ordering
+/// under a monotone sim clock) and `TEL-05` (profile-tree time
+/// conservation), and randomized histogram merges must satisfy `TEL-03`
+/// regardless of sample values or grouping.
 fn telemetry_sweep() -> CheckStats {
     let mut rng = StdRng::seed_from_u64(0x5EED_0004);
     let mut stats = CheckStats::default();
     for case in 0..TELEMETRY_SCENARIOS {
         // Generate a well-formed randomized span tree through the real
-        // begin/end API, captured by an in-memory sink.
+        // begin/end API — sim-time-stamped so the profiler has real
+        // durations to aggregate — captured by an in-memory sink.
         let (sink, handle) = pstore_telemetry::MemorySink::new();
         let guard = pstore_telemetry::install(std::rc::Rc::new(sink));
         let depth = rng.random_range(1usize..=4);
         let width = rng.random_range(1usize..=4);
-        emit_span_tree(&mut rng, depth, width);
+        let mut now = 0.0;
+        emit_span_tree(&mut rng, depth, width, &mut now);
+        pstore_telemetry::clear_time();
         drop(guard);
-        stats.absorb(telemetry::check_trace_spans(
-            &format!("span trace {case}"),
-            &handle.events(),
+        let events = handle.events();
+        let artifact = format!("span trace {case}");
+        stats.absorb(telemetry::check_trace_spans(&artifact, &events));
+        stats.absorb(telemetry::check_trace_order(&artifact, &events));
+        stats.absorb(telemetry::check_profile_conservation(
+            &artifact,
+            &events,
+            pstore_telemetry::ProfileClock::Sim,
         ));
 
         // Random sample sets, including empties and extreme magnitudes.
@@ -372,15 +384,22 @@ fn concurrency_sweep() -> CheckStats {
 }
 
 /// Emits a random tree of nested spans (interleaved with plain events)
-/// through the live telemetry API.
-fn emit_span_tree(rng: &mut StdRng, depth: usize, width: usize) {
+/// through the live telemetry API. `now` is the sim clock, advanced by a
+/// random positive step around every event so traces are totally ordered
+/// (`TEL-04`) and spans have real durations for the profiler (`TEL-05`).
+fn emit_span_tree(rng: &mut StdRng, depth: usize, width: usize, now: &mut f64) {
     for _ in 0..width {
+        pstore_telemetry::set_time(*now);
         let id = pstore_telemetry::begin_span("reconfig", &[]);
+        *now += rng.random_range(0.0..2.0);
+        pstore_telemetry::set_time(*now);
         pstore_telemetry::emit(pstore_telemetry::Event::new("chunk_move").with("bytes", 1000u64));
         if depth > 1 && rng.random_range(0u32..2) == 0 {
             let child_width = rng.random_range(1usize..=width);
-            emit_span_tree(rng, depth - 1, child_width);
+            emit_span_tree(rng, depth - 1, child_width, now);
         }
+        *now += rng.random_range(0.0..2.0);
+        pstore_telemetry::set_time(*now);
         pstore_telemetry::end_span("reconfig", id, &[]);
     }
 }

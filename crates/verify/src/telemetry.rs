@@ -6,11 +6,14 @@
 //! translate each structural error into a [`Violation`]. `TEL-03` checks
 //! that merging latency histograms is associative and commutative on
 //! bucket contents, so per-phase histograms can be combined in any order
-//! without changing percentile readouts.
+//! without changing percentile readouts. `TEL-04` (total event ordering)
+//! reuses [`pstore_telemetry::trace::order_errors`], and `TEL-05`
+//! (profile-tree time conservation) checks the span profiler's
+//! aggregation and folded rendering against each other.
 
 use pstore_core::{InvariantId, Violation};
-use pstore_telemetry::trace::{span_errors, SpanError};
-use pstore_telemetry::{Event, Histogram};
+use pstore_telemetry::trace::{order_errors, span_errors, SpanError};
+use pstore_telemetry::{Event, Histogram, Profile, ProfileClock};
 
 /// Checks span pairing (`TEL-01`) and nesting (`TEL-02`) over a trace.
 ///
@@ -32,6 +35,45 @@ pub fn check_trace_spans(artifact: &str, events: &[Event]) -> Vec<Violation> {
             Violation::new(invariant, artifact, err.to_string())
         })
         .collect()
+}
+
+/// Checks total event ordering (`TEL-04`) over a trace: `seq` strictly
+/// increases and sim-time `t` never regresses while a span is open.
+pub fn check_trace_order(artifact: &str, events: &[Event]) -> Vec<Violation> {
+    order_errors(events)
+        .into_iter()
+        .map(|err| Violation::new(InvariantId::TelemetryOrdering, artifact, err.to_string()))
+        .collect()
+}
+
+/// Checks profile-tree time conservation (`TEL-05`): builds the span
+/// profile of a trace under `clock`, then verifies that every parent's
+/// total time covers the sum of its children's totals and that the
+/// flamegraph-folded rendering re-sums to the same tree.
+pub fn check_profile_conservation(
+    artifact: &str,
+    events: &[Event],
+    clock: ProfileClock,
+) -> Vec<Violation> {
+    let profile = Profile::from_events(events, clock);
+    let mut violations: Vec<Violation> = profile
+        .conservation_errors()
+        .into_iter()
+        .map(|msg| Violation::new(InvariantId::TelemetryProfileConservation, artifact, msg))
+        .collect();
+    violations.extend(
+        profile
+            .folded_resum_errors(&profile.folded())
+            .into_iter()
+            .map(|msg| {
+                Violation::new(
+                    InvariantId::TelemetryProfileConservation,
+                    artifact,
+                    format!("folded output diverges from tree: {msg}"),
+                )
+            }),
+    );
+    violations
 }
 
 /// Builds a histogram over one sample set.
@@ -137,6 +179,59 @@ mod tests {
         assert!(v
             .iter()
             .any(|x| x.invariant == InvariantId::TelemetrySpanNesting));
+    }
+
+    fn stamped(mut e: Event, t: f64) -> Event {
+        e.t = Some(t);
+        e
+    }
+
+    #[test]
+    fn ordered_trace_passes_tel04() {
+        let trace = vec![
+            stamped(begin(1, 10), 0.0),
+            stamped(begin(2, 11), 1.0),
+            stamped(end(3, 11), 2.0),
+            stamped(end(4, 10), 3.0),
+        ];
+        assert!(check_trace_order("t", &trace).is_empty());
+    }
+
+    #[test]
+    fn seq_and_time_regressions_violate_tel04() {
+        // seq goes backwards.
+        let trace = vec![stamped(begin(2, 10), 0.0), stamped(end(1, 10), 1.0)];
+        let v = check_trace_order("t", &trace);
+        assert!(!v.is_empty());
+        assert!(v
+            .iter()
+            .all(|x| x.invariant == InvariantId::TelemetryOrdering));
+
+        // t regresses while span 10 is still open.
+        let trace = vec![stamped(begin(1, 10), 5.0), stamped(end(2, 10), 2.0)];
+        assert!(!check_trace_order("t", &trace).is_empty());
+
+        // ... but a reset at an empty span stack is a legal run boundary.
+        let trace = vec![
+            stamped(begin(1, 10), 5.0),
+            stamped(end(2, 10), 6.0),
+            stamped(begin(3, 11), 0.0),
+            stamped(end(4, 11), 1.0),
+        ];
+        assert!(check_trace_order("t", &trace).is_empty());
+    }
+
+    #[test]
+    fn nested_span_profile_conserves_time() {
+        let trace = vec![
+            stamped(begin(1, 10), 0.0),
+            stamped(begin(2, 11), 1.0),
+            stamped(end(3, 11), 2.0),
+            stamped(begin(4, 12), 2.5),
+            stamped(end(5, 12), 3.5),
+            stamped(end(6, 10), 4.0),
+        ];
+        assert!(check_profile_conservation("t", &trace, ProfileClock::Sim).is_empty());
     }
 
     #[test]

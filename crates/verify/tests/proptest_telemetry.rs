@@ -1,10 +1,60 @@
 //! Property tests for the `TEL-*` telemetry invariants: histogram merging
-//! is associative/commutative on arbitrary sample sets (`TEL-03`), and
-//! span traces produced through the live API always pair and nest
-//! (`TEL-01`/`TEL-02`).
+//! is associative/commutative on arbitrary sample sets (`TEL-03`), span
+//! traces produced through the live API always pair and nest
+//! (`TEL-01`/`TEL-02`), sim-time-stamped traces are totally ordered
+//! (`TEL-04`), and the span profiler conserves time on any balanced
+//! trace (`TEL-05`).
 
 use proptest::prelude::*;
-use pstore_verify::telemetry::{check_histogram_merge, check_trace_spans};
+use pstore_verify::telemetry::{
+    check_histogram_merge, check_profile_conservation, check_trace_order, check_trace_spans,
+};
+
+/// Builds a balanced, sim-time-stamped span trace from a depth profile:
+/// each step either opens or closes a span (closing falls back to opening
+/// when the stack is empty; leftovers are closed at the end) and advances
+/// the clock by the paired non-negative increment. Span names vary by
+/// depth so the profiler aggregates real multi-level paths.
+fn stamped_trace(profile: &[(bool, f64)]) -> Vec<pstore_telemetry::Event> {
+    let names = ["outer", "mid", "inner"];
+    let mut events = Vec::new();
+    let mut stack: Vec<(u64, &str)> = Vec::new();
+    let mut next_id = 1u64;
+    let mut seq = 1u64;
+    let mut t = 0.0f64;
+    let push = |e: pstore_telemetry::Event, seq: &mut u64, t: f64| {
+        let mut e = e;
+        e.seq = *seq;
+        e.t = Some(t);
+        *seq += 1;
+        e
+    };
+    for &(open, dt) in profile {
+        t += dt;
+        if open || stack.is_empty() {
+            let name = names[stack.len().min(names.len() - 1)];
+            let e = pstore_telemetry::Event::new(pstore_telemetry::kinds::SPAN_BEGIN)
+                .with("id", next_id)
+                .with("name", name);
+            events.push(push(e, &mut seq, t));
+            stack.push((next_id, name));
+            next_id += 1;
+        } else if let Some((id, name)) = stack.pop() {
+            let e = pstore_telemetry::Event::new(pstore_telemetry::kinds::SPAN_END)
+                .with("id", id)
+                .with("name", name);
+            events.push(push(e, &mut seq, t));
+        }
+    }
+    while let Some((id, name)) = stack.pop() {
+        t += 0.5;
+        let e = pstore_telemetry::Event::new(pstore_telemetry::kinds::SPAN_END)
+            .with("id", id)
+            .with("name", name);
+        events.push(push(e, &mut seq, t));
+    }
+    events
+}
 
 /// One sample set: latencies/loads spanning many orders of magnitude,
 /// including zero, negatives (clamped by the histogram) and tiny values.
@@ -73,6 +123,63 @@ proptest! {
             "{}",
             pstore_core::invariant::report(&violations)
         );
+    }
+
+    /// TEL-04 + TEL-05: any balanced span trace stamped with a monotone
+    /// sim clock passes the ordering checker, and its span profile
+    /// conserves time (parent totals cover child totals; the folded
+    /// rendering re-sums to the tree).
+    #[test]
+    fn stamped_traces_are_ordered_and_profile_conserves(
+        profile in prop::collection::vec((any::<bool>(), 0.0..2.0f64), 0..40)
+    ) {
+        let events = stamped_trace(&profile);
+        let violations = check_trace_order("proptest", &events);
+        prop_assert!(
+            violations.is_empty(),
+            "{}",
+            pstore_core::invariant::report(&violations)
+        );
+        let violations =
+            check_profile_conservation("proptest", &events, pstore_telemetry::ProfileClock::Sim);
+        prop_assert!(
+            violations.is_empty(),
+            "{}",
+            pstore_core::invariant::report(&violations)
+        );
+    }
+
+    /// TEL-04: duplicating any event's seq (or swapping it backwards) is
+    /// always flagged as an ordering violation.
+    #[test]
+    fn seq_regression_is_always_flagged(
+        profile in prop::collection::vec((any::<bool>(), 0.0..2.0f64), 2..40),
+        pick in 0usize..4096
+    ) {
+        let mut events = stamped_trace(&profile);
+        // Clobber one event's seq (not the first) with the previous seq.
+        let i = 1 + pick % (events.len() - 1);
+        events[i].seq = events[i - 1].seq;
+        let violations = check_trace_order("proptest", &events);
+        prop_assert!(!violations.is_empty());
+    }
+
+    /// TEL-04: sim time regressing while a span is open is always
+    /// flagged, however small the step back.
+    #[test]
+    fn time_regression_in_open_span_is_flagged(t0 in 1.0..1e6f64, back in 0.001..0.9f64) {
+        let mut begin = pstore_telemetry::Event::new(pstore_telemetry::kinds::SPAN_BEGIN)
+            .with("id", 1u64)
+            .with("name", "reconfig");
+        begin.seq = 1;
+        begin.t = Some(t0);
+        let mut end = pstore_telemetry::Event::new(pstore_telemetry::kinds::SPAN_END)
+            .with("id", 1u64)
+            .with("name", "reconfig");
+        end.seq = 2;
+        end.t = Some(t0 * (1.0 - back));
+        let violations = check_trace_order("proptest", &[begin, end]);
+        prop_assert!(!violations.is_empty());
     }
 
     /// An unbalanced trace (one dangling begin) is always flagged.

@@ -47,13 +47,40 @@ diff <(grep -E 'committed_txns|dropped_txns|"cells"' "$BENCH_T1") \
      <(grep -E 'committed_txns|dropped_txns|"cells"' "$BENCH_T2")
 rm -f "$BENCH_T1" "$BENCH_T2"
 
-step "telemetry smoke: traced run + pstore-trace validation"
+step "telemetry smoke: traced run + live exposition + pstore-trace validation"
 TRACE_FILE="$(mktemp /tmp/pstore-smoke.XXXXXX.jsonl)"
-trap 'rm -f "$TRACE_FILE"' EXIT
+SMOKE_SUMMARY="$(mktemp /tmp/pstore-smoke.XXXXXX.summary.json)"
+trap 'rm -f "$TRACE_FILE" "$SMOKE_SUMMARY"' EXIT
+# --expose-metrics 0 serves live Prometheus text on an ephemeral port;
+# the smoke binary scrapes itself once and asserts the format.
 cargo run -q --release -p pstore-bench --features telemetry \
-    --bin telemetry_smoke -- --quiet --trace "$TRACE_FILE"
-# pstore-trace exits 1 on parse errors or unmatched spans (TEL-01/02).
-cargo run -q --release -p pstore-telemetry --bin pstore-trace -- "$TRACE_FILE"
+    --bin telemetry_smoke -- --quiet --trace "$TRACE_FILE" \
+    --summary "$SMOKE_SUMMARY" --expose-metrics 0
+# pstore-trace exits 1 on parse errors, unmatched spans, or ordering
+# violations (TEL-01/02/04).
+cargo run -q --release -p pstore-telemetry --bin pstore-trace -- report "$TRACE_FILE"
+# The profiler and timeline must both render the trace.
+cargo run -q --release -p pstore-telemetry --bin pstore-trace -- \
+    profile "$TRACE_FILE" > /dev/null
+cargo run -q --release -p pstore-telemetry --bin pstore-trace -- \
+    timeline "$TRACE_FILE" > /dev/null
+# A run diffed against its own summary must be clean.
+cargo run -q --release -p pstore-telemetry --bin pstore-trace -- \
+    diff "$SMOKE_SUMMARY" "$TRACE_FILE"
+
+step "trace-diff regression gate vs results/golden/ (two --quick runs)"
+GOLDEN_TMP="$(mktemp -d /tmp/pstore-golden.XXXXXX)"
+cargo run -q --release -p pstore-bench --features telemetry \
+    --bin fig9_comparison -- --quick --quiet \
+    --summary "$GOLDEN_TMP/fig9_quick.summary.json" > /dev/null
+cargo run -q --release -p pstore-telemetry --bin pstore-trace -- \
+    diff results/golden/fig9_quick.summary.json "$GOLDEN_TMP/fig9_quick.summary.json"
+cargo run -q --release -p pstore-bench --features telemetry \
+    --bin table2_sla -- --quick --quiet \
+    --summary "$GOLDEN_TMP/table2_quick.summary.json" > /dev/null
+cargo run -q --release -p pstore-telemetry --bin pstore-trace -- \
+    diff results/golden/table2_quick.summary.json "$GOLDEN_TMP/table2_quick.summary.json"
+rm -rf "$GOLDEN_TMP"
 
 if [[ "$QUICK" == "0" ]]; then
     step "property-test suites"
@@ -65,8 +92,8 @@ if [[ "$QUICK" == "0" ]]; then
     # swapped to the vendored loom types (see docs/invariants.md).
     RUSTFLAGS="--cfg loom" cargo test -q -p rayon --release
     if cargo miri --version > /dev/null 2>&1; then
-        step "cargo miri test: UB check on the unsafe-free core crates"
-        cargo miri test -q -p pstore-core -p pstore-forecast
+        step "cargo miri test: UB check on core crates + dbms engine"
+        cargo miri test -q -p pstore-core -p pstore-forecast -p pstore-dbms
     else
         step "cargo miri test: skipped (miri not installed on this toolchain)"
     fi

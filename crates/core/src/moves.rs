@@ -222,6 +222,39 @@ mod tests {
     }
 
     #[test]
+    fn check_moves_flags_bad_durations_and_long_noops() {
+        // MOV-02: a move must have positive duration.
+        let v = check_moves(&[Move {
+            start: 2,
+            end: 2,
+            from: 3,
+            to: 4,
+        }]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, InvariantId::MoveDuration);
+
+        // MOV-03: a no-op "move" stands for one interval of staying put,
+        // so it must last exactly one interval.
+        let v = check_moves(&[Move {
+            start: 0,
+            end: 3,
+            from: 3,
+            to: 3,
+        }]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, InvariantId::MoveNoopUnit);
+
+        // A unit-length no-op is clean.
+        assert!(check_moves(&[Move {
+            start: 0,
+            end: 1,
+            from: 3,
+            to: 3,
+        }])
+        .is_empty());
+    }
+
+    #[test]
     fn sequence_accepts_contiguous_chain() {
         let seq = MoveSeq::new(vec![
             Move {

@@ -484,6 +484,9 @@ impl Cluster {
         let pending = pairs.iter().filter(|p| !p.is_done()).count();
         #[cfg(feature = "telemetry")]
         let span_id = if pstore_telemetry::enabled() {
+            // pstore-lint: allow(SA-02): the reconfig span covers the whole
+            // migration lifetime — opened here, closed in commit_reconfig /
+            // end_truncated_reconfig_span; TEL-01/02 verify pairing at runtime.
             pstore_telemetry::begin_span(
                 pstore_telemetry::kinds::SPAN_RECONFIG,
                 &[
@@ -718,6 +721,9 @@ impl Cluster {
         #[cfg(feature = "telemetry")]
         if let Some(reconfig) = self.reconfig.as_mut() {
             if reconfig.span_id != 0 {
+                // pstore-lint: allow(SA-02): closes the cross-function
+                // reconfig span opened in start_migration (truncated end);
+                // TEL-01/02 verify pairing at runtime.
                 pstore_telemetry::end_span(
                     pstore_telemetry::kinds::SPAN_RECONFIG,
                     reconfig.span_id,
@@ -734,6 +740,9 @@ impl Cluster {
         };
         debug_assert_eq!(reconfig.pending_pairs, 0);
         #[cfg(feature = "telemetry")]
+        // pstore-lint: allow(SA-02): closes the cross-function reconfig
+        // span opened in start_migration; TEL-01/02 verify pairing at
+        // runtime.
         pstore_telemetry::end_span(
             pstore_telemetry::kinds::SPAN_RECONFIG,
             reconfig.span_id,

@@ -31,15 +31,26 @@ thread_local! {
 // `try_with` (not `with`) keeps allocations during TLS teardown from
 // recursing into a destructed counter.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds the `GlobalAlloc::alloc` contract (valid,
+    // non-zero-size layout); we forward it to `System` untouched.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        // SAFETY: same `layout` the caller vouched for.
         unsafe { System.alloc(layout) }
     }
+    // SAFETY: caller upholds the `GlobalAlloc::dealloc` contract (`ptr`
+    // came from this allocator with this `layout`).
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was returned by `System` (every alloc above
+        // delegates to it), paired with the caller's `layout`.
         unsafe { System.dealloc(ptr, layout) }
     }
+    // SAFETY: caller upholds the `GlobalAlloc::realloc` contract; all
+    // three arguments are forwarded untouched.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        // SAFETY: `ptr`/`layout` pair is the caller's obligation and
+        // `ptr` originated from `System`.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -1,0 +1,493 @@
+//! A lightweight Rust tokenizer, sufficient for the SA-* rules.
+//!
+//! This is deliberately **not** a full Rust lexer: it distinguishes
+//! identifiers, string/char literals, numbers, lifetimes and single-char
+//! punctuation, strips comments into a separate side table (the rules
+//! need comments for `// SAFETY:`, waivers and `#[allow]`
+//! justifications), and records the 1-based line of every token. That is
+//! enough to find macro invocations, attributes, `unsafe` sites and
+//! function-body extents without an external parser dependency — the
+//! same vendored-stub philosophy as the rest of the workspace.
+//!
+//! Handled correctly because the rules depend on it:
+//! * line (`//`) and nested block (`/* */`) comments, kept with lines;
+//! * cooked strings with escapes, raw strings `r#"…"#`, byte strings,
+//!   char literals, and the char-vs-lifetime ambiguity (`'a'` vs `'a`);
+//! * numbers are consumed opaquely (value never matters to a rule).
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `tel_event`, …).
+    Ident,
+    /// String literal of any flavour; `text` holds the *inner* bytes,
+    /// uncooked (escape sequences left as written).
+    Str,
+    /// Character or byte literal (inner text, uncooked).
+    Char,
+    /// Numeric literal, consumed opaquely.
+    Num,
+    /// Lifetime (`'a`), without the quote.
+    Lifetime,
+    /// Single punctuation character.
+    Punct(char),
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// Lexeme text (see [`TokKind`] for what is stored per kind).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for this punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// One comment (line or block) with its line extent.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//`).
+    pub end_line: u32,
+    /// Comment text without the `//` / `/* */` markers, untrimmed.
+    pub text: String,
+}
+
+/// Token stream plus comment side table for one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub toks: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// All comments that start or end on `line`.
+    pub fn comments_on_line(&self, line: u32) -> impl Iterator<Item = &Comment> {
+        self.comments
+            .iter()
+            .filter(move |c| c.line <= line && line <= c.end_line)
+    }
+
+    /// True if any token sits on `line`.
+    pub fn has_code_on_line(&self, line: u32) -> bool {
+        // Tokens are line-ordered; a binary search keeps repeated waiver
+        // resolution cheap on big files.
+        self.toks.binary_search_by_key(&line, |t| t.line).is_ok()
+    }
+
+    /// The first token line strictly greater than `line`, if any.
+    pub fn next_code_line(&self, line: u32) -> Option<u32> {
+        let idx = self.toks.partition_point(|t| t.line <= line);
+        self.toks.get(idx).map(|t| t.line)
+    }
+}
+
+/// Tokenizes `src`, splitting comments into the side table.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = b.len();
+
+    let count_lines = |s: &[char]| -> u32 {
+        let mut k = 0;
+        for &c in s {
+            if c == '\n' {
+                k += 1;
+            }
+        }
+        k
+    };
+
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && b[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text: b[start..j].iter().collect(),
+                });
+                i = j;
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1u32;
+                let mut j = start;
+                while j < n && depth > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = if depth == 0 { j - 2 } else { j };
+                out.comments.push(Comment {
+                    line: start_line,
+                    end_line: line,
+                    text: b[start..end].iter().collect(),
+                });
+                i = j;
+            }
+            '"' => {
+                let (text, consumed, newlines) = cooked_string(&b[i..]);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+                line += newlines;
+                i += consumed;
+            }
+            'r' | 'b' if raw_or_byte_start(&b[i..]) => {
+                let (kind, text, consumed) = raw_or_byte(&b[i..]);
+                let newlines = count_lines(&b[i..i + consumed]);
+                out.toks.push(Tok { kind, text, line });
+                line += newlines;
+                i += consumed;
+            }
+            '\'' => {
+                // Lifetime vs char literal: `'a` followed by anything but
+                // a closing quote is a lifetime; `'a'`, `'\n'`, `'\''`
+                // are chars.
+                if i + 1 < n && (b[i + 1].is_alphanumeric() || b[i + 1] == '_') {
+                    let mut j = i + 1;
+                    while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    if j < n && b[j] == '\'' && j == i + 2 {
+                        // Single char then quote: a char literal like 'x'.
+                        out.toks.push(Tok {
+                            kind: TokKind::Char,
+                            text: b[i + 1..j].iter().collect(),
+                            line,
+                        });
+                        i = j + 1;
+                    } else {
+                        out.toks.push(Tok {
+                            kind: TokKind::Lifetime,
+                            text: b[i + 1..j].iter().collect(),
+                            line,
+                        });
+                        i = j;
+                    }
+                } else if i + 1 < n && b[i + 1] == '\\' {
+                    // Escaped char literal '\n', '\'', '\u{..}'.
+                    let mut j = i + 2;
+                    while j < n && b[j] != '\'' {
+                        if b[j] == '\\' {
+                            j += 1;
+                        }
+                        j += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: b[i + 1..j.min(n)].iter().collect(),
+                        line,
+                    });
+                    i = (j + 1).min(n);
+                } else {
+                    // Bare quote (e.g. inside macro punctuation); emit as
+                    // punct and move on.
+                    out.toks.push(Tok {
+                        kind: TokKind::Punct('\''),
+                        text: "'".to_string(),
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < n {
+                    let d = b[j];
+                    if d.is_alphanumeric() || d == '_' {
+                        j += 1;
+                    } else if d == '.' && j + 1 < n && b[j + 1].is_ascii_digit() {
+                        // `1.5` continues the number; `1..5` does not.
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: b[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut j = i + 1;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            c => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct(c),
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Does the slice start a raw string (`r"`, `r#`), byte string (`b"`),
+/// raw byte string (`br`) or byte char (`b'`)?
+fn raw_or_byte_start(s: &[char]) -> bool {
+    match s.first() {
+        Some('r') => matches!(s.get(1), Some('"') | Some('#')),
+        Some('b') => match s.get(1) {
+            Some('"') | Some('\'') => true,
+            Some('r') => matches!(s.get(2), Some('"') | Some('#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Lexes a raw/byte string or byte char starting at `s[0]`.
+/// Returns `(kind, inner text, chars consumed)`.
+fn raw_or_byte(s: &[char]) -> (TokKind, String, usize) {
+    let mut i = 0;
+    if s[i] == 'b' {
+        i += 1;
+        if i < s.len() && s[i] == '\'' {
+            // Byte char b'x' / b'\n'.
+            let mut j = i + 1;
+            while j < s.len() && s[j] != '\'' {
+                if s[j] == '\\' {
+                    j += 1;
+                }
+                j += 1;
+            }
+            let text: String = s[i + 1..j.min(s.len())].iter().collect();
+            return (TokKind::Char, text, (j + 1).min(s.len()));
+        }
+    }
+    if i < s.len() && s[i] == 'r' {
+        i += 1;
+        let mut hashes = 0usize;
+        while i < s.len() && s[i] == '#' {
+            hashes += 1;
+            i += 1;
+        }
+        // Opening quote.
+        i += 1;
+        let start = i;
+        'outer: while i < s.len() {
+            if s[i] == '"' {
+                let mut k = 0;
+                while k < hashes && i + 1 + k < s.len() && s[i + 1 + k] == '#' {
+                    k += 1;
+                }
+                if k == hashes {
+                    let text: String = s[start..i].iter().collect();
+                    return (TokKind::Str, text, i + 1 + hashes);
+                }
+            }
+            i += 1;
+            continue 'outer;
+        }
+        let text: String = s[start..].iter().collect();
+        (TokKind::Str, text, s.len())
+    } else {
+        // b"..." cooked byte string.
+        let (text, consumed, _) = cooked_string(&s[i..]);
+        (TokKind::Str, text, i + consumed)
+    }
+}
+
+/// Lexes a cooked string starting at the opening quote.
+/// Returns `(inner text, chars consumed, newlines inside)`.
+fn cooked_string(s: &[char]) -> (String, usize, u32) {
+    let mut j = 1usize;
+    let mut newlines = 0u32;
+    while j < s.len() {
+        match s[j] {
+            '\\' => j += 2,
+            '"' => break,
+            '\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    let text: String = s[1..j.min(s.len())].iter().collect();
+    (text, (j + 1).min(s.len()), newlines)
+}
+
+/// Matches `toks[at..]` against a sequence of expected idents/puncts,
+/// where each expectation is either `("ident", name)` or a punct char.
+/// Used by rules to spot `Instant :: now`-style paths.
+pub fn path_at(toks: &[Tok], at: usize, segments: &[&str]) -> bool {
+    let mut i = at;
+    for (k, seg) in segments.iter().enumerate() {
+        if k > 0 {
+            if !(i + 1 < toks.len() && toks[i].is_punct(':') && toks[i + 1].is_punct(':')) {
+                return false;
+            }
+            i += 2;
+        }
+        if i >= toks.len() || !toks[i].is_ident(seg) {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+/// Finds the index of the matching close delimiter for the open
+/// delimiter at `toks[open]` (one of `(`, `[`, `{`). Returns `None` if
+/// unbalanced.
+pub fn matching_close(toks: &[Tok], open: usize) -> Option<usize> {
+    let (o, c) = match toks.get(open)?.kind {
+        TokKind::Punct('(') => ('(', ')'),
+        TokKind::Punct('[') => ('[', ']'),
+        TokKind::Punct('{') => ('{', '}'),
+        _ => return None,
+    };
+    let mut depth = 0i64;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_split_out() {
+        let l = lex("let x = 1; // trailing\n/* block\nspans */ let y = 2;");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert!(l.comments[0].text.contains("trailing"));
+        assert_eq!(l.comments[1].line, 2);
+        assert_eq!(l.comments[1].end_line, 3);
+        assert!(l.toks.iter().any(|t| t.is_ident("y") && t.line == 3));
+    }
+
+    #[test]
+    fn strings_do_not_hide_tokens() {
+        let l = lex(r#"let s = "unsafe // not a comment"; unsafe {}"#);
+        let unsafes: Vec<_> = l.toks.iter().filter(|t| t.is_ident("unsafe")).collect();
+        assert_eq!(unsafes.len(), 1);
+        assert!(l.comments.is_empty());
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text.contains("not a comment")));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let l = lex("fn f<'a>(x: &'a str) { let r = r#\"quote \" inside\"#; let c = 'x'; }");
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text.contains("quote \" inside")));
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "x"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* a /* nested */ still comment */ fn top() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.toks.iter().any(|t| t.is_ident("top")));
+    }
+
+    #[test]
+    fn path_and_delimiter_helpers() {
+        let l = lex("std::time::Instant::now()");
+        assert!(path_at(&l.toks, 0, &["std", "time", "Instant", "now"]));
+        let l2 = lex("f(a, (b, c), d)");
+        let open = l2
+            .toks
+            .iter()
+            .position(|t| t.is_punct('('))
+            .unwrap_or_default();
+        let close = matching_close(&l2.toks, open);
+        assert_eq!(close, Some(l2.toks.len() - 1));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let l = lex("for i in 0..10 { let f = 1.5; }");
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "0"));
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "10"));
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "1.5"));
+    }
+}

@@ -1,0 +1,310 @@
+//! SA-02 — telemetry discipline.
+//!
+//! The JSONL trace format is a contract (`docs/observability.md`): kind
+//! strings and span names must stay stable. This rule enforces, over
+//! all production sources:
+//!
+//! * every `tel_event!(KIND, …)` kind resolves to a constant of the
+//!   `kinds` registry in `crates/telemetry/src/event.rs` (a
+//!   `kinds::NAME` path or a string literal equal to a registered
+//!   value);
+//! * every `tel_span!` / `begin_span` / `end_span` name resolves to the
+//!   `span_names` registry (or a `kinds` constant such as
+//!   `SPAN_RECONFIG`);
+//! * manual `begin_span` / `end_span` calls pair up *per function
+//!   body*: a begin without an end in the same function (or vice versa)
+//!   is flagged — spans that intentionally cross function boundaries
+//!   (e.g. a reconfiguration spanning a migration's lifetime) must
+//!   carry a waiver explaining why, and TEL-01/02 then verify the
+//!   pairing dynamically.
+//!
+//! Test code is exempt: ad-hoc kinds in tests are part of testing the
+//! machinery itself.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Tok, TokKind};
+use crate::rules::{fn_bodies, innermost_fn, macro_calls, split_args, FnBody};
+use crate::{Finding, Workspace};
+
+/// Relative path of the stable-kind registry.
+pub const REGISTRY: &str = "crates/telemetry/src/event.rs";
+
+/// Extracts `CONST name -> string value` pairs from one `mod <name>`
+/// block of the registry file.
+fn registry_consts(ws: &Workspace, module: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let Some(file) = ws.file(REGISTRY) else {
+        return out;
+    };
+    let t = &file.lexed.toks;
+    // Find `mod <module> {` and its extent.
+    let mut range = None;
+    for i in 0..t.len() {
+        if t[i].is_ident("mod")
+            && t.get(i + 1).is_some_and(|x| x.is_ident(module))
+            && t.get(i + 2).is_some_and(|x| x.is_punct('{'))
+        {
+            if let Some(close) = crate::lexer::matching_close(t, i + 2) {
+                range = Some((i + 2, close));
+            }
+            break;
+        }
+    }
+    let Some((open, close)) = range else {
+        return out;
+    };
+    let mut i = open;
+    while i < close {
+        if t[i].is_ident("const") {
+            if let Some(name) = t.get(i + 1).filter(|x| x.kind == TokKind::Ident) {
+                // Scan to `=` then expect the string value.
+                let mut j = i + 2;
+                while j < close && !t[j].is_punct('=') && !t[j].is_punct(';') {
+                    j += 1;
+                }
+                if t.get(j).is_some_and(|x| x.is_punct('='))
+                    && t.get(j + 1).is_some_and(|x| x.kind == TokKind::Str)
+                {
+                    out.insert(name.text.clone(), t[j + 1].text.clone());
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// How one kind/name argument resolved.
+enum Resolved {
+    /// A registered constant or literal; carries the string value.
+    Known(String),
+    /// A `kinds::X` / `span_names::X` path whose constant is not
+    /// registered.
+    UnknownConst(String, u32),
+    /// A string literal not present in the registry.
+    UnknownLiteral(String, u32),
+    /// Dynamic expression — not statically resolvable, skipped.
+    Dynamic,
+}
+
+/// Resolves one argument token range as a kind/span name.
+fn resolve(
+    toks: &[Tok],
+    (start, end): (usize, usize),
+    kinds: &BTreeMap<String, String>,
+    spans: &BTreeMap<String, String>,
+    allow_spans: bool,
+) -> Resolved {
+    let args = &toks[start..end];
+    // `…kinds::CONST` or `…span_names::CONST` path: use the last two
+    // meaningful segments.
+    for k in 0..args.len() {
+        let is_reg_mod = args[k].is_ident("kinds") || args[k].is_ident("span_names");
+        if is_reg_mod
+            && args.get(k + 1).is_some_and(|x| x.is_punct(':'))
+            && args.get(k + 2).is_some_and(|x| x.is_punct(':'))
+            && args.get(k + 3).is_some_and(|x| x.kind == TokKind::Ident)
+        {
+            let name = &args[k + 3].text;
+            let table = if args[k].is_ident("kinds") {
+                kinds
+            } else {
+                spans
+            };
+            return match table.get(name) {
+                Some(v) => Resolved::Known(v.clone()),
+                None => {
+                    Resolved::UnknownConst(format!("{}::{}", args[k].text, name), args[k + 3].line)
+                }
+            };
+        }
+    }
+    if args.len() == 1 && args[0].kind == TokKind::Str {
+        let v = &args[0].text;
+        let known_kind = kinds.values().any(|x| x == v);
+        let known_span = spans.values().any(|x| x == v);
+        if known_kind || (allow_spans && known_span) {
+            return Resolved::Known(v.clone());
+        }
+        return Resolved::UnknownLiteral(v.clone(), args[0].line);
+    }
+    Resolved::Dynamic
+}
+
+/// A resolved `begin_span` / `end_span` call site.
+struct SpanCall {
+    name: String,
+    tok_idx: usize,
+    line: u32,
+    is_begin: bool,
+}
+
+/// Runs the rule.
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let kinds = registry_consts(ws, "kinds");
+    let spans = registry_consts(ws, "span_names");
+    if kinds.is_empty() {
+        // No registry (fixture tree for another rule): nothing to do.
+        return findings;
+    }
+
+    for f in &ws.files {
+        // Only production sources in crates/ and src/; skip vendor, the
+        // registry itself, and whole test files.
+        if f.crate_name() == "vendor" || f.is_test_file || f.rel_path == REGISTRY {
+            continue;
+        }
+        let toks = &f.lexed.toks;
+        let bodies = fn_bodies(toks);
+
+        // tel_event! kinds.
+        for call in macro_calls(toks, "tel_event") {
+            if f.line_is_test(call.line) {
+                continue;
+            }
+            let args = split_args(toks, call.open, call.close);
+            let Some(first) = args.first() else { continue };
+            match resolve(toks, *first, &kinds, &spans, false) {
+                Resolved::UnknownConst(name, line) => findings.push(Finding {
+                    rule: "SA-02",
+                    file: f.rel_path.clone(),
+                    line,
+                    message: format!(
+                        "tel_event! kind `{name}` is not a constant of the stable-kind \
+                         registry ({REGISTRY}) — register it in `mod kinds`"
+                    ),
+                }),
+                Resolved::UnknownLiteral(v, line) => findings.push(Finding {
+                    rule: "SA-02",
+                    file: f.rel_path.clone(),
+                    line,
+                    message: format!(
+                        "tel_event! kind \"{v}\" does not match any registered kind value \
+                         in {REGISTRY} — add it to `mod kinds` and use the constant"
+                    ),
+                }),
+                Resolved::Known(_) | Resolved::Dynamic => {}
+            }
+        }
+
+        // tel_span! names (second argument; the first is the guard).
+        for call in macro_calls(toks, "tel_span") {
+            if f.line_is_test(call.line) {
+                continue;
+            }
+            let args = split_args(toks, call.open, call.close);
+            let Some(second) = args.get(1) else { continue };
+            match resolve(toks, *second, &kinds, &spans, true) {
+                Resolved::UnknownConst(name, line) | Resolved::UnknownLiteral(name, line) => {
+                    findings.push(Finding {
+                        rule: "SA-02",
+                        file: f.rel_path.clone(),
+                        line,
+                        message: format!(
+                            "tel_span! name `{name}` is not in the span-name registry \
+                             (`mod span_names` in {REGISTRY}) — register the stable name"
+                        ),
+                    });
+                }
+                Resolved::Known(_) | Resolved::Dynamic => {}
+            }
+        }
+
+        // Manual begin_span / end_span: registration + per-fn pairing.
+        let mut calls: Vec<SpanCall> = Vec::new();
+        for (idx, tok) in toks.iter().enumerate() {
+            let is_begin = tok.is_ident("begin_span");
+            let is_end = tok.is_ident("end_span");
+            if !is_begin && !is_end {
+                continue;
+            }
+            if !toks.get(idx + 1).is_some_and(|t| t.is_punct('(')) {
+                continue;
+            }
+            if f.line_is_test(tok.line) {
+                continue;
+            }
+            let Some(close) = crate::lexer::matching_close(toks, idx + 1) else {
+                continue;
+            };
+            let args = split_args(toks, idx + 1, close);
+            let Some(first) = args.first() else { continue };
+            match resolve(toks, *first, &kinds, &spans, true) {
+                Resolved::Known(v) => calls.push(SpanCall {
+                    name: v,
+                    tok_idx: idx,
+                    line: tok.line,
+                    is_begin,
+                }),
+                Resolved::UnknownConst(name, line) | Resolved::UnknownLiteral(name, line) => {
+                    findings.push(Finding {
+                        rule: "SA-02",
+                        file: f.rel_path.clone(),
+                        line,
+                        message: format!(
+                            "{} span name `{name}` is not in the span-name registry \
+                             (`mod span_names` in {REGISTRY}) — register the stable name",
+                            if is_begin { "begin_span" } else { "end_span" },
+                        ),
+                    });
+                }
+                Resolved::Dynamic => {}
+            }
+        }
+        findings.extend(pairing_findings(&f.rel_path, &bodies, &calls));
+    }
+    findings
+}
+
+/// Per-function begin/end multiset pairing over resolved span calls.
+fn pairing_findings(rel_path: &str, bodies: &[FnBody], calls: &[SpanCall]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // Group call indices by innermost function body (keyed by open
+    // token index; calls outside any fn body share the `usize::MAX`
+    // bucket).
+    let mut groups: BTreeMap<usize, Vec<&SpanCall>> = BTreeMap::new();
+    for c in calls {
+        let key = innermost_fn(bodies, c.tok_idx).map_or(usize::MAX, |b| b.open);
+        groups.entry(key).or_default().push(c);
+    }
+    for group in groups.values() {
+        let mut names: Vec<&str> = group.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        for name in names {
+            let begins: Vec<&&SpanCall> = group
+                .iter()
+                .filter(|c| c.is_begin && c.name == name)
+                .collect();
+            let ends: Vec<&&SpanCall> = group
+                .iter()
+                .filter(|c| !c.is_begin && c.name == name)
+                .collect();
+            if begins.len() == ends.len() {
+                continue;
+            }
+            let (kind, witness) = if begins.len() > ends.len() {
+                ("begin_span", begins.last())
+            } else {
+                ("end_span", ends.last())
+            };
+            if let Some(w) = witness {
+                findings.push(Finding {
+                    rule: "SA-02",
+                    file: rel_path.to_string(),
+                    line: w.line,
+                    message: format!(
+                        "span \"{name}\" has {} begin_span but {} end_span in this function \
+                         body ({kind} unmatched) — pair them, or waive if the span \
+                         intentionally crosses function boundaries",
+                        begins.len(),
+                        ends.len(),
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}

@@ -1,0 +1,261 @@
+//! SA-03 — determinism of simulation output.
+//!
+//! The experiment harness's byte-identical determinism contract
+//! (`docs/performance.md`) dies the moment a deterministic crate reads
+//! the wall clock or serialises a hash-ordered container. Over the
+//! production sources of `crates/{core,dbms,sim,forecast,b2w}` (test
+//! code exempt) this rule flags:
+//!
+//! * `Instant::now()` / `SystemTime::now()` — sim time comes from the
+//!   event loop; wall time belongs to `pstore-telemetry`'s `wall_us`
+//!   stamp. Telemetry-internal uses live in `crates/telemetry`, which
+//!   is outside this rule's scope by construction;
+//! * iteration over a `HashMap`/`HashSet`-typed binding that feeds a
+//!   serialisation or printing sink (`format!`, `write!`, `println!`,
+//!   `push_str`, `to_json*`, `serialize`) in the same statement or loop
+//!   body, unless the statement visibly re-orders first (`sort`,
+//!   `BTreeMap`/`BTreeSet` collect). This is a heuristic: it inspects
+//!   declared types in the same file, so map iteration hidden behind
+//!   helper returns needs a waiver-with-reason when it is genuinely
+//!   order-safe.
+
+use crate::lexer::{matching_close, path_at, Tok, TokKind};
+use crate::rules::{fn_bodies, FnBody};
+use crate::{Finding, Workspace};
+
+/// Crates whose `src/` trees must stay deterministic.
+pub const SCOPE: [&str; 5] = ["core", "dbms", "sim", "forecast", "b2w"];
+
+/// Sink identifiers that indicate output being produced.
+const SINKS: [&str; 9] = [
+    "format",
+    "write",
+    "writeln",
+    "print",
+    "println",
+    "push_str",
+    "to_json_line",
+    "to_json",
+    "serialize",
+];
+
+/// Orderers that make hash iteration deterministic downstream.
+const ORDERERS: [&str; 5] = [
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "BTreeMap",
+];
+
+/// Runs the rule.
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in &ws.files {
+        if !SCOPE.contains(&f.crate_name()) || f.is_test_file {
+            continue;
+        }
+        if !f.rel_path.contains("/src/") {
+            continue;
+        }
+        let toks = &f.lexed.toks;
+
+        // Wall-clock reads.
+        for i in 0..toks.len() {
+            if f.line_is_test(toks[i].line) {
+                continue;
+            }
+            if (toks[i].is_ident("Instant") || toks[i].is_ident("SystemTime"))
+                && path_at(toks, i, &[&toks[i].text.clone(), "now"])
+            {
+                findings.push(Finding {
+                    rule: "SA-03",
+                    file: f.rel_path.clone(),
+                    line: toks[i].line,
+                    message: format!(
+                        "{}::now() in a deterministic crate — use sim time from the event \
+                         loop, or telemetry's wall_us stamp via pstore-telemetry",
+                        toks[i].text
+                    ),
+                });
+            }
+        }
+
+        findings.extend(hash_iteration_findings(f.rel_path.as_str(), toks, f));
+    }
+    findings
+}
+
+/// Identifiers declared with a `HashMap`/`HashSet` type anywhere in the
+/// file — `name: …HashMap<…>` in lets, fields and params, including
+/// `name: &'a std::collections::HashMap<…>` forms — each with the token
+/// index of its declaration so occurrences can be matched per scope.
+fn hash_typed_idents(toks: &[Tok]) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("HashMap") || toks[i].is_ident("HashSet")) {
+            continue;
+        }
+        // Walk back over the type prefix (path segments, `&`,
+        // lifetimes) looking for the single `:` of a declaration. Any
+        // other token (`=`, `<`, `(`, `->`…) means this is not a typed
+        // binding (e.g. `HashMap::new()`, a turbofish, a return type).
+        let mut j = i;
+        let mut guard = 0;
+        while j > 0 && guard < 16 {
+            j -= 1;
+            guard += 1;
+            let t = &toks[j];
+            if t.is_punct(':') {
+                let part_of_path = toks.get(j + 1).is_some_and(|x| x.is_punct(':'))
+                    || (j > 0 && toks[j - 1].is_punct(':'));
+                if part_of_path {
+                    continue;
+                }
+                if j > 0 && toks[j - 1].kind == TokKind::Ident {
+                    out.push((toks[j - 1].text.clone(), j - 1));
+                }
+                break;
+            }
+            let benign = t.kind == TokKind::Ident || t.kind == TokKind::Lifetime || t.is_punct('&');
+            if !benign {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Hash-container iteration feeding output sinks.
+fn hash_iteration_findings(rel_path: &str, toks: &[Tok], f: &crate::SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let decls = hash_typed_idents(toks);
+    if decls.is_empty() {
+        return findings;
+    }
+    // Declarations are matched per scope: an `m: &HashMap<…>` parameter
+    // of one function must not taint an unrelated `m` in another. A
+    // declaration outside any function (struct field, static) stays
+    // file-visible.
+    let bodies = fn_bodies(toks);
+    let scope_of = |at: usize| -> Option<usize> {
+        bodies
+            .iter()
+            .filter(|b: &&FnBody| b.start <= at && at < b.close)
+            .min_by_key(|b| b.close - b.start)
+            .map(|b| b.open)
+    };
+    let is_hash_ident = |at: usize, name: &str| -> bool {
+        decls
+            .iter()
+            .any(|(n, d)| n == name && scope_of(*d).is_none_or(|s| Some(s) == scope_of(at)))
+    };
+    let is_iter_method = |t: &Tok| {
+        t.is_ident("iter") || t.is_ident("keys") || t.is_ident("values") || t.is_ident("drain")
+    };
+
+    // `for … in <expr-with-hash-ident> { body }` loops.
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("for") {
+            // Find `in`, then the loop `{`.
+            let mut j = i + 1;
+            let mut in_idx = None;
+            while j < toks.len() && j < i + 24 {
+                if toks[j].is_ident("in") {
+                    in_idx = Some(j);
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(in_idx) = in_idx {
+                let mut k = in_idx + 1;
+                let mut open = None;
+                let mut header_has_hash = false;
+                let mut header_has_order = false;
+                while k < toks.len() {
+                    if toks[k].is_punct('{') {
+                        open = Some(k);
+                        break;
+                    }
+                    if matches!(toks[k].kind, TokKind::Ident) {
+                        if is_hash_ident(k, &toks[k].text) {
+                            header_has_hash = true;
+                        }
+                        if ORDERERS.contains(&toks[k].text.as_str()) || toks[k].is_ident("BTreeSet")
+                        {
+                            header_has_order = true;
+                        }
+                    }
+                    // Parenthesised sub-expressions in the header are
+                    // fine to scan through; `{` closures in headers are
+                    // rare enough to ignore.
+                    k += 1;
+                }
+                if let Some(open) = open {
+                    if header_has_hash && !header_has_order && !f.line_is_test(toks[i].line) {
+                        if let Some(close) = matching_close(toks, open) {
+                            let sink = toks[open..close]
+                                .iter()
+                                .find(|t| SINKS.contains(&t.text.as_str()));
+                            if let Some(s) = sink {
+                                findings.push(Finding {
+                                    rule: "SA-03",
+                                    file: rel_path.to_string(),
+                                    line: toks[i].line,
+                                    message: format!(
+                                        "loop iterates a HashMap/HashSet and feeds `{}` — \
+                                         hash order is nondeterministic; collect into a \
+                                         BTreeMap/sorted Vec first",
+                                        s.text
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    i = open;
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // Single-statement chains: `m.iter()….collect…` with a sink in the
+    // same statement.
+    let mut stmt_start = 0usize;
+    for idx in 0..toks.len() {
+        if toks[idx].is_punct(';') || toks[idx].is_punct('{') || toks[idx].is_punct('}') {
+            let stmt = &toks[stmt_start..idx];
+            if let Some(first) = stmt.first() {
+                if !f.line_is_test(first.line) {
+                    let mut has_hash_iter = false;
+                    for k in 0..stmt.len().saturating_sub(3) {
+                        if is_hash_ident(stmt_start + k, &stmt[k].text)
+                            && stmt[k + 1].is_punct('.')
+                            && is_iter_method(&stmt[k + 2])
+                        {
+                            has_hash_iter = true;
+                        }
+                    }
+                    let has_sink = stmt.iter().any(|t| SINKS.contains(&t.text.as_str()));
+                    let has_order = stmt
+                        .iter()
+                        .any(|t| ORDERERS.contains(&t.text.as_str()) || t.is_ident("BTreeSet"));
+                    if has_hash_iter && has_sink && !has_order {
+                        findings.push(Finding {
+                            rule: "SA-03",
+                            file: rel_path.to_string(),
+                            line: first.line,
+                            message: "statement iterates a HashMap/HashSet directly into an \
+                                      output sink — hash order is nondeterministic; sort or \
+                                      collect into a BTreeMap first"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+            stmt_start = idx + 1;
+        }
+    }
+    findings
+}

@@ -1,0 +1,83 @@
+//! SA-05 — `unsafe` discipline and the workspace unsafe inventory.
+//!
+//! Every `unsafe` site — blocks, `unsafe fn`, `unsafe impl`, `unsafe
+//! trait`, **vendor and test code included** — must carry a `SAFETY:`
+//! comment on the same line or in the contiguous comment run directly
+//! above it, stating why the obligation holds. The rule also emits a
+//! complete inventory of the workspace's unsafe sites (the `pstore-lint
+//! --json` document carries it), so growth of the unsafe surface is
+//! reviewable PR over PR.
+
+use crate::{Finding, UnsafeSite, Workspace};
+
+/// Runs the rule. Returns findings plus the full inventory.
+pub fn check(ws: &Workspace) -> (Vec<Finding>, Vec<UnsafeSite>) {
+    let mut findings = Vec::new();
+    let mut inventory = Vec::new();
+    for f in &ws.files {
+        let toks = &f.lexed.toks;
+        for i in 0..toks.len() {
+            if !toks[i].is_ident("unsafe") {
+                continue;
+            }
+            let kind = match toks.get(i + 1) {
+                Some(t) if t.is_punct('{') => "block",
+                Some(t) if t.is_ident("fn") => "fn",
+                Some(t) if t.is_ident("impl") => "impl",
+                Some(t) if t.is_ident("trait") => "trait",
+                // `unsafe` inside an attribute (`#[allow(unsafe_code)]`
+                // never lexes as bare `unsafe`) or a pathological
+                // position; record it as a block conservatively.
+                _ => "block",
+            };
+            let line = toks[i].line;
+            let has_safety = has_safety_comment(f, line);
+            inventory.push(UnsafeSite {
+                file: f.rel_path.clone(),
+                line,
+                kind,
+                has_safety_comment: has_safety,
+            });
+            if !has_safety {
+                findings.push(Finding {
+                    rule: "SA-05",
+                    file: f.rel_path.clone(),
+                    line,
+                    message: format!(
+                        "unsafe {kind} without a SAFETY comment — state the proof obligation \
+                         in `// SAFETY: …` directly above the site"
+                    ),
+                });
+            }
+        }
+    }
+    (findings, inventory)
+}
+
+/// A `SAFETY:` comment counts when it sits on the site's line or in the
+/// unbroken comment run directly above it.
+fn has_safety_comment(f: &crate::SourceFile, line: u32) -> bool {
+    let mentions = |l: u32| {
+        f.lexed
+            .comments_on_line(l)
+            .any(|c| c.text.contains("SAFETY:"))
+    };
+    if mentions(line) {
+        return true;
+    }
+    // Walk upward while the lines above hold comments (doc or plain),
+    // stopping at the first line with neither comment nor blank
+    // continuation of the run.
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        let has_comment = f.lexed.comments_on_line(l).next().is_some();
+        if !has_comment {
+            break;
+        }
+        if mentions(l) {
+            return true;
+        }
+    }
+    false
+}

@@ -1,0 +1,66 @@
+//! SA-06 — `#[allow]` of a workspace-denied lint needs a justification.
+//!
+//! The workspace denies a set of clippy lints (`[workspace.lints]` in
+//! the root `Cargo.toml`: `unwrap_used`, `float_cmp`, the lossy casts,
+//! …). A targeted `#[allow(...)]` of one of them is legitimate — but
+//! only as a *documented* decision. This rule requires a comment
+//! adjacent to every such attribute: trailing on the attribute's line,
+//! on the line directly above, or on the line directly below (the
+//! house style puts multi-clause justifications under the attribute).
+//! Vendored stubs are exempt (they carry their own file-level policy).
+
+use crate::rules::attrs;
+use crate::{Finding, Workspace};
+
+/// Runs the rule.
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in &ws.files {
+        if f.crate_name() == "vendor" {
+            continue;
+        }
+        let toks = &f.lexed.toks;
+        for a in attrs(toks) {
+            // Only `allow(...)` attributes.
+            let offset = if a.inner { 3 } else { 2 };
+            let name_idx = a.start + offset;
+            if !toks.get(name_idx).is_some_and(|t| t.is_ident("allow")) {
+                continue;
+            }
+            // Which denied lints does it name?
+            let mut denied: Vec<&str> = Vec::new();
+            for t in &toks[name_idx..=a.end] {
+                if let Some(d) = ws.denied_lints.iter().find(|d| t.is_ident(d.as_str())) {
+                    if !denied.contains(&d.as_str()) {
+                        denied.push(d.as_str());
+                    }
+                }
+            }
+            if denied.is_empty() {
+                continue;
+            }
+            // Look for any comment adjacent to the attribute.
+            let has_comment = (a.line..=a.end_line)
+                .chain([a.line.saturating_sub(1), a.end_line + 1])
+                .any(|l| {
+                    l >= 1
+                        && f.lexed
+                            .comments_on_line(l)
+                            .any(|c| !c.text.trim().is_empty())
+                });
+            if !has_comment {
+                findings.push(Finding {
+                    rule: "SA-06",
+                    file: f.rel_path.clone(),
+                    line: a.line,
+                    message: format!(
+                        "#[allow({})] overrides a workspace-denied lint without a \
+                         justification — add an adjacent comment saying why it is sound",
+                        denied.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}

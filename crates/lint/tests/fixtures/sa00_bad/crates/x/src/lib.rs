@@ -1,0 +1,4 @@
+// pstore-lint: allow(SA-99): no such rule
+pub fn a() {}
+// pstore-lint: allow(SA-03)
+pub fn b() {}

@@ -1,0 +1,7 @@
+use std::time::Instant;
+
+/// Returns a coarse wall-clock stamp for the smoke harness.
+pub fn stamp() -> Instant {
+    // pstore-lint: allow(SA-03): smoke harness only; never on a simulated path
+    Instant::now()
+}

@@ -1,0 +1,14 @@
+/// Registry fixture: `MOV-01` is deliberately left uncross-referenced.
+pub enum InvariantId {
+    ScheduleRoundCount,
+    MoveTiling,
+}
+
+impl InvariantId {
+    pub fn code(self) -> &'static str {
+        match self {
+            InvariantId::ScheduleRoundCount => "SCH-01",
+            InvariantId::MoveTiling => "MOV-01",
+        }
+    }
+}

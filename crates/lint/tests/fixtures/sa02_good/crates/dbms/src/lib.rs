@@ -1,0 +1,9 @@
+use pstore_telemetry::{begin_span, end_span, kinds, span_names, tel_event, tel_span};
+
+pub fn run() {
+    tel_event!(kinds::TICKED, &[]);
+    tel_event!("ticked", &[]);
+    tel_span!(guard, span_names::WORK);
+    let s = begin_span("work", &[]);
+    end_span(span_names::WORK, s, &[]);
+}

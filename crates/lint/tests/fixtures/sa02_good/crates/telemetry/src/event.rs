@@ -1,0 +1,7 @@
+pub mod kinds {
+    pub const TICKED: &str = "ticked";
+}
+
+pub mod span_names {
+    pub const WORK: &str = "work";
+}

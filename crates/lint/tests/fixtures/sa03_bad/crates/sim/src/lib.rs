@@ -1,0 +1,14 @@
+use std::collections::HashMap;
+use std::time::{Instant, SystemTime};
+
+pub fn wall() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}
+
+pub fn dump(m: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in m {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}

@@ -1,0 +1,20 @@
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+pub fn dump(m: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in m {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}
+
+pub fn dump_sorted(m: &HashMap<String, u64>) -> String {
+    let mut keys: Vec<&String> = m.keys().collect();
+    keys.sort();
+    let mut out = String::new();
+    for k in keys {
+        out.push_str(k);
+    }
+    out
+}

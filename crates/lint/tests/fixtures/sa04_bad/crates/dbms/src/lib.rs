@@ -1,0 +1,9 @@
+use std::sync::Mutex;
+
+pub struct S {
+    inner: Mutex<u64>,
+}
+
+pub fn go() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,7 @@
+pub mod sync;
+
+use crate::sync::Mutex;
+
+pub struct S {
+    inner: Mutex<u64>,
+}

@@ -1,0 +1,8 @@
+//! pstore-lint: sync-shim — the crate's gateway to synchronisation
+//! primitives; loom-modelled under `cfg(loom)`.
+
+#[cfg(not(loom))]
+pub use std::sync::Mutex;
+
+#[cfg(loom)]
+pub use loom::sync::Mutex;

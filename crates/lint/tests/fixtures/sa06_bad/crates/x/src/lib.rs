@@ -1,0 +1,4 @@
+#[allow(clippy::unwrap_used)]
+pub fn first(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,5 @@
+// The caller contract requires a non-empty slice; unwrap documents it.
+#[allow(clippy::unwrap_used)]
+pub fn first(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}

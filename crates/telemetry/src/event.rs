@@ -321,6 +321,32 @@ pub mod kinds {
     pub const METRICS_SNAPSHOT: &str = "metrics_snapshot";
 }
 
+/// Stable span-name strings (`span_begin`/`span_end` `name` field).
+///
+/// Like [`kinds`], this is a registry, not a convenience: `pstore-lint`
+/// rule SA-02 rejects span names that are not declared here (or in
+/// [`kinds`], for names like [`kinds::SPAN_RECONFIG`] that double as
+/// event kinds), so trace-diff tooling can rely on the full name
+/// vocabulary being enumerable.
+pub mod span_names {
+    /// One DP planner invocation (`crates/core/src/planner.rs`).
+    pub const PLANNER_DP: &str = "planner_dp";
+    /// A whole fast-simulator run.
+    pub const FAST_SIM: &str = "fast_sim";
+    /// A whole detailed-simulator run.
+    pub const DETAILED_SIM: &str = "detailed_sim";
+    /// Detailed-sim warmup phase (excluded from reported latencies).
+    pub const WARMUP: &str = "warmup";
+    /// One detailed-sim tick (only emitted under span-level profiling).
+    pub const TICK: &str = "tick";
+    /// One chunk-granularity migration step inside a reconfiguration.
+    pub const CHUNK_STEP: &str = "chunk_step";
+    /// Per-worker unit of work in the concurrency verification harness.
+    pub const CON_WORK: &str = "con_work";
+    /// Generic worker span used by pool/sweep smoke tests.
+    pub const WORK: &str = "work";
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

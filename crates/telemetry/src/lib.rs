@@ -40,6 +40,7 @@ pub mod metrics;
 pub mod profile;
 pub mod sink;
 pub mod summary;
+pub mod sync;
 pub mod timeline;
 pub mod timeseries;
 pub mod trace;
@@ -52,10 +53,9 @@ pub use sink::{JsonlSink, MemorySink, MemorySinkHandle, NoopSink, Sink};
 pub use summary::RunSummary;
 pub use timeseries::{LiveMetrics, TimeSeriesSink};
 
+use crate::sync::{AtomicU64, OnceLock, Ordering};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
 use std::time::Instant;
 
 thread_local! {

@@ -348,6 +348,8 @@ mod tests {
             h.record(*s);
         }
         for q in [0.5, 0.95, 0.99] {
+            // Rank is ceil(q * 1000) for q in (0, 1]: small, positive,
+            // exactly representable — the casts cannot truncate or flip.
             #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
             let rank = ((samples.len() as f64 * q).ceil() as usize).clamp(1, samples.len());
             let exact = samples[rank - 1];

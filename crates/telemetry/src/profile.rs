@@ -416,6 +416,8 @@ mod tests {
         let mut ev = Event::new(kind).with("id", id).with("name", name);
         ev.seq = seq;
         ev.t = Some(t);
+        // Test fixture times are small non-negative floats, so the
+        // microsecond conversion fits u64 without truncation.
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         {
             ev.wall_us = Some((t * 2e6) as u64); // wall runs at 2x sim

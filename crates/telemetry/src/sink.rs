@@ -144,6 +144,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "miri isolation rejects real file I/O")]
     fn jsonl_sink_writes_parseable_lines() {
         let path = std::env::temp_dir().join("pstore_telemetry_sink_test.jsonl");
         {

@@ -10,10 +10,10 @@
 
 use crate::event::{kinds, Event, Value};
 use crate::sink::Sink;
+use crate::sync::{Arc, Mutex};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::rc::Rc;
-use std::sync::{Arc, Mutex};
 
 /// Default ring capacity for per-second series (~8.5 simulated minutes).
 const DEFAULT_RING: usize = 512;

@@ -611,6 +611,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "miri isolation rejects real file I/O")]
     fn read_jsonl_collects_line_errors() {
         let path = std::env::temp_dir().join("pstore_telemetry_trace_test.jsonl");
         std::fs::write(

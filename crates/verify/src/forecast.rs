@@ -119,6 +119,8 @@ mod tests {
 
     #[test]
     fn nan_and_negative_are_flagged() {
+        // FOR-01: NaN/±∞ always violate; negatives only on the clamped
+        // production path (`check_curve`), not raw model output.
         let v = check_curve("c", &[1.0, f64::NAN, -2.0, f64::INFINITY]);
         assert_eq!(v.len(), 3);
         let finite_only = check_curve_finite("c", &[1.0, f64::NAN, -2.0, f64::INFINITY]);
@@ -127,6 +129,8 @@ mod tests {
 
     #[test]
     fn spar_reproduces_a_periodic_signal() {
+        // FOR-02: fitted on a strictly periodic signal, SPAR's periodic
+        // component must reproduce the next period.
         let v = check_spar_periodicity(1.0);
         assert!(v.is_empty(), "{v:?}");
     }

@@ -1,8 +1,8 @@
 //! Checks for move sequences against a planning horizon (Algorithm 2).
 //!
-//! The structural `MOV-*` checks (contiguity, chaining, durations, no-op
-//! length) live in [`pstore_core::check_moves`] so the producer can assert
-//! them too; this module layers the horizon-tiling check on top: a plan for
+//! The structural checks `MOV-02..04` (durations, no-op length, chaining
+//! contiguity) live in [`pstore_core::check_moves`] so the producer can
+//! assert them too; this module layers the horizon-tiling check on top: a plan for
 //! a horizon of `t_max` intervals must start at interval 0 and end exactly
 //! at `t_max`, with no gap before the first move or after the last.
 

@@ -356,6 +356,33 @@ mod tests {
     }
 
     #[test]
+    fn plan_starting_off_n0_violates_plan_start() {
+        // PLN-02: a plan must depart from the current allocation. Feed a
+        // hand-built sequence that starts from 4 machines when n0 = 2.
+        let p = planner(10, 0.5);
+        let load = vec![150.0, 250.0, 150.0];
+        let seq = MoveSeq::new(vec![
+            pstore_core::Move {
+                start: 0,
+                end: 1,
+                from: 4,
+                to: 4,
+            },
+            pstore_core::Move {
+                start: 1,
+                end: 2,
+                from: 4,
+                to: 4,
+            },
+        ]);
+        let v = check_produced_plan(&p, &seq, &load, 2, "test");
+        assert!(
+            v.iter().any(|v| v.invariant == InvariantId::PlanStart),
+            "expected a PLN-02 violation, got {v:?}"
+        );
+    }
+
+    #[test]
     fn optimality_agrees_on_small_instances() {
         let p = planner(4, 0.5);
         for load in [

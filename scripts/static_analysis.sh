@@ -5,6 +5,10 @@
 #   scripts/static_analysis.sh --quick  # skip the proptest suites
 #
 # Every step must pass; the script stops at the first failure.
+#
+# Runtime sanitizers (TSan/ASan over the thread-bearing crates) live in
+# scripts/sanitizers.sh — separate because they need a nightly toolchain
+# with rust-src and rebuild std, which is too slow for this gate.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -28,6 +32,12 @@ cargo clippy --workspace --all-targets -q -- -D warnings
 step "cargo clippy (telemetry feature) -- -D warnings"
 cargo clippy -q -p pstore-bench -p pstore-sim --all-targets \
     --features telemetry -- -D warnings
+
+step "pstore-lint: project-specific static analysis (SA-01..06)"
+# Source-level rules clippy cannot express: invariant-registry coherence,
+# telemetry kind/span discipline, determinism, concurrency hygiene,
+# SAFETY comments, #[allow] justifications. See docs/static_analysis.md.
+cargo run -q --release -p pstore-lint
 
 step "pstore-verify invariant sweep"
 cargo run -q --release -p pstore-verify
@@ -94,6 +104,12 @@ if [[ "$QUICK" == "0" ]]; then
     if cargo miri --version > /dev/null 2>&1; then
         step "cargo miri test: UB check on core crates + dbms engine"
         cargo miri test -q -p pstore-core -p pstore-forecast -p pstore-dbms
+        step "cargo miri test: telemetry unit tests"
+        # Lib tests only: the trace_cli integration test spawns the
+        # pstore-trace binary (unsupported under miri) and the proptest
+        # suite is impractically slow there. Socket/file-I/O unit tests
+        # carry #[cfg_attr(miri, ignore)].
+        cargo miri test -q -p pstore-telemetry --lib
     else
         step "cargo miri test: skipped (miri not installed on this toolchain)"
     fi

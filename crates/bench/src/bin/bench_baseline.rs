@@ -48,6 +48,7 @@ fn cell_cfg(seconds: usize, load_txn_s: f64, seed: u64) -> DetailedSimConfig {
         migration_cpu_fraction: 0.05,
         max_queue_delay_s: 2.0,
         warmup_txns: 5_000,
+        txn_sample_every: 0,
     }
 }
 

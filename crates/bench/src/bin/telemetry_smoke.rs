@@ -54,6 +54,7 @@ fn main() {
         migration_cpu_fraction: 0.05,
         max_queue_delay_s: 2.0,
         warmup_txns: 20_000,
+        txn_sample_every: 0,
     };
 
     reporter.progress("running a small detailed simulation under P-Store...");

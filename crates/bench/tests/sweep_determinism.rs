@@ -39,6 +39,7 @@ fn tiny_cfg(nodes_hint: u64, load_txn_s: f64, seed: u64) -> DetailedSimConfig {
         migration_cpu_fraction: 0.05,
         max_queue_delay_s: 2.0,
         warmup_txns: 1_000,
+        txn_sample_every: 0,
     }
 }
 

@@ -98,6 +98,13 @@ pub enum InvariantId {
     /// never negative), and the flamegraph-folded output re-sums to the
     /// tree it was rendered from.
     TelemetryProfileConservation,
+    /// TEL-06: per-transaction lifecycle events are well-formed — every
+    /// `txn_arrive` is terminally resolved by exactly one `txn_commit` or
+    /// `txn_abort` before end of trace, lifecycle events never reference
+    /// a transaction id that is not currently open, and the terminal
+    /// event's latency attribution sums (`queue + exec + stall == total`
+    /// within tolerance).
+    TelemetryTxnLifecycle,
     /// CON-01: the sweep pool's work queue executes every cell exactly
     /// once and reassembles results in cell order, at any thread count
     /// and under any interleaving (loom model: claim counter + take-once
@@ -111,6 +118,12 @@ pub enum InvariantId {
     /// another cell, including the previous cell run back-to-back on the
     /// same reused worker thread.
     ConcurrencyRegistryIsolation,
+    /// TXN-01: a transaction's recorded read/write set is consistent with
+    /// its declared partition access — destination-side accesses (and
+    /// Squall-style restarts) only occur while the slot's partition is
+    /// migrating, and the rwset record carries the slot the transaction
+    /// arrived on (§4.2).
+    TxnReadWriteSets,
 }
 
 impl InvariantId {
@@ -140,9 +153,11 @@ impl InvariantId {
             InvariantId::TelemetryHistogramMerge => "TEL-03",
             InvariantId::TelemetryOrdering => "TEL-04",
             InvariantId::TelemetryProfileConservation => "TEL-05",
+            InvariantId::TelemetryTxnLifecycle => "TEL-06",
             InvariantId::ConcurrencyQueueIntegrity => "CON-01",
             InvariantId::ConcurrencyMergeBarrier => "CON-02",
             InvariantId::ConcurrencyRegistryIsolation => "CON-03",
+            InvariantId::TxnReadWriteSets => "TXN-01",
         }
     }
 
@@ -173,9 +188,11 @@ impl InvariantId {
             InvariantId::TelemetryHistogramMerge => "docs/observability.md",
             InvariantId::TelemetryOrdering => "docs/observability.md",
             InvariantId::TelemetryProfileConservation => "docs/observability.md",
+            InvariantId::TelemetryTxnLifecycle => "docs/observability.md",
             InvariantId::ConcurrencyQueueIntegrity => "§8 (experiment grids)",
             InvariantId::ConcurrencyMergeBarrier => "§8 (determinism contract)",
             InvariantId::ConcurrencyRegistryIsolation => "docs/observability.md",
+            InvariantId::TxnReadWriteSets => "§4.2 (Squall reconfiguration)",
         }
     }
 }
@@ -280,11 +297,24 @@ mod tests {
             InvariantId::TelemetryHistogramMerge,
             InvariantId::TelemetryOrdering,
             InvariantId::TelemetryProfileConservation,
+            InvariantId::TelemetryTxnLifecycle,
         ];
         for (i, id) in family.iter().enumerate() {
             assert_eq!(id.code(), format!("TEL-{:02}", i + 1));
             assert!(!id.paper_ref().is_empty());
         }
+    }
+
+    #[test]
+    fn txn_family_has_code_and_paper_ref() {
+        assert_eq!(InvariantId::TxnReadWriteSets.code(), "TXN-01");
+        assert!(InvariantId::TxnReadWriteSets.paper_ref().contains("Squall"));
+        let v = Violation::new(
+            InvariantId::TxnReadWriteSets,
+            "txn 42",
+            "dest write outside migration",
+        );
+        assert!(v.to_string().contains("TXN-01"));
     }
 
     #[test]

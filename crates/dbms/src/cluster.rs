@@ -188,6 +188,12 @@ pub struct Cluster {
     stats: ClusterStats,
     /// Per-procedure (committed, aborted) counters.
     procedure_stats: HashMap<&'static str, (u64, u64)>,
+    /// Trace id for the next transaction, set by a sampling caller (the
+    /// simulator): `execute_at_slot` emits that transaction's `txn_rwset`
+    /// (and `txn_restart`, if it was rerouted to a migration destination)
+    /// under this id, then clears it.
+    #[cfg(feature = "telemetry")]
+    txn_trace_id: Option<u64>,
 }
 
 impl Cluster {
@@ -223,7 +229,20 @@ impl Cluster {
             reconfig: None,
             stats: ClusterStats::default(),
             procedure_stats: HashMap::new(),
+            #[cfg(feature = "telemetry")]
+            txn_trace_id: None,
         }
+    }
+
+    /// Tags the next [`execute_at_slot`](Self::execute_at_slot) call with
+    /// a per-transaction trace id: the engine emits that transaction's
+    /// `txn_rwset` record (and `txn_restart` when it touched a migration
+    /// destination) into the telemetry stream, then clears the tag. The
+    /// simulator sets this only for sampled transactions, keeping untagged
+    /// executions free of per-txn trace traffic.
+    #[cfg(feature = "telemetry")]
+    pub fn set_txn_trace_id(&mut self, id: u64) {
+        self.txn_trace_id = Some(id);
     }
 
     /// The catalog.
@@ -334,13 +353,13 @@ impl Cluster {
             .and_then(|r| r.in_flight.get(&slot))
             .map(|i| (i.from, i.to));
 
-        let (result, touched_dest) = match in_flight {
+        let (result, touched_dest, _rwset) = match in_flight {
             None => {
                 let node = self.node_of_slot(slot) as usize;
                 let store = &mut self.nodes[node].partitions[local];
                 store.record_slot_access(slot);
                 let mut ctx = TxnCtx::settled(slot, num_slots, store);
-                (proc.execute(&mut ctx), ctx.touched_dest)
+                (proc.execute(&mut ctx), ctx.touched_dest, ctx.rwset)
             }
             Some((from, to)) => {
                 debug_assert_ne!(from, to);
@@ -353,7 +372,7 @@ impl Cluster {
                 };
                 let moved = &reconfig.in_flight[&slot].moved;
                 let mut ctx = TxnCtx::migrating(slot, num_slots, source, dest, moved);
-                (proc.execute(&mut ctx), ctx.touched_dest)
+                (proc.execute(&mut ctx), ctx.touched_dest, ctx.rwset)
             }
         };
 
@@ -370,6 +389,35 @@ impl Cluster {
         }
         if touched_dest {
             self.stats.touched_migrating += 1;
+        }
+        #[cfg(feature = "telemetry")]
+        if let Some(id) = self.txn_trace_id.take() {
+            if pstore_telemetry::enabled() {
+                if touched_dest {
+                    // The Squall-style switchover: an access resolved
+                    // against the destination means the transaction was
+                    // rerouted mid-migration — the engine-level analogue
+                    // of a restart-on-moved-data.
+                    pstore_telemetry::emit(
+                        pstore_telemetry::Event::new(pstore_telemetry::kinds::TXN_RESTART)
+                            .with("id", id)
+                            .with("slot", slot),
+                    );
+                }
+                pstore_telemetry::emit(
+                    pstore_telemetry::Event::new(pstore_telemetry::kinds::TXN_RWSET)
+                        .with("id", id)
+                        .with("slot", slot)
+                        .with("proc", proc.name())
+                        .with("reads", _rwset.reads)
+                        .with("writes", _rwset.writes)
+                        .with("dest_reads", _rwset.dest_reads)
+                        .with("dest_writes", _rwset.dest_writes)
+                        .with("migrating", in_flight.is_some())
+                        .with("restarted", touched_dest)
+                        .with("committed", result.is_ok()),
+                );
+            }
         }
         result
     }

@@ -25,14 +25,16 @@ pub struct SkewSummary {
 impl SkewSummary {
     /// Computes the summary over per-partition values.
     ///
-    /// Returns `None` for empty input or an all-zero distribution.
+    /// Returns `None` for empty input, a zero-mean distribution (skew
+    /// relative to a zero mean is undefined), or any non-finite input —
+    /// a `Some` summary never carries NaN/infinite fields.
     pub fn from_values(values: &[f64]) -> Option<SkewSummary> {
-        if values.is_empty() {
+        if values.is_empty() || values.iter().any(|v| !v.is_finite()) {
             return None;
         }
         let n = values.len() as f64;
         let mean = values.iter().sum::<f64>() / n;
-        if mean == 0.0 {
+        if mean == 0.0 || !mean.is_finite() {
             return None;
         }
         let max = values.iter().copied().fold(f64::MIN, f64::max);
@@ -105,6 +107,37 @@ mod tests {
     fn empty_and_zero_inputs_are_none() {
         assert!(SkewSummary::from_values(&[]).is_none());
         assert!(SkewSummary::from_values(&[0.0, 0.0]).is_none());
+        // Mixed-sign inputs that cancel to a zero mean are equally
+        // undefined, not a division by zero.
+        assert!(SkewSummary::from_values(&[-1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn single_value_input_has_zero_skew() {
+        let s = SkewSummary::from_values(&[42.0]).unwrap();
+        assert_eq!(s.partitions, 1);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.max, 42.0);
+        assert_eq!(s.max_over_mean, 0.0);
+        assert_eq!(s.stddev_over_mean, 0.0);
+    }
+
+    #[test]
+    fn all_equal_input_has_zero_skew_and_finite_fields() {
+        let s = SkewSummary::from_values(&[3.5; 30]).unwrap();
+        assert_eq!(s.partitions, 30);
+        assert_eq!(s.max_over_mean, 0.0);
+        assert_eq!(s.stddev_over_mean, 0.0);
+        assert!(s.mean.is_finite() && s.max.is_finite());
+    }
+
+    #[test]
+    fn non_finite_inputs_are_none_not_nan() {
+        // Previously a NaN input slipped past the zero-mean guard and
+        // produced a summary whose every field was NaN.
+        assert!(SkewSummary::from_values(&[1.0, f64::NAN]).is_none());
+        assert!(SkewSummary::from_values(&[f64::INFINITY, 1.0]).is_none());
+        assert!(SkewSummary::from_values(&[f64::NEG_INFINITY]).is_none());
     }
 
     #[test]

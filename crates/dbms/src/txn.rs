@@ -85,6 +85,23 @@ enum Side {
     Dest,
 }
 
+/// Counts of row accesses made by one transaction, split by migration
+/// side — the read/write-set record behind the `txn_rwset` trace event
+/// and the TXN-01 invariant. The counters only tick in telemetry builds;
+/// without the feature every access point compiles down to the bare
+/// store operation.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RwSet {
+    /// Rows read, both sides (each prefix scan counts as one read).
+    pub reads: u64,
+    /// Rows written or deleted, both sides.
+    pub writes: u64,
+    /// Reads served by the migration destination.
+    pub dest_reads: u64,
+    /// Writes landing at the migration destination.
+    pub dest_writes: u64,
+}
+
 /// Execution context: a view over the partition(s) holding the routing
 /// slot. During live migration of the slot the view spans the source and
 /// destination partitions, consulting the migrated-key set per access — the
@@ -99,6 +116,9 @@ pub struct TxnCtx<'a> {
     /// Set when any access hit the destination side (lets the engine track
     /// migration-overlap statistics).
     pub touched_dest: bool,
+    /// Read/write-set tally of this transaction. Stays all-zero unless
+    /// the `telemetry` feature is on (see [`RwSet`]).
+    pub rwset: RwSet,
 }
 
 impl<'a> TxnCtx<'a> {
@@ -110,6 +130,7 @@ impl<'a> TxnCtx<'a> {
             source: store,
             dest: None,
             touched_dest: false,
+            rwset: RwSet::default(),
         }
     }
 
@@ -127,6 +148,7 @@ impl<'a> TxnCtx<'a> {
             source,
             dest: Some((dest, moved)),
             touched_dest: false,
+            rwset: RwSet::default(),
         }
     }
 
@@ -156,6 +178,31 @@ impl<'a> TxnCtx<'a> {
         );
     }
 
+    /// Tallies a read into the read/write set (telemetry builds only).
+    #[cfg(feature = "telemetry")]
+    fn note_read(&mut self, dest: bool) {
+        self.rwset.reads += 1;
+        if dest {
+            self.rwset.dest_reads += 1;
+        }
+    }
+    #[cfg(not(feature = "telemetry"))]
+    #[inline(always)]
+    fn note_read(&mut self, _dest: bool) {}
+
+    /// Tallies a write/delete into the read/write set (telemetry builds
+    /// only).
+    #[cfg(feature = "telemetry")]
+    fn note_write(&mut self, dest: bool) {
+        self.rwset.writes += 1;
+        if dest {
+            self.rwset.dest_writes += 1;
+        }
+    }
+    #[cfg(not(feature = "telemetry"))]
+    #[inline(always)]
+    fn note_write(&mut self, _dest: bool) {}
+
     fn side_of(&self, table: TableId, key: &Key) -> Side {
         self.check_slot(key);
         match &self.dest {
@@ -167,8 +214,12 @@ impl<'a> TxnCtx<'a> {
     /// Reads a row.
     pub fn get(&mut self, table: TableId, key: &Key) -> Option<Row> {
         match self.side_of(table, key) {
-            Side::Source => self.source.get(self.slot, table, key).cloned(),
+            Side::Source => {
+                self.note_read(false);
+                self.source.get(self.slot, table, key).cloned()
+            }
             Side::Dest => {
+                self.note_read(true);
                 self.touched_dest = true;
                 let Some((dest, _)) = self.dest.as_ref() else {
                     unreachable!("dest side implies dest view");
@@ -194,8 +245,12 @@ impl<'a> TxnCtx<'a> {
     /// Inserts or replaces a row.
     pub fn put(&mut self, table: TableId, key: Key, row: Row) -> Option<Row> {
         match self.side_of(table, &key) {
-            Side::Source => self.source.put(self.slot, table, key, row),
+            Side::Source => {
+                self.note_write(false);
+                self.source.put(self.slot, table, key, row)
+            }
             Side::Dest => {
+                self.note_write(true);
                 self.touched_dest = true;
                 let Some((dest, _)) = self.dest.as_mut() else {
                     unreachable!("dest side implies dest view");
@@ -226,8 +281,12 @@ impl<'a> TxnCtx<'a> {
     /// Deletes a row, returning it if present.
     pub fn delete(&mut self, table: TableId, key: &Key) -> Option<Row> {
         match self.side_of(table, key) {
-            Side::Source => self.source.delete(self.slot, table, key),
+            Side::Source => {
+                self.note_write(false);
+                self.source.delete(self.slot, table, key)
+            }
             Side::Dest => {
+                self.note_write(true);
                 self.touched_dest = true;
                 let Some((dest, _)) = self.dest.as_mut() else {
                     unreachable!("dest side implies dest view");
@@ -241,15 +300,18 @@ impl<'a> TxnCtx<'a> {
     pub fn scan_prefix(&mut self, table: TableId, prefix: &Key) -> Vec<(Key, Row)> {
         self.check_slot(prefix);
         let mut rows = self.source.scan_prefix(self.slot, table, prefix);
+        let mut hit_dest = false;
         if let Some((dest, _)) = &self.dest {
             let dest_rows = dest.scan_prefix(self.slot, table, prefix);
             if !dest_rows.is_empty() {
+                hit_dest = true;
                 self.touched_dest = true;
                 rows.extend(dest_rows);
                 rows.sort_by(|a, b| a.0.cmp(&b.0));
                 rows.dedup_by(|a, b| a.0 == b.0);
             }
         }
+        self.note_read(hit_dest);
         rows
     }
 
@@ -378,6 +440,48 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("CART"));
+    }
+
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn rwset_tallies_accesses_by_side() {
+        let slot = slot_of("cart-9");
+        let moved_key = Key::str_int("cart-9", 1);
+        let staying_key = Key::str_int("cart-9", 2);
+        let mut src = PartitionStore::new(1);
+        let mut dst = PartitionStore::new(1);
+        dst.put(slot, 0, moved_key.clone(), row(10));
+        src.put(slot, 0, staying_key.clone(), row(20));
+        let moved: HashSet<(TableId, Key)> = [(0usize, moved_key.clone())].into();
+        let mut ctx = TxnCtx::migrating(slot, SLOTS, &mut src, &mut dst, &moved);
+        let _ = ctx.get(0, &moved_key); // dest read
+        let _ = ctx.get(0, &staying_key); // source read
+        ctx.put(0, moved_key.clone(), row(11)); // dest write
+        let _ = ctx.scan_prefix(0, &Key::str("cart-9")); // read hitting dest
+        let _ = ctx.delete(0, &staying_key); // source write
+        assert_eq!(
+            ctx.rwset,
+            RwSet {
+                reads: 3,
+                writes: 2,
+                dest_reads: 2,
+                dest_writes: 1,
+            }
+        );
+    }
+
+    #[test]
+    #[cfg(not(feature = "telemetry"))]
+    fn rwset_stays_zero_without_telemetry() {
+        // The tally methods compile to no-ops without the feature: the
+        // record stays at its default regardless of access activity.
+        let slot = slot_of("a");
+        let mut store = PartitionStore::new(1);
+        let mut ctx = TxnCtx::settled(slot, SLOTS, &mut store);
+        ctx.put(0, Key::str("a"), row(1));
+        let _ = ctx.get(0, &Key::str("a"));
+        let _ = ctx.scan_prefix(0, &Key::str("a"));
+        assert_eq!(ctx.rwset, RwSet::default());
     }
 
     #[test]

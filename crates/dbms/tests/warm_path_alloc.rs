@@ -164,6 +164,49 @@ fn slot_of_routing_never_allocates_for_typical_keys() {
     assert_eq!(n, 0, "slot_of_routing allocated {n} times");
 }
 
+/// With the `telemetry` feature off, the txn-tracing macros must compile
+/// to literally nothing: no allocation, no sink check, not even
+/// evaluation of their field expressions (which is also the "zero time"
+/// guarantee — code that is cfg'd out of the binary cannot take any).
+/// The side-effect counter proves the bodies never ran.
+#[cfg(not(feature = "telemetry"))]
+#[test]
+// The unused import and closure are the property under test: with the
+// feature off the macro bodies vanish, so nothing references them.
+#[allow(unused_imports, unused_variables)]
+fn txn_tracing_macros_vanish_without_the_feature() {
+    use pstore_telemetry::{kinds, tel_event, tel_scope, tel_span};
+
+    let evaluated = Cell::new(0u64);
+    let tick = || {
+        evaluated.set(evaluated.get() + 1);
+        evaluated.get()
+    };
+    let (n, ()) = allocations(|| {
+        for _ in 0..PROBE_KEYS {
+            tel_event!(kinds::TXN_ARRIVE, "id" => tick(), "slot" => tick());
+            tel_event!(
+                kinds::TXN_COMMIT,
+                "id" => tick(),
+                "total" => 0.1f64,
+                "queue" => 0.05f64,
+                "exec" => 0.05f64,
+                "stall" => 0.0f64,
+            );
+            tel_span!(guard, "work");
+            tel_scope!({
+                tick();
+            });
+        }
+    });
+    assert_eq!(n, 0, "disabled txn tracing allocated {n} times");
+    assert_eq!(
+        evaluated.get(),
+        0,
+        "disabled txn tracing evaluated its field expressions"
+    );
+}
+
 #[test]
 fn slot_access_reset_keeps_buffers_and_stays_allocation_free() {
     let mut cluster = Cluster::new(test_catalog(), ClusterConfig::default(), 2);

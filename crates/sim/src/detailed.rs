@@ -82,6 +82,16 @@ pub struct DetailedSimConfig {
     /// assumes a stable database; a growing one stretches early moves
     /// because the migration rate is calibrated to `D` at start size).
     pub warmup_txns: usize,
+    /// Emit the per-transaction lifecycle event family
+    /// (`txn_arrive`/`txn_queue`/`txn_stall`/`txn_execute`/`txn_commit`/
+    /// `txn_abort`, plus the cluster's `txn_rwset`/`txn_restart`) for every
+    /// Nth arrival. `0` (the default) disables per-txn emission entirely,
+    /// keeping the trace event count — and therefore the committed run
+    /// goldens — unchanged; the per-second attribution aggregates on
+    /// `SecondMetrics` stay on regardless. Sampled events are all stamped
+    /// at the arrival's processing time (end times travel as fields) so
+    /// TEL-04's monotone-time invariant holds.
+    pub txn_sample_every: u64,
 }
 
 impl DetailedSimConfig {
@@ -107,6 +117,7 @@ impl DetailedSimConfig {
             migration_cpu_fraction: 0.05,
             max_queue_delay_s: 2.0,
             warmup_txns: 150_000,
+            txn_sample_every: 0,
         }
     }
 }
@@ -238,6 +249,17 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
 
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xD15C);
     let mut busy = vec![vec![0.0f64; p as usize]; cfg.params.max_machines as usize];
+    // Latency-attribution state, parallel to `busy`. `mig_backlog` is the
+    // outstanding chunk-burst service time injected into each partition;
+    // `stall_frontier` is the partition's busy-until as of the last burst.
+    // An arrival inside the frontier window has up to `mig_backlog` of its
+    // wait attributed to migration interference; once a partition drains
+    // past its frontier the backlog resets — later waits are pure queueing.
+    let mut mig_backlog = vec![vec![0.0f64; p as usize]; cfg.params.max_machines as usize];
+    let mut stall_frontier = vec![vec![0.0f64; p as usize]; cfg.params.max_machines as usize];
+    // Arrival ordinal, doubling as the sampled per-txn trace id.
+    #[cfg(feature = "telemetry")]
+    let mut arrival_seq = 0u64;
     let mut recorder = LatencyRecorder::new();
     recorder.set_machines(cluster.active_nodes() as f64);
 
@@ -282,29 +304,107 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
                 #[cfg(feature = "telemetry")]
                 pstore_telemetry::set_time(at);
                 arrivals_in_window += 1;
+                #[cfg(feature = "telemetry")]
+                {
+                    arrival_seq += 1;
+                }
                 let txn = gen.next_txn();
                 // Resolve the routing slot once; execute_at_slot reuses it
                 // instead of re-hashing the routing key.
                 let slot = cluster.slot_of_routing(&txn.routing_key());
                 let (node, local) = cluster.partition_of_slot(slot);
-                let b = &mut busy[node as usize][local as usize];
-                let wait = (*b - at).max(0.0);
+                let (n, l) = (node as usize, local as usize);
+                let wait = (busy[n][l] - at).max(0.0);
+                // Migration-interference share of the wait (see the state
+                // comments above): bounded by the wait itself, by the
+                // outstanding burst backlog, and by the remaining frontier
+                // window.
+                let frontier = stall_frontier[n][l];
+                let backlog = if at >= frontier {
+                    mig_backlog[n][l] = 0.0;
+                    0.0
+                } else {
+                    mig_backlog[n][l]
+                };
+                let stall_cap = backlog.min((frontier - at).max(0.0));
+                #[cfg(feature = "telemetry")]
+                let sampled = cfg.txn_sample_every > 0
+                    && arrival_seq.is_multiple_of(cfg.txn_sample_every)
+                    && pstore_telemetry::enabled();
+                #[cfg(feature = "telemetry")]
+                if sampled {
+                    pstore_telemetry::emit(
+                        pstore_telemetry::Event::new(pstore_telemetry::kinds::TXN_ARRIVE)
+                            .with("id", arrival_seq)
+                            .with("slot", slot as u64),
+                    );
+                }
                 if wait > cfg.max_queue_delay_s {
                     // Client timeout: the request is shed, observed at the
                     // timeout latency, and never executes.
                     dropped += 1;
-                    recorder.record(at, cfg.max_queue_delay_s + cfg.service_mean_s);
+                    let stall = cfg.max_queue_delay_s.min(stall_cap);
+                    let queue = cfg.max_queue_delay_s - stall;
+                    recorder.record_attributed(at, queue, cfg.service_mean_s, stall);
+                    #[cfg(feature = "telemetry")]
+                    if sampled {
+                        emit_txn_wait(arrival_seq, cfg.max_queue_delay_s, stall);
+                        pstore_telemetry::emit(
+                            pstore_telemetry::Event::new(pstore_telemetry::kinds::TXN_ABORT)
+                                .with("id", arrival_seq)
+                                .with("reason", "timeout")
+                                .with("total", queue + cfg.service_mean_s + stall)
+                                .with("queue", queue)
+                                .with("exec", cfg.service_mean_s)
+                                .with("stall", stall)
+                                .with("end", at + queue + cfg.service_mean_s + stall),
+                        );
+                    }
                     continue;
                 }
-                match cluster.execute_at_slot(&txn, slot) {
-                    Ok(_) => committed += 1,
-                    Err(_) => aborted += 1,
+                #[cfg(feature = "telemetry")]
+                if sampled {
+                    cluster.set_txn_trace_id(arrival_seq);
+                }
+                let ok = cluster.execute_at_slot(&txn, slot).is_ok();
+                if ok {
+                    committed += 1;
+                } else {
+                    aborted += 1;
                 }
                 let service = cfg.service_mean_s
                     * (1.0 + rng.random_range(-cfg.service_jitter..cfg.service_jitter));
+                let b = &mut busy[n][l];
                 let start = b.max(at);
                 *b = start + service;
-                recorder.record(at, *b - at);
+                let stall = wait.min(stall_cap);
+                let queue = wait - stall;
+                recorder.record_attributed(at, queue, service, stall);
+                #[cfg(feature = "telemetry")]
+                if sampled {
+                    emit_txn_wait(arrival_seq, wait, stall);
+                    pstore_telemetry::emit(
+                        pstore_telemetry::Event::new(pstore_telemetry::kinds::TXN_EXECUTE)
+                            .with("id", arrival_seq)
+                            .with("service", service),
+                    );
+                    let terminal = if ok {
+                        pstore_telemetry::kinds::TXN_COMMIT
+                    } else {
+                        pstore_telemetry::kinds::TXN_ABORT
+                    };
+                    let mut ev = pstore_telemetry::Event::new(terminal)
+                        .with("id", arrival_seq)
+                        .with("total", queue + service + stall)
+                        .with("queue", queue)
+                        .with("exec", service)
+                        .with("stall", stall)
+                        .with("end", *b);
+                    if !ok {
+                        ev = ev.with("reason", "business");
+                    }
+                    pstore_telemetry::emit(ev);
+                }
                 continue;
             }
         }
@@ -430,8 +530,13 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
                 let burst = cfg.migration_cpu_fraction * cfg.chunk_pacing_s * fill;
                 if burst > 0.0 {
                     for node in [from, to] {
-                        for part in &mut busy[node as usize] {
+                        let n = node as usize;
+                        for (local, part) in busy[n].iter_mut().enumerate() {
                             *part = part.max(time) + burst;
+                            // Arrivals landing before the new frontier see
+                            // this burst as migration stall, not queueing.
+                            mig_backlog[n][local] += burst;
+                            stall_frontier[n][local] = *part;
                         }
                     }
                 }
@@ -470,10 +575,13 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
     if migration.is_some() {
         cluster.end_truncated_reconfig_span();
     }
+    // Flush the recorder's trailing seconds before the root span closes,
+    // so their `second` events land inside the run and trace analyses
+    // (`pstore-trace slo`) attribute them to it rather than to a phantom
+    // between-runs segment.
+    let seconds = recorder.finish();
     #[cfg(feature = "telemetry")]
     pstore_telemetry::end_span("detailed_sim", run_span, &[]);
-
-    let seconds = recorder.finish();
     let violations = count_sla_violations(&seconds, SLA_THRESHOLD_S);
     let avg_machines = average_machines(&seconds);
     let procedure_mix = cluster
@@ -491,6 +599,26 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
         aborted,
         dropped,
         procedure_mix,
+    }
+}
+
+/// Emits the wait portion of a sampled transaction's lifecycle: one
+/// `txn_queue` event (total wait and its migration-stall share) plus a
+/// `txn_stall` event when migration interference contributed at all.
+#[cfg(feature = "telemetry")]
+fn emit_txn_wait(id: u64, wait: f64, stall: f64) {
+    pstore_telemetry::emit(
+        pstore_telemetry::Event::new(pstore_telemetry::kinds::TXN_QUEUE)
+            .with("id", id)
+            .with("wait", wait)
+            .with("stall", stall),
+    );
+    if stall > 0.0 {
+        pstore_telemetry::emit(
+            pstore_telemetry::Event::new(pstore_telemetry::kinds::TXN_STALL)
+                .with("id", id)
+                .with("stall", stall),
+        );
     }
 }
 
@@ -690,6 +818,7 @@ mod tests {
             migration_cpu_fraction: 0.05,
             max_queue_delay_s: 2.0,
             warmup_txns: 20_000,
+            txn_sample_every: 0,
         }
     }
 
@@ -879,6 +1008,84 @@ mod tests {
             "fast move peak {} vs slow move peak {}",
             move_peak(&fast),
             move_peak(&slow)
+        );
+    }
+
+    #[test]
+    fn attribution_identity_holds_every_second() {
+        // queue + exec + stall must equal the recorded total latency — the
+        // TEL-06 identity, at per-second aggregate granularity.
+        let cfg = test_cfg(vec![400.0; 90], 11);
+        let r = run_detailed(&cfg, &mut StaticController::new(2));
+        for s in &r.seconds {
+            let recorded = s.mean * s.throughput as f64;
+            assert!(
+                (s.attr_total - recorded).abs() < 1e-6 * recorded.max(1.0),
+                "second {}: attr_total {} vs mean*n {}",
+                s.second,
+                s.attr_total,
+                recorded
+            );
+            assert!(
+                (s.attr_queue + s.attr_exec + s.attr_stall - s.attr_total).abs() < 1e-9,
+                "second {}: components do not sum",
+                s.second
+            );
+        }
+    }
+
+    #[test]
+    fn stall_is_zero_without_migration_and_positive_during_one() {
+        // No reconfiguration → no migration interference anywhere.
+        let quiet = run_detailed(
+            &test_cfg(vec![400.0; 90], 12),
+            &mut StaticController::new(2),
+        );
+        assert!(quiet.reconfig_spans.is_empty());
+        assert!(quiet.seconds.iter().all(|s| s.attr_stall == 0.0));
+
+        // A forced mid-load move must show up as stall time during (or
+        // shortly after) the reconfiguration window, and nowhere before it.
+        struct OneMove(bool);
+        impl Strategy for OneMove {
+            fn tick(&mut self, obs: &Observation) -> Action {
+                if !self.0 && obs.interval >= 1 && !obs.reconfiguring {
+                    self.0 = true;
+                    return Action::Reconfigure(pstore_core::controller::ReconfigRequest {
+                        target: 4,
+                        rate_multiplier: 8.0,
+                        reason: pstore_core::controller::ReconfigReason::Emergency,
+                    });
+                }
+                Action::None
+            }
+            fn name(&self) -> &str {
+                "one-move"
+            }
+            fn initial_machines(&self) -> u32 {
+                2
+            }
+        }
+        let cfg = test_cfg(vec![650.0; 180], 12);
+        let r = run_detailed(&cfg, &mut OneMove(false));
+        assert_eq!(r.reconfig_spans.len(), 1);
+        let (start, _) = r.reconfig_spans[0];
+        let before: f64 = r
+            .seconds
+            .iter()
+            .filter(|s| (s.second as f64) < start - 1.0)
+            .map(|s| s.attr_stall)
+            .sum();
+        let during_or_after: f64 = r
+            .seconds
+            .iter()
+            .filter(|s| (s.second as f64) >= start)
+            .map(|s| s.attr_stall)
+            .sum();
+        assert_eq!(before, 0.0, "stall attributed before any chunk moved");
+        assert!(
+            during_or_after > 0.0,
+            "migration produced no attributed stall"
         );
     }
 

@@ -9,13 +9,21 @@
 // Latency accounting buckets continuous completion times into whole
 // seconds and sample indices.
 #![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+use pstore_telemetry::Histogram;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// The paper's SLA threshold: 500 ms.
 pub const SLA_THRESHOLD_S: f64 = 0.5;
 
+/// Sliding-window width (seconds) for the windowed percentile series:
+/// per-second log-bucketed histograms are retained for this many seconds
+/// and merged (`TEL-03` makes the merge order-insensitive) into
+/// `win_p50/win_p95/win_p99`.
+pub const QUANTILE_WINDOW_S: usize = 30;
+
 /// Latency percentiles of one wall-clock second.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SecondMetrics {
     /// Second index since the start of the run.
     pub second: u64,
@@ -33,6 +41,29 @@ pub struct SecondMetrics {
     pub machines: f64,
     /// Whether a reconfiguration was in progress.
     pub reconfiguring: bool,
+    /// Summed end-to-end latency (txn-seconds) completed this second.
+    #[serde(default)]
+    pub attr_total: f64,
+    /// Txn-seconds of pure queueing (wait minus migration stall).
+    #[serde(default)]
+    pub attr_queue: f64,
+    /// Txn-seconds of execution (service time).
+    #[serde(default)]
+    pub attr_exec: f64,
+    /// Txn-seconds of migration interference (wait spent behind chunk
+    /// service bursts). `attr_queue + attr_exec + attr_stall ==
+    /// attr_total` exactly, by construction (the TEL-06 identity).
+    #[serde(default)]
+    pub attr_stall: f64,
+    /// Median over the trailing [`QUANTILE_WINDOW_S`]-second window.
+    #[serde(default)]
+    pub win_p50: f64,
+    /// 95th percentile over the trailing window.
+    #[serde(default)]
+    pub win_p95: f64,
+    /// 99th percentile over the trailing window.
+    #[serde(default)]
+    pub win_p99: f64,
 }
 
 /// Collects per-second latency samples and reduces them to metrics.
@@ -43,6 +74,12 @@ pub struct LatencyRecorder {
     seconds: Vec<SecondMetrics>,
     machines: f64,
     reconfiguring: bool,
+    // Latency-attribution accumulators for the second being filled.
+    attr_queue: f64,
+    attr_exec: f64,
+    attr_stall: f64,
+    // Per-second histograms of the trailing window, newest last.
+    window: VecDeque<Histogram>,
 }
 
 impl LatencyRecorder {
@@ -62,15 +99,29 @@ impl LatencyRecorder {
     }
 
     /// Records a completed transaction: completion time (seconds since
-    /// start) and its latency in seconds.
+    /// start) and its latency in seconds. The whole latency is attributed
+    /// to execution; use [`LatencyRecorder::record_attributed`] when the
+    /// queue/exec/stall decomposition is known.
     ///
     /// Completions must arrive in non-decreasing second order.
     pub fn record(&mut self, completion_time: f64, latency: f64) {
+        self.record_attributed(completion_time, 0.0, latency, 0.0);
+    }
+
+    /// Records a completed transaction with its end-to-end latency
+    /// decomposed into pure queueing, execution, and migration-stall
+    /// components (each in seconds; the latency is their sum).
+    ///
+    /// Completions must arrive in non-decreasing second order.
+    pub fn record_attributed(&mut self, completion_time: f64, queue: f64, exec: f64, stall: f64) {
         let sec = completion_time.max(0.0) as u64;
         while sec > self.current_second {
             self.flush_second();
         }
-        self.samples.push(latency);
+        self.samples.push(queue + exec + stall);
+        self.attr_queue += queue;
+        self.attr_exec += exec;
+        self.attr_stall += stall;
     }
 
     /// Advances the clock to `time` (flushing finished seconds) without
@@ -98,6 +149,25 @@ impl LatencyRecorder {
         } else {
             samples.iter().sum::<f64>() / n as f64
         };
+        let mut second_hist = Histogram::new();
+        for &s in &samples {
+            second_hist.record(s);
+        }
+        if self.window.len() >= QUANTILE_WINDOW_S {
+            self.window.pop_front();
+        }
+        self.window.push_back(second_hist);
+        let mut windowed = Histogram::new();
+        for h in &self.window {
+            windowed.merge(h);
+        }
+        let win_q = |q: f64| {
+            if windowed.count() == 0 {
+                0.0
+            } else {
+                windowed.quantile(q)
+            }
+        };
         let metrics = SecondMetrics {
             second: self.current_second,
             throughput: n as u64,
@@ -107,7 +177,17 @@ impl LatencyRecorder {
             mean,
             machines: self.machines,
             reconfiguring: self.reconfiguring,
+            attr_total: self.attr_queue + self.attr_exec + self.attr_stall,
+            attr_queue: self.attr_queue,
+            attr_exec: self.attr_exec,
+            attr_stall: self.attr_stall,
+            win_p50: win_q(0.50),
+            win_p95: win_q(0.95),
+            win_p99: win_q(0.99),
         };
+        self.attr_queue = 0.0;
+        self.attr_exec = 0.0;
+        self.attr_stall = 0.0;
         pstore_telemetry::tel_event!(
             pstore_telemetry::kinds::SECOND,
             "second" => metrics.second,
@@ -118,6 +198,13 @@ impl LatencyRecorder {
             "mean" => metrics.mean,
             "machines" => metrics.machines,
             "reconfiguring" => metrics.reconfiguring,
+            "attr_total" => metrics.attr_total,
+            "attr_queue" => metrics.attr_queue,
+            "attr_exec" => metrics.attr_exec,
+            "attr_stall" => metrics.attr_stall,
+            "win_p50" => metrics.win_p50,
+            "win_p95" => metrics.win_p95,
+            "win_p99" => metrics.win_p99,
         );
         #[cfg(feature = "telemetry")]
         if pstore_telemetry::enabled() {
@@ -248,14 +335,12 @@ mod tests {
     #[test]
     fn sla_violation_counting() {
         let mk = |p50, p95, p99| SecondMetrics {
-            second: 0,
             throughput: 1,
             p50,
             p95,
             p99,
-            mean: 0.0,
             machines: 1.0,
-            reconfiguring: false,
+            ..SecondMetrics::default()
         };
         let secs = vec![mk(0.1, 0.3, 0.6), mk(0.6, 0.7, 0.8), mk(0.1, 0.2, 0.3)];
         let v = count_sla_violations(&secs, SLA_THRESHOLD_S);
@@ -267,14 +352,8 @@ mod tests {
     #[test]
     fn average_machines_over_run() {
         let mk = |m| SecondMetrics {
-            second: 0,
-            throughput: 0,
-            p50: 0.0,
-            p95: 0.0,
-            p99: 0.0,
-            mean: 0.0,
             machines: m,
-            reconfiguring: false,
+            ..SecondMetrics::default()
         };
         let secs = vec![mk(2.0), mk(4.0), mk(6.0)];
         assert_eq!(average_machines(&secs), 4.0);
@@ -377,14 +456,13 @@ mod tests {
         // §8.2: a violation is a second whose percentile *exceeds* 500 ms.
         // Exactly-at-threshold seconds are compliant.
         let mk = |p: f64| SecondMetrics {
-            second: 0,
             throughput: 1,
             p50: p,
             p95: p,
             p99: p,
             mean: p,
             machines: 1.0,
-            reconfiguring: false,
+            ..SecondMetrics::default()
         };
         let secs = vec![
             mk(SLA_THRESHOLD_S),                // exactly at: no violation
@@ -403,5 +481,79 @@ mod tests {
         r.record(0.5, 0.123);
         let s = r.finish()[0];
         assert_eq!((s.p50, s.p95, s.p99, s.mean), (0.123, 0.123, 0.123, 0.123));
+    }
+
+    #[test]
+    fn attribution_components_sum_to_recorded_latency() {
+        let mut r = LatencyRecorder::new();
+        r.record_attributed(0.2, 0.010, 0.025, 0.005);
+        r.record_attributed(0.8, 0.0, 0.030, 0.0);
+        let secs = r.finish();
+        assert_eq!(secs.len(), 1);
+        let s = secs[0];
+        assert!((s.attr_queue - 0.010).abs() < 1e-12);
+        assert!((s.attr_exec - 0.055).abs() < 1e-12);
+        assert!((s.attr_stall - 0.005).abs() < 1e-12);
+        // The TEL-06 identity: components sum to the attributed total,
+        // which is itself the sum of recorded latencies (mean * n).
+        assert!((s.attr_total - (s.attr_queue + s.attr_exec + s.attr_stall)).abs() < 1e-12);
+        assert!((s.mean * s.throughput as f64 - s.attr_total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plain_record_attributes_everything_to_execution() {
+        let mut r = LatencyRecorder::new();
+        r.record(0.1, 0.040);
+        let s = r.finish()[0];
+        assert_eq!(s.attr_queue, 0.0);
+        assert_eq!(s.attr_stall, 0.0);
+        assert!((s.attr_exec - 0.040).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attribution_accumulators_reset_each_second() {
+        let mut r = LatencyRecorder::new();
+        r.record_attributed(0.5, 0.1, 0.2, 0.3);
+        r.record_attributed(1.5, 0.0, 0.05, 0.0);
+        let secs = r.finish();
+        assert!((secs[0].attr_stall - 0.3).abs() < 1e-12);
+        assert_eq!(secs[1].attr_stall, 0.0);
+        assert!((secs[1].attr_exec - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windowed_percentiles_remember_then_evict_a_spike() {
+        let mut r = LatencyRecorder::new();
+        // Second 0: five slow txns. Seconds 1..=35: fast traffic. The
+        // per-second p99 forgets the spike immediately; the windowed p99
+        // must hold it for QUANTILE_WINDOW_S seconds, then let it go.
+        for i in 0..5 {
+            r.record(0.1 + f64::from(i) * 0.01, 2.0);
+        }
+        for s in 1..=35u32 {
+            for i in 0..5 {
+                r.record(f64::from(s) + 0.1 + f64::from(i) * 0.01, 0.010);
+            }
+        }
+        let secs = r.finish();
+        assert_eq!(secs[10].p99, 0.010);
+        assert!(
+            secs[10].win_p99 > SLA_THRESHOLD_S,
+            "window at second 10 still sees the spike: {}",
+            secs[10].win_p99
+        );
+        assert!(
+            secs[35].win_p99 < SLA_THRESHOLD_S,
+            "spike evicted after the window passes: {}",
+            secs[35].win_p99
+        );
+    }
+
+    #[test]
+    fn windowed_percentiles_on_idle_run_are_zero() {
+        let mut r = LatencyRecorder::new();
+        r.advance_to(3.0);
+        let secs = r.finish();
+        assert!(secs.iter().all(|s| s.win_p99 == 0.0 && s.win_p50 == 0.0));
     }
 }

@@ -4,10 +4,19 @@
 //! pstore-trace report   <trace.jsonl>                 # run report (default)
 //! pstore-trace profile  <trace.jsonl> [--wall] [--folded]
 //! pstore-trace timeline <trace.jsonl> [--width N]
+//! pstore-trace slo      <trace.jsonl> [--width N] [--summary <out.json>]
 //! pstore-trace diff     <baseline> <candidate> [--tolerances <file>]
 //!                       [--bless] [--verbose]
 //! pstore-trace <trace.jsonl>                          # legacy = report
 //! ```
+//!
+//! `slo` prints the latency-attribution table (queue/exec/migration-stall
+//! txn-seconds per simulator run), every SLA-violation window with the
+//! reconfiguration span or chunk moves it overlaps, and the timeline with
+//! a `!` violation overlay. `--summary` additionally writes a
+//! `pstore-run-summary/v1` document holding only the `slo.*` metrics —
+//! the shape committed as `results/golden/fig9_slo_quick.summary.json`
+//! and gated by `pstore-trace diff` in CI.
 //!
 //! `diff` arguments may be `.jsonl` traces (summarised on the fly) or
 //! `.json` summary documents (e.g. the goldens under `results/golden/`).
@@ -21,7 +30,7 @@
 
 use pstore_telemetry::summary::{diff, RunSummary, ToleranceTable};
 use pstore_telemetry::trace::{order_errors, read_jsonl, LineError, RunReport};
-use pstore_telemetry::{timeline, Event, Profile, ProfileClock};
+use pstore_telemetry::{slo, timeline, Event, Profile, ProfileClock};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -29,6 +38,7 @@ const USAGE: &str = "usage: pstore-trace <subcommand> ...
   report   <trace.jsonl>
   profile  <trace.jsonl> [--wall] [--folded]
   timeline <trace.jsonl> [--width N]
+  slo      <trace.jsonl> [--width N] [--summary <out.json>]
   diff     <baseline.jsonl|.json> <candidate.jsonl|.json> [--tolerances <file>] [--bless] [--verbose]
   <trace.jsonl>   (legacy: same as report)";
 
@@ -42,6 +52,7 @@ fn main() -> ExitCode {
         "report" => cmd_report(&args[1..]),
         "profile" => cmd_profile(&args[1..]),
         "timeline" => cmd_timeline(&args[1..]),
+        "slo" => cmd_slo(&args[1..]),
         "diff" => cmd_diff(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -95,8 +106,8 @@ fn parse_path_and_flags<'a>(
             if !allowed.contains(&arg.as_str()) {
                 return Err(format!("unknown flag \"{arg}\""));
             }
-            // Flags taking a value: --width, --tolerances.
-            let takes_value = matches!(arg.as_str(), "--width" | "--tolerances");
+            // Flags taking a value: --width, --tolerances, --summary.
+            let takes_value = matches!(arg.as_str(), "--width" | "--tolerances" | "--summary");
             let value = if takes_value {
                 Some(
                     it.next()
@@ -210,6 +221,58 @@ fn cmd_timeline(args: &[String]) -> ExitCode {
         Err(code) => return code,
     };
     print!("{}", timeline::render(&events, width));
+    if line_errors.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn cmd_slo(args: &[String]) -> ExitCode {
+    let (path, flags) = match parse_path_and_flags(args, &["--width", "--summary"]) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("pstore-trace slo: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut width = timeline::DEFAULT_WIDTH;
+    if let Some((_, Some(value))) = flags.iter().find(|(f, _)| *f == "--width") {
+        match value.parse::<usize>() {
+            Ok(w) => width = w,
+            Err(_) => {
+                eprintln!("pstore-trace slo: --width wants an integer, got \"{value}\"");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let summary_out = flags
+        .iter()
+        .find(|(f, _)| *f == "--summary")
+        .and_then(|(_, v)| *v)
+        .map(PathBuf::from);
+    let (events, line_errors) = match load_trace(&path) {
+        Ok(read) => read,
+        Err(code) => return code,
+    };
+    let runs = slo::analyze(&events);
+    print!("{}", slo::render(&runs));
+    println!();
+    print!(
+        "{}",
+        timeline::render_with_violations(&events, width, &slo::violation_times(&runs))
+    );
+    if let Some(out) = summary_out {
+        let mut summary = RunSummary::default();
+        for (name, value) in slo::metrics(&runs) {
+            summary.metrics.insert(name, value);
+        }
+        if let Err(e) = std::fs::write(&out, summary.to_json()) {
+            eprintln!("pstore-trace slo: cannot write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+        println!("slo summary written to {}", out.display());
+    }
     if line_errors.is_empty() {
         ExitCode::SUCCESS
     } else {

@@ -319,6 +319,32 @@ pub mod kinds {
     pub const SCHEDULE_PLANNED: &str = "schedule_planned";
     /// End-of-run metrics registry dump: one field per counter/gauge.
     pub const METRICS_SNAPSHOT: &str = "metrics_snapshot";
+    /// A transaction entered the system: `id`, `slot` (sampled).
+    pub const TXN_ARRIVE: &str = "txn_arrive";
+    /// A transaction waited in a partition queue before executing:
+    /// `id`, `wait` (seconds, total), `stall` (seconds of the wait
+    /// attributed to migration interference).
+    pub const TXN_QUEUE: &str = "txn_queue";
+    /// A transaction's wait overlapped chunk-migration service bursts:
+    /// `id`, `stall` (seconds). Emitted alongside [`TXN_QUEUE`] when the
+    /// stall component is non-zero.
+    pub const TXN_STALL: &str = "txn_stall";
+    /// A transaction began executing: `id`, `service` (seconds).
+    pub const TXN_EXECUTE: &str = "txn_execute";
+    /// Terminal: the transaction committed. `id`, `total`, `queue`,
+    /// `exec`, `stall` (seconds; `queue + exec + stall == total`, the
+    /// TEL-06 attribution identity), `end` (completion sim time).
+    pub const TXN_COMMIT: &str = "txn_commit";
+    /// Terminal: the transaction aborted or was dropped. Same attribution
+    /// fields as [`TXN_COMMIT`] plus `reason`.
+    pub const TXN_ABORT: &str = "txn_abort";
+    /// The transaction touched migrating data and was restarted against
+    /// the destination partition (Squall §4.2 semantics): `id`, `slot`.
+    pub const TXN_RESTART: &str = "txn_restart";
+    /// Per-transaction read/write-set record captured at the `TxnCtx`
+    /// access points: `id`, `slot`, `reads`, `writes`, `dest_reads`,
+    /// `dest_writes`, `migrating`, `restarted`, `committed`, `proc`.
+    pub const TXN_RWSET: &str = "txn_rwset";
 }
 
 /// Stable span-name strings (`span_begin`/`span_end` `name` field).

@@ -29,9 +29,21 @@ impl Exposer {
     /// result from [`Exposer::addr`]) and serves `shared` until shutdown.
     ///
     /// # Errors
-    /// Propagates the bind error (port in use, permission).
+    /// Returns the bind error with the attempted address spelled out —
+    /// `--expose-metrics` on an already-bound port must surface as a
+    /// clear, actionable message, never a panic path.
     pub fn bind(port: u16, shared: Arc<Mutex<LiveMetrics>>) -> std::io::Result<Exposer> {
-        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let listener = TcpListener::bind(("127.0.0.1", port)).map_err(|e| {
+            let hint = if e.kind() == std::io::ErrorKind::AddrInUse {
+                " (already in use — pick another port, or 0 for an ephemeral one)"
+            } else {
+                ""
+            };
+            std::io::Error::new(
+                e.kind(),
+                format!("cannot bind metrics endpoint 127.0.0.1:{port}: {e}{hint}"),
+            )
+        })?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
@@ -184,6 +196,23 @@ mod tests {
         exposer.shutdown();
         // After shutdown the port no longer answers.
         assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "miri cannot bind TCP sockets")]
+    fn bind_of_taken_port_is_a_clear_error_not_a_panic() {
+        let shared = Arc::new(Mutex::new(LiveMetrics::new()));
+        let first = Exposer::bind(0, Arc::clone(&shared)).unwrap();
+        let port = first.addr().port();
+        let second = Exposer::bind(port, shared);
+        let err = second.err().expect("second bind of the same port");
+        assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&format!("127.0.0.1:{port}")),
+            "error names the address: {msg}"
+        );
+        assert!(msg.contains("already in use"), "error gives a hint: {msg}");
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod sink;
+pub mod slo;
 pub mod summary;
 pub mod sync;
 pub mod timeline;
@@ -50,6 +51,7 @@ pub use expose::Exposer;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use profile::{Profile, ProfileClock};
 pub use sink::{JsonlSink, MemorySink, MemorySinkHandle, NoopSink, Sink};
+pub use slo::{RunSlo, SlaWindow};
 pub use summary::RunSummary;
 pub use timeseries::{LiveMetrics, TimeSeriesSink};
 

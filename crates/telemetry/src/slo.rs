@@ -1,0 +1,578 @@
+//! SLA-window detection and end-to-end latency attribution over a trace.
+//!
+//! The simulator decomposes every transaction's latency into queueing,
+//! execution, and migration-interference ("stall") time and publishes the
+//! per-second sums on `second` events (`attr_queue`/`attr_exec`/
+//! `attr_stall`/`attr_total`; the TEL-06 identity is
+//! `queue + exec + stall == total`). This module reads a trace back,
+//! segments it into simulator runs (top-level `detailed_sim`/`fast_sim`
+//! spans — a merged fig9-style trace holds one run per approach), finds
+//! SLA-violation windows (maximal stretches of seconds whose p99 exceeds
+//! the 500 ms SLA, tolerating 1-second gaps), and correlates each window
+//! with the reconfiguration spans and chunk moves active at the time.
+//! That turns the paper's headline claim — reactive provisioning blows
+//! the SLA *because of* migration interference, predictive holds it —
+//! into a measured, regression-gated artifact (`slo.*` summary metrics).
+
+use crate::event::{kinds, span_names, Event};
+use std::fmt::Write as _;
+
+/// The SLA threshold in seconds (the paper's 500 ms; mirrors
+/// `pstore_sim::latency::SLA_THRESHOLD_S`).
+pub const SLA_THRESHOLD_S: f64 = 0.5;
+
+/// Attribution lead, in seconds: migration activity ending at most this
+/// long before a violation window still counts as overlapping it — the
+/// queues a chunk burst builds keep violating after the last chunk lands.
+pub const MIGRATION_LEAD_S: f64 = 5.0;
+
+/// A reconfiguration span reconstructed inside one run.
+#[derive(Debug, Clone)]
+pub struct ReconfigSpan {
+    /// Start time (sim seconds).
+    pub start: f64,
+    /// End time; for a span still open at end of run, the run's last
+    /// timestamp.
+    pub end: f64,
+    /// Machine count before, if recorded.
+    pub from: Option<u64>,
+    /// Machine count after, if recorded.
+    pub to: Option<u64>,
+    /// Chunk moves observed while the span was open.
+    pub chunk_moves: u64,
+}
+
+/// One SLA-violation window: a maximal run of violating seconds
+/// (`p99 > SLA_THRESHOLD_S`), tolerating single-second gaps.
+#[derive(Debug, Clone)]
+pub struct SlaWindow {
+    /// First violating second (inclusive).
+    pub start: u64,
+    /// Last violating second (inclusive).
+    pub end: u64,
+    /// Violating seconds inside the window (gaps excluded).
+    pub violation_seconds: u64,
+    /// Worst p99 inside the window.
+    pub peak_p99: f64,
+    /// Migration-stall txn-seconds accumulated over the window.
+    pub stall_s: f64,
+    /// Chunk moves inside `[start - MIGRATION_LEAD_S, end + 1]`.
+    pub chunk_moves: u64,
+    /// Index (into [`RunSlo::reconfigs`]) of the first reconfiguration
+    /// span overlapping the window (with the lead), if any.
+    pub reconfig: Option<usize>,
+}
+
+impl SlaWindow {
+    /// Wall-clock length of the window in seconds.
+    pub fn len_s(&self) -> u64 {
+        self.end - self.start + 1
+    }
+
+    /// Whether the window is attributable to migration activity: an
+    /// overlapping reconfiguration span or chunk moves in range.
+    pub fn migration_attributed(&self) -> bool {
+        self.reconfig.is_some() || self.chunk_moves > 0
+    }
+}
+
+/// Attribution and SLA analysis of one simulator run.
+#[derive(Debug, Clone, Default)]
+pub struct RunSlo {
+    /// Run label: `{index}:{span name}` (or `0:trace` for a trace with no
+    /// simulator spans).
+    pub label: String,
+    /// `second` events observed.
+    pub seconds: u64,
+    /// Total queueing txn-seconds.
+    pub queue_s: f64,
+    /// Total execution txn-seconds.
+    pub exec_s: f64,
+    /// Total migration-stall txn-seconds.
+    pub stall_s: f64,
+    /// Total end-to-end txn-seconds (`queue + exec + stall`).
+    pub total_s: f64,
+    /// Seconds whose p99 exceeded the SLA.
+    pub violation_seconds: u64,
+    /// Violation windows, in time order.
+    pub windows: Vec<SlaWindow>,
+    /// Reconfiguration spans of this run, in start order.
+    pub reconfigs: Vec<ReconfigSpan>,
+    /// Trace timestamps of the violating `second` events (for overlays).
+    pub violation_times: Vec<f64>,
+}
+
+/// Working state while a run is being scanned.
+#[derive(Default)]
+struct RunBuilder {
+    label: String,
+    seconds: u64,
+    queue_s: f64,
+    exec_s: f64,
+    stall_s: f64,
+    total_s: f64,
+    /// `(second, p99, attr_stall, t)` of violating seconds, in order.
+    violations: Vec<(u64, f64, f64, f64)>,
+    reconfigs: Vec<ReconfigSpan>,
+    /// id -> index into `reconfigs` for spans still open.
+    open_reconfigs: Vec<(u64, usize)>,
+    chunk_moves: Vec<f64>,
+    t_max: f64,
+}
+
+impl RunBuilder {
+    fn new(label: String) -> Self {
+        RunBuilder {
+            label,
+            t_max: f64::NEG_INFINITY,
+            ..RunBuilder::default()
+        }
+    }
+
+    fn observe(&mut self, ev: &Event) {
+        if let Some(t) = ev.t {
+            self.t_max = self.t_max.max(t);
+        }
+        match ev.kind.as_str() {
+            kinds::SECOND => {
+                self.seconds += 1;
+                self.queue_s += ev.field_f64("attr_queue").unwrap_or(0.0);
+                self.exec_s += ev.field_f64("attr_exec").unwrap_or(0.0);
+                let stall = ev.field_f64("attr_stall").unwrap_or(0.0);
+                self.stall_s += stall;
+                self.total_s += ev.field_f64("attr_total").unwrap_or(0.0);
+                let p99 = ev.field_f64("p99").unwrap_or(0.0);
+                if p99 > SLA_THRESHOLD_S {
+                    let second = ev.field_u64("second").unwrap_or(self.seconds - 1);
+                    #[allow(clippy::cast_precision_loss)] // run lengths far below 2^53
+                    let t = ev.t.unwrap_or(second as f64);
+                    self.violations.push((second, p99, stall, t));
+                }
+            }
+            kinds::CHUNK_MOVE => {
+                if let Some(t) = ev.t {
+                    self.chunk_moves.push(t);
+                    for &(_, idx) in &self.open_reconfigs {
+                        self.reconfigs[idx].chunk_moves += 1;
+                    }
+                }
+            }
+            kinds::SPAN_BEGIN if ev.field_str("name") == Some(kinds::SPAN_RECONFIG) => {
+                if let (Some(id), Some(t)) = (ev.field_u64("id"), ev.t) {
+                    self.reconfigs.push(ReconfigSpan {
+                        start: t,
+                        end: t,
+                        from: ev.field_u64("from"),
+                        to: ev.field_u64("to"),
+                        chunk_moves: 0,
+                    });
+                    self.open_reconfigs.push((id, self.reconfigs.len() - 1));
+                }
+            }
+            kinds::SPAN_END if ev.field_str("name") == Some(kinds::SPAN_RECONFIG) => {
+                if let Some(id) = ev.field_u64("id") {
+                    if let Some(pos) = self.open_reconfigs.iter().position(|&(i, _)| i == id) {
+                        let (_, idx) = self.open_reconfigs.remove(pos);
+                        self.reconfigs[idx].end = ev.t.unwrap_or(self.reconfigs[idx].start);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(mut self) -> RunSlo {
+        // Spans still open at end of run extend to the last timestamp.
+        for (_, idx) in self.open_reconfigs.drain(..) {
+            if self.t_max.is_finite() {
+                self.reconfigs[idx].end = self.t_max.max(self.reconfigs[idx].start);
+            }
+        }
+        // Merge violating seconds into windows, tolerating 1-second gaps.
+        let mut windows: Vec<SlaWindow> = Vec::new();
+        for &(second, p99, stall, _) in &self.violations {
+            match windows.last_mut() {
+                Some(w) if second <= w.end + 2 => {
+                    w.end = w.end.max(second);
+                    w.violation_seconds += 1;
+                    w.peak_p99 = w.peak_p99.max(p99);
+                    w.stall_s += stall;
+                }
+                _ => windows.push(SlaWindow {
+                    start: second,
+                    end: second,
+                    violation_seconds: 1,
+                    peak_p99: p99,
+                    stall_s: stall,
+                    chunk_moves: 0,
+                    reconfig: None,
+                }),
+            }
+        }
+        // Correlate each window with migration activity.
+        #[allow(clippy::cast_precision_loss)] // run lengths far below 2^53
+        for w in &mut windows {
+            let lo = w.start as f64 - MIGRATION_LEAD_S;
+            let hi = w.end as f64 + 1.0;
+            w.chunk_moves = u64::try_from(
+                self.chunk_moves
+                    .iter()
+                    .filter(|&&t| t >= lo && t <= hi)
+                    .count(),
+            )
+            .unwrap_or(u64::MAX);
+            w.reconfig = self
+                .reconfigs
+                .iter()
+                .position(|r| r.start <= hi && r.end >= lo);
+        }
+        RunSlo {
+            label: self.label,
+            seconds: self.seconds,
+            queue_s: self.queue_s,
+            exec_s: self.exec_s,
+            stall_s: self.stall_s,
+            total_s: self.total_s,
+            violation_seconds: u64::try_from(self.violations.len()).unwrap_or(u64::MAX),
+            windows,
+            reconfigs: self.reconfigs,
+            violation_times: self.violations.iter().map(|&(_, _, _, t)| t).collect(),
+        }
+    }
+}
+
+/// Segments a trace into simulator runs and analyzes each.
+///
+/// A run is everything between a top-level (span depth 0)
+/// `detailed_sim`/`fast_sim` `span_begin` and its matching end. Traces
+/// without simulator spans yield a single implicit run labelled
+/// `0:trace` when they contain any `second` events.
+pub fn analyze(events: &[Event]) -> Vec<RunSlo> {
+    let mut runs: Vec<RunSlo> = Vec::new();
+    let mut current: Option<(RunBuilder, usize)> = None; // builder + its base depth
+    let mut depth: usize = 0;
+    for ev in events {
+        let begins = ev.kind == kinds::SPAN_BEGIN;
+        let ends = ev.kind == kinds::SPAN_END;
+        let name = ev.field_str("name").unwrap_or("");
+        let is_sim = name == span_names::DETAILED_SIM || name == span_names::FAST_SIM;
+        if begins && is_sim && current.as_ref().is_none_or(|&(_, base)| depth == base) {
+            // A sim span at the segmentation depth starts a new run (and
+            // closes any implicit run that was accumulating).
+            if let Some((b, _)) = current.take() {
+                runs.push(b.finish());
+            }
+            current = Some((RunBuilder::new(format!("{}:{name}", runs.len())), depth + 1));
+        }
+        if begins {
+            depth += 1;
+        }
+        if let Some((b, _)) = current.as_mut() {
+            b.observe(ev);
+        } else if ev.kind == kinds::SECOND {
+            // Trace without simulator spans: accumulate an implicit run.
+            let mut b = RunBuilder::new(format!("{}:trace", runs.len()));
+            b.observe(ev);
+            current = Some((b, 0));
+        }
+        if ends {
+            depth = depth.saturating_sub(1);
+            let closes_run = matches!(&current, Some((_, base)) if is_sim && depth + 1 == *base);
+            if closes_run {
+                if let Some((b, _)) = current.take() {
+                    runs.push(b.finish());
+                }
+            }
+        }
+    }
+    if let Some((b, _)) = current.take() {
+        runs.push(b.finish());
+    }
+    runs
+}
+
+/// Flattens the analysis into `pstore-run-summary/v1` metrics:
+/// `slo.run{i}.{windows,migration_windows,violation_seconds,stall_s}`
+/// per run, plus cluster-wide totals under `slo.total.*`.
+pub fn metrics(runs: &[RunSlo]) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    #[allow(clippy::cast_precision_loss)] // counts far below 2^53
+    for (i, r) in runs.iter().enumerate() {
+        let mig = r
+            .windows
+            .iter()
+            .filter(|w| w.migration_attributed())
+            .count();
+        out.push((format!("slo.run{i}.windows"), r.windows.len() as f64));
+        out.push((format!("slo.run{i}.migration_windows"), mig as f64));
+        out.push((
+            format!("slo.run{i}.violation_seconds"),
+            r.violation_seconds as f64,
+        ));
+        out.push((format!("slo.run{i}.stall_s"), r.stall_s));
+    }
+    #[allow(clippy::cast_precision_loss)] // counts far below 2^53
+    if !runs.is_empty() {
+        out.push((
+            "slo.total.windows".to_string(),
+            runs.iter().map(|r| r.windows.len()).sum::<usize>() as f64,
+        ));
+        out.push((
+            "slo.total.violation_seconds".to_string(),
+            runs.iter().map(|r| r.violation_seconds).sum::<u64>() as f64,
+        ));
+        out.push((
+            "slo.total.stall_s".to_string(),
+            runs.iter().map(|r| r.stall_s).sum::<f64>(),
+        ));
+    }
+    out
+}
+
+/// All violating-second timestamps across runs (for timeline overlays).
+pub fn violation_times(runs: &[RunSlo]) -> Vec<f64> {
+    let mut t: Vec<f64> = runs
+        .iter()
+        .flat_map(|r| r.violation_times.iter().copied())
+        .collect();
+    t.sort_by(f64::total_cmp);
+    t
+}
+
+/// Renders the attribution table and per-window report.
+pub fn render(runs: &[RunSlo]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== latency attribution (txn-seconds per run) ==");
+    let _ = writeln!(
+        out,
+        "  {:<16} {:>8} {:>11} {:>11} {:>11} {:>7} {:>7} {:>8} {:>8}",
+        "run", "seconds", "queue_s", "exec_s", "stall_s", "stall%", "viol_s", "windows", "mig-win"
+    );
+    for r in runs {
+        let stall_pct = if r.total_s > 0.0 {
+            100.0 * r.stall_s / r.total_s
+        } else {
+            0.0
+        };
+        let mig = r
+            .windows
+            .iter()
+            .filter(|w| w.migration_attributed())
+            .count();
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>8} {:>11.2} {:>11.2} {:>11.2} {:>6.2}% {:>7} {:>8} {:>8}",
+            r.label,
+            r.seconds,
+            r.queue_s,
+            r.exec_s,
+            r.stall_s,
+            stall_pct,
+            r.violation_seconds,
+            r.windows.len(),
+            mig
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "== SLA-violation windows (p99 > {SLA_THRESHOLD_S}s) =="
+    );
+    let mut any = false;
+    for r in runs {
+        for w in &r.windows {
+            any = true;
+            let attribution = match w.reconfig {
+                Some(idx) => {
+                    let rc = &r.reconfigs[idx];
+                    let from = rc.from.map_or("?".to_string(), |v| v.to_string());
+                    let to = rc.to.map_or("?".to_string(), |v| v.to_string());
+                    format!(
+                        "reconfig #{idx} ({from}->{to} machines, t={:.1}s..{:.1}s, {} chunks in range)",
+                        rc.start, rc.end, w.chunk_moves
+                    )
+                }
+                None if w.chunk_moves > 0 => {
+                    format!("{} chunk moves in range (no reconfig span)", w.chunk_moves)
+                }
+                None => "no migration activity in range".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  {:<16} t={}s..{}s ({}s, {} violating)  peak p99 {:.3}s  stall {:.2}s  {attribution}",
+                r.label,
+                w.start,
+                w.end,
+                w.len_s(),
+                w.violation_seconds,
+                w.peak_p99,
+                w.stall_s
+            );
+        }
+    }
+    if !any {
+        let _ = writeln!(out, "  (none)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::float_cmp)] // tests assert exact arithmetic
+    use super::*;
+
+    fn seq(events: &mut [Event]) {
+        for (i, ev) in events.iter_mut().enumerate() {
+            ev.seq = u64::try_from(i).unwrap_or(u64::MAX) + 1;
+        }
+    }
+
+    fn second(t: f64, second: u64, p99: f64, stall: f64) -> Event {
+        let mut ev = Event::new(kinds::SECOND)
+            .with("second", second)
+            .with("p99", p99)
+            .with("attr_queue", 1.0)
+            .with("attr_exec", 2.0)
+            .with("attr_stall", stall)
+            .with("attr_total", 3.0 + stall);
+        ev.t = Some(t);
+        ev
+    }
+
+    fn span(kind: &str, t: f64, id: u64, name: &str) -> Event {
+        let mut ev = Event::new(kind).with("id", id).with("name", name);
+        ev.t = Some(t);
+        ev
+    }
+
+    #[test]
+    fn windows_merge_across_single_second_gaps() {
+        let mut events = vec![
+            span(kinds::SPAN_BEGIN, 0.0, 1, span_names::DETAILED_SIM),
+            second(10.0, 10, 0.9, 0.5),
+            second(11.0, 11, 0.1, 0.0), // 1-second gap: same window
+            second(12.0, 12, 0.8, 0.3),
+            second(20.0, 20, 0.7, 0.0), // far away: new window
+            span(kinds::SPAN_END, 30.0, 1, span_names::DETAILED_SIM),
+        ];
+        seq(&mut events);
+        let runs = analyze(&events);
+        assert_eq!(runs.len(), 1);
+        let r = &runs[0];
+        assert_eq!(r.windows.len(), 2);
+        assert_eq!((r.windows[0].start, r.windows[0].end), (10, 12));
+        assert_eq!(r.windows[0].violation_seconds, 2);
+        assert_eq!(r.windows[0].peak_p99, 0.9);
+        assert!((r.windows[0].stall_s - 0.8).abs() < 1e-12);
+        assert_eq!((r.windows[1].start, r.windows[1].end), (20, 20));
+        assert_eq!(r.violation_seconds, 3);
+    }
+
+    #[test]
+    fn windows_overlapping_migration_are_attributed() {
+        let mut events = vec![
+            span(kinds::SPAN_BEGIN, 0.0, 1, span_names::DETAILED_SIM),
+            span(kinds::SPAN_BEGIN, 8.0, 2, kinds::SPAN_RECONFIG)
+                .with("from", 2u64)
+                .with("to", 4u64),
+            {
+                let mut mv = Event::new(kinds::CHUNK_MOVE).with("bytes", 1024u64);
+                mv.t = Some(9.0);
+                mv
+            },
+            second(10.0, 10, 0.9, 1.5),
+            span(kinds::SPAN_END, 11.0, 2, kinds::SPAN_RECONFIG),
+            second(40.0, 40, 0.6, 0.0), // far from any migration
+            span(kinds::SPAN_END, 50.0, 1, span_names::DETAILED_SIM),
+        ];
+        seq(&mut events);
+        let runs = analyze(&events);
+        let r = &runs[0];
+        assert_eq!(r.windows.len(), 2);
+        assert!(r.windows[0].migration_attributed());
+        assert_eq!(r.windows[0].reconfig, Some(0));
+        assert_eq!(r.windows[0].chunk_moves, 1);
+        assert!(!r.windows[1].migration_attributed());
+        assert_eq!(r.reconfigs.len(), 1);
+        assert_eq!(r.reconfigs[0].chunk_moves, 1);
+    }
+
+    #[test]
+    fn multi_run_traces_segment_per_sim_span() {
+        let mut events = vec![
+            span(kinds::SPAN_BEGIN, 0.0, 1, span_names::DETAILED_SIM),
+            second(5.0, 5, 0.9, 0.2),
+            span(kinds::SPAN_END, 10.0, 1, span_names::DETAILED_SIM),
+            span(kinds::SPAN_BEGIN, 0.0, 2, span_names::DETAILED_SIM),
+            second(5.0, 5, 0.1, 0.0),
+            span(kinds::SPAN_END, 10.0, 2, span_names::DETAILED_SIM),
+        ];
+        seq(&mut events);
+        let runs = analyze(&events);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].label, "0:detailed_sim");
+        assert_eq!(runs[1].label, "1:detailed_sim");
+        assert_eq!(runs[0].windows.len(), 1);
+        assert_eq!(runs[1].windows.len(), 0);
+        let m = metrics(&runs);
+        let get = |k: &str| {
+            m.iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| *v)
+                .unwrap_or(f64::NAN)
+        };
+        assert_eq!(get("slo.run0.windows"), 1.0);
+        assert_eq!(get("slo.run1.windows"), 0.0);
+        assert_eq!(get("slo.total.violation_seconds"), 1.0);
+        assert_eq!(get("slo.run0.stall_s"), 0.2);
+    }
+
+    #[test]
+    fn traces_without_sim_spans_form_an_implicit_run() {
+        let mut events = vec![second(1.0, 1, 0.9, 0.0), second(2.0, 2, 0.8, 0.0)];
+        seq(&mut events);
+        let runs = analyze(&events);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].label, "0:trace");
+        assert_eq!(runs[0].violation_seconds, 2);
+        assert_eq!(violation_times(&runs), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn attribution_totals_accumulate() {
+        let mut events = vec![
+            span(kinds::SPAN_BEGIN, 0.0, 1, span_names::DETAILED_SIM),
+            second(1.0, 1, 0.1, 0.5),
+            second(2.0, 2, 0.1, 0.25),
+            span(kinds::SPAN_END, 3.0, 1, span_names::DETAILED_SIM),
+        ];
+        seq(&mut events);
+        let r = &analyze(&events)[0];
+        assert_eq!(r.queue_s, 2.0);
+        assert_eq!(r.exec_s, 4.0);
+        assert_eq!(r.stall_s, 0.75);
+        assert_eq!(r.total_s, 6.75);
+        assert_eq!(r.seconds, 2);
+    }
+
+    #[test]
+    fn render_names_the_attributed_reconfig() {
+        let mut events = vec![
+            span(kinds::SPAN_BEGIN, 0.0, 1, span_names::DETAILED_SIM),
+            span(kinds::SPAN_BEGIN, 8.0, 2, kinds::SPAN_RECONFIG)
+                .with("from", 2u64)
+                .with("to", 4u64),
+            second(10.0, 10, 0.9, 1.0),
+            span(kinds::SPAN_END, 12.0, 2, kinds::SPAN_RECONFIG),
+            span(kinds::SPAN_END, 20.0, 1, span_names::DETAILED_SIM),
+        ];
+        seq(&mut events);
+        let runs = analyze(&events);
+        let text = render(&runs);
+        assert!(text.contains("latency attribution"));
+        assert!(text.contains("0:detailed_sim"));
+        assert!(text.contains("reconfig #0 (2->4 machines"));
+        let empty = render(&[]);
+        assert!(empty.contains("(none)"));
+    }
+}

@@ -67,9 +67,14 @@ impl RunSummary {
         RunSummary { metrics }
     }
 
-    /// Derives the summary straight from parsed trace events.
+    /// Derives the summary straight from parsed trace events, including
+    /// the per-run SLA/attribution metrics (`slo.*`) from [`crate::slo`].
     pub fn from_events(events: &[crate::Event]) -> Self {
-        RunSummary::from_report(&RunReport::from_events(events))
+        let mut summary = RunSummary::from_report(&RunReport::from_events(events));
+        for (name, value) in crate::slo::metrics(&crate::slo::analyze(events)) {
+            summary.metrics.insert(name, value);
+        }
+        summary
     }
 
     /// Loads a summary from either a `.jsonl` trace (summarised on the
@@ -195,6 +200,7 @@ impl ToleranceTable {
                 ("span_errors".to_string(), t(0.0, 0.0)),
                 ("reconfigs".to_string(), t(0.0, 1.0)),
                 ("sla_violation_seconds".to_string(), t(0.25, 3.0)),
+                ("slo.*".to_string(), t(0.25, 1.0)),
                 ("chunk_moves".to_string(), t(0.05, 2.0)),
                 ("bytes_moved".to_string(), t(0.05, 0.0)),
                 ("stable_p99.count".to_string(), t(0.02, 1.0)),

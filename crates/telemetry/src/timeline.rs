@@ -33,6 +33,16 @@ struct ReconfigWindow {
 /// Renders the timeline for a trace; `width` is the column count
 /// (clamped to `[16, 512]`).
 pub fn render(events: &[Event], width: usize) -> String {
+    render_with_violations(events, width, &[])
+}
+
+/// Renders the timeline with an SLA-violation overlay: `violations` are
+/// the timestamps of violating seconds (see
+/// [`crate::slo::violation_times`]); each lands a `!` in a dedicated
+/// `sla` row aligned under the node rows, so a violation column can be
+/// read straight up against the machine activity, reconfiguration
+/// shading, and chunk moves above it.
+pub fn render_with_violations(events: &[Event], width: usize, violations: &[f64]) -> String {
     let width = width.clamp(16, 512);
     let mut seconds: Vec<(f64, u64)> = Vec::new();
     let mut moves: Vec<(f64, u64, u64)> = Vec::new();
@@ -155,13 +165,31 @@ pub fn render(events: &[Event], width: usize) -> String {
             }
         }
     );
+    let overlay = if violations.is_empty() {
+        ""
+    } else {
+        "  '!' SLA violation"
+    };
     let _ = writeln!(
         out,
-        "  legend: '.' off  '#' active  '=' reconfiguring  'M' chunk move"
+        "  legend: '.' off  '#' active  '=' reconfiguring  'M' chunk move{overlay}"
     );
     for (node, row) in grid.iter().enumerate().rev() {
         let line: String = row.iter().collect();
         let _ = writeln!(out, "  node {node:>3} |{line}|");
+    }
+    if !violations.is_empty() {
+        let mut row = vec![' '; width];
+        let mut shown = 0u64;
+        for &t in violations {
+            if t >= t_min && t <= t_max {
+                row[bucket(t)] = '!';
+                shown += 1;
+            }
+        }
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "  sla      |{line}|");
+        let _ = writeln!(out, "  sla-violation seconds: {shown}");
     }
     let _ = writeln!(out, "  reconfigurations: {}", windows.len());
     for w in &windows {
@@ -263,6 +291,31 @@ mod tests {
         trace.retain(|e| e.kind != kinds::SPAN_END);
         let out = render(&trace, 32);
         assert!(out.contains("(unfinished)"));
+    }
+
+    #[test]
+    fn violation_overlay_adds_aligned_sla_row() {
+        let trace = sample_trace();
+        let plain = render(&trace, 32);
+        assert!(!plain.contains("sla"));
+        let out = render_with_violations(&trace, 32, &[4.0, 5.0, 99.0]);
+        assert!(out.contains("'!' SLA violation"));
+        // Out-of-range timestamps are dropped from the count.
+        assert!(out.contains("sla-violation seconds: 2"));
+        let sla_line = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("sla      |"))
+            .expect("sla row");
+        let node_line = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("node"))
+            .expect("node row");
+        // The overlay row's cells align column-for-column with node rows.
+        assert_eq!(
+            sla_line.find('|').expect("bar"),
+            node_line.find('|').expect("bar")
+        );
+        assert!(sla_line.contains('!'));
     }
 
     #[test]

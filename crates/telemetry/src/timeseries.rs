@@ -123,11 +123,27 @@ impl LiveMetrics {
         match ev.kind.as_str() {
             kinds::SECOND => {
                 let t = ev.t.unwrap_or(0.0);
-                for key in ["p99", "p95", "throughput", "machines"] {
+                for key in [
+                    "p99",
+                    "p95",
+                    "throughput",
+                    "machines",
+                    "win_p50",
+                    "win_p95",
+                    "win_p99",
+                    "attr_queue",
+                    "attr_exec",
+                    "attr_stall",
+                ] {
                     if let Some(v) = ev.field_f64(key) {
                         self.set_gauge(key, v);
                         self.push_series(key, t, v);
                     }
+                }
+                // Migration interference accumulates so operators can
+                // alert on its rate, not just the instantaneous gauge.
+                if let Some(stall) = ev.field_f64("attr_stall") {
+                    self.inc_counter("migration_stall_seconds", stall);
                 }
                 if let Some(r) = ev.field("reconfiguring") {
                     let v = match r {
@@ -366,6 +382,30 @@ mod tests {
         assert_eq!(live.gauge("reconfiguring"), Some(1.0));
         let series = live.series("p99").map(TimeSeries::samples);
         assert_eq!(series, Some(vec![(1.0, 0.02), (2.0, 0.09)]));
+    }
+
+    #[test]
+    fn attribution_fields_become_gauges_and_a_stall_counter() {
+        let mut live = LiveMetrics::new();
+        let mut sec = second(1.0, 0.02, 5000.0, 4, false)
+            .with("win_p99", 0.7)
+            .with("attr_queue", 3.0)
+            .with("attr_exec", 8.0)
+            .with("attr_stall", 1.5);
+        sec.t = Some(1.0);
+        live.observe(&sec);
+        let mut sec2 = second(2.0, 0.02, 5000.0, 4, false).with("attr_stall", 0.5);
+        sec2.t = Some(2.0);
+        live.observe(&sec2);
+        assert_eq!(live.gauge("win_p99"), Some(0.7));
+        assert_eq!(live.gauge("attr_queue"), Some(3.0));
+        assert_eq!(live.gauge("attr_stall"), Some(0.5));
+        assert!((live.counter("migration_stall_seconds") - 2.0).abs() < 1e-9);
+        let series = live.series("attr_stall").map(TimeSeries::samples);
+        assert_eq!(series, Some(vec![(1.0, 1.5), (2.0, 0.5)]));
+        let prom = live.render_prometheus();
+        assert!(prom.contains("pstore_migration_stall_seconds_total 2"));
+        assert!(prom.contains("# TYPE pstore_attr_stall gauge"));
     }
 
     #[test]

@@ -71,7 +71,7 @@ fn main() {
     let stats = telemetry_sweep();
     report_phase(
         &format!(
-            "telemetry sweep: {TELEMETRY_SCENARIOS} span traces (pairing, ordering, profile conservation) + histogram merges"
+            "telemetry sweep: {TELEMETRY_SCENARIOS} span traces (pairing, ordering, profile conservation, txn lifecycles, rwsets) + histogram merges"
         ),
         &stats,
     );
@@ -323,7 +323,10 @@ fn cfg_min_history(cfg: &SparConfig) -> usize {
 /// `TEL-01`/`TEL-02` (pairing/nesting), `TEL-04` (total event ordering
 /// under a monotone sim clock) and `TEL-05` (profile-tree time
 /// conservation), and randomized histogram merges must satisfy `TEL-03`
-/// regardless of sample values or grouping.
+/// regardless of sample values or grouping. Each trace also carries
+/// randomized per-transaction lifecycle traffic, which must satisfy
+/// `TEL-06` (well-formed lifecycles, attribution summing) and `TXN-01`
+/// (read/write sets consistent with declared partition access).
 fn telemetry_sweep() -> CheckStats {
     let mut rng = StdRng::seed_from_u64(0x5EED_0004);
     let mut stats = CheckStats::default();
@@ -337,6 +340,7 @@ fn telemetry_sweep() -> CheckStats {
         let width = rng.random_range(1usize..=4);
         let mut now = 0.0;
         emit_span_tree(&mut rng, depth, width, &mut now);
+        emit_txn_traffic(&mut rng, &mut now);
         pstore_telemetry::clear_time();
         drop(guard);
         let events = handle.events();
@@ -348,6 +352,8 @@ fn telemetry_sweep() -> CheckStats {
             &events,
             pstore_telemetry::ProfileClock::Sim,
         ));
+        stats.absorb(telemetry::check_txn_lifecycle(&artifact, &events));
+        stats.absorb(telemetry::check_txn_rwsets(&artifact, &events));
 
         // Random sample sets, including empties and extreme magnitudes.
         let mut set = || -> Vec<f64> {
@@ -401,6 +407,93 @@ fn emit_span_tree(rng: &mut StdRng, depth: usize, width: usize, now: &mut f64) {
         *now += rng.random_range(0.0..2.0);
         pstore_telemetry::set_time(*now);
         pstore_telemetry::end_span("reconfig", id, &[]);
+    }
+}
+
+/// Emits randomized per-transaction lifecycle traffic through the live
+/// telemetry API, mirroring what the detailed simulator samples: arrive,
+/// queue (with optional migration stall), execute or timeout-drop, a
+/// read/write-set record, and a terminal commit/abort whose attribution
+/// components sum to the end-to-end latency (`TEL-06`/`TXN-01` fodder).
+fn emit_txn_traffic(rng: &mut StdRng, now: &mut f64) {
+    use pstore_telemetry::{kinds, Event};
+    let txns = rng.random_range(2u64..24);
+    for id in 1..=txns {
+        *now += rng.random_range(0.0..0.5);
+        pstore_telemetry::set_time(*now);
+        let slot = rng.random_range(0u64..64);
+        let migrating = rng.random_range(0u32..4) == 0;
+        pstore_telemetry::emit(
+            Event::new(kinds::TXN_ARRIVE)
+                .with("id", id)
+                .with("slot", slot),
+        );
+        let stall = if migrating {
+            rng.random_range(0.0..0.3)
+        } else {
+            0.0
+        };
+        let queue = rng.random_range(0.0..0.2);
+        pstore_telemetry::emit(
+            Event::new(kinds::TXN_QUEUE)
+                .with("id", id)
+                .with("wait", queue + stall)
+                .with("stall", stall),
+        );
+        if stall > 0.0 {
+            pstore_telemetry::emit(
+                Event::new(kinds::TXN_STALL)
+                    .with("id", id)
+                    .with("stall", stall),
+            );
+        }
+        let exec = rng.random_range(0.001..0.05);
+        let dropped = rng.random_range(0u32..8) == 0;
+        if !dropped {
+            pstore_telemetry::emit(
+                Event::new(kinds::TXN_EXECUTE)
+                    .with("id", id)
+                    .with("service", exec),
+            );
+            if migrating && rng.random_range(0u32..2) == 0 {
+                pstore_telemetry::emit(
+                    Event::new(kinds::TXN_RESTART)
+                        .with("id", id)
+                        .with("slot", slot),
+                );
+            }
+            let reads = rng.random_range(1u64..6);
+            let writes = rng.random_range(0u64..3);
+            pstore_telemetry::emit(
+                Event::new(kinds::TXN_RWSET)
+                    .with("id", id)
+                    .with("slot", slot)
+                    .with("proc", "ycsb")
+                    .with("reads", reads)
+                    .with("writes", writes)
+                    .with("dest_reads", if migrating { reads.min(1) } else { 0 })
+                    .with("dest_writes", if migrating { writes.min(1) } else { 0 })
+                    .with("migrating", migrating)
+                    .with("restarted", false)
+                    .with("committed", true),
+            );
+        }
+        let kind = if dropped {
+            kinds::TXN_ABORT
+        } else {
+            kinds::TXN_COMMIT
+        };
+        let mut terminal = Event::new(kind)
+            .with("id", id)
+            .with("queue", queue)
+            .with("exec", exec)
+            .with("stall", stall)
+            .with("total", queue + exec + stall)
+            .with("end", *now + queue + stall + exec);
+        if dropped {
+            terminal = terminal.with("reason", "timeout");
+        }
+        pstore_telemetry::emit(terminal);
     }
 }
 

@@ -10,10 +10,19 @@
 //! reuses [`pstore_telemetry::trace::order_errors`], and `TEL-05`
 //! (profile-tree time conservation) checks the span profiler's
 //! aggregation and folded rendering against each other.
+//!
+//! The per-transaction family rides the same traces: `TEL-06` checks
+//! txn-lifecycle well-formedness (every `txn_arrive` terminally resolved
+//! exactly once, no event for an unopened id, and the terminal latency
+//! attribution summing `queue + exec + stall == total`), and `TXN-01`
+//! checks that recorded read/write sets are consistent with declared
+//! partition access (destination-side accesses and restarts only while
+//! migrating, rwset slot matching the arrival slot).
 
 use pstore_core::{InvariantId, Violation};
 use pstore_telemetry::trace::{order_errors, span_errors, SpanError};
-use pstore_telemetry::{Event, Histogram, Profile, ProfileClock};
+use pstore_telemetry::{kinds, Event, Histogram, Profile, ProfileClock};
+use std::collections::BTreeMap;
 
 /// Checks span pairing (`TEL-01`) and nesting (`TEL-02`) over a trace.
 ///
@@ -139,6 +148,183 @@ pub fn check_histogram_merge(artifact: &str, sets: &[Vec<f64>; 3]) -> Vec<Violat
     violations
 }
 
+/// Tolerance for the TEL-06 attribution identity. The recorder computes
+/// `total` as the literal f64 sum `queue + exec + stall`, so only JSON
+/// round-trip noise can separate them.
+const ATTR_SUM_TOL: f64 = 1e-6;
+
+/// True for terminal txn-lifecycle kinds.
+fn is_terminal(kind: &str) -> bool {
+    kind == kinds::TXN_COMMIT || kind == kinds::TXN_ABORT
+}
+
+/// True for non-terminal txn-lifecycle kinds that must reference an open
+/// transaction.
+fn is_mid_lifecycle(kind: &str) -> bool {
+    matches!(
+        kind,
+        kinds::TXN_QUEUE
+            | kinds::TXN_STALL
+            | kinds::TXN_EXECUTE
+            | kinds::TXN_RESTART
+            | kinds::TXN_RWSET
+    )
+}
+
+/// Checks txn-lifecycle well-formedness (`TEL-06`) over a trace:
+///
+/// - a `txn_arrive` id stays unique until terminally resolved (resolved
+///   ids may be reused by later transactions);
+/// - every lifecycle event references a currently open transaction;
+/// - every open transaction is resolved by exactly one
+///   `txn_commit`/`txn_abort` before end of trace;
+/// - the terminal event's attribution satisfies
+///   `queue + exec + stall == total` within [`ATTR_SUM_TOL`].
+///
+/// Traces with no txn events (sampling off) are trivially clean.
+pub fn check_txn_lifecycle(artifact: &str, events: &[Event]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut open: BTreeMap<u64, u64> = BTreeMap::new(); // id -> arrive slot
+    let mut push = |detail: String| {
+        violations.push(Violation::new(
+            InvariantId::TelemetryTxnLifecycle,
+            artifact,
+            detail,
+        ));
+    };
+    for ev in events {
+        let kind = ev.kind.as_str();
+        if kind == kinds::TXN_ARRIVE {
+            let Some(id) = ev.field_u64("id") else {
+                push(format!("seq {}: txn_arrive without an id", ev.seq));
+                continue;
+            };
+            let slot = ev.field_u64("slot").unwrap_or(0);
+            if open.insert(id, slot).is_some() {
+                push(format!(
+                    "txn {id}: re-arrived while still open (seq {})",
+                    ev.seq
+                ));
+            }
+        } else if is_mid_lifecycle(kind) || is_terminal(kind) {
+            let Some(id) = ev.field_u64("id") else {
+                push(format!("seq {}: {kind} without an id", ev.seq));
+                continue;
+            };
+            if !open.contains_key(&id) {
+                push(format!(
+                    "txn {id}: {kind} for a transaction that is not open (seq {})",
+                    ev.seq
+                ));
+                continue;
+            }
+            if is_terminal(kind) {
+                open.remove(&id);
+                let total = ev.field_f64("total").unwrap_or(f64::NAN);
+                let parts = ev.field_f64("queue").unwrap_or(f64::NAN)
+                    + ev.field_f64("exec").unwrap_or(f64::NAN)
+                    + ev.field_f64("stall").unwrap_or(f64::NAN);
+                let tol = ATTR_SUM_TOL * total.abs().max(1.0);
+                let gap = (parts - total).abs();
+                // A NaN gap (missing field) must also count as a violation.
+                if gap.is_nan() || gap > tol {
+                    push(format!(
+                        "txn {id}: attribution {parts} != total {total} at {kind} (seq {})",
+                        ev.seq
+                    ));
+                }
+            }
+        }
+    }
+    for (&id, _) in open.iter().take(10) {
+        push(format!("txn {id}: arrived but never committed or aborted"));
+    }
+    if open.len() > 10 {
+        push(format!("... and {} more unresolved txns", open.len() - 10));
+    }
+    violations
+}
+
+/// Checks read/write-set consistency (`TXN-01`) over a trace:
+///
+/// - `txn_rwset` destination-side counts (`dest_reads`/`dest_writes`)
+///   are only non-zero when the record says the slot was `migrating`;
+/// - a `restarted` rwset (Squall-style reroute) implies `migrating`;
+/// - destination counts never exceed the totals they are part of;
+/// - the rwset's `slot` (and any `txn_restart` slot) matches the slot
+///   the transaction arrived on.
+pub fn check_txn_rwsets(artifact: &str, events: &[Event]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut arrive_slot: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut push = |detail: String| {
+        violations.push(Violation::new(
+            InvariantId::TxnReadWriteSets,
+            artifact,
+            detail,
+        ));
+    };
+    for ev in events {
+        match ev.kind.as_str() {
+            kinds::TXN_ARRIVE => {
+                if let (Some(id), Some(slot)) = (ev.field_u64("id"), ev.field_u64("slot")) {
+                    arrive_slot.insert(id, slot);
+                }
+            }
+            kinds::TXN_COMMIT | kinds::TXN_ABORT => {
+                if let Some(id) = ev.field_u64("id") {
+                    arrive_slot.remove(&id);
+                }
+            }
+            kinds::TXN_RESTART => {
+                if let (Some(id), Some(slot)) = (ev.field_u64("id"), ev.field_u64("slot")) {
+                    if let Some(&declared) = arrive_slot.get(&id) {
+                        if declared != slot {
+                            push(format!(
+                                "txn {id}: restart on slot {slot} but arrived on slot {declared}"
+                            ));
+                        }
+                    }
+                }
+            }
+            kinds::TXN_RWSET => {
+                let Some(id) = ev.field_u64("id") else {
+                    push(format!("seq {}: txn_rwset without an id", ev.seq));
+                    continue;
+                };
+                let migrating = ev.field("migrating").and_then(|v| v.as_bool()) == Some(true);
+                let restarted = ev.field("restarted").and_then(|v| v.as_bool()) == Some(true);
+                let reads = ev.field_u64("reads").unwrap_or(0);
+                let writes = ev.field_u64("writes").unwrap_or(0);
+                let dest_reads = ev.field_u64("dest_reads").unwrap_or(0);
+                let dest_writes = ev.field_u64("dest_writes").unwrap_or(0);
+                if !migrating && (dest_reads > 0 || dest_writes > 0) {
+                    push(format!(
+                        "txn {id}: destination accesses ({dest_reads}r/{dest_writes}w) while slot not migrating"
+                    ));
+                }
+                if restarted && !migrating {
+                    push(format!("txn {id}: restarted outside a migration"));
+                }
+                if dest_reads > reads || dest_writes > writes {
+                    push(format!(
+                        "txn {id}: destination counts {dest_reads}r/{dest_writes}w exceed totals {reads}r/{writes}w"
+                    ));
+                }
+                if let (Some(slot), Some(&declared)) = (ev.field_u64("slot"), arrive_slot.get(&id))
+                {
+                    if slot != declared {
+                        push(format!(
+                            "txn {id}: rwset on slot {slot} but arrived on slot {declared}"
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,5 +428,156 @@ mod tests {
             vec![0.0004, 10.0],
         ];
         assert!(check_histogram_merge("t", &sets).is_empty());
+    }
+
+    fn txn(seq: u64, kind: &str, id: u64) -> Event {
+        let mut e = Event::new(kind).with("id", id);
+        e.seq = seq;
+        e
+    }
+
+    fn commit(seq: u64, id: u64, queue: f64, exec: f64, stall: f64) -> Event {
+        txn(seq, kinds::TXN_COMMIT, id)
+            .with("queue", queue)
+            .with("exec", exec)
+            .with("stall", stall)
+            .with("total", queue + exec + stall)
+    }
+
+    #[test]
+    fn well_formed_txn_lifecycle_is_clean_and_ids_are_reusable() {
+        let trace = vec![
+            txn(1, kinds::TXN_ARRIVE, 7).with("slot", 3u64),
+            txn(2, kinds::TXN_QUEUE, 7)
+                .with("wait", 0.1)
+                .with("stall", 0.0),
+            txn(3, kinds::TXN_EXECUTE, 7).with("service", 0.01),
+            commit(4, 7, 0.1, 0.01, 0.0),
+            // Resolved ids may be reused by a later transaction.
+            txn(5, kinds::TXN_ARRIVE, 7).with("slot", 4u64),
+            txn(6, kinds::TXN_ABORT, 7)
+                .with("reason", "timeout")
+                .with("queue", 1.0)
+                .with("exec", 0.0)
+                .with("stall", 0.5)
+                .with("total", 1.5),
+        ];
+        assert!(check_txn_lifecycle("t", &trace).is_empty());
+        // An empty trace (sampling off) is trivially clean.
+        assert!(check_txn_lifecycle("t", &[]).is_empty());
+    }
+
+    #[test]
+    fn unresolved_unopened_and_duplicate_txns_violate_tel06() {
+        let never_resolved = vec![txn(1, kinds::TXN_ARRIVE, 1).with("slot", 0u64)];
+        let v = check_txn_lifecycle("t", &never_resolved);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant.code(), "TEL-06");
+        assert!(v[0].detail.contains("never committed"));
+
+        let unopened = vec![commit(1, 9, 0.0, 0.01, 0.0)];
+        assert!(check_txn_lifecycle("t", &unopened)[0]
+            .detail
+            .contains("not open"));
+
+        let duplicate = vec![
+            txn(1, kinds::TXN_ARRIVE, 2).with("slot", 0u64),
+            txn(2, kinds::TXN_ARRIVE, 2).with("slot", 0u64),
+            commit(3, 2, 0.0, 0.01, 0.0),
+        ];
+        assert!(check_txn_lifecycle("t", &duplicate)
+            .iter()
+            .any(|x| x.detail.contains("re-arrived")));
+    }
+
+    #[test]
+    fn attribution_that_does_not_sum_violates_tel06() {
+        let trace = vec![
+            txn(1, kinds::TXN_ARRIVE, 3).with("slot", 0u64),
+            txn(2, kinds::TXN_COMMIT, 3)
+                .with("queue", 0.5)
+                .with("exec", 0.1)
+                .with("stall", 0.0)
+                .with("total", 1.0),
+        ];
+        let v = check_txn_lifecycle("t", &trace);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("attribution"));
+    }
+
+    /// An rwset record with 2 reads / 1 write and the given destination
+    /// counts and flags. (Field lookup is first-match, so overrides via
+    /// `.with` would be ignored — parameters it is.)
+    fn rwset(
+        seq: u64,
+        id: u64,
+        slot: u64,
+        dest: (u64, u64),
+        migrating: bool,
+        restarted: bool,
+    ) -> Event {
+        txn(seq, kinds::TXN_RWSET, id)
+            .with("slot", slot)
+            .with("reads", 2u64)
+            .with("writes", 1u64)
+            .with("dest_reads", dest.0)
+            .with("dest_writes", dest.1)
+            .with("migrating", migrating)
+            .with("restarted", restarted)
+            .with("committed", true)
+    }
+
+    #[test]
+    fn consistent_rwsets_are_clean() {
+        let trace = vec![
+            txn(1, kinds::TXN_ARRIVE, 5).with("slot", 9u64),
+            rwset(2, 5, 9, (0, 0), false, false),
+            commit(3, 5, 0.0, 0.01, 0.0),
+            // Migrating txns may touch the destination and restart.
+            txn(4, kinds::TXN_ARRIVE, 6).with("slot", 1u64),
+            txn(5, kinds::TXN_RESTART, 6).with("slot", 1u64),
+            rwset(6, 6, 1, (1, 0), true, true),
+            commit(7, 6, 0.0, 0.01, 0.0),
+        ];
+        assert!(check_txn_rwsets("t", &trace).is_empty());
+    }
+
+    #[test]
+    fn dest_access_outside_migration_violates_txn01() {
+        let trace = vec![
+            txn(1, kinds::TXN_ARRIVE, 5).with("slot", 9u64),
+            rwset(2, 5, 9, (0, 1), false, false),
+        ];
+        let v = check_txn_rwsets("t", &trace);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant.code(), "TXN-01");
+        assert!(v[0].detail.contains("not migrating"));
+
+        let restarted = vec![
+            txn(1, kinds::TXN_ARRIVE, 5).with("slot", 9u64),
+            rwset(2, 5, 9, (0, 0), false, true),
+        ];
+        assert!(check_txn_rwsets("t", &restarted)[0]
+            .detail
+            .contains("outside a migration"));
+    }
+
+    #[test]
+    fn slot_mismatch_and_overflow_violate_txn01() {
+        let trace = vec![
+            txn(1, kinds::TXN_ARRIVE, 5).with("slot", 9u64),
+            rwset(2, 5, 8, (0, 0), false, false),
+        ];
+        assert!(check_txn_rwsets("t", &trace)[0]
+            .detail
+            .contains("arrived on slot 9"));
+
+        let overflow = vec![
+            txn(1, kinds::TXN_ARRIVE, 5).with("slot", 9u64),
+            rwset(2, 5, 9, (5, 0), true, false),
+        ];
+        assert!(check_txn_rwsets("t", &overflow)[0]
+            .detail
+            .contains("exceed totals"));
     }
 }

@@ -69,11 +69,13 @@ cargo run -q --release -p pstore-bench --features telemetry \
 # pstore-trace exits 1 on parse errors, unmatched spans, or ordering
 # violations (TEL-01/02/04).
 cargo run -q --release -p pstore-telemetry --bin pstore-trace -- report "$TRACE_FILE"
-# The profiler and timeline must both render the trace.
+# The profiler, timeline, and slo attribution must all render the trace.
 cargo run -q --release -p pstore-telemetry --bin pstore-trace -- \
     profile "$TRACE_FILE" > /dev/null
 cargo run -q --release -p pstore-telemetry --bin pstore-trace -- \
     timeline "$TRACE_FILE" > /dev/null
+cargo run -q --release -p pstore-telemetry --bin pstore-trace -- \
+    slo "$TRACE_FILE" > /dev/null
 # A run diffed against its own summary must be clean.
 cargo run -q --release -p pstore-telemetry --bin pstore-trace -- \
     diff "$SMOKE_SUMMARY" "$TRACE_FILE"
@@ -82,9 +84,17 @@ step "trace-diff regression gate vs results/golden/ (two --quick runs)"
 GOLDEN_TMP="$(mktemp -d /tmp/pstore-golden.XXXXXX)"
 cargo run -q --release -p pstore-bench --features telemetry \
     --bin fig9_comparison -- --quick --quiet \
+    --trace "$GOLDEN_TMP/fig9_quick.jsonl" \
     --summary "$GOLDEN_TMP/fig9_quick.summary.json" > /dev/null
 cargo run -q --release -p pstore-telemetry --bin pstore-trace -- \
     diff results/golden/fig9_quick.summary.json "$GOLDEN_TMP/fig9_quick.summary.json"
+# SLA attribution: the slo report must render, and its slo.* metrics must
+# match the committed golden (reactive blows the SLA during chunk moves,
+# P-Store does not — the paper's headline, regression-gated).
+cargo run -q --release -p pstore-telemetry --bin pstore-trace -- \
+    slo "$GOLDEN_TMP/fig9_quick.jsonl" > /dev/null
+cargo run -q --release -p pstore-telemetry --bin pstore-trace -- \
+    diff results/golden/fig9_slo_quick.summary.json "$GOLDEN_TMP/fig9_quick.summary.json"
 cargo run -q --release -p pstore-bench --features telemetry \
     --bin table2_sla -- --quick --quiet \
     --summary "$GOLDEN_TMP/table2_quick.summary.json" > /dev/null

@@ -39,6 +39,8 @@ fn bench_cfg(sim_seconds: usize, load_txn_s: f64, seed: u64) -> DetailedSimConfi
         max_queue_delay_s: 2.0,
         warmup_txns: 5_000,
         txn_sample_every: 0,
+        shards: 1,
+        shard_spans: false,
     }
 }
 

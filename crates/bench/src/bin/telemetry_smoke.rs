@@ -55,6 +55,8 @@ fn main() {
         max_queue_delay_s: 2.0,
         warmup_txns: 20_000,
         txn_sample_every: 0,
+        shards: 1,
+        shard_spans: false,
     };
 
     reporter.progress("running a small detailed simulation under P-Store...");

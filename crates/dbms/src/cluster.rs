@@ -10,15 +10,58 @@
 //! against the slot while it is in flight (key-granularity switchover).
 //! Chunk *pacing* — how often chunks run and how long they occupy the
 //! partition — is the simulator's job; this module provides the mechanism.
+//!
+//! # Sharded execution
+//!
+//! The storage is owned by `S` executor shards ([`ShardState`]): shard
+//! `s` holds every partition whose local index `l` satisfies
+//! `l % S == s`, on every node. With `S == 1` (the default, and
+//! [`Cluster::new`]'s only mode) the shard runs *inline* — no threads, no
+//! queues, the serial engine unchanged. With `S > 1`
+//! ([`Cluster::with_shards`]) each shard runs on its own thread behind a
+//! pair of bounded SPSC [`Mailbox`]es, and this struct becomes the
+//! *coordinator*: it owns routing, plans, statistics, and telemetry, and
+//! ships work to shards as [`Command`]s.
+//!
+//! Determinism at any shard count comes from three rules:
+//!
+//! 1. **Single-shard execution.** A slot's local index never changes, and
+//!    a migrating slot's source and destination share it, so every
+//!    transaction and every migration chunk is handled entirely by one
+//!    shard — no cross-thread locking on the execute path.
+//! 2. **Submission-order settlement.** [`Cluster::submit`] records which
+//!    shard received each transaction; fates are collected back in
+//!    exactly that global order, so statistics, per-procedure counters,
+//!    and the simulator's telemetry merge are byte-identical to the
+//!    serial engine's.
+//! 3. **Fence/epoch protocol.** Global structural operations (node
+//!    allocation, plan commit, snapshot reads) run only when every shard
+//!    has quiesced at a [`Command::Fence`] and acked; shards hold at the
+//!    [`FenceGate`] until the coordinator releases the epoch (CON-05).
+//!
+//! Shard threads emit no telemetry and draw no randomness; all
+//! observable effects return as [`Reply`]s and are folded in by the
+//! coordinator, on the coordinator's thread.
 
 use crate::catalog::{Catalog, TableId};
 use crate::hash::bucket_of;
-use crate::partition::PartitionStore;
-use crate::txn::{Procedure, TxnCtx, TxnError, TxnOutput};
+use crate::mailbox::{Mailbox, TrySendError};
+use crate::shard::{
+    worker_loop, Command, FenceData, FenceGate, FenceOp, Reply, ShardPanic, ShardState, TxnFate,
+};
+use crate::sync::Arc;
+use crate::txn::{Procedure, TxnError, TxnOutput};
 use crate::value::Key;
 use pstore_core::partition_plan::SlotPlan;
-use std::collections::{HashMap, HashSet};
+use std::cell::Cell;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
+
+/// Command/reply ring capacity per shard. Large enough that a simulator
+/// batching one second of arrivals rarely blocks, small enough to bound
+/// memory; the blocking send path drains replies while waiting, so a
+/// full ring degrades to lockstep rather than deadlock.
+const MAILBOX_CAPACITY: usize = 1024;
 
 /// Cluster construction parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,30 +80,6 @@ impl Default for ClusterConfig {
             num_slots: 720, // divisible by 1..=10 nodes x 6 partitions
         }
     }
-}
-
-/// A node: `P` serial partitions.
-#[derive(Debug)]
-struct Node {
-    partitions: Vec<PartitionStore>,
-}
-
-impl Node {
-    fn new(partitions_per_node: u32, num_tables: usize) -> Self {
-        Node {
-            partitions: (0..partitions_per_node)
-                .map(|_| PartitionStore::new(num_tables))
-                .collect(),
-        }
-    }
-}
-
-/// Per-slot migration state.
-#[derive(Debug)]
-struct InFlight {
-    from: u32,
-    to: u32,
-    moved: HashSet<(TableId, Key)>,
 }
 
 /// One sender-to-receiver stream of a reconfiguration: the ordered slots it
@@ -94,12 +113,14 @@ impl PairTransfer {
     }
 }
 
-/// An in-progress reconfiguration.
+/// An in-progress reconfiguration. The coordinator tracks *which* slots
+/// are in flight (and their source/destination) for routing; the owning
+/// shard tracks the moved-key sets.
 #[derive(Debug)]
 struct Reconfig {
     new_plan: SlotPlan,
     pairs: Vec<PairTransfer>,
-    in_flight: HashMap<u64, InFlight>,
+    in_flight: HashMap<u64, (u32, u32)>,
     pending_pairs: usize,
     /// Telemetry span covering this reconfiguration (0 = no span).
     #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
@@ -165,6 +186,33 @@ pub struct ClusterStats {
     pub reconfigurations: u64,
 }
 
+/// Per-shard execution attribution, from [`Cluster::shard_reports`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Transactions executed by the shard.
+    pub txns: u64,
+    /// Wall-clock microseconds the shard spent applying commands
+    /// (always 0 for the inline backend, which does not meter itself).
+    pub busy_us: u64,
+}
+
+/// One executor-shard thread and its command/reply rings.
+struct Worker {
+    cmd: Arc<Mailbox<Command>>,
+    reply: Arc<Mailbox<Reply>>,
+    handle: Option<crate::sync::thread::JoinHandle<()>>,
+}
+
+/// Where the storage lives: inline in the coordinator (serial engine,
+/// `shards == 1`) or spread over executor threads.
+enum Backend {
+    Inline(ShardState),
+    Threaded {
+        workers: Vec<Worker>,
+        gate: Arc<FenceGate>,
+    },
+}
+
 /// A shared-nothing, partitioned, main-memory cluster.
 pub struct Cluster {
     catalog: Catalog,
@@ -183,7 +231,20 @@ pub struct Cluster {
     /// the execute path — [`slot_access_report`](Self::slot_access_report)
     /// reads this instead of re-aggregating every partition's counters.
     slot_access_totals: Vec<u64>,
-    nodes: Vec<Node>,
+    /// Executor shard count (1 = inline serial engine).
+    num_shards: u32,
+    /// Nodes currently holding resources.
+    allocated: u32,
+    backend: Backend,
+    /// Shard of each outstanding (submitted, un-settled) transaction, in
+    /// global submission order — the ordered-merge discipline that makes
+    /// fate collection deterministic.
+    pending_order: VecDeque<u32>,
+    /// Fates already collected but not yet handed to the caller.
+    drained: VecDeque<TxnFate>,
+    /// Monotone fence epoch (interior-mutable so read-only snapshot ops
+    /// can fence without `&mut self`).
+    fence_epoch: Cell<u64>,
     reconfig: Option<Reconfig>,
     stats: ClusterStats,
     /// Per-procedure (committed, aborted) counters.
@@ -191,41 +252,95 @@ pub struct Cluster {
     /// Trace id for the next transaction, set by a sampling caller (the
     /// simulator): `execute_at_slot` emits that transaction's `txn_rwset`
     /// (and `txn_restart`, if it was rerouted to a migration destination)
-    /// under this id, then clears it.
+    /// under this id, then clears it. Applies to the inline execute path
+    /// only — fates from [`submit`](Self::submit) carry the same data for
+    /// the caller to emit itself.
     #[cfg(feature = "telemetry")]
     txn_trace_id: Option<u64>,
 }
 
 impl Cluster {
-    /// Boots a cluster of `initial_nodes` nodes.
+    /// Boots a serial (single-shard, inline) cluster of `initial_nodes`
+    /// nodes.
     ///
     /// # Panics
     /// Panics on zero nodes or too few slots.
     pub fn new(catalog: Catalog, cfg: ClusterConfig, initial_nodes: u32) -> Self {
+        Self::with_shards(catalog, cfg, initial_nodes, 1)
+    }
+
+    /// Boots a cluster whose storage is split over `shards` executor
+    /// shards. `shards == 1` is the serial engine (inline, no threads);
+    /// larger counts spawn one executor thread per shard. The count is
+    /// clamped to `partitions_per_node` — beyond that shards would own no
+    /// partitions.
+    ///
+    /// # Panics
+    /// Panics on zero nodes, zero shards, or too few slots.
+    pub fn with_shards(
+        catalog: Catalog,
+        cfg: ClusterConfig,
+        initial_nodes: u32,
+        shards: u32,
+    ) -> Self {
         assert!(initial_nodes > 0, "need at least one node");
         assert!(
             cfg.num_slots >= initial_nodes as usize,
             "need at least one slot per node"
         );
         assert!(cfg.partitions_per_node > 0, "need at least one partition");
+        assert!(shards > 0, "need at least one executor shard");
+        let shards = shards.min(cfg.partitions_per_node);
         let plan = SlotPlan::balanced(initial_nodes, cfg.num_slots);
         let num_tables = catalog.len();
-        let nodes = (0..initial_nodes)
-            .map(|_| Node::new(cfg.partitions_per_node, num_tables))
-            .collect();
         let route_node = plan.assignments().to_vec();
         #[allow(clippy::cast_possible_truncation)] // the bucket is below P, a u32
-        let route_local = (0..cfg.num_slots as u64)
+        let route_local: Vec<u32> = (0..cfg.num_slots as u64)
             .map(|slot| bucket_of(&slot.to_le_bytes(), cfg.partitions_per_node as u64) as u32)
             .collect();
+        let make_state = |shard: u32| {
+            ShardState::new(
+                shard,
+                shards,
+                cfg.partitions_per_node,
+                num_tables,
+                cfg.num_slots as u64,
+                initial_nodes,
+            )
+        };
+        let backend = if shards == 1 {
+            Backend::Inline(make_state(0))
+        } else {
+            let gate = Arc::new(FenceGate::new());
+            let workers = (0..shards)
+                .map(|s| {
+                    let cmd = Arc::new(Mailbox::new(MAILBOX_CAPACITY));
+                    let reply = Arc::new(Mailbox::new(MAILBOX_CAPACITY));
+                    let state = make_state(s);
+                    let (c, r, g) = (Arc::clone(&cmd), Arc::clone(&reply), Arc::clone(&gate));
+                    let handle = crate::sync::thread::spawn(move || worker_loop(state, &c, &r, &g));
+                    Worker {
+                        cmd,
+                        reply,
+                        handle: Some(handle),
+                    }
+                })
+                .collect();
+            Backend::Threaded { workers, gate }
+        };
         Cluster {
             catalog,
             plan,
             route_node,
             route_local,
             slot_access_totals: vec![0; cfg.num_slots],
+            num_shards: shards,
+            allocated: initial_nodes,
+            backend,
+            pending_order: VecDeque::new(),
+            drained: VecDeque::new(),
+            fence_epoch: Cell::new(0),
             cfg,
-            nodes,
             reconfig: None,
             stats: ClusterStats::default(),
             procedure_stats: HashMap::new(),
@@ -250,6 +365,11 @@ impl Cluster {
         &self.catalog
     }
 
+    /// The executor shard count (1 = inline serial engine).
+    pub fn num_shards(&self) -> u32 {
+        self.num_shards
+    }
+
     /// Current (committed) number of nodes. During a scale-out this is
     /// still the pre-move count until the reconfiguration commits; use
     /// [`allocated_nodes`](Self::allocated_nodes) for machine-cost
@@ -260,9 +380,8 @@ impl Cluster {
 
     /// Nodes currently holding resources (includes scale-out targets while
     /// a reconfiguration runs).
-    #[allow(clippy::cast_possible_truncation)] // cluster sizes fit u32
     pub fn allocated_nodes(&self) -> u32 {
-        self.nodes.len() as u32
+        self.allocated
     }
 
     /// Whether a reconfiguration is running.
@@ -270,7 +389,8 @@ impl Cluster {
         self.reconfig.is_some()
     }
 
-    /// Execution counters.
+    /// Execution counters. Transactions submitted via
+    /// [`submit`](Self::submit) are counted when their fate is collected.
     pub fn stats(&self) -> ClusterStats {
         self.stats
     }
@@ -312,7 +432,16 @@ impl Cluster {
         (self.node_of_slot(slot), self.local_of_slot(slot))
     }
 
+    /// The executor shard serving `slot`: `local_of_slot(slot) % shards`.
+    /// Stable across migrations — a slot's local index never changes, so
+    /// neither does its shard.
+    pub fn shard_of_slot(&self, slot: u64) -> u32 {
+        self.local_of_slot(slot) % self.num_shards
+    }
+
     /// Executes a stored procedure, routing by its partitioning key.
+    /// Inline (serial) backend only; sharded clusters use
+    /// [`submit`](Self::submit) / [`drain_fates_into`](Self::drain_fates_into).
     ///
     /// # Errors
     /// Propagates the procedure's [`TxnError`] on abort.
@@ -330,8 +459,10 @@ impl Cluster {
     /// Propagates the procedure's [`TxnError`] on abort.
     ///
     /// # Panics
-    /// Debug builds assert that `slot` matches the procedure's routing
-    /// key; a mismatched slot in release builds misroutes the transaction.
+    /// Panics on a threaded (sharded) backend — a `&dyn Procedure` cannot
+    /// cross threads; use [`submit`](Self::submit). Debug builds assert
+    /// that `slot` matches the procedure's routing key; a mismatched slot
+    /// in release builds misroutes the transaction.
     #[allow(clippy::cast_possible_truncation)] // slot ids fit usize on supported targets
     pub fn execute_at_slot(
         &mut self,
@@ -343,57 +474,19 @@ impl Cluster {
             self.slot_of_routing(&proc.routing_key()),
             "caller-resolved slot disagrees with the routing key"
         );
-        let local = self.local_of_slot(slot) as usize;
-        let num_slots = self.cfg.num_slots as u64;
+        let (node, local, in_flight) = self.routing_of(slot);
         self.slot_access_totals[slot as usize] += 1;
-
-        let in_flight = self
-            .reconfig
-            .as_ref()
-            .and_then(|r| r.in_flight.get(&slot))
-            .map(|i| (i.from, i.to));
-
-        let (result, touched_dest, _rwset) = match in_flight {
-            None => {
-                let node = self.node_of_slot(slot) as usize;
-                let store = &mut self.nodes[node].partitions[local];
-                store.record_slot_access(slot);
-                let mut ctx = TxnCtx::settled(slot, num_slots, store);
-                (proc.execute(&mut ctx), ctx.touched_dest, ctx.rwset)
-            }
-            Some((from, to)) => {
-                debug_assert_ne!(from, to);
-                let (src, dst) = two_nodes(&mut self.nodes, from as usize, to as usize);
-                let source = &mut src.partitions[local];
-                source.record_slot_access(slot);
-                let dest = &mut dst.partitions[local];
-                let Some(reconfig) = self.reconfig.as_ref() else {
-                    unreachable!("in-flight implies reconfig");
-                };
-                let moved = &reconfig.in_flight[&slot].moved;
-                let mut ctx = TxnCtx::migrating(slot, num_slots, source, dest, moved);
-                (proc.execute(&mut ctx), ctx.touched_dest, ctx.rwset)
+        let fate = match &mut self.backend {
+            Backend::Inline(state) => state.execute(proc, slot, node, local, in_flight),
+            Backend::Threaded { .. } => {
+                panic!("execute_at_slot requires the inline backend; use submit/drain_fates_into")
             }
         };
-
-        let proc_entry = self.procedure_stats.entry(proc.name()).or_insert((0, 0));
-        match &result {
-            Ok(_) => {
-                self.stats.committed += 1;
-                proc_entry.0 += 1;
-            }
-            Err(_) => {
-                self.stats.aborted += 1;
-                proc_entry.1 += 1;
-            }
-        }
-        if touched_dest {
-            self.stats.touched_migrating += 1;
-        }
+        account(&mut self.stats, &mut self.procedure_stats, &fate);
         #[cfg(feature = "telemetry")]
         if let Some(id) = self.txn_trace_id.take() {
             if pstore_telemetry::enabled() {
-                if touched_dest {
+                if fate.touched_dest {
                     // The Squall-style switchover: an access resolved
                     // against the destination means the transaction was
                     // rerouted mid-migration — the engine-level analogue
@@ -408,18 +501,232 @@ impl Cluster {
                     pstore_telemetry::Event::new(pstore_telemetry::kinds::TXN_RWSET)
                         .with("id", id)
                         .with("slot", slot)
-                        .with("proc", proc.name())
-                        .with("reads", _rwset.reads)
-                        .with("writes", _rwset.writes)
-                        .with("dest_reads", _rwset.dest_reads)
-                        .with("dest_writes", _rwset.dest_writes)
-                        .with("migrating", in_flight.is_some())
-                        .with("restarted", touched_dest)
-                        .with("committed", result.is_ok()),
+                        .with("proc", fate.proc)
+                        .with("reads", fate.rwset.reads)
+                        .with("writes", fate.rwset.writes)
+                        .with("dest_reads", fate.rwset.dest_reads)
+                        .with("dest_writes", fate.rwset.dest_writes)
+                        .with("migrating", fate.migrating)
+                        .with("restarted", fate.touched_dest)
+                        .with("committed", fate.result.is_ok()),
                 );
             }
         }
-        result
+        fate.result
+    }
+
+    /// Submits a transaction for execution on its slot's shard. Works on
+    /// both backends: inline executes immediately; threaded enqueues on
+    /// the owning shard's mailbox. The fate (result, read/write set,
+    /// restart flag) is returned by
+    /// [`drain_fates_into`](Self::drain_fates_into) in global submission
+    /// order, which is what keeps every output byte-identical at any
+    /// shard count.
+    ///
+    /// # Panics
+    /// Debug builds assert that `slot` matches the procedure's routing
+    /// key. Panics (attributed) if the owning shard has panicked.
+    #[allow(clippy::cast_possible_truncation)] // slot ids fit usize on supported targets
+    pub fn submit<P: Procedure + Send + 'static>(&mut self, proc: P, slot: u64) {
+        debug_assert_eq!(
+            slot,
+            self.slot_of_routing(&proc.routing_key()),
+            "caller-resolved slot disagrees with the routing key"
+        );
+        let (node, local, in_flight) = self.routing_of(slot);
+        self.slot_access_totals[slot as usize] += 1;
+        match &mut self.backend {
+            Backend::Inline(state) => {
+                let fate = state.execute(&proc, slot, node, local, in_flight);
+                account(&mut self.stats, &mut self.procedure_stats, &fate);
+                self.drained.push_back(fate);
+            }
+            Backend::Threaded { .. } => {
+                let shard = local % self.num_shards;
+                self.send_cmd(
+                    shard,
+                    Command::Execute {
+                        proc: Box::new(proc),
+                        slot,
+                        node,
+                        local,
+                        in_flight,
+                    },
+                );
+                self.pending_order.push_back(shard);
+            }
+        }
+    }
+
+    /// Collects the fates of all submitted transactions, in submission
+    /// order, appending them to `out`. Blocks until every outstanding
+    /// transaction has executed.
+    ///
+    /// # Panics
+    /// Panics (attributed to the shard) if an executor shard panicked.
+    pub fn drain_fates_into(&mut self, out: &mut Vec<TxnFate>) {
+        self.settle_outstanding();
+        out.extend(self.drained.drain(..));
+    }
+
+    /// Submitted transactions whose fates the caller has not collected
+    /// yet (both in-flight and already settled).
+    pub fn pending_fates(&self) -> usize {
+        self.pending_order.len() + self.drained.len()
+    }
+
+    /// `(node, local, in_flight)` routing of a slot.
+    #[allow(clippy::cast_possible_truncation)] // slot ids fit usize on supported targets
+    fn routing_of(&self, slot: u64) -> (u32, u32, Option<(u32, u32)>) {
+        let in_flight = self
+            .reconfig
+            .as_ref()
+            .and_then(|r| r.in_flight.get(&slot))
+            .copied();
+        (
+            self.route_node[slot as usize],
+            self.route_local[slot as usize],
+            in_flight,
+        )
+    }
+
+    /// Sends a command to a shard, draining settled fates (in submission
+    /// order) while the ring is full so the pipeline cannot deadlock:
+    /// every drained reply frees ring space somewhere, and a full command
+    /// ring implies that shard has replies outstanding.
+    fn send_cmd(&mut self, shard: u32, mut command: Command) {
+        let mut spins = 0u32;
+        loop {
+            let Backend::Threaded { workers, .. } = &self.backend else {
+                unreachable!("send_cmd requires the threaded backend");
+            };
+            match workers[shard as usize].cmd.try_send(command) {
+                Ok(()) => return,
+                Err(TrySendError::Closed(_)) => {
+                    panic!("executor shard {shard} shut down (command ring closed)")
+                }
+                Err(TrySendError::Full(c)) => {
+                    command = c;
+                    if let Some(s) = self.pending_order.pop_front() {
+                        let reply = self.recv_reply(s);
+                        self.intake_reply(s, reply);
+                    } else {
+                        crate::sync::backoff(spins);
+                        spins = spins.saturating_add(1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocking receive of one reply from a shard.
+    fn recv_reply(&self, shard: u32) -> Reply {
+        let Backend::Threaded { workers, .. } = &self.backend else {
+            unreachable!("recv_reply requires the threaded backend");
+        };
+        match workers[shard as usize].reply.recv() {
+            Some(r) => r,
+            None => panic!("executor shard {shard} disconnected (reply ring closed)"),
+        }
+    }
+
+    /// Folds one expected-fate reply into the coordinator's state.
+    fn intake_reply(&mut self, shard: u32, reply: Reply) {
+        match reply {
+            Reply::Fate(fate) => {
+                account(&mut self.stats, &mut self.procedure_stats, &fate);
+                self.drained.push_back(fate);
+            }
+            Reply::Panicked { message } => panic!("{}", ShardPanic { shard, message }),
+            other => panic!("shard protocol violation: expected a fate, got {other:?}"),
+        }
+    }
+
+    /// Collects every outstanding fate, in submission order.
+    fn settle_outstanding(&mut self) {
+        while let Some(s) = self.pending_order.pop_front() {
+            let reply = self.recv_reply(s);
+            self.intake_reply(s, reply);
+        }
+    }
+
+    /// Runs one fence round: sends `ops[s]` to shard `s`, waits for every
+    /// ack (all shards quiesced and holding), then releases the epoch.
+    /// Returns each shard's result, in shard order.
+    ///
+    /// Requires a settled engine (`pending_order` empty): outstanding
+    /// transactions would otherwise execute *behind* the fence on their
+    /// shard while the coordinator considers the world stopped.
+    fn fence_with(&self, ops: Vec<FenceOp>) -> Vec<FenceData> {
+        let Backend::Threaded { workers, gate } = &self.backend else {
+            unreachable!("fence requires the threaded backend");
+        };
+        assert!(
+            self.pending_order.is_empty(),
+            "fence requires a settled engine: drain fates first"
+        );
+        assert_eq!(ops.len(), workers.len(), "one fence op per shard");
+        let epoch = self.fence_epoch.get() + 1;
+        self.fence_epoch.set(epoch);
+        for (shard, (w, op)) in workers.iter().zip(ops).enumerate() {
+            if w.cmd.send(Command::Fence { epoch, op }).is_err() {
+                panic!("executor shard {shard} shut down (fence refused)");
+            }
+        }
+        let data: Vec<FenceData> = workers
+            .iter()
+            .enumerate()
+            .map(|(s, w)| match w.reply.recv() {
+                Some(Reply::FenceAck { epoch: e, data }) => {
+                    assert_eq!(e, epoch, "fence epoch mismatch from shard {s}");
+                    data
+                }
+                Some(Reply::Panicked { message }) => panic!(
+                    "{}",
+                    ShardPanic {
+                        #[allow(clippy::cast_possible_truncation)] // shard counts fit u32
+                        shard: s as u32,
+                        message
+                    }
+                ),
+                Some(other) => {
+                    panic!("shard protocol violation: expected a fence ack, got {other:?}")
+                }
+                None => panic!("executor shard {s} disconnected during fence"),
+            })
+            .collect();
+        gate.release(epoch);
+        data
+    }
+
+    /// [`fence_with`](Self::fence_with) with the same op for every shard.
+    fn fence_all(&self, op: FenceOp) -> Vec<FenceData> {
+        let Backend::Threaded { workers, .. } = &self.backend else {
+            unreachable!("fence requires the threaded backend");
+        };
+        self.fence_with(vec![op; workers.len()])
+    }
+
+    /// Per-shard execution attribution (transaction counts, busy wall
+    /// time), for the profiler's per-shard spans and registry gauges.
+    /// Requires a settled engine on the threaded backend.
+    pub fn shard_reports(&self) -> Vec<ShardReport> {
+        match &self.backend {
+            Backend::Inline(state) => vec![ShardReport {
+                txns: state.txns(),
+                busy_us: 0,
+            }],
+            Backend::Threaded { .. } => self
+                .fence_all(FenceOp::ShardReport)
+                .into_iter()
+                .map(|d| match d {
+                    FenceData::ShardReport { txns, busy_us } => ShardReport { txns, busy_us },
+                    other => {
+                        panic!("shard protocol violation: expected a shard report, got {other:?}")
+                    }
+                })
+                .collect(),
+        }
     }
 
     /// Per-procedure `(committed, aborted)` counters, sorted by call count
@@ -516,7 +823,9 @@ impl Cluster {
     }
 
     fn install_reconfig(&mut self, new_plan: SlotPlan, pairs: Vec<PairTransfer>) {
-        // Allocate any nodes the new plan references.
+        // Allocate any nodes the new plan references. On the threaded
+        // backend this is the first fence of the reconfiguration: every
+        // shard grows its store matrix while quiesced.
         let max_node = new_plan
             .assignments()
             .iter()
@@ -524,10 +833,16 @@ impl Cluster {
             .max()
             .unwrap_or(0)
             .max(new_plan.machines().saturating_sub(1));
-        let num_tables = self.catalog.len();
-        while self.nodes.len() <= max_node as usize {
-            self.nodes
-                .push(Node::new(self.cfg.partitions_per_node, num_tables));
+        let needed = max_node + 1;
+        if needed > self.allocated {
+            match &mut self.backend {
+                Backend::Inline(state) => state.ensure_nodes(needed),
+                Backend::Threaded { .. } => {
+                    self.settle_outstanding();
+                    self.fence_all(FenceOp::EnsureNodes(needed));
+                }
+            }
+            self.allocated = needed;
         }
         let pending = pairs.iter().filter(|p| !p.is_done()).count();
         #[cfg(feature = "telemetry")]
@@ -586,16 +901,30 @@ impl Cluster {
     }
 
     /// Re-aggregates the per-slot access counts by walking every
-    /// partition's own counters — the O(nodes × partitions × slots) path
-    /// [`slot_access_report`](Self::slot_access_report) used to take on
-    /// every monitoring interval. Kept as the audit oracle: the
-    /// incremental totals must always match this rebuild.
+    /// partition's own counters — on the threaded backend, a fence that
+    /// collects each shard's merged counters. Kept as the audit oracle:
+    /// the incremental totals must always match this rebuild, including
+    /// after concurrent runs (the per-shard counters partition the slot
+    /// space, so their merge is exact, not approximate).
+    ///
+    /// Requires a settled engine (drain fates first) on the threaded
+    /// backend.
     pub fn rebuild_slot_access_report(&self) -> HashMap<u64, u64> {
         let mut out: HashMap<u64, u64> = HashMap::new();
-        for node in &self.nodes {
-            for p in &node.partitions {
-                for (slot, count) in p.slot_accesses() {
+        match &self.backend {
+            Backend::Inline(state) => {
+                for (slot, count) in state.slot_counts() {
                     *out.entry(slot).or_default() += count;
+                }
+            }
+            Backend::Threaded { .. } => {
+                for data in self.fence_all(FenceOp::SlotAccessCounts) {
+                    let FenceData::SlotCounts(counts) = data else {
+                        panic!("shard protocol violation: expected slot counts, got {data:?}");
+                    };
+                    for (slot, count) in counts {
+                        *out.entry(slot).or_default() += count;
+                    }
                 }
             }
         }
@@ -606,9 +935,11 @@ impl Cluster {
     /// window).
     pub fn reset_slot_accesses(&mut self) {
         self.slot_access_totals.fill(0);
-        for node in &mut self.nodes {
-            for p in &mut node.partitions {
-                p.reset_slot_accesses();
+        match &mut self.backend {
+            Backend::Inline(state) => state.reset_slot_accesses(),
+            Backend::Threaded { .. } => {
+                self.settle_outstanding();
+                self.fence_all(FenceOp::ResetSlotAccesses);
             }
         }
     }
@@ -619,20 +950,27 @@ impl Cluster {
     }
 
     /// Moves up to `budget_bytes` of the next slot of pair `pair_idx`.
+    /// Runs on the slot's own shard (source and destination partitions
+    /// share a local index, hence a shard); outstanding fates are settled
+    /// first so the chunk observes every earlier transaction.
     ///
     /// # Errors
     /// Returns [`ReconfigError::NotRunning`] outside a reconfiguration.
     ///
     /// # Panics
     /// Panics if `pair_idx` is out of range.
-    #[allow(clippy::cast_possible_truncation)] // the bucket is below P, a u32
+    #[allow(clippy::cast_possible_truncation)] // slot ids fit usize on supported targets
     pub fn migrate_chunk(
         &mut self,
         pair_idx: usize,
         budget_bytes: usize,
     ) -> Result<ChunkResult, ReconfigError> {
-        let Some(reconfig) = self.reconfig.as_mut() else {
+        if self.reconfig.is_none() {
             return Err(ReconfigError::NotRunning);
+        }
+        self.settle_outstanding();
+        let Some(reconfig) = self.reconfig.as_mut() else {
+            unreachable!("checked above");
         };
         let pair = &mut reconfig.pairs[pair_idx];
         if pair.is_done() {
@@ -646,29 +984,48 @@ impl Cluster {
         }
         let slot = pair.slots[pair.next];
         let (from, to) = (pair.from, pair.to);
-        let local = bucket_of(&slot.to_le_bytes(), self.cfg.partitions_per_node as u64) as usize;
-
-        let infl = reconfig.in_flight.entry(slot).or_insert(InFlight {
-            from,
-            to,
-            moved: HashSet::new(),
-        });
+        let local = self.route_local[slot as usize];
+        reconfig.in_flight.entry(slot).or_insert((from, to));
 
         // Per-chunk work span: nests inside the open reconfiguration
         // span and makes extract/install cost visible to the profiler.
+        // Emitted coordinator-side so the trace is identical at every
+        // shard count.
         #[cfg(feature = "telemetry")]
         let step_span = if pstore_telemetry::enabled() {
             pstore_telemetry::begin_span("chunk_step", &[])
         } else {
             0
         };
-        let (src, dst) = two_nodes(&mut self.nodes, from as usize, to as usize);
-        let (rows, bytes, emptied) = src.partitions[local].extract_chunk(slot, budget_bytes.max(1));
-        for (tid, key, _) in &rows {
-            infl.moved.insert((*tid, key.clone()));
-        }
-        let n_rows = rows.len();
-        dst.partitions[local].install_rows(slot, rows);
+        let (n_rows, bytes, emptied) = match &mut self.backend {
+            Backend::Inline(state) => state.migrate_chunk(slot, from, to, local, budget_bytes),
+            Backend::Threaded { .. } => {
+                let shard = local % self.num_shards;
+                self.send_cmd(
+                    shard,
+                    Command::Chunk {
+                        slot,
+                        from,
+                        to,
+                        local,
+                        budget: budget_bytes,
+                    },
+                );
+                match self.recv_reply(shard) {
+                    Reply::Chunk {
+                        rows,
+                        bytes,
+                        emptied,
+                    } => (rows, bytes, emptied),
+                    Reply::Panicked { message } => {
+                        panic!("{}", ShardPanic { shard, message })
+                    }
+                    other => {
+                        panic!("shard protocol violation: expected a chunk reply, got {other:?}")
+                    }
+                }
+            }
+        };
         #[cfg(feature = "telemetry")]
         pstore_telemetry::end_span("chunk_step", step_span, &[]);
 
@@ -690,6 +1047,9 @@ impl Cluster {
             });
         }
 
+        let Some(reconfig) = self.reconfig.as_mut() else {
+            unreachable!("reconfig cannot end mid-chunk");
+        };
         let mut slot_completed = false;
         let mut pair_done = false;
         let mut reconfig_done = false;
@@ -804,39 +1164,60 @@ impl Cluster {
         // plan — re-sync defensively and assert the invariant.
         debug_assert_eq!(self.route_node, self.plan.assignments());
         self.route_node.copy_from_slice(self.plan.assignments());
-        // Drop drained nodes on scale-in.
-        if (target as usize) < self.nodes.len() {
-            for node in &self.nodes[target as usize..] {
-                for p in &node.partitions {
-                    debug_assert_eq!(p.total_rows(), 0, "dropping a non-empty node");
+        // Drop drained nodes on scale-in. The plan swap above is
+        // coordinator-only state; the truncation is the shards' part and
+        // rides a fence (every shard quiesced, dropped stores empty).
+        if target < self.allocated {
+            match &mut self.backend {
+                Backend::Inline(state) => state.drop_nodes(target),
+                Backend::Threaded { .. } => {
+                    self.fence_all(FenceOp::DropNodes(target));
                 }
             }
-            self.nodes.truncate(target as usize);
+            self.allocated = target;
         }
         self.stats.reconfigurations += 1;
     }
 
-    /// Estimated total resident bytes across the cluster.
-    pub fn total_bytes(&self) -> usize {
-        self.nodes
-            .iter()
-            .flat_map(|n| n.partitions.iter())
-            .map(PartitionStore::total_bytes)
-            .sum()
+    /// Per-partition reports from every shard, merged into (node, local)
+    /// order. Requires a settled engine on the threaded backend.
+    fn all_reports(&self) -> Vec<(u32, u32, u64, usize, usize)> {
+        match &self.backend {
+            Backend::Inline(state) => state.report(),
+            Backend::Threaded { .. } => {
+                let mut out: Vec<(u32, u32, u64, usize, usize)> = self
+                    .fence_all(FenceOp::Report)
+                    .into_iter()
+                    .flat_map(|d| match d {
+                        FenceData::Report(v) => v,
+                        other => {
+                            panic!("shard protocol violation: expected a report, got {other:?}")
+                        }
+                    })
+                    .collect();
+                out.sort_unstable_by_key(|r| (r.0, r.1));
+                out
+            }
+        }
     }
 
-    /// Total resident rows across the cluster.
+    /// Estimated total resident bytes across the cluster. Requires a
+    /// settled engine on the threaded backend.
+    pub fn total_bytes(&self) -> usize {
+        self.all_reports().iter().map(|r| r.3).sum()
+    }
+
+    /// Total resident rows across the cluster. Requires a settled engine
+    /// on the threaded backend.
     pub fn total_rows(&self) -> usize {
-        self.nodes
-            .iter()
-            .flat_map(|n| n.partitions.iter())
-            .map(PartitionStore::total_rows)
-            .sum()
+        self.all_reports().iter().map(|r| r.4).sum()
     }
 
     /// Exports every row of a table as a snapshot, ordered by key — the
     /// extraction side of the paper's §4.2 archival story (historical data
-    /// moves to a separate warehouse out of band).
+    /// moves to a separate warehouse out of band). On the threaded
+    /// backend the snapshot rides a fence: every shard contributes its
+    /// rows while quiesced.
     ///
     /// # Errors
     /// Refuses while a reconfiguration is running (rows would be split
@@ -848,35 +1229,25 @@ impl Cluster {
         if self.reconfig.is_some() {
             return Err(ReconfigError::AlreadyRunning);
         }
-        let mut out: Vec<(Key, crate::value::Row)> = Vec::new();
-        for node in &self.nodes {
-            for store in &node.partitions {
-                for slot in store.resident_slots().collect::<Vec<_>>() {
-                    out.extend(store.export_slot_table(slot, table));
-                }
-            }
-        }
+        let mut out: Vec<(Key, crate::value::Row)> = match &self.backend {
+            Backend::Inline(state) => state.export_table(table),
+            Backend::Threaded { .. } => self
+                .fence_all(FenceOp::ExportTable(table))
+                .into_iter()
+                .flat_map(|d| match d {
+                    FenceData::Rows(v) => v,
+                    other => panic!("shard protocol violation: expected rows, got {other:?}"),
+                })
+                .collect(),
+        };
         out.sort_by(|a, b| a.0.cmp(&b.0));
         Ok(out)
     }
 
     /// Per-partition statistics: `(node, local_partition, accesses, bytes,
-    /// rows)`.
-    #[allow(clippy::cast_possible_truncation)] // node/partition indices fit u32
+    /// rows)`. Requires a settled engine on the threaded backend.
     pub fn partition_report(&self) -> Vec<(u32, u32, u64, usize, usize)> {
-        let mut out = Vec::new();
-        for (n, node) in self.nodes.iter().enumerate() {
-            for (p, store) in node.partitions.iter().enumerate() {
-                out.push((
-                    n as u32,
-                    p as u32,
-                    store.accesses(),
-                    store.total_bytes(),
-                    store.total_rows(),
-                ));
-            }
-        }
-        out
+        self.all_reports()
     }
 
     /// Full integrity audit: every resident row lives in the slot its key
@@ -886,63 +1257,127 @@ impl Cluster {
     ///
     /// # Errors
     /// Returns a description of the first violation found.
-    #[allow(clippy::cast_possible_truncation)] // node/partition indices fit u32
     pub fn verify_integrity(&self) -> Result<(), String> {
         if self.reconfig.is_some() {
             return Err("verify_integrity requires a settled cluster".into());
         }
-        for (n, node) in self.nodes.iter().enumerate() {
-            for (pi, store) in node.partitions.iter().enumerate() {
-                for slot in store.resident_slots() {
-                    let (owner, local) = self.partition_of_slot(slot);
-                    if owner != n as u32 || local != pi as u32 {
-                        return Err(format!(
-                            "slot {slot} resident on node {n} partition {pi},                              but routing maps it to node {owner} partition {local}"
-                        ));
+        let snapshots = match &self.backend {
+            Backend::Inline(state) => state.integrity(),
+            Backend::Threaded { .. } => self
+                .fence_all(FenceOp::Integrity)
+                .into_iter()
+                .flat_map(|d| match d {
+                    FenceData::Integrity(v) => v,
+                    other => {
+                        panic!("shard protocol violation: expected integrity, got {other:?}")
                     }
-                }
-            }
-        }
-        // Spot-check byte accounting: recompute from rows for each node.
-        for (n, node) in self.nodes.iter().enumerate() {
-            for (pi, store) in node.partitions.iter().enumerate() {
-                let claimed = store.total_bytes();
-                let actual = store.recompute_bytes();
-                if claimed != actual {
+                })
+                .collect(),
+        };
+        for snap in &snapshots {
+            for &slot in &snap.resident_slots {
+                let (owner, local) = self.partition_of_slot(slot);
+                if owner != snap.node || local != snap.local {
                     return Err(format!(
-                        "node {n} partition {pi}: byte accounting drift                          (claimed {claimed}, actual {actual})"
+                        "slot {slot} resident on node {} partition {}, \
+                         but routing maps it to node {owner} partition {local}",
+                        snap.node, snap.local
                     ));
                 }
+            }
+            if snap.claimed_bytes != snap.actual_bytes {
+                return Err(format!(
+                    "node {} partition {}: byte accounting drift \
+                     (claimed {}, actual {})",
+                    snap.node, snap.local, snap.claimed_bytes, snap.actual_bytes
+                ));
             }
         }
         Ok(())
     }
 
     /// Bytes that a reconfiguration to `target` nodes would move (the data
-    /// on slots that change owners under the minimal rebalance).
+    /// on slots that change owners under the minimal rebalance). Requires
+    /// a settled engine on the threaded backend.
     pub fn bytes_to_move(&self, target: u32) -> usize {
         let (_, transfers) = self.plan.rebalance_to(target);
-        transfers
+        let slots: Vec<u64> = transfers
             .iter()
             .flat_map(|t| t.slots.iter())
-            .map(|&s| {
-                let slot = s as u64;
-                let (node, local) = self.partition_of_slot(slot);
-                self.nodes[node as usize].partitions[local as usize].slot_bytes(slot)
-            })
-            .sum()
+            .map(|&s| s as u64)
+            .collect();
+        match &self.backend {
+            Backend::Inline(state) => slots
+                .iter()
+                .map(|&slot| {
+                    let (node, local) = self.partition_of_slot(slot);
+                    state.slot_bytes_at(slot, node, local)
+                })
+                .sum(),
+            Backend::Threaded { .. } => {
+                let mut per_shard: Vec<Vec<(u64, u32, u32)>> =
+                    vec![Vec::new(); self.num_shards as usize];
+                for &slot in &slots {
+                    let (node, local) = self.partition_of_slot(slot);
+                    per_shard[(local % self.num_shards) as usize].push((slot, node, local));
+                }
+                self.fence_with(per_shard.into_iter().map(FenceOp::SlotBytes).collect())
+                    .into_iter()
+                    .flat_map(|d| match d {
+                        FenceData::SlotBytes(v) => v,
+                        other => {
+                            panic!("shard protocol violation: expected slot bytes, got {other:?}")
+                        }
+                    })
+                    .sum()
+            }
+        }
     }
 }
 
-/// Splits two distinct nodes out of the vector for simultaneous mutation.
-fn two_nodes(nodes: &mut [Node], a: usize, b: usize) -> (&mut Node, &mut Node) {
-    assert_ne!(a, b, "nodes must be distinct");
-    if a < b {
-        let (lo, hi) = nodes.split_at_mut(b);
-        (&mut lo[a], &mut hi[0])
-    } else {
-        let (lo, hi) = nodes.split_at_mut(a);
-        (&mut hi[0], &mut lo[b])
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        if let Backend::Threaded { workers, gate } = &mut self.backend {
+            // Closing both rings unblocks every worker wherever it is:
+            // recv returns None, a blocked reply send returns Err, and a
+            // fence hold re-checks the closed command ring. Releasing all
+            // epochs covers a shard parked at an unreleased fence.
+            for w in workers.iter() {
+                w.cmd.close();
+                w.reply.close();
+            }
+            gate.release(u64::MAX);
+            for w in workers.iter_mut() {
+                if let Some(handle) = w.handle.take() {
+                    // A panicked worker already reported (or tried to);
+                    // its join error carries nothing new.
+                    let _ = handle.join();
+                }
+            }
+        }
+    }
+}
+
+/// Folds a fate into the aggregate and per-procedure counters (the
+/// coordinator-intake half of execution accounting).
+fn account(
+    stats: &mut ClusterStats,
+    procedure_stats: &mut HashMap<&'static str, (u64, u64)>,
+    fate: &TxnFate,
+) {
+    let proc_entry = procedure_stats.entry(fate.proc).or_insert((0, 0));
+    match &fate.result {
+        Ok(_) => {
+            stats.committed += 1;
+            proc_entry.0 += 1;
+        }
+        Err(_) => {
+            stats.aborted += 1;
+            proc_entry.1 += 1;
+        }
+    }
+    if fate.touched_dest {
+        stats.touched_migrating += 1;
     }
 }
 
@@ -950,6 +1385,7 @@ fn two_nodes(nodes: &mut [Node], a: usize, b: usize) -> (&mut Node, &mut Node) {
 mod tests {
     use super::*;
     use crate::catalog::{columns, ColumnType, TableSchema};
+    use crate::txn::TxnCtx;
     use crate::value::{KeyValue, Row, Value};
 
     fn test_catalog() -> Catalog {
@@ -1331,5 +1767,107 @@ mod tests {
             let dev = (b as f64 - mean).abs() / mean;
             assert!(dev < 0.25, "node {n} holds {b} bytes vs mean {mean}");
         }
+    }
+
+    #[test]
+    fn inline_submit_matches_execute() {
+        // The pipelined API on the serial backend is the plain engine
+        // with deferred fates: same stats, same stores, same results.
+        let mut a = cluster(3);
+        let mut b = cluster(3);
+        let mut fates = Vec::new();
+        for i in 0..80 {
+            let key = format!("key-{i}");
+            let ra = a.execute(&Put {
+                key: key.clone(),
+                value: i,
+            });
+            let put = Put { key, value: i };
+            let slot = b.slot_of_routing(&put.routing_key());
+            b.submit(put, slot);
+            b.drain_fates_into(&mut fates);
+            assert_eq!(ra, fates.pop().unwrap().result);
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.slot_access_report(), b.slot_access_report());
+        assert_eq!(a.export_table(0).unwrap(), b.export_table(0).unwrap());
+    }
+
+    fn sharded_cluster(nodes: u32, shards: u32) -> Cluster {
+        Cluster::with_shards(
+            test_catalog(),
+            ClusterConfig {
+                partitions_per_node: 4,
+                num_slots: 64,
+            },
+            nodes,
+            shards,
+        )
+    }
+
+    #[test]
+    fn threaded_backend_matches_inline_through_a_reconfiguration() {
+        let mut inline = sharded_cluster(2, 1);
+        let mut sharded = sharded_cluster(2, 4);
+        assert_eq!(sharded.num_shards(), 4);
+        let mut fates_a = Vec::new();
+        let mut fates_b = Vec::new();
+        let drive = |c: &mut Cluster, fates: &mut Vec<TxnFate>| {
+            for i in 0..200 {
+                let put = Put {
+                    key: format!("key-{i}"),
+                    value: i,
+                };
+                let slot = c.slot_of_routing(&put.routing_key());
+                c.submit(put, slot);
+            }
+            c.drain_fates_into(fates);
+            c.begin_reconfiguration(5).unwrap();
+            while c.reconfiguring() {
+                let pairs = c.pair_transfers().len();
+                for p in 0..pairs {
+                    if c.reconfiguring() {
+                        let _ = c.migrate_chunk(p, 700).unwrap();
+                    }
+                }
+                // Traffic against in-flight slots, via the pipelined API.
+                for i in 0..40 {
+                    let get = Get {
+                        key: format!("key-{i}"),
+                    };
+                    let slot = c.slot_of_routing(&get.routing_key());
+                    c.submit(get, slot);
+                }
+                c.drain_fates_into(fates);
+            }
+        };
+        drive(&mut inline, &mut fates_a);
+        drive(&mut sharded, &mut fates_b);
+        assert_eq!(fates_a.len(), fates_b.len());
+        for (a, b) in fates_a.iter().zip(&fates_b) {
+            assert_eq!(a.result, b.result);
+            assert_eq!(a.slot, b.slot);
+            assert_eq!(a.rwset, b.rwset);
+            assert_eq!(a.touched_dest, b.touched_dest);
+        }
+        assert_eq!(inline.stats(), sharded.stats());
+        assert_eq!(inline.active_nodes(), sharded.active_nodes());
+        inline.verify_integrity().unwrap();
+        sharded.verify_integrity().unwrap();
+        assert_eq!(
+            inline.export_table(0).unwrap(),
+            sharded.export_table(0).unwrap()
+        );
+        assert_eq!(inline.partition_report(), sharded.partition_report());
+        assert_eq!(
+            inline.rebuild_slot_access_report(),
+            sharded.rebuild_slot_access_report()
+        );
+        let reports = sharded.shard_reports();
+        assert_eq!(reports.len(), 4);
+        assert_eq!(
+            reports.iter().map(|r| r.txns).sum::<u64>(),
+            inline.shard_reports()[0].txns
+        );
     }
 }

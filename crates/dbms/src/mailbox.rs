@@ -1,0 +1,252 @@
+//! Bounded single-producer/single-consumer mailboxes.
+//!
+//! The sharded engine routes every command from the coordinator to an
+//! executor shard (and every reply back) through one of these rings —
+//! the deterministic message-passing layer of the shard-per-core design.
+//! Each mailbox has exactly one producer and one consumer, so the only
+//! cross-thread protocol is the head/tail handoff:
+//!
+//! * the producer writes the payload into its slot, then publishes it by
+//!   storing `tail + 1` with `Release`;
+//! * the consumer observes the new tail with `Acquire`, which makes the
+//!   payload write visible (the CON-04 happens-before edge), takes the
+//!   payload, and retires the slot by storing `head + 1` with `Release`;
+//! * the producer observes the retired head with `Acquire` before
+//!   reusing the slot, so a slot is never written while still occupied.
+//!
+//! Slots are take-once `Mutex<Option<T>>` cells (the same safe-code
+//! idiom as the vendored pool's result slots): under the SPSC discipline
+//! the locks are never contended, and every primitive comes from
+//! [`crate::sync`], so the whole type swaps to loom under `cfg(loom)`
+//! and the handoff is model-checked in `tests/loom_models.rs`.
+
+use crate::sync::{AtomicBool, AtomicUsize, Mutex, Ordering};
+
+/// A bounded SPSC channel of capacity fixed at construction.
+#[derive(Debug)]
+pub struct Mailbox<T> {
+    slots: Box<[Mutex<Option<T>>]>,
+    /// Next position to read; written only by the consumer.
+    head: AtomicUsize,
+    /// Next position to write; written only by the producer.
+    tail: AtomicUsize,
+    closed: AtomicBool,
+}
+
+/// Why a [`Mailbox::try_send`] did not accept the value (returned inside
+/// so the caller keeps ownership).
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The ring is at capacity; retry after the consumer drains.
+    Full(T),
+    /// The mailbox was closed; the value will never be delivered.
+    Closed(T),
+}
+
+/// Why a [`Mailbox::try_recv`] returned no value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing queued right now.
+    Empty,
+    /// Closed and fully drained: no value will ever arrive again.
+    Disconnected,
+}
+
+impl<T> Mailbox<T> {
+    /// Creates a mailbox holding at most `capacity` in-flight values.
+    ///
+    /// # Panics
+    /// Panics on zero capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "mailbox capacity must be positive");
+        Mailbox {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Maximum number of in-flight values.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Values currently queued (approximate under concurrent use).
+    pub fn len(&self) -> usize {
+        self.tail
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.head.load(Ordering::Acquire))
+    }
+
+    /// Whether the ring is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Marks the mailbox closed. Queued values remain receivable; new
+    /// sends are refused. Idempotent, callable from either side.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Attempts to enqueue without blocking.
+    ///
+    /// # Errors
+    /// [`TrySendError::Full`] at capacity, [`TrySendError::Closed`] after
+    /// close; both hand the value back.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        if self.is_closed() {
+            return Err(TrySendError::Closed(value));
+        }
+        let tail = self.tail.load(Ordering::Relaxed); // producer-owned
+        let head = self.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) >= self.slots.len() {
+            return Err(TrySendError::Full(value));
+        }
+        *lock_slot(&self.slots[tail % self.slots.len()]) = Some(value);
+        // Publish: the payload write above happens-before this Release
+        // store, and the consumer's Acquire load of `tail` completes the
+        // CON-04 handoff edge.
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Attempts to dequeue without blocking.
+    ///
+    /// # Errors
+    /// [`TryRecvError::Empty`] when nothing is queued,
+    /// [`TryRecvError::Disconnected`] when closed and drained.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let head = self.head.load(Ordering::Relaxed); // consumer-owned
+        let tail = self.tail.load(Ordering::Acquire);
+        if head == tail {
+            return if self.is_closed() {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            };
+        }
+        let value = lock_slot(&self.slots[head % self.slots.len()]).take();
+        // Retire the slot before the producer may reuse it.
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        match value {
+            Some(v) => Ok(v),
+            // Unreachable under the SPSC discipline: a published slot is
+            // always occupied. Treat as drained rather than panicking.
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Blocking send: spins (with escalating backoff) until space frees
+    /// up.
+    ///
+    /// # Errors
+    /// Hands the value back if the mailbox closes while waiting. Not for
+    /// use inside loom models — the wait loop is unbounded; models use
+    /// [`try_send`](Self::try_send) with bounded polls.
+    pub fn send(&self, mut value: T) -> Result<(), T> {
+        let mut spins = 0u32;
+        loop {
+            match self.try_send(value) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Closed(v)) => return Err(v),
+                Err(TrySendError::Full(v)) => value = v,
+            }
+            crate::sync::backoff(spins);
+            spins = spins.saturating_add(1);
+        }
+    }
+
+    /// Blocking receive: spins (with escalating backoff) until a value
+    /// arrives; `None` once the mailbox is closed and drained. Not for
+    /// use inside loom models — the wait loop is unbounded; models use
+    /// [`try_recv`](Self::try_recv) with bounded polls.
+    pub fn recv(&self) -> Option<T> {
+        let mut spins = 0u32;
+        loop {
+            match self.try_recv() {
+                Ok(v) => return Some(v),
+                Err(TryRecvError::Disconnected) => return None,
+                Err(TryRecvError::Empty) => {}
+            }
+            crate::sync::backoff(spins);
+            spins = spins.saturating_add(1);
+        }
+    }
+}
+
+/// Locks a slot, riding through poison: a panicking shard is reported
+/// via its reply mailbox, and the payload `Option` stays state-coherent
+/// regardless (a take-once cell has no partially-updated state).
+fn lock_slot<T>(slot: &Mutex<Option<T>>) -> crate::sync::MutexGuard<'_, Option<T>> {
+    match slot.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::sync::Arc;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let mb = Mailbox::new(4);
+        for i in 0..4 {
+            mb.try_send(i).unwrap();
+        }
+        assert_eq!(mb.len(), 4);
+        assert!(matches!(mb.try_send(9), Err(TrySendError::Full(9))));
+        for i in 0..4 {
+            assert_eq!(mb.try_recv(), Ok(i));
+        }
+        assert_eq!(mb.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn close_refuses_sends_but_drains_reads() {
+        let mb = Mailbox::new(2);
+        mb.try_send(1).unwrap();
+        mb.close();
+        assert!(matches!(mb.try_send(2), Err(TrySendError::Closed(2))));
+        assert_eq!(mb.try_recv(), Ok(1));
+        assert_eq!(mb.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(mb.recv(), None);
+    }
+
+    #[test]
+    fn wraparound_reuses_slots() {
+        let mb = Mailbox::new(2);
+        for round in 0..100 {
+            mb.try_send(round).unwrap();
+            assert_eq!(mb.try_recv(), Ok(round));
+        }
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn cross_thread_handoff_delivers_everything_in_order() {
+        let mb = Arc::new(Mailbox::new(8));
+        let tx = Arc::clone(&mb);
+        let producer = crate::sync::thread::spawn(move || {
+            for i in 0..10_000u64 {
+                tx.send(i).unwrap();
+            }
+            tx.close();
+        });
+        let mut expect = 0u64;
+        while let Some(v) = mb.recv() {
+            assert_eq!(v, expect);
+            expect += 1;
+        }
+        assert_eq!(expect, 10_000);
+        producer.join().unwrap();
+    }
+}

@@ -1,0 +1,50 @@
+//! Synchronisation shim for the sharded execution engine.
+//!
+//! pstore-lint: sync-shim — this module is the crate's single sanctioned
+//! gateway to synchronisation primitives (SA-04/SA-07). Under `cfg(loom)`
+//! every scheduling-relevant type comes from the vendored loom model
+//! checker, so the engine's cross-thread protocols — the bounded SPSC
+//! [`crate::mailbox::Mailbox`] handoff (CON-04) and the reconfiguration
+//! fence (CON-05) — can be explored exhaustively; under normal builds
+//! they are plain `std` types. The two APIs are call-compatible for the
+//! subset used here.
+
+#![allow(unexpected_cfgs)]
+// `cfg(loom)` is set via RUSTFLAGS by the loom sweep, not by a cargo
+// feature, so rustc cannot know it is expected without this allow.
+
+#[cfg(not(loom))]
+pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+#[cfg(not(loom))]
+pub use std::sync::{Arc, Mutex, MutexGuard};
+#[cfg(not(loom))]
+pub use std::thread;
+
+#[cfg(loom)]
+pub use loom::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+#[cfg(loom)]
+pub use loom::sync::{Arc, Mutex, MutexGuard};
+#[cfg(loom)]
+pub use loom::thread;
+
+/// One step of a spin-wait loop: yields the scheduler for the first few
+/// spins, then parks the thread for a short interval so an idle executor
+/// shard does not burn a core between batches. Under `cfg(loom)` every
+/// step is a plain `yield_now` — loom has no time, only schedules.
+pub fn backoff(spins: u32) {
+    #[cfg(loom)]
+    {
+        let _ = spins;
+        thread::yield_now();
+    }
+    #[cfg(not(loom))]
+    {
+        if spins < 64 {
+            thread::yield_now();
+        } else {
+            // Escalate to a real sleep: 10µs keeps handoff latency far
+            // below a chunk interval while capping idle CPU burn.
+            thread::sleep(std::time::Duration::from_micros(10));
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Loom interleaving models for the sharded execution engine's
+//! cross-thread protocols (ROADMAP: shard-per-core reactor).
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`; run with
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p pstore-dbms --release --test loom_models
+//! ```
+//!
+//! Two invariants are modelled, mirrored as `CON-04`/`CON-05` runtime
+//! checks in `pstore-verify`:
+//!
+//! * **CON-04** — the bounded SPSC mailbox handoff: a payload written
+//!   before the `Release` tail publish is fully visible to the consumer's
+//!   `Acquire` tail load, values arrive exactly once and in FIFO order,
+//!   and close/drain terminates cleanly. Checked against the *real*
+//!   [`pstore_dbms::mailbox::Mailbox`] (its primitives are loom types
+//!   under this cfg), not a model of it.
+//! * **CON-05** — the reconfiguration fence: a shard finishes its
+//!   in-flight work *before* acking the fence epoch, the coordinator
+//!   observes that work at the ack (the mailbox handoff carries the
+//!   happens-before edge), and the shard does not resume until the
+//!   coordinator releases the epoch through the real
+//!   [`pstore_dbms::shard::FenceGate`].
+//!
+//! Each invariant has a negative twin seeding the bug the model must
+//! catch (`Relaxed` where `Release` is required; an ack sent while work
+//! is still in flight), asserting the checker has the discriminating
+//! power the positive results rely on. Waiting loops inside models are
+//! bounded polls with vacuous fallthrough — loom explores the executions
+//! where the observation lands; unbounded spins would hang the model.
+//!
+//! The positive models run under a CHESS-style preemption bound (2
+//! preemptive switches per execution): the mailbox alone carries four
+//! modelled atomics, and the unbounded schedule space trips loom's
+//! execution safety valve. Bugs reachable only beyond two preemptions
+//! are rare in practice, and the seeded-bug twins — which run
+//! *unbounded* — prove the discriminating power is intact.
+#![cfg(loom)]
+
+use pstore_dbms::mailbox::{Mailbox, TryRecvError};
+use pstore_dbms::shard::FenceGate;
+use pstore_dbms::sync::{Arc, AtomicUsize, Ordering};
+
+/// Runs a model under the preemption bound (see the module docs).
+fn bounded_model<F: Fn() + Send + Sync + 'static>(f: F) {
+    loom::model::Builder {
+        preemption_bound: Some(2),
+        ..loom::model::Builder::default()
+    }
+    .check(f);
+}
+
+// ---- CON-04: mailbox handoff happens-before --------------------------
+
+/// The real mailbox, model-checked: a producer publishes two values and
+/// closes; the consumer (bounded poll, then post-join drain) must see
+/// exactly `[10, 20]`, in order, in every interleaving.
+#[test]
+fn con_04_mailbox_delivers_exactly_once_in_order() {
+    bounded_model(|| {
+        let mb: Arc<Mailbox<u64>> = Arc::new(Mailbox::new(2));
+        let tx = Arc::clone(&mb);
+        let producer = loom::thread::spawn(move || {
+            tx.try_send(10).unwrap();
+            tx.try_send(20).unwrap();
+            tx.close();
+        });
+        let mut got = Vec::new();
+        // Bounded poll racing the producer; whatever has been published
+        // must come out in FIFO order.
+        for _ in 0..3 {
+            match mb.try_recv() {
+                Ok(v) => got.push(v),
+                Err(TryRecvError::Empty) => loom::thread::yield_now(),
+                Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        producer.join().unwrap();
+        // Post-join (a happens-before edge): the rest drains without
+        // racing, ending at Disconnected.
+        loop {
+            match mb.try_recv() {
+                Ok(v) => got.push(v),
+                Err(TryRecvError::Empty) => unreachable!("published value not visible"),
+                Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        assert_eq!(got, vec![10, 20], "CON-04: lost, duplicated, or reordered");
+    });
+}
+
+/// Negative twin: a hand-rolled one-slot channel whose publish flag is
+/// stored `Relaxed` instead of `Release`. The model must find the
+/// execution where the consumer sees the flag but a stale payload — the
+/// exact bug class the mailbox's `Release`/`Acquire` tail protocol
+/// excludes.
+#[test]
+#[should_panic(expected = "CON-04 seeded bug")]
+fn con_04_relaxed_publish_is_caught() {
+    loom::model(|| {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let producer = loom::thread::spawn(move || {
+            d.store(42, Ordering::Relaxed);
+            // Seeded bug: the publish must be `Release` to carry the
+            // payload write; `Relaxed` gives the consumer no edge.
+            f.store(1, Ordering::Relaxed);
+        });
+        for _ in 0..3 {
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(
+                    data.load(Ordering::Relaxed),
+                    42,
+                    "CON-04 seeded bug: flag observed with stale payload"
+                );
+                break;
+            }
+            loom::thread::yield_now();
+        }
+        producer.join().unwrap();
+    });
+}
+
+// ---- CON-05: reconfig fence excludes in-flight execution -------------
+
+/// Shard side of the fence model. `quiesce_first` is the protocol under
+/// test: finish in-flight work, then ack; the twin inverts it.
+fn shard_model(
+    state: Arc<AtomicUsize>,
+    reply: Arc<Mailbox<u64>>,
+    gate: Arc<FenceGate>,
+    resumed: Arc<AtomicUsize>,
+    quiesce_first: bool,
+) {
+    if quiesce_first {
+        // In-flight work retires before the ack; the reply mailbox's
+        // Release publish makes it visible to the coordinator.
+        state.store(7, Ordering::Relaxed);
+        reply.try_send(1).unwrap();
+    } else {
+        // Seeded bug: ack first, finish the work afterwards.
+        reply.try_send(1).unwrap();
+        state.store(7, Ordering::Relaxed);
+    }
+    // Hold at the fence; resume only once the epoch is released.
+    for _ in 0..3 {
+        if gate.is_released(1) {
+            resumed.store(1, Ordering::Relaxed);
+            return;
+        }
+        loom::thread::yield_now();
+    }
+    // Vacuous fallthrough: this execution never observed the release;
+    // the shard simply does not resume (no post-fence work happens).
+}
+
+fn fence_model(quiesce_first: bool) {
+    let state = Arc::new(AtomicUsize::new(0));
+    let reply: Arc<Mailbox<u64>> = Arc::new(Mailbox::new(1));
+    let gate = Arc::new(FenceGate::new());
+    let resumed = Arc::new(AtomicUsize::new(0));
+    let shard = {
+        let (st, rp, gt, rs) = (
+            Arc::clone(&state),
+            Arc::clone(&reply),
+            Arc::clone(&gate),
+            Arc::clone(&resumed),
+        );
+        loom::thread::spawn(move || shard_model(st, rp, gt, rs, quiesce_first))
+    };
+    // Coordinator: bounded poll for the ack; in executions where it
+    // arrives, the shard has quiesced — its in-flight write must be
+    // visible, and it must not have resumed (the epoch is unreleased).
+    for _ in 0..3 {
+        if reply.try_recv().is_ok() {
+            assert_eq!(
+                state.load(Ordering::Relaxed),
+                7,
+                "CON-05 seeded bug: fence acked with work still in flight"
+            );
+            assert_eq!(
+                resumed.load(Ordering::Relaxed),
+                0,
+                "CON-05: shard resumed before the epoch release"
+            );
+            gate.release(1);
+            break;
+        }
+        loom::thread::yield_now();
+    }
+    // Unblock any execution where the ack was never polled.
+    gate.release(1);
+    shard.join().unwrap();
+}
+
+/// Quiesce-then-ack through the real gate and mailbox: the coordinator
+/// always observes the shard's pre-fence work at the ack, and the shard
+/// never resumes early. Exhaustive.
+#[test]
+fn con_05_fence_quiesces_shards_before_global_ops() {
+    bounded_model(|| fence_model(true));
+}
+
+/// Negative twin: ack the fence while the shard's work is still in
+/// flight and the model finds the execution where the coordinator reads
+/// stale shard state under the fence — the bug class the
+/// quiesce-before-ack discipline excludes.
+#[test]
+#[should_panic(expected = "CON-05 seeded bug")]
+fn con_05_ack_before_quiesce_is_caught() {
+    loom::model(|| fence_model(false));
+}

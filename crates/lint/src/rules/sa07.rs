@@ -1,0 +1,80 @@
+//! SA-07 — sharded-engine sync hygiene for `pstore-dbms`.
+//!
+//! The executor-shard protocols (the CON-04 mailbox handoff, the CON-05
+//! reconfig fence) are only as trustworthy as the loom models that
+//! explore them, and those models only see primitives routed through
+//! the crate's `cfg(loom)` shim, `crates/dbms/src/sync.rs`. SA-04
+//! already bans *raw primitives* workspace-wide, but it deliberately
+//! leaves gaps that are unacceptable inside the engine crate:
+//!
+//! * `Arc` is sanctioned by SA-04 (reference counting is not
+//!   scheduling-relevant in general) — but loom's `Arc` is how the
+//!   model tracks cross-thread object reachability, so the engine must
+//!   take it from the shim;
+//! * `std::thread` items other than `spawn`/`Builder`/`scope`
+//!   (`sleep`, `yield_now`, `park`, …) pass SA-04 — but a bare
+//!   `std::thread::yield_now` in a spin loop compiles under `cfg(loom)`
+//!   and silently hides the yield from the scheduler model;
+//! * test code is exempt from SA-04 — but the dbms tests include the
+//!   loom models themselves and integration tests that drive the
+//!   threaded backend, so they route through the shim too.
+//!
+//! Hence this rule: in `crates/dbms/`, **any** `std::sync` or
+//! `std::thread` path — import or inline, production or test — outside
+//! the sync shim file is a finding. The remedy is `crate::sync::…`
+//! (or `pstore_dbms::sync::…` from integration tests); genuinely
+//! loom-irrelevant uses take the standard waiver:
+//! `// pstore-lint: allow(SA-07): <why loom never needs to see this>`.
+
+use crate::{Finding, Workspace};
+
+/// Runs the rule.
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in &ws.files {
+        if f.crate_name() != "dbms" || f.is_sync_shim() {
+            continue;
+        }
+        let toks = &f.lexed.toks;
+        for i in 0..toks.len() {
+            // `std :: {sync, thread}` in any position (use declaration,
+            // inline path, qualified call).
+            if !(toks[i].is_ident("std")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':')))
+            {
+                continue;
+            }
+            let Some(module) = toks
+                .get(i + 3)
+                .filter(|t| t.is_ident("sync") || t.is_ident("thread"))
+            else {
+                continue;
+            };
+            // Name the first item after the module for the message
+            // (`std::sync::Arc` → `std::sync::Arc`); imports of the
+            // bare module (`use std::thread;`) name just the module.
+            let path = toks
+                .get(i + 4)
+                .zip(toks.get(i + 5))
+                .filter(|(a, b)| a.is_punct(':') && b.is_punct(':'))
+                .and_then(|_| toks.get(i + 6))
+                .map_or_else(
+                    || format!("std::{}", module.text),
+                    |t| format!("std::{}::{}", module.text, t.text),
+                );
+            findings.push(Finding {
+                rule: "SA-07",
+                file: f.rel_path.clone(),
+                line: toks[i].line,
+                message: format!(
+                    "{path} inside pstore-dbms — the engine's cross-thread protocols are \
+                     loom-modelled, so take it from the crate::sync shim \
+                     (crates/dbms/src/sync.rs) instead; if loom genuinely never needs to \
+                     see this, waive with `pstore-lint: allow(SA-07): <reason>`"
+                ),
+            });
+        }
+    }
+    findings
+}

@@ -1,0 +1,17 @@
+use std::sync::Arc;
+
+pub struct S {
+    inner: Arc<u64>,
+}
+
+pub fn idle() {
+    std::thread::yield_now();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let _guard = std::sync::Mutex::new(0u64);
+    }
+}

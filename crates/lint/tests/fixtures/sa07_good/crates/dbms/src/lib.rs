@@ -1,0 +1,16 @@
+pub mod sync;
+
+use crate::sync::{thread, Arc};
+
+pub struct S {
+    inner: Arc<u64>,
+}
+
+pub fn idle() {
+    thread::yield_now();
+}
+
+pub fn host_cpus() -> usize {
+    // pstore-lint: allow(SA-07): host-capacity query, not synchronisation; loom never schedules it
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

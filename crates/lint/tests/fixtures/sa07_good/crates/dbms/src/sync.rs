@@ -1,0 +1,12 @@
+//! pstore-lint: sync-shim — the crate's gateway to synchronisation
+//! primitives; loom-modelled under `cfg(loom)`.
+
+#[cfg(not(loom))]
+pub use std::sync::Arc;
+#[cfg(not(loom))]
+pub use std::thread;
+
+#[cfg(loom)]
+pub use loom::sync::Arc;
+#[cfg(loom)]
+pub use loom::thread;

@@ -37,6 +37,7 @@ use pstore_core::controller::{Action, Observation, Strategy};
 use pstore_core::params::SystemParams;
 use pstore_core::schedule::MigrationSchedule;
 use pstore_dbms::cluster::{Cluster, ClusterConfig};
+use pstore_dbms::shard::TxnFate;
 use pstore_dbms::txn::Procedure;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -84,14 +85,38 @@ pub struct DetailedSimConfig {
     pub warmup_txns: usize,
     /// Emit the per-transaction lifecycle event family
     /// (`txn_arrive`/`txn_queue`/`txn_stall`/`txn_execute`/`txn_commit`/
-    /// `txn_abort`, plus the cluster's `txn_rwset`/`txn_restart`) for every
-    /// Nth arrival. `0` (the default) disables per-txn emission entirely,
-    /// keeping the trace event count — and therefore the committed run
-    /// goldens — unchanged; the per-second attribution aggregates on
-    /// `SecondMetrics` stay on regardless. Sampled events are all stamped
-    /// at the arrival's processing time (end times travel as fields) so
-    /// TEL-04's monotone-time invariant holds.
+    /// `txn_abort`, plus the engine-derived `txn_rwset`/`txn_restart`) for
+    /// every Nth arrival. `0` (the default) disables per-txn emission
+    /// entirely, keeping the trace event count — and therefore the
+    /// committed run goldens — unchanged; the per-second attribution
+    /// aggregates on `SecondMetrics` stay on regardless. Sampled events
+    /// are all stamped at the arrival's processing time (end times travel
+    /// as fields) so TEL-04's monotone-time invariant holds, and they are
+    /// emitted at the next pipeline flush in arrival order, so the trace
+    /// is identical at every shard count.
     pub txn_sample_every: u64,
+    /// Executor shard count for the engine: 1 (the default) runs the
+    /// serial inline engine; larger counts spawn one executor thread per
+    /// shard ([`Cluster::with_shards`]). Clamped to `partitions_per_node`.
+    /// Every simulation output is byte-identical at any shard count.
+    pub shards: u32,
+    /// Emit one `shard_exec` span per executor shard at the end of the
+    /// run (transaction count + busy time), plus `shard.N.*` registry
+    /// gauges, so the span profiler can attribute time per shard. Off by
+    /// default: the trace then carries no shard-count-dependent records,
+    /// which is what keeps runs byte-identical across shard counts.
+    pub shard_spans: bool,
+}
+
+/// Executor shard count from the `PSTORE_SHARDS` environment variable
+/// (default 1 — the serial engine). Used by [`DetailedSimConfig::paper_defaults`]
+/// and the benchmark binaries so shard count can be swept without code
+/// changes.
+pub fn shards_from_env() -> u32 {
+    std::env::var("PSTORE_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .map_or(1, |n| n.max(1))
 }
 
 impl DetailedSimConfig {
@@ -118,6 +143,8 @@ impl DetailedSimConfig {
             max_queue_delay_s: 2.0,
             warmup_txns: 150_000,
             txn_sample_every: 0,
+            shards: shards_from_env(),
+            shard_spans: false,
         }
     }
 }
@@ -182,6 +209,151 @@ impl Ord for Timed {
     }
 }
 
+/// A sampled arrival whose lifecycle events are deferred to the next
+/// pipeline flush. All timing attribution is computed sim-side at arrival
+/// time; only the engine-dependent fields (commit/abort, read/write set,
+/// restart flag) wait for the fate, which arrives in submission order.
+/// Deferring *all* sampled events — dropped arrivals too — preserves
+/// arrival-order interleaving in the trace, which is what makes the
+/// telemetry stream byte-identical at every shard count.
+#[cfg(feature = "telemetry")]
+struct SampledTxn {
+    id: u64,
+    at: f64,
+    slot: u64,
+    kind: SampledKind,
+}
+
+#[cfg(feature = "telemetry")]
+enum SampledKind {
+    /// Shed by the client timeout; never executed. `exec` carries the
+    /// mean service time the client-side observation assumes.
+    Dropped { queue: f64, stall: f64, exec: f64 },
+    /// Executed; `idx` is the position of its fate in the next drained
+    /// batch (submissions since the last flush).
+    Executed {
+        idx: usize,
+        queue: f64,
+        stall: f64,
+        service: f64,
+        end: f64,
+    },
+}
+
+/// Drains every outstanding fate (in submission order), folds commit/abort
+/// totals, and emits the deferred sampled-transaction events. Called
+/// after every event-heap pop — so the engine pipeline never crosses a
+/// scheduled event boundary — and once after the loop.
+fn flush_pipeline(
+    cluster: &mut Cluster,
+    fates: &mut Vec<TxnFate>,
+    #[cfg(feature = "telemetry")] deferred: &mut Vec<SampledTxn>,
+    committed: &mut u64,
+    aborted: &mut u64,
+) {
+    // A window of nothing but dropped arrivals has no fates to drain but
+    // may still hold deferred (timeout-abort) events to emit.
+    #[cfg(feature = "telemetry")]
+    let idle = cluster.pending_fates() == 0 && deferred.is_empty();
+    #[cfg(not(feature = "telemetry"))]
+    let idle = cluster.pending_fates() == 0;
+    if idle {
+        return;
+    }
+    fates.clear();
+    cluster.drain_fates_into(fates);
+    for fate in fates.iter() {
+        if fate.result.is_ok() {
+            *committed += 1;
+        } else {
+            *aborted += 1;
+        }
+    }
+    #[cfg(feature = "telemetry")]
+    {
+        for s in deferred.iter() {
+            pstore_telemetry::set_time(s.at);
+            pstore_telemetry::emit(
+                pstore_telemetry::Event::new(pstore_telemetry::kinds::TXN_ARRIVE)
+                    .with("id", s.id)
+                    .with("slot", s.slot),
+            );
+            match s.kind {
+                SampledKind::Dropped { queue, stall, exec } => {
+                    emit_txn_wait(s.id, queue + stall, stall);
+                    pstore_telemetry::emit(
+                        pstore_telemetry::Event::new(pstore_telemetry::kinds::TXN_ABORT)
+                            .with("id", s.id)
+                            .with("reason", "timeout")
+                            .with("total", queue + exec + stall)
+                            .with("queue", queue)
+                            .with("exec", exec)
+                            .with("stall", stall)
+                            .with("end", s.at + queue + exec + stall),
+                    );
+                }
+                SampledKind::Executed {
+                    idx,
+                    queue,
+                    stall,
+                    service,
+                    end,
+                } => {
+                    let fate = &fates[idx];
+                    let ok = fate.result.is_ok();
+                    if fate.touched_dest {
+                        // The Squall-style switchover: an access resolved
+                        // against the destination means the transaction
+                        // was rerouted mid-migration — the engine-level
+                        // analogue of a restart-on-moved-data.
+                        pstore_telemetry::emit(
+                            pstore_telemetry::Event::new(pstore_telemetry::kinds::TXN_RESTART)
+                                .with("id", s.id)
+                                .with("slot", s.slot),
+                        );
+                    }
+                    pstore_telemetry::emit(
+                        pstore_telemetry::Event::new(pstore_telemetry::kinds::TXN_RWSET)
+                            .with("id", s.id)
+                            .with("slot", s.slot)
+                            .with("proc", fate.proc)
+                            .with("reads", fate.rwset.reads)
+                            .with("writes", fate.rwset.writes)
+                            .with("dest_reads", fate.rwset.dest_reads)
+                            .with("dest_writes", fate.rwset.dest_writes)
+                            .with("migrating", fate.migrating)
+                            .with("restarted", fate.touched_dest)
+                            .with("committed", ok),
+                    );
+                    emit_txn_wait(s.id, queue + stall, stall);
+                    pstore_telemetry::emit(
+                        pstore_telemetry::Event::new(pstore_telemetry::kinds::TXN_EXECUTE)
+                            .with("id", s.id)
+                            .with("service", service),
+                    );
+                    let terminal = if ok {
+                        pstore_telemetry::kinds::TXN_COMMIT
+                    } else {
+                        pstore_telemetry::kinds::TXN_ABORT
+                    };
+                    let mut ev = pstore_telemetry::Event::new(terminal)
+                        .with("id", s.id)
+                        .with("total", queue + service + stall)
+                        .with("queue", queue)
+                        .with("exec", service)
+                        .with("stall", stall)
+                        .with("end", end);
+                    if !ok {
+                        ev = ev.with("reason", "business");
+                    }
+                    pstore_telemetry::emit(ev);
+                }
+            }
+        }
+        deferred.clear();
+    }
+}
+
 struct ActiveMigration {
     schedule: MigrationSchedule,
     /// Machine pairs per round.
@@ -215,7 +387,7 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
         }
     };
 
-    let mut cluster = Cluster::new(
+    let mut cluster = Cluster::with_shards(
         b2w_catalog(),
         ClusterConfig {
             partitions_per_node: p,
@@ -224,8 +396,12 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
         strategy
             .initial_machines()
             .clamp(1, cfg.params.max_machines),
+        cfg.shards.clamp(1, p),
     );
     let mut gen = WorkloadGenerator::new(cfg.workload.clone());
+    // Fate scratch buffer for the submit/drain pipeline (reused between
+    // flushes so the steady state allocates nothing).
+    let mut fates: Vec<TxnFate> = Vec::new();
     #[cfg(feature = "telemetry")]
     let warmup_span = if pstore_telemetry::enabled() {
         pstore_telemetry::begin_span("warmup", &[])
@@ -233,17 +409,41 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
         0
     };
     for proc in gen.seed_stock_procedures() {
-        cluster.execute(&proc).expect("stock seeding");
+        let slot = cluster.slot_of_routing(&proc.routing_key());
+        cluster.submit(proc, slot);
     }
+    cluster.drain_fates_into(&mut fates);
+    assert!(
+        fates.iter().all(|f| f.result.is_ok()),
+        "stock seeding failed"
+    );
+    fates.clear();
     for txn in gen.initial_load() {
-        cluster.execute(&txn).expect("initial cart load");
+        let slot = cluster.slot_of_routing(&txn.routing_key());
+        cluster.submit(txn, slot);
     }
+    cluster.drain_fates_into(&mut fates);
+    assert!(
+        fates.iter().all(|f| f.result.is_ok()),
+        "initial cart load failed"
+    );
+    fates.clear();
     // Untimed warm-up: run the generator until carts/checkouts/stock-txn
     // populations reach steady state so the database size is stable.
+    // Pipelined: shards execute concurrently while the generator keeps
+    // producing; fates are discarded in batches.
     for _ in 0..cfg.warmup_txns {
         let txn = gen.next_txn();
-        let _ = cluster.execute(&txn);
+        let slot = cluster.slot_of_routing(&txn.routing_key());
+        cluster.submit(txn, slot);
+        if cluster.pending_fates() >= 4096 {
+            fates.clear();
+            cluster.drain_fates_into(&mut fates);
+        }
     }
+    fates.clear();
+    cluster.drain_fates_into(&mut fates);
+    fates.clear();
     #[cfg(feature = "telemetry")]
     pstore_telemetry::end_span("warmup", warmup_span, &[]);
 
@@ -292,6 +492,13 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
     // is what the old per-arrival heap seq numbers did.
     let mut arrivals: Vec<f64> = Vec::new();
     let mut next_arrival = 0usize;
+    // Sampled arrivals awaiting their fates; emitted at the next flush.
+    #[cfg(feature = "telemetry")]
+    let mut deferred: Vec<SampledTxn> = Vec::new();
+    // Submissions since the last flush — the index a deferred sampled
+    // arrival uses to find its fate in the drained batch.
+    #[cfg(feature = "telemetry")]
+    let mut submitted_since_flush = 0usize;
 
     loop {
         // Arrivals due before the next scheduled event run first; ties go
@@ -301,16 +508,14 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
         if let Some(&at) = arrivals.get(next_arrival) {
             if heap.peek().is_none_or(|r| at < r.0.time) {
                 next_arrival += 1;
-                #[cfg(feature = "telemetry")]
-                pstore_telemetry::set_time(at);
                 arrivals_in_window += 1;
                 #[cfg(feature = "telemetry")]
                 {
                     arrival_seq += 1;
                 }
                 let txn = gen.next_txn();
-                // Resolve the routing slot once; execute_at_slot reuses it
-                // instead of re-hashing the routing key.
+                // Resolve the routing slot once; submit reuses it instead
+                // of re-hashing the routing key.
                 let slot = cluster.slot_of_routing(&txn.routing_key());
                 let (node, local) = cluster.partition_of_slot(slot);
                 let (n, l) = (node as usize, local as usize);
@@ -331,14 +536,6 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
                 let sampled = cfg.txn_sample_every > 0
                     && arrival_seq.is_multiple_of(cfg.txn_sample_every)
                     && pstore_telemetry::enabled();
-                #[cfg(feature = "telemetry")]
-                if sampled {
-                    pstore_telemetry::emit(
-                        pstore_telemetry::Event::new(pstore_telemetry::kinds::TXN_ARRIVE)
-                            .with("id", arrival_seq)
-                            .with("slot", slot as u64),
-                    );
-                }
                 if wait > cfg.max_queue_delay_s {
                     // Client timeout: the request is shed, observed at the
                     // timeout latency, and never executes.
@@ -348,29 +545,27 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
                     recorder.record_attributed(at, queue, cfg.service_mean_s, stall);
                     #[cfg(feature = "telemetry")]
                     if sampled {
-                        emit_txn_wait(arrival_seq, cfg.max_queue_delay_s, stall);
-                        pstore_telemetry::emit(
-                            pstore_telemetry::Event::new(pstore_telemetry::kinds::TXN_ABORT)
-                                .with("id", arrival_seq)
-                                .with("reason", "timeout")
-                                .with("total", queue + cfg.service_mean_s + stall)
-                                .with("queue", queue)
-                                .with("exec", cfg.service_mean_s)
-                                .with("stall", stall)
-                                .with("end", at + queue + cfg.service_mean_s + stall),
-                        );
+                        deferred.push(SampledTxn {
+                            id: arrival_seq,
+                            at,
+                            slot,
+                            kind: SampledKind::Dropped {
+                                queue,
+                                stall,
+                                exec: cfg.service_mean_s,
+                            },
+                        });
                     }
                     continue;
                 }
+                // Ship the transaction to its slot's shard; the fate comes
+                // back (in submission order) at the next flush. All timing
+                // is decided here, sim-side, so the RNG draw sequence is
+                // independent of shard count.
+                cluster.submit(txn, slot);
                 #[cfg(feature = "telemetry")]
-                if sampled {
-                    cluster.set_txn_trace_id(arrival_seq);
-                }
-                let ok = cluster.execute_at_slot(&txn, slot).is_ok();
-                if ok {
-                    committed += 1;
-                } else {
-                    aborted += 1;
+                {
+                    submitted_since_flush += 1;
                 }
                 let service = cfg.service_mean_s
                     * (1.0 + rng.random_range(-cfg.service_jitter..cfg.service_jitter));
@@ -382,28 +577,18 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
                 recorder.record_attributed(at, queue, service, stall);
                 #[cfg(feature = "telemetry")]
                 if sampled {
-                    emit_txn_wait(arrival_seq, wait, stall);
-                    pstore_telemetry::emit(
-                        pstore_telemetry::Event::new(pstore_telemetry::kinds::TXN_EXECUTE)
-                            .with("id", arrival_seq)
-                            .with("service", service),
-                    );
-                    let terminal = if ok {
-                        pstore_telemetry::kinds::TXN_COMMIT
-                    } else {
-                        pstore_telemetry::kinds::TXN_ABORT
-                    };
-                    let mut ev = pstore_telemetry::Event::new(terminal)
-                        .with("id", arrival_seq)
-                        .with("total", queue + service + stall)
-                        .with("queue", queue)
-                        .with("exec", service)
-                        .with("stall", stall)
-                        .with("end", *b);
-                    if !ok {
-                        ev = ev.with("reason", "business");
-                    }
-                    pstore_telemetry::emit(ev);
+                    deferred.push(SampledTxn {
+                        id: arrival_seq,
+                        at,
+                        slot,
+                        kind: SampledKind::Executed {
+                            idx: submitted_since_flush - 1,
+                            queue,
+                            stall,
+                            service,
+                            end: *b,
+                        },
+                    });
                 }
                 continue;
             }
@@ -411,6 +596,22 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
         let Some(Reverse(Timed { time, event, .. })) = heap.pop() else {
             break;
         };
+        // Settle the engine pipeline before handling any scheduled event:
+        // monitor ticks read partition reports, chunk events migrate, and
+        // the deferred sampled events must precede anything stamped at
+        // `time` (their arrival times are all earlier — TEL-04).
+        flush_pipeline(
+            &mut cluster,
+            &mut fates,
+            #[cfg(feature = "telemetry")]
+            &mut deferred,
+            &mut committed,
+            &mut aborted,
+        );
+        #[cfg(feature = "telemetry")]
+        {
+            submitted_since_flush = 0;
+        }
         if time >= horizon && heap.is_empty() {
             break;
         }
@@ -569,11 +770,50 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
         }
     }
 
+    // Settle whatever the final partial window left in flight.
+    flush_pipeline(
+        &mut cluster,
+        &mut fates,
+        #[cfg(feature = "telemetry")]
+        &mut deferred,
+        &mut committed,
+        &mut aborted,
+    );
     // A migration still in flight when the run ends would leave the
     // engine's reconfig span dangling (TEL-01) and the root close below
     // out of LIFO order (TEL-02); close it explicitly, marked truncated.
     if migration.is_some() {
         cluster.end_truncated_reconfig_span();
+    }
+    // Per-shard execution attribution (opt-in): one zero-length
+    // `shard_exec` span per shard carrying its transaction count and busy
+    // wall time, plus `shard.N.*` registry gauges, so the span profiler
+    // can attribute engine time per executor thread. Gated behind
+    // `shard_spans` because the record count would otherwise vary with
+    // shard count and break cross-shard byte-identity.
+    #[cfg(feature = "telemetry")]
+    if cfg.shard_spans && pstore_telemetry::enabled() {
+        for (i, rep) in cluster.shard_reports().iter().enumerate() {
+            let span = pstore_telemetry::begin_span(
+                "shard_exec",
+                &[("shard", pstore_telemetry::Value::from(i as u64))],
+            );
+            pstore_telemetry::end_span(
+                "shard_exec",
+                span,
+                &[
+                    ("txns", pstore_telemetry::Value::from(rep.txns)),
+                    ("busy_us", pstore_telemetry::Value::from(rep.busy_us)),
+                ],
+            );
+            pstore_telemetry::with_registry(|reg| {
+                #[allow(clippy::cast_precision_loss)] // counters far below 2^53
+                {
+                    reg.set_gauge(&format!("shard.{i}.txns"), rep.txns as f64);
+                    reg.set_gauge(&format!("shard.{i}.busy_us"), rep.busy_us as f64);
+                }
+            });
+        }
     }
     // Flush the recorder's trailing seconds before the root span closes,
     // so their `second` events land inside the run and trace analyses
@@ -819,6 +1059,8 @@ mod tests {
             max_queue_delay_s: 2.0,
             warmup_txns: 20_000,
             txn_sample_every: 0,
+            shards: 1,
+            shard_spans: false,
         }
     }
 
@@ -1149,5 +1391,51 @@ mod tests {
         let pa: Vec<f64> = a.seconds.iter().map(|s| s.p99).collect();
         let pb: Vec<f64> = b.seconds.iter().map(|s| s.p99).collect();
         assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn sharded_run_matches_serial_exactly() {
+        // The tentpole determinism claim at simulator granularity: the
+        // same run on the threaded engine (4 shards) and the serial
+        // inline engine must agree on every observable, to the bit —
+        // including through a reconfiguration (the reactive controller
+        // scales out mid-run under this load).
+        let mut load: Vec<f64> = (0..60).map(|s| 300.0 + 400.0 * s as f64 / 60.0).collect();
+        load.extend(vec![700.0; 120]);
+        let run = |shards: u32| {
+            let mut cfg = test_cfg(load.clone(), 7);
+            cfg.shards = shards;
+            let mut strat = ReactiveController::new(ReactiveConfig {
+                q: 285.0,
+                q_hat: 350.0,
+                trigger_fraction: 0.9,
+                headroom: 0.2,
+                smoothing_window: 2,
+                scale_in_patience: 10,
+                max_machines: 10,
+                initial_machines: 2,
+            });
+            run_detailed(&cfg, &mut strat)
+        };
+        let serial = run(1);
+        let sharded = run(4);
+        assert!(
+            !serial.reconfig_spans.is_empty(),
+            "load curve should force a reconfiguration"
+        );
+        assert_eq!(serial.committed, sharded.committed);
+        assert_eq!(serial.aborted, sharded.aborted);
+        assert_eq!(serial.dropped, sharded.dropped);
+        assert_eq!(serial.violations, sharded.violations);
+        assert_eq!(serial.reconfig_spans, sharded.reconfig_spans);
+        assert_eq!(serial.procedure_mix, sharded.procedure_mix);
+        assert_eq!(serial.seconds.len(), sharded.seconds.len());
+        for (a, b) in serial.seconds.iter().zip(&sharded.seconds) {
+            assert_eq!(a.p99, b.p99, "second {}", a.second);
+            assert_eq!(a.mean, b.mean, "second {}", a.second);
+            assert_eq!(a.throughput, b.throughput, "second {}", a.second);
+            assert_eq!(a.machines, b.machines, "second {}", a.second);
+            assert_eq!(a.attr_stall, b.attr_stall, "second {}", a.second);
+        }
     }
 }

@@ -56,6 +56,8 @@ fn ramp_cfg() -> DetailedSimConfig {
         // Sample roughly one arrival in seven — enough lifecycle traffic
         // to exercise every event kind without bloating the trace.
         txn_sample_every: 7,
+        shards: 1,
+        shard_spans: false,
     }
 }
 

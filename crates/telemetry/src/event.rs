@@ -367,6 +367,9 @@ pub mod span_names {
     pub const TICK: &str = "tick";
     /// One chunk-granularity migration step inside a reconfiguration.
     pub const CHUNK_STEP: &str = "chunk_step";
+    /// Per-executor-shard attribution span (transaction count + busy
+    /// time), emitted at end of run when `shard_spans` is enabled.
+    pub const SHARD_EXEC: &str = "shard_exec";
     /// Per-worker unit of work in the concurrency verification harness.
     pub const CON_WORK: &str = "con_work";
     /// Generic worker span used by pool/sweep smoke tests.

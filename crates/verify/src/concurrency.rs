@@ -1,4 +1,5 @@
-//! Concurrency checkers for the sweep surface (`CON-01..CON-03`).
+//! Concurrency checkers for the sweep surface (`CON-01..CON-03`) and
+//! the sharded execution engine (`CON-04`/`CON-05`).
 //!
 //! Two complementary layers enforce these invariants:
 //!
@@ -6,22 +7,37 @@
 //!   *every* interleaving of the pool's claim/execute/store protocol,
 //!   the merge happens-before edge and the registry-isolation
 //!   discipline under `RUSTFLAGS="--cfg loom"` (the pool's primitives
-//!   swap to `loom` types there). That layer proves the protocols.
+//!   swap to `loom` types there), and
+//!   `crates/dbms/tests/loom_models.rs` does the same for the engine's
+//!   mailbox handoff and reconfig fence. That layer proves the
+//!   protocols.
 //! * **Runtime checking (this module)** — drives the *production*
-//!   [`Sweep`] runner, fault injection included, and verifies the same
-//!   three invariants end-to-end on real threads: no cell is lost or
-//!   mis-attributed (CON-01), the ordered merge observes every cell's
-//!   results and telemetry exactly as a serial run does (CON-02), and
-//!   no cell sees another cell's registry state (CON-03).
+//!   [`Sweep`] runner and the *production* sharded
+//!   [`Cluster`](pstore_dbms::Cluster) on real threads: no cell is lost
+//!   or mis-attributed (CON-01), the ordered merge observes every
+//!   cell's results and telemetry exactly as a serial run does
+//!   (CON-02), no cell sees another cell's registry state (CON-03), the
+//!   engine's mailbox routing delivers every transaction's fate exactly
+//!   once, in submission order, bit-identical to the serial engine
+//!   (CON-04 — [`check_mailbox_handoff`]), and reconfiguration under
+//!   concurrent traffic fences in-flight shard execution so chunk moves
+//!   never observe or lose mid-flight work (CON-05 —
+//!   [`check_reconfig_fence`]).
 //!
 //! The runtime layer cannot enumerate schedules, but it covers what the
 //! models abstract away: the real telemetry machinery, panicking and
-//! stalling cells, and the full result path of `pstore-bench`.
+//! stalling cells, the full result path of `pstore-bench`, and the full
+//! routing/migration state machine of `pstore-dbms`.
 
 use std::rc::Rc;
 
 use pstore_bench::sweep::{Cell, CellFailure, Sweep};
 use pstore_core::{InvariantId, Violation};
+use pstore_dbms::catalog::{columns, ColumnType, TableSchema};
+use pstore_dbms::{
+    Catalog, Cluster, ClusterConfig, Key, KeyValue, Procedure, Row, TxnCtx, TxnError, TxnFate,
+    TxnOutput, Value,
+};
 use pstore_telemetry as tel;
 
 /// Cells in the fault-injection grid (indices 2 and 4 fail, index 5
@@ -178,6 +194,437 @@ pub fn check_registry_isolation(threads: usize) -> Vec<Violation> {
     violations
 }
 
+/// CON-04: the same mixed workload (upserts, reads, business aborts)
+/// driven through the threaded engine at `shards` must produce the same
+/// fate stream — count, order, results, read/write sets — and the same
+/// post-state (stats, table contents, slot access counters) as the
+/// serial inline engine. Any loss, duplication or reordering in the
+/// mailbox routing shows up as a diff.
+pub fn check_mailbox_handoff(shards: u32) -> Vec<Violation> {
+    let artifact = format!("sharded engine mixed workload shards={shards}");
+    let mut violations = Vec::new();
+    let mut inline = kv_cluster(1);
+    let mut sharded = kv_cluster(shards);
+    let a = drive_mixed(&mut inline);
+    let b = drive_mixed(&mut sharded);
+    violations.extend(compare_fates(
+        InvariantId::ConcurrencyMailboxHandoff,
+        &artifact,
+        &a,
+        &b,
+    ));
+    if inline.stats() != sharded.stats() {
+        violations.push(Violation::new(
+            InvariantId::ConcurrencyMailboxHandoff,
+            artifact.clone(),
+            format!(
+                "engine stats diverged: serial {:?} vs sharded {:?}",
+                inline.stats(),
+                sharded.stats()
+            ),
+        ));
+    }
+    if inline.export_table(0) != sharded.export_table(0) {
+        violations.push(Violation::new(
+            InvariantId::ConcurrencyMailboxHandoff,
+            artifact.clone(),
+            "table contents diverged from the serial engine".to_string(),
+        ));
+    }
+    if inline.slot_access_report() != sharded.slot_access_report() {
+        violations.push(Violation::new(
+            InvariantId::ConcurrencyMailboxHandoff,
+            artifact,
+            "slot access counters diverged from the serial engine".to_string(),
+        ));
+    }
+    violations
+}
+
+/// CON-05: a live scale-out (2 → 5 nodes) with transactions submitted
+/// against mid-flight slots between every chunk move must, at any shard
+/// count, (a) match the serial engine's fate stream and post-state
+/// bit-for-bit, (b) pass the engine's own integrity audit, and (c) keep
+/// the incremental per-shard slot-access counters in agreement with the
+/// fenced [`Cluster::rebuild_slot_access_report`] recount — the audit
+/// oracle that a fence observing in-flight work would break.
+pub fn check_reconfig_fence(shards: u32) -> Vec<Violation> {
+    let artifact = format!("sharded engine live reconfiguration shards={shards}");
+    let mut violations = Vec::new();
+    let mut inline = kv_cluster(1);
+    let mut sharded = kv_cluster(shards);
+    let a = drive_reconfig(&mut inline, &artifact, &mut violations);
+    let b = drive_reconfig(&mut sharded, &artifact, &mut violations);
+    violations.extend(compare_fates(
+        InvariantId::ConcurrencyReconfigFence,
+        &artifact,
+        &a,
+        &b,
+    ));
+    for (name, c) in [("serial", &inline), ("sharded", &sharded)] {
+        if let Err(err) = c.verify_integrity() {
+            violations.push(Violation::new(
+                InvariantId::ConcurrencyReconfigFence,
+                artifact.clone(),
+                format!("{name} engine failed its integrity audit: {err}"),
+            ));
+        }
+        if c.rebuild_slot_access_report() != c.slot_access_report() {
+            violations.push(Violation::new(
+                InvariantId::ConcurrencyReconfigFence,
+                artifact.clone(),
+                format!(
+                    "{name} engine: fenced slot-access recount disagrees with the \
+                     incremental per-shard counters"
+                ),
+            ));
+        }
+    }
+    if inline.stats() != sharded.stats()
+        || inline.export_table(0) != sharded.export_table(0)
+        || inline.partition_report() != sharded.partition_report()
+    {
+        violations.push(Violation::new(
+            InvariantId::ConcurrencyReconfigFence,
+            artifact.clone(),
+            "post-reconfiguration state diverged from the serial engine".to_string(),
+        ));
+    }
+    let shard_txns: u64 = sharded.shard_reports().iter().map(|r| r.txns).sum();
+    let serial_txns: u64 = inline.shard_reports().iter().map(|r| r.txns).sum();
+    if shard_txns != serial_txns {
+        violations.push(Violation::new(
+            InvariantId::ConcurrencyReconfigFence,
+            artifact,
+            format!("per-shard txn counts sum to {shard_txns}, serial engine ran {serial_txns}"),
+        ));
+    }
+    violations
+}
+
+/// CON-04/05 at simulator granularity: one detailed-simulation run — a
+/// load ramp that forces the reactive controller into a live scale-out
+/// — executed on the serial engine and on four shards must agree on
+/// every observable (the result struct's `Debug` rendering covers every
+/// per-second metric, violation counter and reconfiguration span).
+/// Under the `telemetry` feature both runs are captured and the sampled
+/// transaction traces additionally (a) pass the full TEL-01/02/04,
+/// TEL-06 and TXN-01 battery and (b) are identical between shard
+/// counts.
+pub fn check_sharded_sim() -> Vec<Violation> {
+    let artifact = "detailed sim on the sharded engine (shards 1 vs 4)";
+    let mut violations = Vec::new();
+
+    #[cfg(feature = "telemetry")]
+    let ((serial, serial_events), (sharded, sharded_events)) =
+        (captured_sim_run(1), captured_sim_run(4));
+    #[cfg(not(feature = "telemetry"))]
+    let (serial, sharded) = (sharded_sim_run(1), sharded_sim_run(4));
+
+    if serial.reconfig_spans.is_empty() {
+        violations.push(Violation::new(
+            InvariantId::ConcurrencyReconfigFence,
+            artifact.to_string(),
+            "scenario never migrated — the reconfig fence was not exercised".to_string(),
+        ));
+    }
+    if format!("{serial:?}") != format!("{sharded:?}") {
+        violations.push(Violation::new(
+            InvariantId::ConcurrencyMailboxHandoff,
+            artifact.to_string(),
+            "sharded run is not bit-identical to the serial run".to_string(),
+        ));
+    }
+
+    #[cfg(feature = "telemetry")]
+    {
+        for (label, events) in [("shards=1", &serial_events), ("shards=4", &sharded_events)] {
+            let a = format!("{artifact} {label}");
+            violations.extend(crate::telemetry::check_trace_spans(&a, events));
+            violations.extend(crate::telemetry::check_trace_order(&a, events));
+            violations.extend(crate::telemetry::check_txn_lifecycle(&a, events));
+            violations.extend(crate::telemetry::check_txn_rwsets(&a, events));
+        }
+        if renumbered(&serial_events) != renumbered(&sharded_events) {
+            violations.push(Violation::new(
+                InvariantId::ConcurrencyMailboxHandoff,
+                artifact.to_string(),
+                "sampled telemetry streams differ between shard counts".to_string(),
+            ));
+        }
+    }
+    violations
+}
+
+/// One detailed run of the ramp scenario at `shards` executor shards.
+fn sharded_sim_run(shards: u32) -> pstore_sim::detailed::DetailedSimResult {
+    use pstore_core::controller::reactive::{ReactiveConfig, ReactiveController};
+    use pstore_sim::detailed::{run_detailed, DetailedSimConfig};
+
+    let mut load: Vec<f64> = (0..60)
+        .map(|s| 300.0 + 400.0 * f64::from(s) / 60.0)
+        .collect();
+    load.extend(vec![700.0; 120]);
+    let mut cfg = DetailedSimConfig::paper_defaults(load, 0xBEEF);
+    // The paper's 300 s decision interval would outlast this 180 s ramp;
+    // tighten it so the reactive controller actually scales out mid-run.
+    cfg.params.interval = std::time::Duration::from_secs(30);
+    cfg.params.d = std::time::Duration::from_secs(300);
+    cfg.workload.num_skus = 2_000;
+    cfg.workload.initial_carts = 600;
+    cfg.num_slots = 360;
+    cfg.warmup_txns = 20_000;
+    cfg.txn_sample_every = 7;
+    cfg.shards = shards; // paper_defaults reads PSTORE_SHARDS; pin it
+    let mut strat = ReactiveController::new(ReactiveConfig {
+        q: 285.0,
+        q_hat: 350.0,
+        trigger_fraction: 0.9,
+        headroom: 0.2,
+        smoothing_window: 2,
+        scale_in_patience: 10,
+        max_machines: 10,
+        initial_machines: 2,
+    });
+    run_detailed(&cfg, &mut strat)
+}
+
+/// [`sharded_sim_run`] under a capturing sink.
+#[cfg(feature = "telemetry")]
+fn captured_sim_run(shards: u32) -> (pstore_sim::detailed::DetailedSimResult, Vec<tel::Event>) {
+    let (sink, handle) = tel::MemorySink::new();
+    let guard = tel::install(Rc::new(sink));
+    let result = sharded_sim_run(shards);
+    drop(guard);
+    (result, handle.events())
+}
+
+/// [`normalised`], plus deterministic span-id renumbering: span ids come
+/// from a process-global counter, so two runs in one process allocate
+/// different raw ids. Renumbering each stream's span ids in first-seen
+/// order makes structurally identical traces compare equal.
+#[cfg(feature = "telemetry")]
+fn renumbered(events: &[tel::Event]) -> Vec<EventKey> {
+    use std::collections::HashMap;
+    let mut dense: HashMap<u64, u64> = HashMap::new();
+    events
+        .iter()
+        .map(|e| {
+            let is_span = e.kind == tel::kinds::SPAN_BEGIN || e.kind == tel::kinds::SPAN_END;
+            let fields = e
+                .fields
+                .iter()
+                .map(|(k, v)| {
+                    if is_span && k == "id" {
+                        if let tel::Value::U64(raw) = v {
+                            let next = dense.len() as u64 + 1;
+                            return (
+                                k.clone(),
+                                tel::Value::U64(*dense.entry(*raw).or_insert(next)),
+                            );
+                        }
+                    }
+                    (k.clone(), v.clone())
+                })
+                .collect();
+            (e.kind.clone(), e.t.map(f64::to_bits), fields)
+        })
+        .collect()
+}
+
+/// A two-node KV cluster on the real engine (threaded backend when
+/// `shards > 1`), mirroring the catalog of the engine's own tests.
+fn kv_cluster(shards: u32) -> Cluster {
+    let mut cat = Catalog::new();
+    cat.add_table(TableSchema::new(
+        "KV",
+        columns(&[("k", ColumnType::Str), ("v", ColumnType::Int)]),
+        1,
+    ));
+    Cluster::with_shards(
+        cat,
+        ClusterConfig {
+            partitions_per_node: 4,
+            num_slots: 64,
+        },
+        2,
+        shards,
+    )
+}
+
+/// Keys loaded (and re-read) by the engine drivers.
+const ENGINE_KEYS: i64 = 300;
+
+/// A trivial KV upsert routed by its key.
+struct EnginePut {
+    key: String,
+    value: i64,
+}
+
+impl Procedure for EnginePut {
+    fn name(&self) -> &'static str {
+        "EnginePut"
+    }
+    fn routing_key(&self) -> KeyValue {
+        KeyValue::Str(self.key.clone())
+    }
+    fn execute(&self, ctx: &mut TxnCtx<'_>) -> Result<TxnOutput, TxnError> {
+        ctx.put(
+            0,
+            Key::str(self.key.clone()),
+            Row(vec![Value::Int(self.value)]),
+        );
+        Ok(TxnOutput::None)
+    }
+}
+
+/// A KV point read; aborts (business abort) on a missing key.
+struct EngineGet {
+    key: String,
+}
+
+impl Procedure for EngineGet {
+    fn name(&self) -> &'static str {
+        "EngineGet"
+    }
+    fn routing_key(&self) -> KeyValue {
+        KeyValue::Str(self.key.clone())
+    }
+    fn execute(&self, ctx: &mut TxnCtx<'_>) -> Result<TxnOutput, TxnError> {
+        let row = ctx.get_required(0, "KV", &Key::str(self.key.clone()))?;
+        Ok(TxnOutput::Row(row))
+    }
+}
+
+/// Submits a put through the pipelined API, routed like production
+/// traffic.
+fn submit_put(c: &mut Cluster, i: i64) {
+    let put = EnginePut {
+        key: format!("key-{i}"),
+        value: i,
+    };
+    let slot = c.slot_of_routing(&put.routing_key());
+    c.submit(put, slot);
+}
+
+/// Submits a get through the pipelined API (missing keys abort).
+fn submit_get(c: &mut Cluster, i: i64) {
+    let get = EngineGet {
+        key: format!("key-{i}"),
+    };
+    let slot = c.slot_of_routing(&get.routing_key());
+    c.submit(get, slot);
+}
+
+/// Mixed workload: upserts, successful reads, and reads of missing keys
+/// (business aborts), interleaved so fates of different kinds race
+/// through the mailboxes together.
+fn drive_mixed(c: &mut Cluster) -> Vec<TxnFate> {
+    let mut fates = Vec::new();
+    for i in 0..ENGINE_KEYS {
+        submit_put(c, i);
+        if i % 3 == 0 {
+            submit_get(c, i / 2); // written earlier -> commits
+        }
+        if i % 17 == 0 {
+            submit_get(c, ENGINE_KEYS + i); // never written -> aborts
+        }
+    }
+    c.drain_fates_into(&mut fates);
+    fates
+}
+
+/// Loads the table, then scales 2 → 5 nodes chunk by chunk with reads
+/// submitted against in-flight slots between moves — the fence-critical
+/// interleaving.
+fn drive_reconfig(
+    c: &mut Cluster,
+    artifact: &str,
+    violations: &mut Vec<Violation>,
+) -> Vec<TxnFate> {
+    let mut fates = Vec::new();
+    for i in 0..ENGINE_KEYS {
+        submit_put(c, i);
+    }
+    c.drain_fates_into(&mut fates);
+    if let Err(err) = c.begin_reconfiguration(5) {
+        violations.push(Violation::new(
+            InvariantId::ConcurrencyReconfigFence,
+            artifact.to_string(),
+            format!("begin_reconfiguration failed: {err}"),
+        ));
+        return fates;
+    }
+    while c.reconfiguring() {
+        for pair in 0..c.pair_transfers().len() {
+            if !c.reconfiguring() {
+                break;
+            }
+            if let Err(err) = c.migrate_chunk(pair, 700) {
+                violations.push(Violation::new(
+                    InvariantId::ConcurrencyReconfigFence,
+                    artifact.to_string(),
+                    format!("migrate_chunk failed mid-reconfiguration: {err}"),
+                ));
+                return fates;
+            }
+        }
+        for i in 0..40 {
+            submit_get(c, i);
+        }
+        c.drain_fates_into(&mut fates);
+    }
+    fates
+}
+
+/// Compares two fate streams element-wise; at most three diverging
+/// entries are reported before the count summary.
+fn compare_fates(
+    id: InvariantId,
+    artifact: &str,
+    serial: &[TxnFate],
+    sharded: &[TxnFate],
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if serial.len() != sharded.len() {
+        violations.push(Violation::new(
+            id,
+            artifact.to_string(),
+            format!(
+                "{} fates from the serial engine, {} from the sharded engine",
+                serial.len(),
+                sharded.len()
+            ),
+        ));
+        return violations;
+    }
+    let mut diverged = 0usize;
+    for (i, (a, b)) in serial.iter().zip(sharded).enumerate() {
+        if a.result != b.result
+            || a.slot != b.slot
+            || a.rwset != b.rwset
+            || a.touched_dest != b.touched_dest
+        {
+            diverged += 1;
+            if diverged <= 3 {
+                violations.push(Violation::new(
+                    id,
+                    artifact.to_string(),
+                    format!("fate {i} diverged from the serial engine"),
+                ));
+            }
+        }
+    }
+    if diverged > 3 {
+        violations.push(Violation::new(
+            id,
+            artifact.to_string(),
+            format!("{diverged} of {} fates diverged in total", serial.len()),
+        ));
+    }
+    violations
+}
+
 /// The fault-injection grid: healthy, panicking (str and `String`
 /// payloads) and stalling cells.
 fn fault_grid() -> Vec<Cell<u64>> {
@@ -272,6 +719,14 @@ mod tests {
             assert_eq!(check_queue_integrity(threads), Vec::new());
             assert_eq!(check_merge_barrier(threads), Vec::new());
             assert_eq!(check_registry_isolation(threads), Vec::new());
+        }
+    }
+
+    #[test]
+    fn engine_checkers_are_clean_at_one_and_four_shards() {
+        for shards in [1, 4] {
+            assert_eq!(check_mailbox_handoff(shards), Vec::new());
+            assert_eq!(check_reconfig_fence(shards), Vec::new());
         }
     }
 }

@@ -37,6 +37,9 @@ const TELEMETRY_SCENARIOS: usize = 64;
 /// Parallel thread count for the concurrency sweep (each checker also
 /// runs at 1 thread, the forced worker-reuse case).
 const CONCURRENCY_THREADS: usize = 4;
+/// Executor shard counts for the sharded-engine sweep: the serial
+/// inline backend and the threaded backend.
+const SHARD_COUNTS: [u32; 2] = [1, 4];
 
 fn main() {
     let mut all = Vec::new();
@@ -81,6 +84,16 @@ fn main() {
     report_phase(
         &format!(
             "concurrency sweep: fault-injected pool + merge + isolation at threads 1 and {CONCURRENCY_THREADS}"
+        ),
+        &stats,
+    );
+    all.extend(stats.violations);
+
+    let stats = sharded_engine_sweep();
+    report_phase(
+        &format!(
+            "sharded engine sweep: mailbox handoff + reconfig fence at shards {} and {}, plus a detailed sim run on both backends",
+            SHARD_COUNTS[0], SHARD_COUNTS[1]
         ),
         &stats,
     );
@@ -386,6 +399,24 @@ fn concurrency_sweep() -> CheckStats {
         stats.absorb(concurrency::check_merge_barrier(threads));
         stats.absorb(concurrency::check_registry_isolation(threads));
     }
+    stats
+}
+
+/// Phase 7: the sharded execution engine (`CON-04`/`CON-05`) — mailbox
+/// routing and the reconfiguration fence on the *production* threaded
+/// `Cluster` at every shard count in [`SHARD_COUNTS`], then one detailed
+/// simulation run on the serial and the 4-shard backend, which must be
+/// bit-identical (and, with the `telemetry` feature, whose sampled
+/// traces must pass the full TEL/TXN battery). The exhaustive
+/// interleaving layer runs separately as `RUSTFLAGS="--cfg loom" cargo
+/// test -p pstore-dbms --release --test loom_models`.
+fn sharded_engine_sweep() -> CheckStats {
+    let mut stats = CheckStats::default();
+    for shards in SHARD_COUNTS {
+        stats.absorb(concurrency::check_mailbox_handoff(shards));
+        stats.absorb(concurrency::check_reconfig_fence(shards));
+    }
+    stats.absorb(concurrency::check_sharded_sim());
     stats
 }
 

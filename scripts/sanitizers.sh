@@ -42,12 +42,15 @@ HOST="$(rustc +nightly -vV | sed -n 's/^host: //p')"
 
 # The sanitizer-instrumented targets. Each entry is "<cargo args>": the
 # vendored pool's own tests, the fault-injected sweep suite that drives
-# it from pstore-bench, and the telemetry sink/exposer tests (the one
-# production background thread in the workspace).
+# it from pstore-bench, the telemetry sink/exposer tests, and the
+# sharded execution engine (mailbox handoff, reconfig fence, panic
+# propagation across the coordinator/shard threads).
 TARGETS=(
     "-p rayon --lib"
     "-p pstore-bench --lib"
     "-p pstore-telemetry --lib"
+    "-p pstore-dbms --lib"
+    "-p pstore-dbms --test sharded_engine"
 )
 
 for SAN in "${SANITIZERS[@]}"; do

@@ -140,6 +140,24 @@ pub enum InvariantId {
     /// migrating, and the rwset record carries the slot the transaction
     /// arrived on (§4.2).
     TxnReadWriteSets,
+    /// ISO-01: the direct serialization graph over sampled key-level
+    /// version histories (WR edges from versions read, WW edges from
+    /// version order, RW anti-dependencies from the version a read
+    /// missed) is acyclic — the history is conflict-serializable
+    /// (IsoPredict-style checking; §4.2, migrations are transparent to
+    /// transaction semantics).
+    IsoDsgAcyclic,
+    /// ISO-02: every read observes a version installed by a transaction
+    /// at or before the reader in the commit order — no read from the
+    /// future, and the serialization order is equivalent to the commit
+    /// order.
+    IsoReadCommitOrder,
+    /// ISO-03: Squall-style restarts leave no orphan versions — each
+    /// (key, version) has exactly one installer, per-key versions are
+    /// installed in strictly increasing order, and a restarted
+    /// transaction's reads are consistent with its own writes
+    /// (read-your-restart; §4.2).
+    IsoRestartIntegrity,
 }
 
 impl InvariantId {
@@ -176,6 +194,9 @@ impl InvariantId {
             InvariantId::ConcurrencyMailboxHandoff => "CON-04",
             InvariantId::ConcurrencyReconfigFence => "CON-05",
             InvariantId::TxnReadWriteSets => "TXN-01",
+            InvariantId::IsoDsgAcyclic => "ISO-01",
+            InvariantId::IsoReadCommitOrder => "ISO-02",
+            InvariantId::IsoRestartIntegrity => "ISO-03",
         }
     }
 
@@ -213,6 +234,9 @@ impl InvariantId {
             InvariantId::ConcurrencyMailboxHandoff => "§6 (execution engine)",
             InvariantId::ConcurrencyReconfigFence => "§4.2 (Squall reconfiguration)",
             InvariantId::TxnReadWriteSets => "§4.2 (Squall reconfiguration)",
+            InvariantId::IsoDsgAcyclic => "§4.2 (transparent migration; IsoPredict DSG)",
+            InvariantId::IsoReadCommitOrder => "§4.2 (commit-order equivalence)",
+            InvariantId::IsoRestartIntegrity => "§4.2 (Squall restart semantics)",
         }
     }
 }
@@ -337,6 +361,25 @@ mod tests {
             "dest write outside migration",
         );
         assert!(v.to_string().contains("TXN-01"));
+    }
+
+    #[test]
+    fn iso_codes_follow_family_convention() {
+        let family = [
+            InvariantId::IsoDsgAcyclic,
+            InvariantId::IsoReadCommitOrder,
+            InvariantId::IsoRestartIntegrity,
+        ];
+        for (i, id) in family.iter().enumerate() {
+            assert_eq!(id.code(), format!("ISO-{:02}", i + 1));
+            assert!(!id.paper_ref().is_empty());
+        }
+        let v = Violation::new(
+            InvariantId::IsoDsgAcyclic,
+            "history shards=4",
+            "cycle T5 -WW(k)-> T7 -RW(k)-> T5",
+        );
+        assert!(v.to_string().contains("ISO-01"));
     }
 
     #[test]

@@ -249,6 +249,10 @@ pub struct Cluster {
     stats: ClusterStats,
     /// Per-procedure (committed, aborted) counters.
     procedure_stats: HashMap<&'static str, (u64, u64)>,
+    /// Coordinator mirror of the shards' per-key version tracking flag
+    /// (see [`set_track_versions`](Self::set_track_versions)): sampled
+    /// transactions are only captured at key level while this is on.
+    versions_on: bool,
     /// Trace id for the next transaction, set by a sampling caller (the
     /// simulator): `execute_at_slot` emits that transaction's `txn_rwset`
     /// (and `txn_restart`, if it was rerouted to a migration destination)
@@ -344,17 +348,45 @@ impl Cluster {
             reconfig: None,
             stats: ClusterStats::default(),
             procedure_stats: HashMap::new(),
+            versions_on: false,
             #[cfg(feature = "telemetry")]
             txn_trace_id: None,
         }
     }
 
-    /// Tags the next [`execute_at_slot`](Self::execute_at_slot) call with
-    /// a per-transaction trace id: the engine emits that transaction's
+    /// Enables or disables per-key version counting across every shard —
+    /// the substrate of the sampled ISO-01..03 serializability histories.
+    /// Off by default: the warm path then carries no version bookkeeping
+    /// and sampled `txn_rwset` events keep their side-tally-only shape,
+    /// so golden traces stay byte-stable. On the threaded backend this
+    /// fences (the flag flip must not race in-flight execution), which
+    /// requires collecting outstanding fates first; enable it before
+    /// submitting traffic.
+    pub fn set_track_versions(&mut self, on: bool) {
+        self.versions_on = on;
+        if let Backend::Inline(state) = &mut self.backend {
+            state.set_track_versions(on);
+            return;
+        }
+        self.settle_outstanding();
+        self.fence_all(FenceOp::TrackVersions(on));
+    }
+
+    /// Whether per-key version counting is on.
+    pub fn track_versions(&self) -> bool {
+        self.versions_on
+    }
+
+    /// Tags the next [`execute_at_slot`](Self::execute_at_slot) or
+    /// [`submit`](Self::submit) call with a per-transaction trace id.
+    /// On the execute path the engine emits that transaction's
     /// `txn_rwset` record (and `txn_restart` when it touched a migration
-    /// destination) into the telemetry stream, then clears the tag. The
-    /// simulator sets this only for sampled transactions, keeping untagged
-    /// executions free of per-txn trace traffic.
+    /// destination) into the telemetry stream, then clears the tag; on
+    /// the submit path the tag only arms key-level capture (when
+    /// [`track_versions`](Self::track_versions) is on) — the caller emits
+    /// from the returned fate. The simulator sets this only for sampled
+    /// transactions, keeping untagged executions free of per-txn trace
+    /// traffic.
     #[cfg(feature = "telemetry")]
     pub fn set_txn_trace_id(&mut self, id: u64) {
         self.txn_trace_id = Some(id);
@@ -476,15 +508,21 @@ impl Cluster {
         );
         let (node, local, in_flight) = self.routing_of(slot);
         self.slot_access_totals[slot as usize] += 1;
+        #[cfg(feature = "telemetry")]
+        let trace_id = self.txn_trace_id.take();
+        #[cfg(feature = "telemetry")]
+        let capture = trace_id.is_some() && self.versions_on;
+        #[cfg(not(feature = "telemetry"))]
+        let capture = false;
         let fate = match &mut self.backend {
-            Backend::Inline(state) => state.execute(proc, slot, node, local, in_flight),
+            Backend::Inline(state) => state.execute(proc, slot, node, local, in_flight, capture),
             Backend::Threaded { .. } => {
                 panic!("execute_at_slot requires the inline backend; use submit/drain_fates_into")
             }
         };
         account(&mut self.stats, &mut self.procedure_stats, &fate);
         #[cfg(feature = "telemetry")]
-        if let Some(id) = self.txn_trace_id.take() {
+        if let Some(id) = trace_id {
             if pstore_telemetry::enabled() {
                 if fate.touched_dest {
                     // The Squall-style switchover: an access resolved
@@ -497,19 +535,7 @@ impl Cluster {
                             .with("slot", slot),
                     );
                 }
-                pstore_telemetry::emit(
-                    pstore_telemetry::Event::new(pstore_telemetry::kinds::TXN_RWSET)
-                        .with("id", id)
-                        .with("slot", slot)
-                        .with("proc", fate.proc)
-                        .with("reads", fate.rwset.reads)
-                        .with("writes", fate.rwset.writes)
-                        .with("dest_reads", fate.rwset.dest_reads)
-                        .with("dest_writes", fate.rwset.dest_writes)
-                        .with("migrating", fate.migrating)
-                        .with("restarted", fate.touched_dest)
-                        .with("committed", fate.result.is_ok()),
-                );
+                pstore_telemetry::emit(txn_rwset_event(id, slot, &fate));
             }
         }
         fate.result
@@ -535,9 +561,16 @@ impl Cluster {
         );
         let (node, local, in_flight) = self.routing_of(slot);
         self.slot_access_totals[slot as usize] += 1;
+        // The trace tag arms key-level capture on this submission path; the
+        // fate carries the captured sets back through drain_fates_into, and
+        // the caller (the simulator's pipeline flush) does the emitting.
+        #[cfg(feature = "telemetry")]
+        let capture = self.txn_trace_id.take().is_some() && self.versions_on;
+        #[cfg(not(feature = "telemetry"))]
+        let capture = false;
         match &mut self.backend {
             Backend::Inline(state) => {
-                let fate = state.execute(&proc, slot, node, local, in_flight);
+                let fate = state.execute(&proc, slot, node, local, in_flight, capture);
                 account(&mut self.stats, &mut self.procedure_stats, &fate);
                 self.drained.push_back(fate);
             }
@@ -551,6 +584,7 @@ impl Cluster {
                         node,
                         local,
                         in_flight,
+                        capture,
                     },
                 );
                 self.pending_order.push_back(shard);
@@ -1379,6 +1413,44 @@ fn account(
     if fate.touched_dest {
         stats.touched_migrating += 1;
     }
+}
+
+/// Builds the sampled `txn_rwset` event for a fate traced under `id` —
+/// shared by both emission paths (the inline engine in
+/// [`Cluster::execute_at_slot`] and the simulator's pipeline flush), so
+/// traces stay byte-identical at any shard count. The key-level `rset` /
+/// `wset` fields appear only when the fate captured any key accesses
+/// (sampling on *and* version tracking enabled), which keeps pre-existing
+/// golden traces byte-stable.
+#[cfg(feature = "telemetry")]
+pub fn txn_rwset_event(id: u64, slot: u64, fate: &TxnFate) -> pstore_telemetry::Event {
+    let mut ev = pstore_telemetry::Event::new(pstore_telemetry::kinds::TXN_RWSET)
+        .with("id", id)
+        .with("slot", slot)
+        .with("proc", fate.proc)
+        .with("reads", fate.rwset.reads)
+        .with("writes", fate.rwset.writes)
+        .with("dest_reads", fate.rwset.dest_reads)
+        .with("dest_writes", fate.rwset.dest_writes)
+        .with("migrating", fate.migrating)
+        .with("restarted", fate.touched_dest)
+        .with("committed", fate.result.is_ok());
+    if !fate.key_reads.is_empty() || !fate.key_writes.is_empty() {
+        ev = ev
+            .with("rset", encode_accesses(&fate.key_reads))
+            .with("wset", encode_accesses(&fate.key_writes));
+    }
+    ev
+}
+
+/// String-encodes a captured key-access list for a `txn_rwset` field.
+#[cfg(feature = "telemetry")]
+fn encode_accesses(accesses: &[crate::txn::KeyAccess]) -> String {
+    pstore_telemetry::encode_key_versions(
+        accesses
+            .iter()
+            .map(|(table, key, version)| (*table as u64, key.to_string(), *version)),
+    )
 }
 
 #[cfg(test)]

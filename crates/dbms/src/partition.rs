@@ -60,6 +60,14 @@ pub struct PartitionStore {
     /// incrementing is a bounds check and an add, with no hashing on the
     /// per-transaction path. A reset keeps the allocation.
     slot_accesses: Vec<u64>,
+    /// Per-key write-version counters, keyed by slot (so a slot's history
+    /// migrates as a unit) then table. Only maintained while
+    /// [`track_versions`] is set (the ISO-01..03 serializability sweep);
+    /// the default keeps the warm path free of version bookkeeping.
+    ///
+    /// [`track_versions`]: PartitionStore::set_track_versions
+    versions: HashMap<u64, Vec<HashMap<Key, u64>>>,
+    track_versions: bool,
 }
 
 impl PartitionStore {
@@ -70,6 +78,89 @@ impl PartitionStore {
             slots: HashMap::new(),
             accesses: 0,
             slot_accesses: Vec::new(),
+            versions: HashMap::new(),
+            track_versions: false,
+        }
+    }
+
+    /// Enables or disables per-key version counting. Disabling clears the
+    /// recorded counters, so re-enabling restarts every chain at 0.
+    pub fn set_track_versions(&mut self, on: bool) {
+        self.track_versions = on;
+        if !on {
+            self.versions.clear();
+        }
+    }
+
+    /// Whether per-key version counting is on.
+    pub fn track_versions(&self) -> bool {
+        self.track_versions
+    }
+
+    /// The current write version of a key: the number of installs (puts
+    /// and deletes) observed since tracking started. 0 for never-written
+    /// keys.
+    pub fn version_of(&self, slot: u64, table: TableId, key: &Key) -> u64 {
+        self.versions
+            .get(&slot)
+            .and_then(|tables| tables.get(table))
+            .and_then(|m| m.get(key))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Advances a key's write version and returns the new (installed)
+    /// version. No-op returning 0 when tracking is off. Called by the
+    /// transaction layer only — migration re-installs rows without
+    /// bumping, so a key's history survives chunk moves intact.
+    pub fn bump_version(&mut self, slot: u64, table: TableId, key: &Key) -> u64 {
+        if !self.track_versions {
+            return 0;
+        }
+        let n = self.num_tables.max(table + 1);
+        let tables = self.versions.entry(slot).or_default();
+        if tables.len() < n {
+            tables.resize_with(n, HashMap::new);
+        }
+        let v = tables[table].entry(key.clone()).or_insert(0);
+        *v += 1;
+        *v
+    }
+
+    /// Removes and returns a key's version counter (migration handoff).
+    pub fn take_version(&mut self, slot: u64, table: TableId, key: &Key) -> Option<u64> {
+        self.versions.get_mut(&slot)?.get_mut(table)?.remove(key)
+    }
+
+    /// Removes and returns every remaining version counter of `slot`
+    /// (end-of-slot migration handoff: tombstoned keys have a counter but
+    /// no row, so they are not carried by `extract_chunk`).
+    pub fn take_slot_versions(&mut self, slot: u64) -> Vec<((TableId, Key), u64)> {
+        self.versions
+            .remove(&slot)
+            .map(|tables| {
+                tables
+                    .into_iter()
+                    .enumerate()
+                    .flat_map(|(tid, m)| m.into_iter().map(move |(k, v)| ((tid, k), v)))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Installs version counters delivered by a migration chunk.
+    pub fn install_versions(&mut self, slot: u64, entries: Vec<((TableId, Key), u64)>) {
+        if entries.is_empty() {
+            return;
+        }
+        let max_table = entries.iter().map(|((t, _), _)| *t + 1).max().unwrap_or(0);
+        let n = self.num_tables.max(max_table);
+        let tables = self.versions.entry(slot).or_default();
+        if tables.len() < n {
+            tables.resize_with(n, HashMap::new);
+        }
+        for ((tid, key), v) in entries {
+            tables[tid].insert(key, v);
         }
     }
 
@@ -205,8 +296,11 @@ impl PartitionStore {
     }
 
     /// Removes an entire slot (used when committing a plan switch for an
-    /// already-empty slot, or in tests).
+    /// already-empty slot, or in tests). Drops any version counters still
+    /// attributed to the slot — by commit time a migrated slot's history
+    /// has already been handed to the destination.
     pub fn take_slot(&mut self, slot: u64) -> Option<SlotData> {
+        self.versions.remove(&slot);
         self.slots.remove(&slot)
     }
 
@@ -346,5 +440,41 @@ mod tests {
         p.record_access();
         p.record_access();
         assert_eq!(p.accesses(), 2);
+    }
+
+    #[test]
+    fn version_counters_follow_writes_and_survive_handoff() {
+        let mut src = PartitionStore::new(1);
+        let k = Key::str("cart-1");
+        // Off by default: bumping is a no-op (ISO sweep opt-in).
+        assert_eq!(src.bump_version(2, 0, &k), 0);
+        src.set_track_versions(true);
+        assert_eq!(src.version_of(2, 0, &k), 0);
+        assert_eq!(src.bump_version(2, 0, &k), 1);
+        assert_eq!(src.bump_version(2, 0, &k), 2);
+        assert_eq!(src.version_of(2, 0, &k), 2);
+        // A tombstoned key keeps its chain alive.
+        let dead = Key::str("gone");
+        src.put(2, 0, dead.clone(), Row(vec![Value::Int(1)]));
+        src.bump_version(2, 0, &dead);
+        src.delete(2, 0, &dead);
+        src.bump_version(2, 0, &dead);
+        assert_eq!(src.version_of(2, 0, &dead), 2);
+        // Chunk handoff: per-key transfer, then the slot-tail transfer
+        // carries counters with no resident row.
+        let mut dst = PartitionStore::new(1);
+        dst.set_track_versions(true);
+        let v = src.take_version(2, 0, &k).expect("tracked");
+        dst.install_versions(2, vec![((0, k.clone()), v)]);
+        dst.install_versions(2, src.take_slot_versions(2));
+        assert_eq!(dst.version_of(2, 0, &k), 2);
+        assert_eq!(dst.version_of(2, 0, &dead), 2);
+        assert_eq!(src.version_of(2, 0, &k), 0);
+        // Migration re-install must not advance the chain.
+        dst.install_rows(2, vec![(0, k.clone(), Row(vec![Value::Int(9)]))]);
+        assert_eq!(dst.version_of(2, 0, &k), 2);
+        // Disabling clears state.
+        dst.set_track_versions(false);
+        assert_eq!(dst.version_of(2, 0, &k), 0);
     }
 }

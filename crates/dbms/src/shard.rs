@@ -22,7 +22,7 @@
 
 use crate::catalog::TableId;
 use crate::partition::PartitionStore;
-use crate::txn::{Procedure, RwSet, TxnCtx, TxnError, TxnOutput};
+use crate::txn::{KeyAccess, Procedure, RwSet, TxnCtx, TxnError, TxnOutput};
 use crate::value::{Key, Row};
 use std::collections::{HashMap, HashSet};
 
@@ -45,6 +45,13 @@ pub struct TxnFate {
     pub slot: u64,
     /// Whether the slot was in-flight (migrating) at execution time.
     pub migrating: bool,
+    /// Key-level `(table, key, version-observed)` reads, in program
+    /// order. Empty unless the transaction was captured (sampled with
+    /// version tracking on).
+    pub key_reads: Vec<KeyAccess>,
+    /// Key-level `(table, key, version-installed)` writes, in program
+    /// order. Empty unless the transaction was captured.
+    pub key_writes: Vec<KeyAccess>,
 }
 
 /// A shard panicked while executing a command. Carries the shard index
@@ -95,6 +102,9 @@ pub enum FenceOp {
     Integrity,
     /// Per-shard execution counters for telemetry attribution.
     ShardReport,
+    /// Enable or disable per-key version counting in every store this
+    /// shard owns (the ISO-01..03 serializability sweep).
+    TrackVersions(bool),
     /// Pure quiescence: drain, acknowledge, hold.
     Noop,
 }
@@ -152,6 +162,9 @@ pub enum Command {
         local: u32,
         /// `(from, to)` when the slot is in-flight.
         in_flight: Option<(u32, u32)>,
+        /// Record a key-level read/write history for this transaction
+        /// (sampled serializability capture).
+        capture: bool,
     },
     /// Move up to `budget` bytes of `slot` from `from` to `to`.
     Chunk {
@@ -247,6 +260,9 @@ pub struct ShardState {
     moved: HashMap<u64, HashSet<(TableId, Key)>>,
     /// Transactions executed by this shard (attribution counter).
     txns: u64,
+    /// Whether per-key version counting is on (applied to every store,
+    /// including ones created by later `EnsureNodes` growth).
+    track_versions: bool,
 }
 
 impl ShardState {
@@ -270,9 +286,19 @@ impl ShardState {
             stores: Vec::new(),
             moved: HashMap::new(),
             txns: 0,
+            track_versions: false,
         };
         state.ensure_nodes(nodes);
         state
+    }
+
+    /// Enables or disables per-key version counting across every store
+    /// this shard owns (current and future).
+    pub fn set_track_versions(&mut self, on: bool) {
+        self.track_versions = on;
+        for store in self.stores.iter_mut().flatten() {
+            store.set_track_versions(on);
+        }
     }
 
     /// Number of local partition indices this shard owns per node.
@@ -302,7 +328,11 @@ impl ShardState {
         while self.stores.len() < count as usize {
             self.stores.push(
                 (0..per_node)
-                    .map(|_| PartitionStore::new(self.num_tables))
+                    .map(|_| {
+                        let mut store = PartitionStore::new(self.num_tables);
+                        store.set_track_versions(self.track_versions);
+                        store
+                    })
                     .collect(),
             );
         }
@@ -328,15 +358,24 @@ impl ShardState {
         node: u32,
         local: u32,
         in_flight: Option<(u32, u32)>,
+        capture: bool,
     ) -> TxnFate {
         self.txns += 1;
         let num_slots = self.num_slots;
-        let (result, touched_dest, rwset) = match in_flight {
+        let (result, touched_dest, rwset, key_reads, key_writes) = match in_flight {
             None => {
                 let store = self.store_mut(node, local);
                 store.record_slot_access(slot);
                 let mut ctx = TxnCtx::settled(slot, num_slots, store);
-                (proc.execute(&mut ctx), ctx.touched_dest, ctx.rwset)
+                ctx.set_capture(capture);
+                let result = proc.execute(&mut ctx);
+                (
+                    result,
+                    ctx.touched_dest,
+                    ctx.rwset,
+                    ctx.key_reads,
+                    ctx.key_writes,
+                )
             }
             Some((from, to)) => {
                 debug_assert_ne!(from, to);
@@ -352,7 +391,15 @@ impl ShardState {
                 let empty = HashSet::new();
                 let moved = self.moved.get(&slot).unwrap_or(&empty);
                 let mut ctx = TxnCtx::migrating(slot, num_slots, source, dest, moved);
-                (proc.execute(&mut ctx), ctx.touched_dest, ctx.rwset)
+                ctx.set_capture(capture);
+                let result = proc.execute(&mut ctx);
+                (
+                    result,
+                    ctx.touched_dest,
+                    ctx.rwset,
+                    ctx.key_reads,
+                    ctx.key_writes,
+                )
             }
         };
         TxnFate {
@@ -362,6 +409,8 @@ impl ShardState {
             proc: proc.name(),
             slot,
             migrating: in_flight.is_some(),
+            key_reads,
+            key_writes,
         }
     }
 
@@ -383,6 +432,24 @@ impl ShardState {
         let (rows, bytes, emptied) = src[k].extract_chunk(slot, budget.max(1));
         for (tid, key, _) in &rows {
             moved.insert((*tid, key.clone()));
+        }
+        // A moving key's version counter travels with it so the sampled
+        // history stays one chain across the migration; when the slot
+        // empties, tombstone-only counters follow in one batch.
+        if self.track_versions {
+            let versions: Vec<((TableId, Key), u64)> = rows
+                .iter()
+                .filter_map(|(tid, key, _)| {
+                    src[k]
+                        .take_version(slot, *tid, key)
+                        .map(|v| ((*tid, key.clone()), v))
+                })
+                .collect();
+            dst[k].install_versions(slot, versions);
+            if emptied {
+                let tail = src[k].take_slot_versions(slot);
+                dst[k].install_versions(slot, tail);
+            }
         }
         let n_rows = rows.len();
         dst[k].install_rows(slot, rows);
@@ -504,6 +571,10 @@ impl ShardState {
                 txns: self.txns,
                 busy_us: 0,
             },
+            FenceOp::TrackVersions(on) => {
+                self.set_track_versions(*on);
+                FenceData::None
+            }
             FenceOp::Noop => FenceData::None,
         }
     }
@@ -524,7 +595,8 @@ impl ShardState {
                 node,
                 local,
                 in_flight,
-            } => Reply::Fate(self.execute(proc.as_ref(), slot, node, local, in_flight)),
+                capture,
+            } => Reply::Fate(self.execute(proc.as_ref(), slot, node, local, in_flight, capture)),
             Command::Chunk {
                 slot,
                 from,

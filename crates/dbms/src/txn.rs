@@ -102,6 +102,69 @@ pub struct RwSet {
     pub dest_writes: u64,
 }
 
+/// One key-level access record: `(table, key, write-version)`. For a read
+/// the version is the key's version *observed* (0 = never written); for a
+/// write it is the version *installed* by this transaction. The version
+/// counters live in the partition store (see
+/// [`PartitionStore::bump_version`]) so histories stay meaningful across
+/// shards, migrations, and Squall restarts.
+pub type KeyAccess = (TableId, Key, u64);
+
+/// Fault-injection knob for the `ISO-*` seeded-bug twin tests (test
+/// builds and the `iso-seeded-bugs` feature only; never compiled into
+/// release artifacts otherwise). An armed bug makes *captured reads lie
+/// about the version they observed* — the engine still executes
+/// correctly, but the recorded history carries the signature of a real
+/// isolation anomaly, proving the ISO-01..03 checkers in `pstore-verify`
+/// would catch one. Thread-local and off by default, so the hook is
+/// inert even in builds that carry it.
+#[cfg(any(test, feature = "iso-seeded-bugs"))]
+pub mod seeded_bugs {
+    use std::cell::Cell;
+
+    /// Which read-capture anomaly to fabricate.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub enum ReadBug {
+        /// Record versions faithfully (default).
+        #[default]
+        None,
+        /// Record each read one version *older* than observed — the
+        /// stale-read signature behind lost updates and write skew
+        /// (ISO-01 cycles).
+        StaleRead,
+        /// Record each read one version *newer* than observed — a read
+        /// from the future (ISO-02).
+        FutureRead,
+    }
+
+    thread_local! {
+        static READ_BUG: Cell<ReadBug> = const { Cell::new(ReadBug::None) };
+    }
+
+    /// Arms `bug` for captured reads on this thread until re-armed with
+    /// [`ReadBug::None`].
+    pub fn arm(bug: ReadBug) {
+        READ_BUG.with(|b| b.set(bug));
+    }
+
+    /// The currently armed bug.
+    pub fn armed() -> ReadBug {
+        READ_BUG.with(Cell::get)
+    }
+}
+
+/// The version a captured read records: the observed version, distorted
+/// by the armed seeded bug in test builds.
+fn captured_read_version(v: u64) -> u64 {
+    #[cfg(any(test, feature = "iso-seeded-bugs"))]
+    let v = match seeded_bugs::armed() {
+        seeded_bugs::ReadBug::None => v,
+        seeded_bugs::ReadBug::StaleRead => v.saturating_sub(1),
+        seeded_bugs::ReadBug::FutureRead => v + 1,
+    };
+    v
+}
+
 /// Execution context: a view over the partition(s) holding the routing
 /// slot. During live migration of the slot the view spans the source and
 /// destination partitions, consulting the migrated-key set per access — the
@@ -119,6 +182,16 @@ pub struct TxnCtx<'a> {
     /// Read/write-set tally of this transaction. Stays all-zero unless
     /// the `telemetry` feature is on (see [`RwSet`]).
     pub rwset: RwSet,
+    /// When set, every access also records a key-level [`KeyAccess`]
+    /// entry (the sampled serializability history; telemetry builds
+    /// only). Off by default: unsampled transactions never clone keys.
+    capture: bool,
+    /// `(table, key, version-observed)` per read, in program order.
+    /// Filled only while [`set_capture`](TxnCtx::set_capture) is on.
+    pub key_reads: Vec<KeyAccess>,
+    /// `(table, key, version-installed)` per write, in program order.
+    /// Filled only while [`set_capture`](TxnCtx::set_capture) is on.
+    pub key_writes: Vec<KeyAccess>,
 }
 
 impl<'a> TxnCtx<'a> {
@@ -131,6 +204,9 @@ impl<'a> TxnCtx<'a> {
             dest: None,
             touched_dest: false,
             rwset: RwSet::default(),
+            capture: false,
+            key_reads: Vec::new(),
+            key_writes: Vec::new(),
         }
     }
 
@@ -149,12 +225,21 @@ impl<'a> TxnCtx<'a> {
             dest: Some((dest, moved)),
             touched_dest: false,
             rwset: RwSet::default(),
+            capture: false,
+            key_reads: Vec::new(),
+            key_writes: Vec::new(),
         }
     }
 
     /// The virtual slot this transaction executes against.
     pub fn slot(&self) -> u64 {
         self.slot
+    }
+
+    /// Turns key-level history capture on or off for this transaction
+    /// (the sampled ISO-01..03 record; see [`KeyAccess`]).
+    pub fn set_capture(&mut self, on: bool) {
+        self.capture = on;
     }
 
     /// Enforces the single-partition discipline: every key a procedure
@@ -216,15 +301,34 @@ impl<'a> TxnCtx<'a> {
         match self.side_of(table, key) {
             Side::Source => {
                 self.note_read(false);
+                if self.capture {
+                    let v = self.source.version_of(self.slot, table, key);
+                    self.key_reads
+                        .push((table, key.clone(), captured_read_version(v)));
+                }
                 self.source.get(self.slot, table, key).cloned()
             }
             Side::Dest => {
                 self.note_read(true);
                 self.touched_dest = true;
-                let Some((dest, _)) = self.dest.as_ref() else {
-                    unreachable!("dest side implies dest view");
+                let (row, v) = {
+                    let Some((dest, _)) = self.dest.as_ref() else {
+                        unreachable!("dest side implies dest view");
+                    };
+                    (
+                        dest.get(self.slot, table, key).cloned(),
+                        if self.capture {
+                            dest.version_of(self.slot, table, key)
+                        } else {
+                            0
+                        },
+                    )
                 };
-                dest.get(self.slot, table, key).cloned()
+                if self.capture {
+                    self.key_reads
+                        .push((table, key.clone(), captured_read_version(v)));
+                }
+                row
             }
         }
     }
@@ -247,11 +351,24 @@ impl<'a> TxnCtx<'a> {
         match self.side_of(table, &key) {
             Side::Source => {
                 self.note_write(false);
+                let v = self.source.bump_version(self.slot, table, &key);
+                if self.capture {
+                    self.key_writes.push((table, key.clone(), v));
+                }
                 self.source.put(self.slot, table, key, row)
             }
             Side::Dest => {
                 self.note_write(true);
                 self.touched_dest = true;
+                let v = {
+                    let Some((dest, _)) = self.dest.as_mut() else {
+                        unreachable!("dest side implies dest view");
+                    };
+                    dest.bump_version(self.slot, table, &key)
+                };
+                if self.capture {
+                    self.key_writes.push((table, key.clone(), v));
+                }
                 let Some((dest, _)) = self.dest.as_mut() else {
                     unreachable!("dest side implies dest view");
                 };
@@ -283,11 +400,24 @@ impl<'a> TxnCtx<'a> {
         match self.side_of(table, key) {
             Side::Source => {
                 self.note_write(false);
+                let v = self.source.bump_version(self.slot, table, key);
+                if self.capture {
+                    self.key_writes.push((table, key.clone(), v));
+                }
                 self.source.delete(self.slot, table, key)
             }
             Side::Dest => {
                 self.note_write(true);
                 self.touched_dest = true;
+                let v = {
+                    let Some((dest, _)) = self.dest.as_mut() else {
+                        unreachable!("dest side implies dest view");
+                    };
+                    dest.bump_version(self.slot, table, key)
+                };
+                if self.capture {
+                    self.key_writes.push((table, key.clone(), v));
+                }
                 let Some((dest, _)) = self.dest.as_mut() else {
                     unreachable!("dest side implies dest view");
                 };
@@ -312,6 +442,18 @@ impl<'a> TxnCtx<'a> {
             }
         }
         self.note_read(hit_dest);
+        if self.capture {
+            for (k, _) in &rows {
+                let v = match &self.dest {
+                    Some((dest, moved)) if moved.contains(&(table, k.clone())) => {
+                        dest.version_of(self.slot, table, k)
+                    }
+                    _ => self.source.version_of(self.slot, table, k),
+                };
+                self.key_reads
+                    .push((table, k.clone(), captured_read_version(v)));
+            }
+        }
         rows
     }
 
@@ -482,6 +624,58 @@ mod tests {
         let _ = ctx.get(0, &Key::str("a"));
         let _ = ctx.scan_prefix(0, &Key::str("a"));
         assert_eq!(ctx.rwset, RwSet::default());
+    }
+
+    #[test]
+    fn key_capture_records_observed_and_installed_versions() {
+        let slot = slot_of("cart-9");
+        let moved_key = Key::str_int("cart-9", 1);
+        let staying_key = Key::str_int("cart-9", 2);
+        let mut src = PartitionStore::new(1);
+        let mut dst = PartitionStore::new(1);
+        src.set_track_versions(true);
+        dst.set_track_versions(true);
+        dst.put(slot, 0, moved_key.clone(), row(10));
+        src.put(slot, 0, staying_key.clone(), row(20));
+        let moved: HashSet<(TableId, Key)> = [(0usize, moved_key.clone())].into();
+        let mut ctx = TxnCtx::migrating(slot, SLOTS, &mut src, &mut dst, &moved);
+        ctx.set_capture(true);
+        let _ = ctx.get(0, &staying_key); // never txn-written: observes 0
+        ctx.put(0, staying_key.clone(), row(21)); // installs 1
+        let _ = ctx.get(0, &staying_key); // observes 1
+        ctx.put(0, moved_key.clone(), row(11)); // dest install 1
+        let _ = ctx.delete(0, &staying_key); // installs 2 (tombstone)
+        assert_eq!(
+            ctx.key_reads,
+            vec![(0, staying_key.clone(), 0), (0, staying_key.clone(), 1),]
+        );
+        assert_eq!(
+            ctx.key_writes,
+            vec![
+                (0, staying_key.clone(), 1),
+                (0, moved_key.clone(), 1),
+                (0, staying_key.clone(), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn key_capture_off_records_nothing_but_versions_still_advance() {
+        let slot = slot_of("a");
+        let mut store = PartitionStore::new(1);
+        store.set_track_versions(true);
+        let k = Key::str("a");
+        {
+            let mut ctx = TxnCtx::settled(slot, SLOTS, &mut store);
+            ctx.put(0, k.clone(), row(1));
+            assert!(ctx.key_reads.is_empty() && ctx.key_writes.is_empty());
+        }
+        // An unsampled transaction's writes still advance the chain a
+        // later sampled transaction observes.
+        let mut ctx = TxnCtx::settled(slot, SLOTS, &mut store);
+        ctx.set_capture(true);
+        let _ = ctx.get(0, &k);
+        assert_eq!(ctx.key_reads, vec![(0, k, 1)]);
     }
 
     #[test]

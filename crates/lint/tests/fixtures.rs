@@ -74,20 +74,23 @@ fn sa01_incoherent_registry_fires() {
     assert_eq!(
         triples(&report),
         vec![
-            ("SA-01".into(), reg.into(), 11),
-            ("SA-01".into(), reg.into(), 11),
-            ("SA-01".into(), reg.into(), 11),
+            ("SA-01".into(), reg.into(), 13),
+            ("SA-01".into(), reg.into(), 13),
+            ("SA-01".into(), reg.into(), 13),
             ("SA-01".into(), "docs/invariants.md".into(), 5),
+            ("SA-01".into(), "docs/invariants.md".into(), 9),
         ]
     );
     // The three registry findings are the missing checker, doc section
-    // and test mention for MOV-01; the doc finding is the dead SCH-02.
+    // and test mention for MOV-01; the doc findings are the dead SCH-02
+    // and ISO-02 sections (the fully wired ISO-01 stays silent).
     assert!(report.findings[0].message.contains("no checker reference"));
     assert!(report.findings[1].message.contains("no section"));
     assert!(report.findings[2]
         .message
         .contains("never mentioned in a test"));
     assert!(report.findings[3].message.contains("SCH-02"));
+    assert!(report.findings[4].message.contains("ISO-02"));
 }
 
 #[test]

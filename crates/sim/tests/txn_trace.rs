@@ -14,6 +14,7 @@ use pstore_core::controller::reactive::{ReactiveConfig, ReactiveController};
 use pstore_core::params::SystemParams;
 use pstore_sim::detailed::{run_detailed, DetailedSimConfig};
 use pstore_telemetry::{kinds, slo, MemorySink};
+use pstore_verify::iso;
 use pstore_verify::telemetry::{
     check_trace_order, check_trace_spans, check_txn_lifecycle, check_txn_rwsets,
 };
@@ -61,11 +62,8 @@ fn ramp_cfg() -> DetailedSimConfig {
     }
 }
 
-#[test]
-fn sampled_txn_trace_satisfies_tel06_and_txn01() {
-    let (sink, handle) = MemorySink::new();
-    let _guard = pstore_telemetry::install(Rc::new(sink));
-    let mut strat = ReactiveController::new(ReactiveConfig {
+fn controller() -> ReactiveController {
+    ReactiveController::new(ReactiveConfig {
         q: 285.0,
         q_hat: 350.0,
         trigger_fraction: 0.9,
@@ -74,14 +72,28 @@ fn sampled_txn_trace_satisfies_tel06_and_txn01() {
         scale_in_patience: 10,
         max_machines: 10,
         initial_machines: 2,
-    });
-    let result = run_detailed(&ramp_cfg(), &mut strat);
+    })
+}
+
+/// Run the ramp scenario at a given shard count and capture the full
+/// event trace.
+fn captured_ramp_run(shards: u32) -> Vec<pstore_telemetry::Event> {
+    let mut cfg = ramp_cfg();
+    cfg.shards = shards;
+    let (sink, handle) = MemorySink::new();
+    let _guard = pstore_telemetry::install(Rc::new(sink));
+    let mut strat = controller();
+    let result = run_detailed(&cfg, &mut strat);
     assert!(
         !result.reconfig_spans.is_empty(),
         "scenario never migrated — the trace would not exercise stalls"
     );
+    handle.events()
+}
 
-    let events = handle.events();
+#[test]
+fn sampled_txn_trace_satisfies_tel06_and_txn01() {
+    let events = captured_ramp_run(1);
     let count = |kind: &str| events.iter().filter(|ev| ev.kind == kind).count();
     let arrivals = count(kinds::TXN_ARRIVE);
     assert!(arrivals > 1_000, "only {arrivals} sampled arrivals");
@@ -113,4 +125,44 @@ fn sampled_txn_trace_satisfies_tel06_and_txn01() {
     );
     assert_eq!(runs[0].label, "0:detailed_sim");
     assert!(runs[0].stall_s > 0.0, "no stall time attributed");
+}
+
+/// End-to-end key-level trace check: the same fixed-seed reactive
+/// scale-out run, at shards 1 and 4, yields sampled key-version
+/// histories that pass ISO-01..03 — the sharded engine's commit order
+/// is conflict-serializable, reads only observe already-committed
+/// versions, and migration restarts leave no orphan versions. At
+/// shards=1 the commit order is additionally a valid *serial witness*:
+/// every dependency edge points forward, so the single-shard execution
+/// literally is the equivalent serial order the checker certifies.
+#[test]
+fn key_level_histories_pass_iso_checks_at_one_and_four_shards() {
+    for shards in [1u32, 4] {
+        let events = captured_ramp_run(shards);
+        let histories = match iso::histories_of(&events) {
+            Ok(h) => h,
+            Err(e) => panic!("shards={shards}: undecodable key history: {e}"),
+        };
+        let stats = iso::dsg_stats(&histories);
+        assert!(
+            stats.txns > 1_000,
+            "shards={shards}: only {} sampled key-level histories",
+            stats.txns
+        );
+        assert!(
+            stats.wr + stats.ww + stats.rw > 0,
+            "shards={shards}: vacuous history (no dependency edges): {stats:?}"
+        );
+
+        let violations = iso::check_key_histories("txn_trace", &histories);
+        assert!(violations.is_empty(), "shards={shards}: {violations:?}");
+
+        if shards == 1 {
+            let backward = iso::serial_witness_errors(&histories);
+            assert!(
+                backward.is_empty(),
+                "shards=1 commit order is not a serial witness: {backward:?}"
+            );
+        }
+    }
 }

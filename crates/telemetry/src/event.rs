@@ -270,6 +270,95 @@ impl Event {
     }
 }
 
+/// Encodes a key-level version history for a `txn_rwset` field (`rset` /
+/// `wset`): each `(table, key, version)` entry renders as
+/// `table:key@version` and entries are joined with `;`. Key text is
+/// escaped (`\` → `\\`, `;` → `\;`, `@` → `\@`) so arbitrary key
+/// displays round-trip; the table id and version are plain decimal.
+/// Event fields are flat scalars by contract ([`Event::from_json`]
+/// rejects arrays), so set-valued payloads ride in strings.
+pub fn encode_key_versions(entries: impl IntoIterator<Item = (u64, String, u64)>) -> String {
+    let mut out = String::new();
+    for (table, key, version) in entries {
+        if !out.is_empty() {
+            out.push(';');
+        }
+        let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{table}:"));
+        for c in key.chars() {
+            if matches!(c, '\\' | ';' | '@') {
+                out.push('\\');
+            }
+            out.push(c);
+        }
+        let _ = std::fmt::Write::write_fmt(&mut out, format_args!("@{version}"));
+    }
+    out
+}
+
+/// Decodes a string produced by [`encode_key_versions`] back into
+/// `(table, key, version)` entries. The empty string decodes to an empty
+/// list (an empty access set encodes to `""`).
+///
+/// # Errors
+/// Returns a description of the malformed entry when the text does not
+/// follow the `table:key@version` grammar.
+pub fn parse_key_versions(text: &str) -> Result<Vec<(u64, String, u64)>, String> {
+    let mut entries = Vec::new();
+    if text.is_empty() {
+        return Ok(entries);
+    }
+    let mut chars = text.chars().peekable();
+    loop {
+        // table id: decimal digits up to ':'
+        let mut table_digits = String::new();
+        for c in chars.by_ref() {
+            if c == ':' {
+                break;
+            }
+            table_digits.push(c);
+        }
+        let table: u64 = table_digits
+            .parse()
+            .map_err(|_| format!("bad table id {table_digits:?} in key-version entry"))?;
+        // key: escaped text up to an unescaped '@'
+        let mut key = String::new();
+        let mut terminated = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some(esc) => key.push(esc),
+                    None => return Err("dangling escape in key-version entry".to_string()),
+                },
+                '@' => {
+                    terminated = true;
+                    break;
+                }
+                other => key.push(other),
+            }
+        }
+        if !terminated {
+            return Err(format!("key-version entry for key {key:?} has no version"));
+        }
+        // version: decimal digits up to an (unescapable) ';' or the end
+        let mut version_digits = String::new();
+        let mut more = false;
+        for c in chars.by_ref() {
+            if c == ';' {
+                more = true;
+                break;
+            }
+            version_digits.push(c);
+        }
+        let version: u64 = version_digits
+            .parse()
+            .map_err(|_| format!("bad version {version_digits:?} in key-version entry"))?;
+        entries.push((table, key, version));
+        if !more {
+            return Ok(entries);
+        }
+    }
+}
+
 fn num_to_value(n: f64) -> Value {
     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     // guarded: integral, in-range, non-negative
@@ -344,6 +433,15 @@ pub mod kinds {
     /// Per-transaction read/write-set record captured at the `TxnCtx`
     /// access points: `id`, `slot`, `reads`, `writes`, `dest_reads`,
     /// `dest_writes`, `migrating`, `restarted`, `committed`, `proc`.
+    /// When key-level capture is on (version tracking enabled in the
+    /// engine *and* the transaction is sampled), two extra string
+    /// fields carry the key-level version history: `rset` (each
+    /// `(key, version-read)` pair) and `wset` (each
+    /// `(key, version-installed)` pair), encoded by
+    /// [`encode_key_versions`](crate::encode_key_versions) and decoded by
+    /// [`parse_key_versions`](crate::parse_key_versions). The ISO-01..03
+    /// serializability checkers in `pstore-verify` consume these fields;
+    /// records without them (capture off) are skipped by those checkers.
     pub const TXN_RWSET: &str = "txn_rwset";
 }
 
@@ -428,6 +526,31 @@ mod tests {
         // A fractional or negative stamp is rejected.
         let bad = crate::json::parse(r#"{"seq":1,"kind":"x","wall_us":1.5}"#).unwrap();
         assert!(Event::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn key_versions_round_trip_with_escaping() {
+        let entries = vec![
+            (0u64, "('c', 2)".to_string(), 3u64),
+            (5, "we;rd@key\\with(':')".to_string(), 0),
+            (1, String::new(), 17),
+        ];
+        let encoded = encode_key_versions(entries.clone());
+        assert_eq!(parse_key_versions(&encoded).unwrap(), entries);
+        // Empty set round-trips through the empty string.
+        assert_eq!(encode_key_versions(Vec::new()), "");
+        assert_eq!(parse_key_versions("").unwrap(), Vec::new());
+        // The plain shape is human-readable.
+        assert_eq!(encode_key_versions(vec![(2, "k".to_string(), 9)]), "2:k@9");
+    }
+
+    #[test]
+    fn key_versions_reject_malformed_entries() {
+        assert!(parse_key_versions("x:k@1").is_err()); // non-numeric table
+        assert!(parse_key_versions("1:k@").is_err()); // missing version
+        assert!(parse_key_versions("1:k").is_err()); // no version separator
+        assert!(parse_key_versions("1:k\\").is_err()); // dangling escape
+        assert!(parse_key_versions("1:k@2;").is_err()); // trailing empty entry
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod timeline;
 pub mod timeseries;
 pub mod trace;
 
-pub use event::{kinds, Event, Value};
+pub use event::{encode_key_versions, kinds, parse_key_versions, Event, Value};
 pub use expose::Exposer;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use profile::{Profile, ProfileClock};

@@ -26,6 +26,13 @@
 //!   reconfiguration fence excludes in-flight shard execution
 //!   (`CON-04/05`; exhaustive layer in
 //!   `crates/dbms/tests/loom_models.rs`).
+//! * [`iso`] — serializability of sampled key-level histories
+//!   (IsoPredict-style): the direct serialization graph over captured
+//!   `(key, version)` read/write sets is acyclic (`ISO-01`), reads
+//!   observe versions installed at or before the reader in commit order
+//!   (`ISO-02`), and Squall restarts leave no orphan versions — unique
+//!   installers, monotone per-key version order, read-your-restart
+//!   (`ISO-03`).
 //!
 //! Each checker returns structured [`Violation`] diagnostics naming the
 //! artifact, the invariant id (`SCH-01` ...) and an explanation, so a single
@@ -47,6 +54,7 @@
 
 pub mod concurrency;
 pub mod forecast;
+pub mod iso;
 pub mod moves;
 pub mod plan;
 pub mod schedule;

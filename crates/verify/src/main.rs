@@ -12,7 +12,12 @@
 //!    optimality oracle (`PLN-03`),
 //! 4. forecaster output on periodic and noisy series (`FOR-*`),
 //! 5. telemetry span traces generated through the live span API plus
-//!    randomized histogram merges (`TEL-*`).
+//!    randomized histogram merges (`TEL-*`),
+//! 6. with the `telemetry` feature: serializability of the sampled
+//!    key-level version histories from fixed-seed detailed-sim runs at
+//!    shards {1, 2, 4} with reconfiguration traffic (`ISO-01..03`) —
+//!    set `PSTORE_ISO_REPORT=<path>` to also write a JSON report of the
+//!    checked histories (CI uploads it as an artifact).
 
 use pstore_core::planner::{Planner, PlannerConfig};
 use pstore_forecast::{
@@ -40,6 +45,10 @@ const CONCURRENCY_THREADS: usize = 4;
 /// Executor shard counts for the sharded-engine sweep: the serial
 /// inline backend and the threaded backend.
 const SHARD_COUNTS: [u32; 2] = [1, 4];
+/// Executor shard counts for the serializability (iso) sweep: serial
+/// witness, plus two threaded widths so shard routing is exercised.
+#[cfg(feature = "telemetry")]
+const ISO_SHARD_COUNTS: [u32; 3] = [1, 2, 4];
 
 fn main() {
     let mut all = Vec::new();
@@ -98,6 +107,18 @@ fn main() {
         &stats,
     );
     all.extend(stats.violations);
+
+    #[cfg(feature = "telemetry")]
+    {
+        let stats = iso_sweep();
+        report_phase(
+            &format!(
+                "iso sweep: serializability of sampled key histories at shards {ISO_SHARD_COUNTS:?} with migrations"
+            ),
+            &stats,
+        );
+        all.extend(stats.violations);
+    }
 
     if all.is_empty() {
         println!("pstore-verify: all invariants hold");
@@ -417,6 +438,88 @@ fn sharded_engine_sweep() -> CheckStats {
         stats.absorb(concurrency::check_reconfig_fence(shards));
     }
     stats.absorb(concurrency::check_sharded_sim());
+    stats
+}
+
+/// Phase 8 (telemetry builds only): the `ISO-01..03` serializability
+/// sweep. Replays the sharded-engine ramp scenario — fixed seed,
+/// reactive scale-out, live chunk migrations — at every shard count in
+/// [`ISO_SHARD_COUNTS`], decodes the sampled key-level version
+/// histories out of the captured trace, and checks DSG acyclicity,
+/// commit-order equivalence, and restart/version integrity. The
+/// shards=1 run must additionally be a *serial witness*: every
+/// dependency edge points forward in commit order, because the inline
+/// engine executes transactions one at a time in exactly that order.
+/// A run that captures no histories (or induces no edges) fails — a
+/// vacuous pass proves nothing.
+///
+/// When `PSTORE_ISO_REPORT` names a path, a JSON summary of each
+/// checked history (transaction/key/edge counts, violations) is written
+/// there for CI to upload.
+#[cfg(feature = "telemetry")]
+fn iso_sweep() -> CheckStats {
+    use pstore_core::InvariantId;
+    use pstore_verify::iso;
+
+    let mut stats = CheckStats::default();
+    let mut report_lines: Vec<String> = Vec::new();
+    for shards in ISO_SHARD_COUNTS {
+        let artifact = format!("detailed sim key history shards={shards}");
+        let (_result, events) = concurrency::captured_sim_run(shards);
+        let histories = match iso::histories_of(&events) {
+            Ok(h) => h,
+            Err(e) => {
+                stats.absorb(vec![Violation::new(
+                    InvariantId::IsoDsgAcyclic,
+                    artifact,
+                    format!("undecodable key history: {e}"),
+                )]);
+                continue;
+            }
+        };
+        let d = iso::dsg_stats(&histories);
+        let mut violations = iso::check_key_histories(&artifact, &histories);
+        if d.txns == 0 || d.wr + d.ww + d.rw == 0 {
+            violations.push(Violation::new(
+                InvariantId::IsoDsgAcyclic,
+                artifact.clone(),
+                format!(
+                    "vacuous history: {} sampled txns, {} dependency edges — nothing was checked",
+                    d.txns,
+                    d.wr + d.ww + d.rw
+                ),
+            ));
+        }
+        if shards == 1 {
+            for err in iso::serial_witness_errors(&histories) {
+                violations.push(Violation::new(
+                    InvariantId::IsoReadCommitOrder,
+                    artifact.clone(),
+                    format!("shards=1 commit order is not a serial witness: {err}"),
+                ));
+            }
+        }
+        report_lines.push(format!(
+            "{{\"shards\":{shards},\"txns\":{},\"keys\":{},\"wr\":{},\"ww\":{},\"rw\":{},\"violations\":{}}}",
+            d.txns,
+            d.keys,
+            d.wr,
+            d.ww,
+            d.rw,
+            violations.len()
+        ));
+        stats.absorb(violations);
+    }
+    if let Ok(path) = std::env::var("PSTORE_ISO_REPORT") {
+        let body = format!(
+            "{{\"ok\":{},\"phases\":[{}]}}\n",
+            stats.is_clean(),
+            report_lines.join(",")
+        );
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("pstore-verify: could not write iso report to {path}: {e}");
+        }
+    }
     stats
 }
 

@@ -64,6 +64,16 @@ for SAN in "${SANITIZERS[@]}"; do
         CARGO_TARGET_DIR="target/san-$SAN" \
             cargo +nightly test -q -Zbuild-std --target "$HOST" $T
     done
+    step "pstore-verify sweep incl. ISO serializability phase ($SAN sanitizer)"
+    # The full invariant sweep (sharded-engine byte-identity plus the
+    # ISO-01..03 key-level history phase at shards 1/2/4) under real
+    # instrumented threads: key-version capture crosses the
+    # coordinator/shard mailboxes, so the sanitizer sees the complete
+    # handoff of sampled read/write sets.
+    RUSTFLAGS="-Zsanitizer=$SAN" \
+    CARGO_TARGET_DIR="target/san-$SAN" \
+        cargo +nightly run -q -Zbuild-std --target "$HOST" \
+        -p pstore-verify --features telemetry
 done
 
 echo

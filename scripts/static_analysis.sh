@@ -132,6 +132,12 @@ if [[ "$QUICK" == "0" ]]; then
         # suite is impractically slow there. Socket/file-I/O unit tests
         # carry #[cfg_attr(miri, ignore)].
         cargo miri test -q -p pstore-telemetry --lib
+        step "cargo miri test: verify checker unit tests"
+        # Lib tests only: the pure checker logic (ISO-01..03 DSG
+        # construction and cycle detection included). The runtime
+        # sweeps that spawn threads and run full simulations carry
+        # #[cfg_attr(miri, ignore)].
+        cargo miri test -q -p pstore-verify --lib
     else
         step "cargo miri test: skipped (miri not installed on this toolchain)"
     fi

@@ -41,6 +41,7 @@ fn bench_cfg(sim_seconds: usize, load_txn_s: f64, seed: u64) -> DetailedSimConfi
         txn_sample_every: 0,
         shards: 1,
         shard_spans: false,
+        prov_events: false,
     }
 }
 

@@ -65,6 +65,7 @@ fn main() {
         slot_duration_s: 60.0,
         tick_every_slots: 5,
         record_timeline: false,
+        prov_events: false,
     };
     let planner_cfg = PlannerConfig {
         q: params.q,

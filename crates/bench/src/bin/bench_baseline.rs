@@ -66,6 +66,7 @@ fn cell_cfg(seconds: usize, load_txn_s: f64, seed: u64) -> DetailedSimConfig {
         txn_sample_every: 0,
         shards: 1,
         shard_spans: false,
+        prov_events: false,
     }
 }
 

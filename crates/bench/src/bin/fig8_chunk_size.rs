@@ -29,6 +29,7 @@ impl Strategy for HalveData {
                 target: 2,
                 rate_multiplier: 1.0,
                 reason: ReconfigReason::Planned,
+                decision_id: 0,
             });
         }
         Action::None

@@ -57,6 +57,7 @@ fn main() {
         txn_sample_every: 0,
         shards: 1,
         shard_spans: false,
+        prov_events: false,
     };
 
     reporter.progress("running a small detailed simulation under P-Store...");

@@ -63,6 +63,7 @@ fn main() {
             slot_duration_s: 60.0,
             tick_every_slots: 5,
             record_timeline: false,
+            prov_events: false,
         };
 
         section(&format!(

@@ -46,6 +46,7 @@ fn tiny_cfg(nodes_hint: u64, load_txn_s: f64, seed: u64) -> DetailedSimConfig {
         txn_sample_every: 0,
         shards: 1,
         shard_spans: false,
+        prov_events: false,
     }
 }
 

@@ -101,6 +101,7 @@ impl Strategy for SimpleController {
                 target: desired,
                 rate_multiplier: 1.0,
                 reason: ReconfigReason::Policy,
+                decision_id: 0,
             })
         } else {
             Action::None
@@ -246,6 +247,7 @@ impl<F: LoadForecaster> Strategy for GreedyLookahead<F> {
                 target,
                 rate_multiplier: 1.0,
                 reason: ReconfigReason::Policy,
+                decision_id: 0,
             });
         }
         Action::None

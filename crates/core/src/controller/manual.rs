@@ -111,6 +111,7 @@ impl<S: Strategy> Strategy for ManualOverride<S> {
                         target: floor,
                         rate_multiplier: req.rate_multiplier,
                         reason: ReconfigReason::Policy,
+                        decision_id: 0,
                     })
                 }
             }
@@ -122,6 +123,7 @@ impl<S: Strategy> Strategy for ManualOverride<S> {
                         target: floor,
                         rate_multiplier: 1.0,
                         reason: ReconfigReason::Policy,
+                        decision_id: 0,
                     })
                 } else {
                     Action::None
@@ -191,6 +193,7 @@ mod tests {
                     target: 2,
                     rate_multiplier: 1.0,
                     reason: ReconfigReason::Policy,
+                    decision_id: 0,
                 })
             }
             fn name(&self) -> &str {
@@ -224,6 +227,7 @@ mod tests {
                     target: 10,
                     rate_multiplier: 8.0,
                     reason: ReconfigReason::Emergency,
+                    decision_id: 0,
                 })
             }
             fn name(&self) -> &str {

@@ -9,12 +9,14 @@
 pub mod baselines;
 pub mod forecaster;
 pub mod manual;
+pub mod provenance;
 pub mod pstore;
 pub mod reactive;
 
 pub use baselines::{GreedyLookahead, SimpleController, StaticController};
 pub use forecaster::{LoadForecaster, OracleForecaster, SparForecaster};
 pub use manual::{ManualOverride, Reservation};
+pub use provenance::ProvScorer;
 pub use pstore::{PStoreConfig, PStoreController};
 pub use reactive::{ReactiveConfig, ReactiveController};
 
@@ -56,6 +58,9 @@ pub struct ReconfigRequest {
     pub rate_multiplier: f64,
     /// Why the move was requested.
     pub reason: ReconfigReason,
+    /// Id of the `prov_decision` event that issued this request
+    /// (0 = unattributed, e.g. baseline policies or provenance off).
+    pub decision_id: u64,
 }
 
 /// A controller's decision for one monitoring interval.
@@ -100,6 +105,7 @@ mod tests {
             target: 5,
             rate_multiplier: 1.0,
             reason: ReconfigReason::Planned,
+            decision_id: 0,
         };
         assert_eq!(Action::Reconfigure(req).request(), Some(&req));
     }

@@ -10,6 +10,7 @@
 //! an accelerated migration rate (§4.3.1).
 
 use super::forecaster::LoadForecaster;
+use super::provenance::ProvScorer;
 use super::{Action, Observation, ReconfigReason, ReconfigRequest, Strategy};
 use crate::planner::Planner;
 
@@ -54,6 +55,7 @@ pub struct PStoreController<F: LoadForecaster> {
     scale_in_streak: u32,
     stats: ControllerStats,
     label: String,
+    prov: ProvScorer,
 }
 
 /// Counters describing what the controller did (for experiment reporting).
@@ -88,6 +90,7 @@ impl<F: LoadForecaster> PStoreController<F> {
             scale_in_streak: 0,
             stats: ControllerStats::default(),
             label,
+            prov: ProvScorer::new(),
         }
     }
 
@@ -122,10 +125,21 @@ impl<F: LoadForecaster> PStoreController<F> {
             "rate" => self.cfg.emergency_rate_multiplier,
             "reason" => "emergency",
         );
+        let decision_id = self.prov.decision(
+            obs,
+            target,
+            "emergency",
+            obs.load,
+            peak,
+            0.0,
+            0,
+            self.cfg.emergency_rate_multiplier,
+        );
         Action::Reconfigure(ReconfigRequest {
             target,
             rate_multiplier: self.cfg.emergency_rate_multiplier,
             reason: ReconfigReason::Emergency,
+            decision_id,
         })
     }
 }
@@ -133,6 +147,7 @@ impl<F: LoadForecaster> PStoreController<F> {
 impl<F: LoadForecaster> Strategy for PStoreController<F> {
     fn tick(&mut self, obs: &Observation) -> Action {
         self.forecaster.observe(obs.load);
+        self.prov.score(self.forecaster.name(), obs);
         if obs.reconfiguring {
             self.stats.busy_cycles += 1;
             return Action::None;
@@ -141,6 +156,9 @@ impl<F: LoadForecaster> Strategy for PStoreController<F> {
             self.stats.cold_cycles += 1;
             return Action::None;
         };
+        // Score the *raw* predictions later; inflation is a planning knob,
+        // not part of the model's accuracy.
+        self.prov.predict(obs.interval, &predictions);
 
         // Build the planning curve: measured load now, inflated predictions
         // after (§8.2: predictions inflated by 15% to absorb model error).
@@ -193,10 +211,22 @@ impl<F: LoadForecaster> Strategy for PStoreController<F> {
                 "rate" => 1.0,
                 "reason" => "planned",
             );
+            let peak = curve.iter().copied().fold(0.0, f64::max);
+            let decision_id = self.prov.decision(
+                obs,
+                first.to,
+                "planned",
+                obs.load,
+                peak,
+                plan.nominal_cost(),
+                0,
+                1.0,
+            );
             return Action::Reconfigure(ReconfigRequest {
                 target: first.to,
                 rate_multiplier: 1.0,
                 reason: ReconfigReason::Planned,
+                decision_id,
             });
         }
 
@@ -210,10 +240,28 @@ impl<F: LoadForecaster> Strategy for PStoreController<F> {
             "rate" => 1.0,
             "reason" => "planned",
         );
+        // Lead: how many intervals ahead the demand rise that forces this
+        // scale-out sits on the planning curve (0 = it is already here).
+        let peak = curve.iter().copied().fold(0.0, f64::max);
+        let lead = curve
+            .iter()
+            .position(|&l| self.planner.machines_needed(l) > obs.machines)
+            .unwrap_or(0);
+        let decision_id = self.prov.decision(
+            obs,
+            first.to,
+            "planned",
+            obs.load,
+            peak,
+            plan.nominal_cost(),
+            lead,
+            1.0,
+        );
         Action::Reconfigure(ReconfigRequest {
             target: first.to,
             rate_multiplier: 1.0,
             reason: ReconfigReason::Planned,
+            decision_id,
         })
     }
 

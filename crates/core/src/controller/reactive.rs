@@ -8,6 +8,7 @@
 //! the load has stayed low for a patience window, mirroring E-Store's
 //! conservative down-scaling.
 
+use super::provenance::{ProvScorer, SCORED_HORIZONS};
 use super::{Action, Observation, ReconfigReason, ReconfigRequest, Strategy};
 use crate::cost_model::machines_for_load;
 use std::collections::VecDeque;
@@ -56,6 +57,7 @@ pub struct ReactiveController {
     cfg: ReactiveConfig,
     recent: VecDeque<f64>,
     low_streak: usize,
+    prov: ProvScorer,
 }
 
 impl ReactiveController {
@@ -75,6 +77,7 @@ impl ReactiveController {
             cfg,
             recent: VecDeque::new(),
             low_streak: 0,
+            prov: ProvScorer::new(),
         }
     }
 
@@ -93,6 +96,7 @@ impl ReactiveController {
 
 impl Strategy for ReactiveController {
     fn tick(&mut self, obs: &Observation) -> Action {
+        self.prov.score("persistence", obs);
         self.recent.push_back(obs.load);
         while self.recent.len() > self.cfg.smoothing_window {
             self.recent.pop_front();
@@ -103,6 +107,11 @@ impl Strategy for ReactiveController {
             return Action::None;
         }
         let load = self.smoothed();
+        // A reactive policy's implicit forecast is persistence: "demand
+        // stays where it is". Scoring it makes the predictive-vs-reactive
+        // forecast-accuracy gap measurable from the same trace.
+        let persistence = vec![load; SCORED_HORIZONS[SCORED_HORIZONS.len() - 1]];
+        self.prov.predict(obs.interval, &persistence);
 
         // Scale out: the system is already pushing against its maximum
         // throughput.
@@ -119,10 +128,14 @@ impl Strategy for ReactiveController {
                     "rate" => 1.0,
                     "reason" => "reactive-out",
                 );
+                let decision_id =
+                    self.prov
+                        .decision(obs, target, "reactive-out", high_mark, load, 0.0, 0, 1.0);
                 return Action::Reconfigure(ReconfigRequest {
                     target,
                     rate_multiplier: 1.0,
                     reason: ReconfigReason::Policy,
+                    decision_id,
                 });
             }
             return Action::None;
@@ -143,10 +156,14 @@ impl Strategy for ReactiveController {
                     "rate" => 1.0,
                     "reason" => "reactive-in",
                 );
+                let decision_id =
+                    self.prov
+                        .decision(obs, shrunk, "reactive-in", high_mark, load, 0.0, 0, 1.0);
                 return Action::Reconfigure(ReconfigRequest {
                     target: shrunk,
                     rate_multiplier: 1.0,
                     reason: ReconfigReason::Policy,
+                    decision_id,
                 });
             }
         } else {

@@ -158,6 +158,24 @@ pub enum InvariantId {
     /// transaction's reads are consistent with its own writes
     /// (read-your-restart; §4.2).
     IsoRestartIntegrity,
+    /// PRV-01: the provisioning capacity ledger conserves machine-time —
+    /// machine-seconds provisioned equal the integral of per-interval
+    /// active machines, `provisioned - ideal == over - under` holds over
+    /// the `prov_interval` record (the Fig 9 area accounting), and every
+    /// attributed reconfiguration's machine delta matches its decision's
+    /// `machines -> target`.
+    ProvLedgerConservation,
+    /// PRV-02: decision causality — every `prov_reconfig` traces back to
+    /// exactly one `prov_decision` (ids unique, no decision drives two
+    /// moves, no move precedes its decision), and a predictive decision
+    /// with lead `L` starts its migration at least `L - 1` intervals
+    /// before the target interval it provisioned for.
+    ProvDecisionCausality,
+    /// PRV-03: forecast bookkeeping — every scored (model, horizon,
+    /// target-interval) triple appears exactly once in the
+    /// `prov_forecast` record, and each score's observation matches the
+    /// demand the `prov_interval` record holds for that interval.
+    ProvForecastBookkeeping,
 }
 
 impl InvariantId {
@@ -197,6 +215,9 @@ impl InvariantId {
             InvariantId::IsoDsgAcyclic => "ISO-01",
             InvariantId::IsoReadCommitOrder => "ISO-02",
             InvariantId::IsoRestartIntegrity => "ISO-03",
+            InvariantId::ProvLedgerConservation => "PRV-01",
+            InvariantId::ProvDecisionCausality => "PRV-02",
+            InvariantId::ProvForecastBookkeeping => "PRV-03",
         }
     }
 
@@ -237,6 +258,9 @@ impl InvariantId {
             InvariantId::IsoDsgAcyclic => "§4.2 (transparent migration; IsoPredict DSG)",
             InvariantId::IsoReadCommitOrder => "§4.2 (commit-order equivalence)",
             InvariantId::IsoRestartIntegrity => "§4.2 (Squall restart semantics)",
+            InvariantId::ProvLedgerConservation => "Fig 9 (capacity over/under-provision areas)",
+            InvariantId::ProvDecisionCausality => "§6 (decisions start D ahead of demand)",
+            InvariantId::ProvForecastBookkeeping => "§5 (per-horizon forecast scoring)",
         }
     }
 }
@@ -349,6 +373,25 @@ mod tests {
             assert_eq!(id.code(), format!("TEL-{:02}", i + 1));
             assert!(!id.paper_ref().is_empty());
         }
+    }
+
+    #[test]
+    fn prov_codes_follow_family_convention() {
+        let family = [
+            InvariantId::ProvLedgerConservation,
+            InvariantId::ProvDecisionCausality,
+            InvariantId::ProvForecastBookkeeping,
+        ];
+        for (i, id) in family.iter().enumerate() {
+            assert_eq!(id.code(), format!("PRV-{:02}", i + 1));
+            assert!(!id.paper_ref().is_empty());
+        }
+        let v = Violation::new(
+            InvariantId::ProvDecisionCausality,
+            "prov reactive run shards=4",
+            "reconfig id 3 has no matching decision",
+        );
+        assert!(v.to_string().contains("PRV-02"));
     }
 
     #[test]

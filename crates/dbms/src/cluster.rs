@@ -261,6 +261,13 @@ pub struct Cluster {
     /// the caller to emit itself.
     #[cfg(feature = "telemetry")]
     txn_trace_id: Option<u64>,
+    /// Opt-in runtime instrumentation of the threaded backend: mailbox
+    /// depth/occupancy histograms on the command/reply rings and a
+    /// `fence` latency span per fence round. Off by default — the warm
+    /// path then carries no sampling and default-config traces stay
+    /// byte-stable (see [`set_runtime_gauges`](Self::set_runtime_gauges)).
+    #[cfg(feature = "telemetry")]
+    runtime_gauges: bool,
 }
 
 impl Cluster {
@@ -351,7 +358,28 @@ impl Cluster {
             versions_on: false,
             #[cfg(feature = "telemetry")]
             txn_trace_id: None,
+            #[cfg(feature = "telemetry")]
+            runtime_gauges: false,
         }
+    }
+
+    /// Enables or disables the runtime gauges of the threaded backend:
+    /// every [`send_cmd`](Self::submit) samples the command ring's depth
+    /// and occupancy into `mailbox.cmd.*` registry histograms (and reply
+    /// receives into `mailbox.reply.*`), and every fence round opens a
+    /// `fence` span carrying the epoch and the measured quiesce time.
+    /// Off by default so the default-config trace and registry stay
+    /// byte-identical across shard counts; the simulator turns it on
+    /// together with per-shard spans.
+    #[cfg(feature = "telemetry")]
+    pub fn set_runtime_gauges(&mut self, on: bool) {
+        self.runtime_gauges = on;
+    }
+
+    /// Whether runtime mailbox/fence instrumentation is on.
+    #[cfg(feature = "telemetry")]
+    pub fn runtime_gauges(&self) -> bool {
+        self.runtime_gauges
     }
 
     /// Enables or disables per-key version counting across every shard —
@@ -419,6 +447,14 @@ impl Cluster {
     /// Whether a reconfiguration is running.
     pub fn reconfiguring(&self) -> bool {
         self.reconfig.is_some()
+    }
+
+    /// Total fence epochs issued so far. Always 0 on the inline backend,
+    /// which never fences; on the sharded backend the difference across a
+    /// time window counts the fences (snapshot ops, reconfiguration
+    /// barriers) the window crossed.
+    pub fn fence_epochs(&self) -> u64 {
+        self.fence_epoch.get()
     }
 
     /// Execution counters. Transactions submitted via
@@ -629,6 +665,14 @@ impl Cluster {
     /// every drained reply frees ring space somewhere, and a full command
     /// ring implies that shard has replies outstanding.
     fn send_cmd(&mut self, shard: u32, mut command: Command) {
+        #[cfg(feature = "telemetry")]
+        if self.runtime_gauges && pstore_telemetry::enabled() {
+            if let Backend::Threaded { workers, .. } = &self.backend {
+                // Sampled before the enqueue: the pre-send depth is the
+                // backlog this command queues behind.
+                workers[shard as usize].cmd.record_depth("mailbox.cmd");
+            }
+        }
         let mut spins = 0u32;
         loop {
             let Backend::Threaded { workers, .. } = &self.backend else {
@@ -658,6 +702,12 @@ impl Cluster {
         let Backend::Threaded { workers, .. } = &self.backend else {
             unreachable!("recv_reply requires the threaded backend");
         };
+        #[cfg(feature = "telemetry")]
+        if self.runtime_gauges && pstore_telemetry::enabled() {
+            // Pre-receive depth: how many replies the coordinator let
+            // accumulate before draining this ring.
+            workers[shard as usize].reply.record_depth("mailbox.reply");
+        }
         match workers[shard as usize].reply.recv() {
             Some(r) => r,
             None => panic!("executor shard {shard} disconnected (reply ring closed)"),
@@ -702,6 +752,21 @@ impl Cluster {
         assert_eq!(ops.len(), workers.len(), "one fence op per shard");
         let epoch = self.fence_epoch.get() + 1;
         self.fence_epoch.set(epoch);
+        #[cfg(feature = "telemetry")]
+        let fence_span = if self.runtime_gauges && pstore_telemetry::enabled() {
+            // pstore-lint: allow(SA-03): wall clock measures the real
+            // stop-the-world cost of this fence for the profiler; it never
+            // feeds simulated state, and runtime gauges are off on the
+            // deterministic default path.
+            let started = std::time::Instant::now();
+            let id = pstore_telemetry::begin_span(
+                pstore_telemetry::event::span_names::FENCE,
+                &[("epoch", pstore_telemetry::Value::from(epoch))],
+            );
+            Some((id, started))
+        } else {
+            None
+        };
         for (shard, (w, op)) in workers.iter().zip(ops).enumerate() {
             if w.cmd.send(Command::Fence { epoch, op }).is_err() {
                 panic!("executor shard {shard} shut down (fence refused)");
@@ -730,6 +795,15 @@ impl Cluster {
             })
             .collect();
         gate.release(epoch);
+        #[cfg(feature = "telemetry")]
+        if let Some((id, started)) = fence_span {
+            let quiesce_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            pstore_telemetry::end_span(
+                pstore_telemetry::event::span_names::FENCE,
+                id,
+                &[("quiesce_us", pstore_telemetry::Value::from(quiesce_us))],
+            );
+        }
         data
     }
 
@@ -1941,5 +2015,70 @@ mod tests {
             reports.iter().map(|r| r.txns).sum::<u64>(),
             inline.shard_reports()[0].txns
         );
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn runtime_gauges_sample_mailboxes_and_fences_only_when_on() {
+        use pstore_telemetry::event::span_names;
+
+        let drive = |gauges: bool| {
+            pstore_telemetry::reset_registry();
+            let (sink, handle) = pstore_telemetry::MemorySink::new();
+            let _guard = pstore_telemetry::install(std::rc::Rc::new(sink));
+            let mut c = sharded_cluster(2, 4);
+            c.set_runtime_gauges(gauges);
+            assert_eq!(c.runtime_gauges(), gauges);
+            let mut fates = Vec::new();
+            for i in 0..50 {
+                let put = Put {
+                    key: format!("key-{i}"),
+                    value: i,
+                };
+                let slot = c.slot_of_routing(&put.routing_key());
+                c.submit(put, slot);
+            }
+            c.drain_fates_into(&mut fates);
+            // shard_reports fences on the threaded backend.
+            let _ = c.shard_reports();
+            let depth = pstore_telemetry::with_registry(|r| {
+                r.histogram("mailbox.cmd.depth").map(|h| h.count())
+            });
+            let occupancy = pstore_telemetry::with_registry(|r| {
+                r.histogram("mailbox.cmd.occupancy").map(|h| h.count())
+            });
+            let reply_depth = pstore_telemetry::with_registry(|r| {
+                r.histogram("mailbox.reply.depth").map(|h| h.count())
+            });
+            let fence_begins = handle
+                .of_kind(pstore_telemetry::kinds::SPAN_BEGIN)
+                .iter()
+                .filter(|e| e.field_str("name") == Some(span_names::FENCE))
+                .count();
+            let fence_ends: Vec<u64> = handle
+                .of_kind(pstore_telemetry::kinds::SPAN_END)
+                .iter()
+                .filter(|e| e.field_str("name") == Some(span_names::FENCE))
+                .map(|e| e.field_u64("quiesce_us").unwrap_or(u64::MAX))
+                .collect();
+            pstore_telemetry::reset_registry();
+            (depth, occupancy, reply_depth, fence_begins, fence_ends)
+        };
+
+        // Off (the default): no registry samples, no fence spans.
+        let (depth, occupancy, reply_depth, begins, ends) = drive(false);
+        assert_eq!((depth, occupancy, reply_depth), (None, None, None));
+        assert_eq!((begins, ends.len()), (0, 0));
+
+        // On: every command send and reply receive samples its ring, and
+        // each fence round opens and closes one `fence` span carrying the
+        // measured quiesce time.
+        let (depth, occupancy, reply_depth, begins, ends) = drive(true);
+        assert_eq!(depth, occupancy);
+        assert!(depth.unwrap_or(0) >= 50, "cmd sends sampled: {depth:?}");
+        assert!(reply_depth.unwrap_or(0) >= 50, "replies sampled");
+        assert!(begins >= 1, "fence span expected");
+        assert_eq!(begins, ends.len(), "fence spans must pair");
+        assert!(ends.iter().all(|&q| q < u64::MAX), "quiesce_us recorded");
     }
 }

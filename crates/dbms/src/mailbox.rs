@@ -84,6 +84,24 @@ impl<T> Mailbox<T> {
         self.len() == 0
     }
 
+    /// Records the ring's instantaneous depth (queued values) and
+    /// occupancy (depth / capacity) as `<name>.depth` and
+    /// `<name>.occupancy` histograms in the calling thread's metrics
+    /// registry. Registry-only — no event is emitted — so sampling never
+    /// perturbs the JSONL trace. Callers gate on their own runtime-gauge
+    /// flag; this method just measures.
+    #[cfg(feature = "telemetry")]
+    pub fn record_depth(&self, name: &str) {
+        let depth = self.len();
+        pstore_telemetry::with_registry(|r| {
+            r.record_histogram(&format!("{name}.depth"), depth as f64);
+            r.record_histogram(
+                &format!("{name}.occupancy"),
+                depth as f64 / self.capacity() as f64,
+            );
+        });
+    }
+
     /// Marks the mailbox closed. Queued values remain receivable; new
     /// sends are refused. Idempotent, callable from either side.
     pub fn close(&self) {

@@ -6,6 +6,9 @@ pub enum InvariantId {
     MoveTiling,
     IsoDsgAcyclic,
     IsoReadCommitOrder,
+    ProvLedgerConservation,
+    ProvDecisionCausality,
+    ProvForecastBookkeeping,
 }
 
 impl InvariantId {
@@ -16,6 +19,9 @@ impl InvariantId {
             InvariantId::MoveTiling => "MOV-01",
             InvariantId::IsoDsgAcyclic => "ISO-01",
             InvariantId::IsoReadCommitOrder => "ISO-02",
+            InvariantId::ProvLedgerConservation => "PRV-01",
+            InvariantId::ProvDecisionCausality => "PRV-02",
+            InvariantId::ProvForecastBookkeeping => "PRV-03",
         }
     }
 }

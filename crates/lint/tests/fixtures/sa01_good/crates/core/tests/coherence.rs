@@ -1,3 +1,3 @@
-// Round-trips SCH-01..02, MOV-01 and ISO-01..02.
+// Round-trips SCH-01..02, MOV-01, ISO-01..02 and PRV-01..03.
 #[test]
 fn all_codes() {}

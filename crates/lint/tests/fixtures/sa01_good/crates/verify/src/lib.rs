@@ -1,3 +1,4 @@
-//! Checks `SCH-01..02` round structure, the MoveTiling horizon, and
-//! `ISO-01..02` history serializability.
+//! Checks `SCH-01..02` round structure, the MoveTiling horizon,
+//! `ISO-01..02` history serializability, and the `PRV-01..03`
+//! provisioning ledger/causality/bookkeeping family.
 pub fn check() {}

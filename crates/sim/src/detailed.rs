@@ -106,6 +106,12 @@ pub struct DetailedSimConfig {
     /// default: the trace then carries no shard-count-dependent records,
     /// which is what keeps runs byte-identical across shard counts.
     pub shard_spans: bool,
+    /// Emit the provisioning-observatory event family (`prov_run`,
+    /// `prov_interval`, `prov_forecast`, `prov_decision`, `prov_reconfig`,
+    /// `prov_chunk`) for this run. Off by default — like `txn_sample_every`,
+    /// the gate keeps the default-config trace goldens byte-identical; see
+    /// [`prov_events_from_env`].
+    pub prov_events: bool,
 }
 
 /// Executor shard count from the `PSTORE_SHARDS` environment variable
@@ -117,6 +123,15 @@ pub fn shards_from_env() -> u32 {
         .ok()
         .and_then(|v| v.parse::<u32>().ok())
         .map_or(1, |n| n.max(1))
+}
+
+/// Provisioning-observatory switch from the `PSTORE_PROV_EVENTS`
+/// environment variable (default off). Used by
+/// [`DetailedSimConfig::paper_defaults`] and
+/// [`FastSimConfig::paper_defaults`](crate::FastSimConfig) so the `prov_*`
+/// event family can be enabled without code changes.
+pub fn prov_events_from_env() -> bool {
+    std::env::var("PSTORE_PROV_EVENTS").is_ok_and(|v| matches!(v.as_str(), "1" | "true" | "on"))
 }
 
 impl DetailedSimConfig {
@@ -145,6 +160,7 @@ impl DetailedSimConfig {
             txn_sample_every: 0,
             shards: shards_from_env(),
             shard_spans: false,
+            prov_events: prov_events_from_env(),
         }
     }
 }
@@ -357,6 +373,24 @@ struct ActiveMigration {
     /// Byte rate of one stream at multiplier 1 (`db_bytes / D`).
     stream_rate: f64,
     started_at: f64,
+    /// Provenance: the `prov_decision` id that requested this move
+    /// (0 = unattributed), its endpoints, and running move totals for the
+    /// `prov_reconfig` summary emitted when the move completes. Tracked
+    /// unconditionally (cheap, and keeps the constructor uniform) but only
+    /// read by the telemetry-gated emission sites.
+    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+    decision_id: u64,
+    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+    from_machines: u32,
+    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+    to_machines: u32,
+    chunks_moved: u64,
+    rows_moved: u64,
+    bytes_moved: u64,
+    /// Cluster fence-epoch counter when the move began, so the completed
+    /// move can report fence epochs crossed (0 on the inline backend).
+    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+    fence_base: u64,
 }
 
 /// Runs a detailed simulation under the given provisioning strategy.
@@ -388,6 +422,29 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
             .clamp(1, cfg.params.max_machines),
         cfg.shards.clamp(1, p),
     );
+    // The provisioning-observatory gate rides the run: prov_* emission in
+    // the controllers (via `ProvScorer`) and in this loop is thread-local,
+    // so the flag is scoped to the run and restored on exit.
+    #[cfg(feature = "telemetry")]
+    let prov_was = pstore_telemetry::set_prov_enabled(cfg.prov_events);
+    #[cfg(feature = "telemetry")]
+    if pstore_telemetry::prov_enabled() {
+        pstore_telemetry::emit(
+            pstore_telemetry::Event::new(pstore_telemetry::kinds::PROV_RUN)
+                .with("q", cfg.params.q)
+                .with("d_s", cfg.params.d.as_secs_f64())
+                .with("interval_s", cfg.monitor_interval_s)
+                .with("initial", cluster.active_nodes())
+                .with("policy", strategy.name()),
+        );
+    }
+    // Runtime gauges (mailbox depth histograms, fence spans) ride the
+    // same opt-in as per-shard spans: both exist to look inside the
+    // threaded engine, and both must stay off for byte-stable defaults.
+    #[cfg(feature = "telemetry")]
+    if cfg.shard_spans && pstore_telemetry::enabled() {
+        cluster.set_runtime_gauges(true);
+    }
     // Key-level version tracking rides the sampling switch: goldens run
     // with `txn_sample_every = 0` and keep the engine version-free (and
     // their traces byte-stable); sampled runs get per-key version
@@ -653,6 +710,16 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
                 // trace as `skew_sample` events.
                 #[cfg(feature = "telemetry")]
                 record_skew_sample(&cluster);
+                #[cfg(feature = "telemetry")]
+                if pstore_telemetry::prov_enabled() {
+                    pstore_telemetry::emit(
+                        pstore_telemetry::Event::new(pstore_telemetry::kinds::PROV_INTERVAL)
+                            .with("interval", k)
+                            .with("observed", measured)
+                            .with("machines", cluster.active_nodes())
+                            .with("reconfiguring", migration.is_some()),
+                    );
+                }
                 let obs = Observation {
                     interval: k,
                     load: measured,
@@ -678,6 +745,7 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
                                 &mut cluster,
                                 target,
                                 req.rate_multiplier,
+                                req.decision_id,
                                 cfg,
                                 time,
                                 &mut heap,
@@ -704,6 +772,7 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
                 // whole move takes T(B, A) regardless of slot sizes.
                 let chunk_bytes = (m.stream_rate * cfg.chunk_pacing_s).max(1.0) as usize;
                 let mut moved = 0usize;
+                let mut moved_rows = 0usize;
                 let mut pair_done;
                 let mut reconfig_done = false;
                 if let Some(&pair_idx) = m.pair_index.get(&(from, to)) {
@@ -713,6 +782,7 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
                             .migrate_chunk(pair_idx, remaining.max(1))
                             .expect("migration running");
                         moved += result.bytes;
+                        moved_rows += result.rows;
                         reconfig_done = result.reconfig_done;
                         pair_done = result.pair_done;
                         if pair_done || reconfig_done {
@@ -726,6 +796,21 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
                 } else {
                     // The engine had no slots for this schedule pair.
                     pair_done = true;
+                }
+                if moved > 0 {
+                    m.chunks_moved += 1;
+                    m.rows_moved += moved_rows as u64;
+                    m.bytes_moved += moved as u64;
+                    #[cfg(feature = "telemetry")]
+                    if pstore_telemetry::prov_enabled() {
+                        pstore_telemetry::emit(
+                            pstore_telemetry::Event::new(pstore_telemetry::kinds::PROV_CHUNK)
+                                .with("id", m.decision_id)
+                                .with("from", from)
+                                .with("to", to)
+                                .with("bytes", moved),
+                        );
+                    }
                 }
 
                 // Partition occupancy on both sides: a machine-pair
@@ -750,6 +835,21 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
                 if reconfig_done {
                     let started = m.started_at;
                     reconfig_spans.push((started, time));
+                    #[cfg(feature = "telemetry")]
+                    if pstore_telemetry::prov_enabled() {
+                        pstore_telemetry::emit(
+                            pstore_telemetry::Event::new(pstore_telemetry::kinds::PROV_RECONFIG)
+                                .with("id", m.decision_id)
+                                .with("from", m.from_machines)
+                                .with("to", m.to_machines)
+                                .with("start", started)
+                                .with("duration_s", time - started)
+                                .with("chunks", m.chunks_moved)
+                                .with("rows", m.rows_moved)
+                                .with("bytes", m.bytes_moved)
+                                .with("fences", cluster.fence_epochs() - m.fence_base),
+                        );
+                    }
                     migration = None;
                     recorder.set_reconfiguring(false);
                     recorder.set_machines(cluster.active_nodes() as f64);
@@ -827,6 +927,8 @@ pub fn run_detailed(cfg: &DetailedSimConfig, strategy: &mut dyn Strategy) -> Det
     let seconds = recorder.finish();
     #[cfg(feature = "telemetry")]
     pstore_telemetry::end_span("detailed_sim", run_span, &[]);
+    #[cfg(feature = "telemetry")]
+    pstore_telemetry::set_prov_enabled(prov_was);
     let violations = count_sla_violations(&seconds, SLA_THRESHOLD_S);
     let avg_machines = average_machines(&seconds);
     let procedure_mix = cluster
@@ -902,16 +1004,21 @@ fn record_skew_sample(cluster: &Cluster) {
 
 /// Initialises engine + schedule state for a reconfiguration and schedules
 /// the first round's chunk events.
+#[allow(clippy::too_many_arguments)] // one-shot constructor threading sim state
 fn start_migration(
     cluster: &mut Cluster,
     target: u32,
     rate_multiplier: f64,
+    decision_id: u64,
     cfg: &DetailedSimConfig,
     now: f64,
     heap: &mut BinaryHeap<Reverse<Timed>>,
     seq: &mut u64,
 ) -> ActiveMigration {
     let before = cluster.active_nodes();
+    // Captured before the reconfiguration installs, so barrier fences of
+    // the move itself are counted in its `prov_reconfig` summary.
+    let fence_base = cluster.fence_epochs();
     let db_bytes = cluster.total_bytes() as f64;
     cluster
         .begin_reconfiguration(target)
@@ -939,6 +1046,13 @@ fn start_migration(
         // the single-thread rate db / D (Equation 3's accounting).
         stream_rate: cfg.params.partitions_per_node as f64 * db_bytes / cfg.params.d.as_secs_f64(),
         started_at: now,
+        decision_id,
+        from_machines: before,
+        to_machines: target,
+        chunks_moved: 0,
+        rows_moved: 0,
+        bytes_moved: 0,
+        fence_base,
     };
     // Start round 0 (skipping over rounds whose pairs have no slots).
     m.current_round = usize::MAX; // advance_round starts at 0
@@ -1066,6 +1180,7 @@ mod tests {
             txn_sample_every: 0,
             shards: 1,
             shard_spans: false,
+            prov_events: false,
         }
     }
 
@@ -1208,6 +1323,7 @@ mod tests {
                         target: self.target,
                         rate_multiplier: self.rate,
                         reason: pstore_core::controller::ReconfigReason::Emergency,
+                        decision_id: 0,
                     });
                 }
                 Action::None
@@ -1302,6 +1418,7 @@ mod tests {
                         target: 4,
                         rate_multiplier: 8.0,
                         reason: pstore_core::controller::ReconfigReason::Emergency,
+                        decision_id: 0,
                     });
                 }
                 Action::None
@@ -1358,6 +1475,7 @@ mod tests {
                         target: 4,
                         rate_multiplier: 1.0,
                         reason: pstore_core::controller::ReconfigReason::Planned,
+                        decision_id: 0,
                     });
                 }
                 Action::None
@@ -1442,5 +1560,68 @@ mod tests {
             assert_eq!(a.machines, b.machines, "second {}", a.second);
             assert_eq!(a.attr_stall, b.attr_stall, "second {}", a.second);
         }
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn prov_events_trace_the_control_loop_when_enabled() {
+        use pstore_telemetry::kinds;
+
+        // Same ramp that forces the reactive controller to scale out.
+        let mut load: Vec<f64> = (0..120).map(|s| 250.0 + 550.0 * s as f64 / 120.0).collect();
+        load.extend(vec![800.0; 240]);
+        let reactive = || {
+            ReactiveController::new(ReactiveConfig {
+                q: 285.0,
+                q_hat: 350.0,
+                trigger_fraction: 0.9,
+                headroom: 0.2,
+                smoothing_window: 2,
+                scale_in_patience: 10,
+                max_machines: 10,
+                initial_machines: 2,
+            })
+        };
+
+        // Off by default: a captured run emits no prov_* events.
+        let (sink, handle) = pstore_telemetry::MemorySink::new();
+        {
+            let _guard = pstore_telemetry::install(std::rc::Rc::new(sink));
+            run_detailed(&test_cfg(load.clone(), 4), &mut reactive());
+        }
+        assert!(handle.of_kind(kinds::PROV_RUN).is_empty());
+        assert!(handle.of_kind(kinds::PROV_DECISION).is_empty());
+
+        // Opted in: the full provenance chain appears, and every
+        // reconfiguration summary points back at the decision that
+        // issued it (the PRV-02 contract the verifier checks).
+        let (sink, handle) = pstore_telemetry::MemorySink::new();
+        {
+            let _guard = pstore_telemetry::install(std::rc::Rc::new(sink));
+            let mut cfg = test_cfg(load, 4);
+            cfg.prov_events = true;
+            run_detailed(&cfg, &mut reactive());
+        }
+        assert!(
+            !pstore_telemetry::prov_enabled(),
+            "run_detailed must restore the prov gate"
+        );
+        let runs = handle.of_kind(kinds::PROV_RUN);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].field_str("policy"), Some("Reactive"));
+        assert!(!handle.of_kind(kinds::PROV_INTERVAL).is_empty());
+        assert!(!handle.of_kind(kinds::PROV_FORECAST).is_empty());
+        let decisions = handle.of_kind(kinds::PROV_DECISION);
+        assert!(!decisions.is_empty());
+        let ids: Vec<_> = decisions.iter().filter_map(|d| d.field_u64("id")).collect();
+        let reconfigs = handle.of_kind(kinds::PROV_RECONFIG);
+        assert!(!reconfigs.is_empty(), "scale-out must emit prov_reconfig");
+        for r in &reconfigs {
+            let id = r.field_u64("id").unwrap_or(0);
+            assert!(ids.contains(&id), "reconfig id {id} has no decision");
+            assert!(r.field_u64("bytes").unwrap_or(0) > 0, "move carried data");
+        }
+        let chunks = handle.of_kind(kinds::PROV_CHUNK);
+        assert!(!chunks.is_empty(), "chunked migration must emit prov_chunk");
     }
 }

@@ -41,6 +41,12 @@ pub struct FastSimConfig {
     /// Whether to record the per-slot machine/capacity timelines
     /// (needed for Fig 13; costs memory on very long runs).
     pub record_timeline: bool,
+    /// Emit the provisioning-observatory event family (`prov_run`,
+    /// `prov_interval`, `prov_decision` via the controllers,
+    /// `prov_reconfig`). Off by default so default-config traces stay
+    /// byte-identical; see
+    /// [`prov_events_from_env`](crate::detailed::prov_events_from_env).
+    pub prov_events: bool,
 }
 
 impl FastSimConfig {
@@ -51,6 +57,7 @@ impl FastSimConfig {
             slot_duration_s: 60.0,
             tick_every_slots: 5,
             record_timeline: true,
+            prov_events: crate::detailed::prov_events_from_env(),
         }
     }
 }
@@ -104,6 +111,13 @@ struct MoveState {
     /// Telemetry span covering the move (0 when telemetry is off).
     #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
     span_id: u64,
+    /// Provenance: the `prov_decision` id that requested this move
+    /// (0 = unattributed) and its start time, for the `prov_reconfig`
+    /// summary emitted on completion.
+    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+    decision_id: u64,
+    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+    started_at: f64,
 }
 
 /// Runs the slot-based simulation of a strategy over a per-slot load curve
@@ -136,6 +150,24 @@ pub fn run_fast(cfg: &FastSimConfig, load: &[f64], strategy: &mut dyn Strategy) 
             0
         }
     };
+    // Provisioning-observatory gate, scoped to the run (see the detailed
+    // simulator for the full event-family contract).
+    #[cfg(feature = "telemetry")]
+    let prov_was = pstore_telemetry::set_prov_enabled(cfg.prov_events);
+    #[cfg(feature = "telemetry")]
+    if pstore_telemetry::prov_enabled() {
+        pstore_telemetry::emit(
+            pstore_telemetry::Event::new(pstore_telemetry::kinds::PROV_RUN)
+                .with("q", cfg.params.q)
+                .with("d_s", d_s)
+                .with(
+                    "interval_s",
+                    cfg.slot_duration_s * cfg.tick_every_slots as f64,
+                )
+                .with("initial", machines)
+                .with("policy", strategy.name()),
+        );
+    }
 
     for (slot, &demand) in load.iter().enumerate() {
         #[cfg(feature = "telemetry")]
@@ -148,6 +180,16 @@ pub fn run_fast(cfg: &FastSimConfig, load: &[f64], strategy: &mut dyn Strategy) 
             let window =
                 &load[slot.saturating_sub(cfg.tick_every_slots)..=slot.min(load.len() - 1)];
             let measured = window.iter().sum::<f64>() / window.len() as f64;
+            #[cfg(feature = "telemetry")]
+            if pstore_telemetry::prov_enabled() {
+                pstore_telemetry::emit(
+                    pstore_telemetry::Event::new(pstore_telemetry::kinds::PROV_INTERVAL)
+                        .with("interval", tick_idx)
+                        .with("observed", measured)
+                        .with("machines", machines)
+                        .with("reconfiguring", in_move.is_some()),
+                );
+            }
             let obs = Observation {
                 interval: tick_idx,
                 load: measured,
@@ -180,6 +222,8 @@ pub fn run_fast(cfg: &FastSimConfig, load: &[f64], strategy: &mut dyn Strategy) 
                         duration_slots: (t_s / cfg.slot_duration_s).max(1e-9),
                         elapsed: 0.0,
                         span_id,
+                        decision_id: req.decision_id,
+                        started_at: slot as f64 * cfg.slot_duration_s,
                     });
                 }
             }
@@ -203,6 +247,25 @@ pub fn run_fast(cfg: &FastSimConfig, load: &[f64], strategy: &mut dyn Strategy) 
                         mv.span_id,
                         &[],
                     );
+                    // The slot model moves no real data: the provenance
+                    // summary carries timing and endpoints, zero
+                    // chunk/row/byte/fence counts.
+                    #[cfg(feature = "telemetry")]
+                    if pstore_telemetry::prov_enabled() {
+                        let now = slot as f64 * cfg.slot_duration_s;
+                        pstore_telemetry::emit(
+                            pstore_telemetry::Event::new(pstore_telemetry::kinds::PROV_RECONFIG)
+                                .with("id", mv.decision_id)
+                                .with("from", mv.from)
+                                .with("to", mv.to)
+                                .with("start", mv.started_at)
+                                .with("duration_s", now - mv.started_at)
+                                .with("chunks", 0u64)
+                                .with("rows", 0u64)
+                                .with("bytes", 0u64)
+                                .with("fences", 0u64),
+                        );
+                    }
                     in_move = None;
                 }
                 (alloc, capacity)
@@ -236,6 +299,8 @@ pub fn run_fast(cfg: &FastSimConfig, load: &[f64], strategy: &mut dyn Strategy) 
     }
     #[cfg(feature = "telemetry")]
     pstore_telemetry::end_span("fast_sim", run_span, &[]);
+    #[cfg(feature = "telemetry")]
+    pstore_telemetry::set_prov_enabled(prov_was);
 
     FastSimResult {
         strategy: strategy.name().to_string(),
@@ -272,6 +337,7 @@ mod tests {
             slot_duration_s: 60.0,
             tick_every_slots: 5,
             record_timeline: true,
+            prov_events: false,
         }
     }
 
@@ -464,6 +530,7 @@ mod tests {
                         target: 8,
                         rate_multiplier: 1.0,
                         reason: pstore_core::controller::ReconfigReason::Planned,
+                        decision_id: 0,
                     });
                 }
                 Action::None
@@ -498,6 +565,7 @@ mod tests {
                         target: 8,
                         rate_multiplier: self.0,
                         reason: pstore_core::controller::ReconfigReason::Emergency,
+                        decision_id: 0,
                     });
                 }
                 Action::None

@@ -59,6 +59,7 @@ fn ramp_cfg() -> DetailedSimConfig {
         txn_sample_every: 7,
         shards: 1,
         shard_spans: false,
+        prov_events: false,
     }
 }
 

@@ -5,6 +5,7 @@
 //! pstore-trace profile  <trace.jsonl> [--wall] [--folded]
 //! pstore-trace timeline <trace.jsonl> [--width N]
 //! pstore-trace slo      <trace.jsonl> [--width N] [--summary <out.json>]
+//! pstore-trace provisioning <trace.jsonl> [--width N] [--summary <out.json>]
 //! pstore-trace diff     <baseline> <candidate> [--tolerances <file>]
 //!                       [--bless] [--verbose]
 //! pstore-trace <trace.jsonl>                          # legacy = report
@@ -18,6 +19,17 @@
 //! the shape committed as `results/golden/fig9_slo_quick.summary.json`
 //! and gated by `pstore-trace diff` in CI.
 //!
+//! `provisioning` reads the `prov_*` event family (emission-gated; see
+//! docs/observability.md) and prints the capacity ledger
+//! (machine-seconds provisioned vs ideal — the Fig 9 over/under areas),
+//! the planner decision audit with reasons and leads, forecast error by
+//! horizon, under-forecast windows, and the timeline with the decision
+//! overlay (`P>` predictive lead arrows, `R` reactive marks).
+//! `--summary` writes a document holding only the `prov.*` metrics —
+//! committed as `results/golden/fig9_prov_quick.summary.json`. A trace
+//! with no `prov_*` events exits 1: the subcommand exists to audit
+//! provisioning, so a silently-gated-off run is a failure, not a pass.
+//!
 //! `diff` arguments may be `.jsonl` traces (summarised on the fly) or
 //! `.json` summary documents (e.g. the goldens under `results/golden/`).
 //! `--bless` rewrites the baseline file with the candidate's summary —
@@ -30,7 +42,7 @@
 
 use pstore_telemetry::summary::{diff, RunSummary, ToleranceTable};
 use pstore_telemetry::trace::{order_errors, read_jsonl, LineError, RunReport};
-use pstore_telemetry::{slo, timeline, Event, Profile, ProfileClock};
+use pstore_telemetry::{prov, slo, timeline, Event, Profile, ProfileClock};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -39,6 +51,7 @@ const USAGE: &str = "usage: pstore-trace <subcommand> ...
   profile  <trace.jsonl> [--wall] [--folded]
   timeline <trace.jsonl> [--width N]
   slo      <trace.jsonl> [--width N] [--summary <out.json>]
+  provisioning <trace.jsonl> [--width N] [--summary <out.json>]
   diff     <baseline.jsonl|.json> <candidate.jsonl|.json> [--tolerances <file>] [--bless] [--verbose]
   <trace.jsonl>   (legacy: same as report)";
 
@@ -53,6 +66,7 @@ fn main() -> ExitCode {
         "profile" => cmd_profile(&args[1..]),
         "timeline" => cmd_timeline(&args[1..]),
         "slo" => cmd_slo(&args[1..]),
+        "provisioning" => cmd_provisioning(&args[1..]),
         "diff" => cmd_diff(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -220,7 +234,14 @@ fn cmd_timeline(args: &[String]) -> ExitCode {
         Ok(read) => read,
         Err(code) => return code,
     };
-    print!("{}", timeline::render(&events, width));
+    // Traces carrying prov_* events get the decision overlay for free;
+    // for everything else decision_times is empty and the output is
+    // byte-identical to the plain renderer.
+    let decisions = prov::decision_times(&prov::analyze(&events));
+    print!(
+        "{}",
+        timeline::render_with_decisions(&events, width, &[], &decisions)
+    );
     if line_errors.is_empty() {
         ExitCode::SUCCESS
     } else {
@@ -272,6 +293,75 @@ fn cmd_slo(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
         println!("slo summary written to {}", out.display());
+    }
+    if line_errors.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn cmd_provisioning(args: &[String]) -> ExitCode {
+    let (path, flags) = match parse_path_and_flags(args, &["--width", "--summary"]) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("pstore-trace provisioning: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut width = timeline::DEFAULT_WIDTH;
+    if let Some((_, Some(value))) = flags.iter().find(|(f, _)| *f == "--width") {
+        match value.parse::<usize>() {
+            Ok(w) => width = w,
+            Err(_) => {
+                eprintln!("pstore-trace provisioning: --width wants an integer, got \"{value}\"");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let summary_out = flags
+        .iter()
+        .find(|(f, _)| *f == "--summary")
+        .and_then(|(_, v)| *v)
+        .map(PathBuf::from);
+    let (events, line_errors) = match load_trace(&path) {
+        Ok(read) => read,
+        Err(code) => return code,
+    };
+    let runs = prov::analyze(&events);
+    if runs.is_empty() {
+        eprintln!(
+            "pstore-trace provisioning: no prov_* events in {} \
+             (provisioning telemetry is emission-gated; run with prov \
+             events enabled)",
+            path.display()
+        );
+        return ExitCode::from(1);
+    }
+    print!("{}", prov::render(&runs));
+    println!();
+    print!(
+        "{}",
+        timeline::render_with_decisions(
+            &events,
+            width,
+            &slo::violation_times(&slo::analyze(&events)),
+            &prov::decision_times(&runs),
+        )
+    );
+    if let Some(out) = summary_out {
+        let mut summary = RunSummary::default();
+        for (name, value) in prov::metrics(&runs) {
+            summary.metrics.insert(name, value);
+        }
+        if let Err(e) = std::fs::write(&out, summary.to_json()) {
+            eprintln!(
+                "pstore-trace provisioning: cannot write {}: {e}",
+                out.display()
+            );
+            return ExitCode::from(2);
+        }
+        println!("provisioning summary written to {}", out.display());
     }
     if line_errors.is_empty() {
         ExitCode::SUCCESS

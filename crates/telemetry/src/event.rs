@@ -443,6 +443,39 @@ pub mod kinds {
     /// serializability checkers in `pstore-verify` consume these fields;
     /// records without them (capture off) are skipped by those checkers.
     pub const TXN_RWSET: &str = "txn_rwset";
+    /// Provisioning-observatory run header (emitted once per sim run when
+    /// prov events are enabled): `q` (per-machine capacity), `d_s`
+    /// (migration lead time D, seconds), `interval_s` (monitoring
+    /// interval), `initial` (starting machine count), `policy`.
+    pub const PROV_RUN: &str = "prov_run";
+    /// One scored monitoring interval: `interval`, `observed` (measured
+    /// demand over the interval), `machines` (active during it),
+    /// `reconfiguring`. The ledger integrates these (PRV-01).
+    pub const PROV_INTERVAL: &str = "prov_interval";
+    /// A forecast joined with its later observation: `interval` (the
+    /// target interval that was predicted), `horizon` (intervals ahead
+    /// the prediction was made), `model`, `predicted` (raw, uninflated),
+    /// `observed`. Emitted at scoring time, once per (model, horizon,
+    /// interval) triple (PRV-03).
+    pub const PROV_FORECAST: &str = "prov_forecast";
+    /// Controller decision provenance: `id` (unique per controller
+    /// instance, > 0), `interval`, `machines` (current), `target`,
+    /// `reason`, `trigger` (load that tripped the decision), `peak`
+    /// (predicted peak driving the size), `cost` (DP plan cost, NaN-free
+    /// 0.0 when no plan), `lead` (monitoring intervals between the
+    /// decision and the demand change driving it; 0 for
+    /// reactive/emergency), `rate`.
+    pub const PROV_DECISION: &str = "prov_decision";
+    /// A reconfiguration completed, attributed to its decision: `id`
+    /// (the `prov_decision` id, 0 = unattributed), `from`, `to`,
+    /// `start` (sim time the move began), `duration_s`, `chunks`,
+    /// `rows`, `bytes`, `fences` (fence epochs crossed; 0 on the inline
+    /// backend, which never fences) (PRV-02).
+    pub const PROV_RECONFIG: &str = "prov_reconfig";
+    /// One chunk-move burst attributed to a decision: `id` (decision),
+    /// `from`, `to`, `bytes`. Cheaper sibling of [`CHUNK_MOVE`] carrying
+    /// the provenance join key.
+    pub const PROV_CHUNK: &str = "prov_chunk";
 }
 
 /// Stable span-name strings (`span_begin`/`span_end` `name` field).
@@ -468,6 +501,10 @@ pub mod span_names {
     /// Per-executor-shard attribution span (transaction count + busy
     /// time), emitted at end of run when `shard_spans` is enabled.
     pub const SHARD_EXEC: &str = "shard_exec";
+    /// One reconfiguration fence round-trip on the threaded cluster
+    /// (begin fields: `epoch`; end fields: `quiesce_us`), emitted only
+    /// when runtime gauges are enabled.
+    pub const FENCE: &str = "fence";
     /// Per-worker unit of work in the concurrency verification harness.
     pub const CON_WORK: &str = "con_work";
     /// Generic worker span used by pool/sweep smoke tests.

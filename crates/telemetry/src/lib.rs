@@ -38,6 +38,7 @@ pub mod expose;
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod prov;
 pub mod sink;
 pub mod slo;
 pub mod summary;
@@ -50,6 +51,7 @@ pub use event::{encode_key_versions, kinds, parse_key_versions, Event, Value};
 pub use expose::Exposer;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use profile::{Profile, ProfileClock};
+pub use prov::RunProv;
 pub use sink::{JsonlSink, MemorySink, MemorySinkHandle, NoopSink, Sink};
 pub use slo::{RunSlo, SlaWindow};
 pub use summary::RunSummary;
@@ -64,6 +66,7 @@ thread_local! {
     static SINK: RefCell<Option<Rc<dyn Sink>>> = const { RefCell::new(None) };
     static CLOCK: Cell<f64> = const { Cell::new(f64::NAN) };
     static REGISTRY: RefCell<MetricsRegistry> = RefCell::new(MetricsRegistry::new());
+    static PROV: Cell<bool> = const { Cell::new(false) };
 }
 
 /// Global event sequence (total order across threads within a process).
@@ -107,6 +110,22 @@ impl Drop for SinkGuard {
 /// still skip all field formatting.
 pub fn enabled() -> bool {
     SINK.with(|s| s.borrow().is_some())
+}
+
+/// Enables or disables the provisioning-observatory event family
+/// (`prov_*`) on this thread, returning the previous setting so callers
+/// can restore it. Off by default: default-config traces stay
+/// byte-identical, and a run opts in (e.g. via `PSTORE_PROV_EVENTS=1`)
+/// to get decision-provenance events. Thread-local for the same reason
+/// the sink is: parallel tests must not contaminate each other.
+pub fn set_prov_enabled(on: bool) -> bool {
+    PROV.with(|p| p.replace(on))
+}
+
+/// True when the provisioning-observatory family is enabled *and* a sink
+/// is installed on this thread.
+pub fn prov_enabled() -> bool {
+    PROV.with(Cell::get) && enabled()
 }
 
 /// Sets the thread's simulated-time clock; subsequent events carry `t`.

@@ -21,6 +21,47 @@ use std::path::Path;
 /// Schema tag written into every summary document.
 pub const SCHEMA: &str = "pstore-run-summary/v1";
 
+/// Metric counting the names outside every known family (see
+/// [`known_metric`]). Always present in summaries built by
+/// [`RunSummary::from_events`] or parsed by
+/// [`RunSummary::from_json_str`], and gated at zero tolerance so any
+/// drift in the count is a regression.
+pub const UNKNOWN_METRICS: &str = "meta.unknown_metrics";
+
+/// Whether `name` belongs to a metric family the summary schema
+/// understands: the fixed per-report counters plus the
+/// `stable_p99.*` / `reconfig_p99.*` / `throughput.*` / `slo.*` /
+/// `prov.*` / `meta.*` families.
+///
+/// Unknown names are *tolerated* — they stay in the metric map and the
+/// diff still compares them — but they are *counted* into
+/// [`UNKNOWN_METRICS`]. Without the count, a typo'd family name
+/// (`prv.run0.mape` for `prov.run0.mape`) would silently ride through
+/// the gate as "new metric, passes" while the real metric quietly
+/// vanished from future baselines.
+pub fn known_metric(name: &str) -> bool {
+    const EXACT: [&str; 9] = [
+        "events",
+        "reconfigs",
+        "chunk_moves",
+        "bytes_moved",
+        "sla_violation_seconds",
+        "planner_calls",
+        "planner_feasible",
+        "forecasts",
+        "span_errors",
+    ];
+    const FAMILIES: [&str; 6] = [
+        "stable_p99.",
+        "reconfig_p99.",
+        "throughput.",
+        "slo.",
+        "prov.",
+        "meta.",
+    ];
+    EXACT.contains(&name) || FAMILIES.iter().any(|p| name.starts_with(p))
+}
+
 /// A run flattened to named scalar metrics.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunSummary {
@@ -68,13 +109,31 @@ impl RunSummary {
     }
 
     /// Derives the summary straight from parsed trace events, including
-    /// the per-run SLA/attribution metrics (`slo.*`) from [`crate::slo`].
+    /// the per-run SLA/attribution metrics (`slo.*`) from [`crate::slo`]
+    /// and the provisioning-observatory metrics (`prov.*`) from
+    /// [`crate::prov`]. Traces without `prov_*` events (the default —
+    /// emission is gated) contribute no `prov.*` keys, keeping
+    /// pre-existing golden summaries comparable.
     pub fn from_events(events: &[crate::Event]) -> Self {
         let mut summary = RunSummary::from_report(&RunReport::from_events(events));
         for (name, value) in crate::slo::metrics(&crate::slo::analyze(events)) {
             summary.metrics.insert(name, value);
         }
+        for (name, value) in crate::prov::metrics(&crate::prov::analyze(events)) {
+            summary.metrics.insert(name, value);
+        }
+        summary.count_unknown();
         summary
+    }
+
+    /// Recounts the metric names outside every known family into
+    /// [`UNKNOWN_METRICS`]. The names themselves are kept — tolerated,
+    /// diffed — but the count makes them explicit so a typo'd family
+    /// can't be silently absorbed.
+    fn count_unknown(&mut self) {
+        #[allow(clippy::cast_precision_loss)] // counts far below 2^53
+        let unknown = self.metrics.keys().filter(|k| !known_metric(k)).count() as f64;
+        self.metrics.insert(UNKNOWN_METRICS.to_string(), unknown);
     }
 
     /// Loads a summary from either a `.jsonl` trace (summarised on the
@@ -128,6 +187,10 @@ impl RunSummary {
 
     /// Parses a summary document produced by [`RunSummary::to_json`].
     ///
+    /// [`UNKNOWN_METRICS`] is recomputed from the parsed names rather
+    /// than trusted from the document, so a hand-edited or typo'd
+    /// summary reports its own drift.
+    ///
     /// # Errors
     /// Fails on JSON errors, a missing/foreign `schema` tag, or
     /// non-numeric metric values.
@@ -150,7 +213,9 @@ impl RunSummary {
                 .ok_or_else(|| format!("metric \"{k}\" is not a number"))?;
             metrics.insert(k.clone(), v);
         }
-        Ok(RunSummary { metrics })
+        let mut summary = RunSummary { metrics };
+        summary.count_unknown();
+        Ok(summary)
     }
 }
 
@@ -191,16 +256,19 @@ impl ToleranceTable {
     /// The built-in table used when no tolerance file is given: exact
     /// counters get 2% slack, histogram quantiles 15% (log-bucket
     /// resolution is ~9%), SLA seconds 25% or 3 s, reconfiguration
-    /// count ±1, and any new span error is an outright regression.
+    /// count ±1, and any new span error — or any change in the
+    /// unknown-metric count — is an outright regression.
     pub fn builtin() -> Self {
         let t = |rel: f64, abs: f64| Tolerance { rel, abs };
         ToleranceTable {
             default: t(0.02, 1e-9),
             rules: vec![
                 ("span_errors".to_string(), t(0.0, 0.0)),
+                (UNKNOWN_METRICS.to_string(), t(0.0, 0.0)),
                 ("reconfigs".to_string(), t(0.0, 1.0)),
                 ("sla_violation_seconds".to_string(), t(0.25, 3.0)),
                 ("slo.*".to_string(), t(0.25, 1.0)),
+                ("prov.*".to_string(), t(0.25, 1.0)),
                 ("chunk_moves".to_string(), t(0.05, 2.0)),
                 ("bytes_moved".to_string(), t(0.05, 0.0)),
                 ("stable_p99.count".to_string(), t(0.02, 1.0)),
@@ -538,6 +606,61 @@ mod tests {
         assert!((table.lookup("unknown").rel - 0.5).abs() < 1e-12);
         assert!(ToleranceTable::from_json_str("[]").is_err());
         assert!(ToleranceTable::from_json_str(r#"{"metrics":{"a":{"rel":"x"}}}"#).is_err());
+    }
+
+    #[test]
+    fn typo_metric_family_is_counted_and_trips_the_gate() {
+        let base = sample_summary();
+        assert_eq!(base.metrics.get(UNKNOWN_METRICS), Some(&0.0));
+        // A typo'd family name ("prv." for "prov.") sneaks into a
+        // candidate document; parsing recomputes the unknown count.
+        let mut doc = base.clone();
+        doc.metrics.insert("prv.run0.mape".to_string(), 12.0);
+        let cand = RunSummary::from_json_str(&doc.to_json()).unwrap_or_default();
+        assert_eq!(cand.metrics.get(UNKNOWN_METRICS), Some(&1.0));
+        // Tolerated: the unknown key is kept, not dropped.
+        assert!(cand.metrics.contains_key("prv.run0.mape"));
+        // Counted: the zero-tolerance count is the line that fails.
+        let report = diff(&base, &cand, &ToleranceTable::builtin());
+        let names: Vec<&str> = report
+            .regressions()
+            .iter()
+            .map(|l| l.metric.as_str())
+            .collect();
+        assert_eq!(names, vec![UNKNOWN_METRICS]);
+    }
+
+    #[test]
+    fn prov_metrics_flow_into_event_summaries() {
+        let mut events = Vec::new();
+        let mut run = Event::new(kinds::PROV_RUN)
+            .with("q", 100.0)
+            .with("interval_s", 1.0)
+            .with("initial", 1u64)
+            .with("policy", "reactive");
+        run.seq = 1;
+        events.push(run);
+        for i in 0..3u64 {
+            let mut iv = Event::new(kinds::PROV_INTERVAL)
+                .with("interval", i)
+                .with("observed", 150.0)
+                .with("machines", 1u64);
+            iv.seq = 2 + i;
+            events.push(iv);
+        }
+        let s = RunSummary::from_events(&events);
+        // One machine serving 150 load against q=100 under-provisions.
+        assert!(
+            s.metrics
+                .get("prov.run0.under_provision_machine_s")
+                .is_some_and(|v| *v > 0.0),
+            "metrics: {:?}",
+            s.metrics
+        );
+        assert_eq!(s.metrics.get(UNKNOWN_METRICS), Some(&0.0));
+        // Without prov events no prov.* key appears (golden stability).
+        let plain = sample_summary();
+        assert!(!plain.metrics.keys().any(|k| k.starts_with("prov.")));
     }
 
     #[test]

@@ -43,6 +43,34 @@ pub fn render(events: &[Event], width: usize) -> String {
 /// read straight up against the machine activity, reconfiguration
 /// shading, and chunk moves above it.
 pub fn render_with_violations(events: &[Event], width: usize, violations: &[f64]) -> String {
+    render_full(events, width, violations, &[])
+}
+
+/// Renders the timeline with both the SLA overlay and a provisioning
+/// decision overlay: `decisions` are `(t, lead_s)` pairs (see
+/// [`crate::prov::decision_times`]). Each decision lands in a dedicated
+/// `plan` row aligned under the node rows — a predictive decision
+/// (`lead_s > 0`) prints `P` at the decision time with a `>` arrow
+/// running to the interval it provisioned for, so the lead D is visible
+/// as horizontal distance; a reactive decision prints a bare `R` at the
+/// moment it fired. Reading a `P`'s arrow against the `=` reconfiguration
+/// shading above shows whether capacity arrived before the demand it was
+/// bought for.
+pub fn render_with_decisions(
+    events: &[Event],
+    width: usize,
+    violations: &[f64],
+    decisions: &[(f64, f64)],
+) -> String {
+    render_full(events, width, violations, decisions)
+}
+
+fn render_full(
+    events: &[Event],
+    width: usize,
+    violations: &[f64],
+    decisions: &[(f64, f64)],
+) -> String {
     let width = width.clamp(16, 512);
     let mut seconds: Vec<(f64, u64)> = Vec::new();
     let mut moves: Vec<(f64, u64, u64)> = Vec::new();
@@ -170,9 +198,14 @@ pub fn render_with_violations(events: &[Event], width: usize, violations: &[f64]
     } else {
         "  '!' SLA violation"
     };
+    let decision_overlay = if decisions.is_empty() {
+        ""
+    } else {
+        "  'P>' predictive decision+lead  'R' reactive decision"
+    };
     let _ = writeln!(
         out,
-        "  legend: '.' off  '#' active  '=' reconfiguring  'M' chunk move{overlay}"
+        "  legend: '.' off  '#' active  '=' reconfiguring  'M' chunk move{overlay}{decision_overlay}"
     );
     for (node, row) in grid.iter().enumerate().rev() {
         let line: String = row.iter().collect();
@@ -190,6 +223,40 @@ pub fn render_with_violations(events: &[Event], width: usize, violations: &[f64]
         let line: String = row.iter().collect();
         let _ = writeln!(out, "  sla      |{line}|");
         let _ = writeln!(out, "  sla-violation seconds: {shown}");
+    }
+    if !decisions.is_empty() {
+        let mut row = vec![' '; width];
+        let mut predictive = 0u64;
+        let mut reactive = 0u64;
+        for &(t, lead_s) in decisions {
+            if !(t >= t_min && t <= t_max) {
+                continue;
+            }
+            let col = bucket(t);
+            if lead_s > 0.0 {
+                predictive += 1;
+                // Arrow from the decision column toward the interval it
+                // provisioned for; the marker wins over arrow shafts so
+                // overlapping decisions stay countable.
+                let tip = bucket((t + lead_s).min(t_max));
+                for cell in row.iter_mut().take(tip + 1).skip(col + 1) {
+                    if *cell == ' ' {
+                        *cell = '>';
+                    }
+                }
+                row[col] = 'P';
+            } else {
+                reactive += 1;
+                row[col] = 'R';
+            }
+        }
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "  plan     |{line}|");
+        let _ = writeln!(
+            out,
+            "  decisions: {} predictive, {} reactive",
+            predictive, reactive
+        );
     }
     let _ = writeln!(out, "  reconfigurations: {}", windows.len());
     for w in &windows {
@@ -316,6 +383,39 @@ mod tests {
             node_line.find('|').expect("bar")
         );
         assert!(sla_line.contains('!'));
+    }
+
+    #[test]
+    fn decision_overlay_draws_lead_arrows_and_reactive_marks() {
+        let trace = sample_trace();
+        // No decisions: output byte-identical to the plain renderer.
+        assert_eq!(
+            render_with_decisions(&trace, 32, &[], &[]),
+            render(&trace, 32)
+        );
+        let out = render_with_decisions(&trace, 32, &[], &[(2.0, 5.0), (8.0, 0.0)]);
+        assert!(out.contains("'P>' predictive decision+lead"));
+        let plan_line = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("plan     |"))
+            .expect("plan row");
+        let node_line = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("node"))
+            .expect("node row");
+        assert_eq!(
+            plan_line.find('|').expect("bar"),
+            node_line.find('|').expect("bar")
+        );
+        assert!(plan_line.contains('P'));
+        assert!(plan_line.contains('>'));
+        assert!(plan_line.contains('R'));
+        // The P marker precedes its arrow shaft, which precedes the R.
+        let p = plan_line.find('P').expect("P");
+        let arrow = plan_line.find('>').expect(">");
+        let r = plan_line.find('R').expect("R");
+        assert!(p < arrow && arrow < r);
+        assert!(out.contains("decisions: 1 predictive, 1 reactive"));
     }
 
     #[test]

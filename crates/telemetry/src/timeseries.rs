@@ -176,6 +176,25 @@ impl LiveMetrics {
                 }
             }
             kinds::FORECAST_PREDICT => self.inc_counter("forecasts", 1.0),
+            // Provisioning observatory: surface the decision/reconfig
+            // stream and per-interval capacity as prov.* metrics so the
+            // exposition endpoint can alert on provisioning drift.
+            kinds::PROV_DECISION => {
+                self.inc_counter("prov.decisions", 1.0);
+                if let Some(m) = ev.field_f64("target") {
+                    self.set_gauge("prov.target_machines", m);
+                }
+            }
+            kinds::PROV_RECONFIG => self.inc_counter("prov.reconfigs", 1.0),
+            kinds::PROV_FORECAST => self.inc_counter("prov.forecast_scores", 1.0),
+            kinds::PROV_INTERVAL => {
+                if let Some(m) = ev.field_f64("machines") {
+                    self.set_gauge("prov.machines", m);
+                }
+                if let Some(o) = ev.field_f64("observed") {
+                    self.set_gauge("prov.observed_load", o);
+                }
+            }
             kinds::METRICS_SNAPSHOT => {
                 // End-of-run registry dump: publish every scalar field.
                 for (k, v) in &ev.fields {
@@ -382,6 +401,34 @@ mod tests {
         assert_eq!(live.gauge("reconfiguring"), Some(1.0));
         let series = live.series("p99").map(TimeSeries::samples);
         assert_eq!(series, Some(vec![(1.0, 0.02), (2.0, 0.09)]));
+    }
+
+    #[test]
+    fn prov_events_surface_as_prov_metrics() {
+        let mut live = LiveMetrics::new();
+        live.observe(
+            &Event::new(kinds::PROV_INTERVAL)
+                .with("interval", 3u64)
+                .with("observed", 512.0)
+                .with("machines", 2u64),
+        );
+        live.observe(
+            &Event::new(kinds::PROV_DECISION)
+                .with("id", 1u64)
+                .with("target", 4u64),
+        );
+        live.observe(&Event::new(kinds::PROV_RECONFIG).with("id", 1u64));
+        live.observe(&Event::new(kinds::PROV_FORECAST).with("horizon", 2u64));
+        assert_eq!(live.gauge("prov.machines"), Some(2.0));
+        assert_eq!(live.gauge("prov.observed_load"), Some(512.0));
+        assert_eq!(live.gauge("prov.target_machines"), Some(4.0));
+        assert!((live.counter("prov.decisions") - 1.0).abs() < 1e-9);
+        assert!((live.counter("prov.reconfigs") - 1.0).abs() < 1e-9);
+        assert!((live.counter("prov.forecast_scores") - 1.0).abs() < 1e-9);
+        // Dots sanitize to underscores in the exposition text.
+        let text = live.render_prometheus();
+        assert!(text.contains("pstore_prov_decisions_total 1"));
+        assert!(text.contains("pstore_prov_machines 2"));
     }
 
     #[test]

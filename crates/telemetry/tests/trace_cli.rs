@@ -242,6 +242,112 @@ fn diff_self_is_clean_and_regression_fails_naming_metric() {
     }
 }
 
+/// The good trace extended with a provisioning run: header, per-interval
+/// capacity samples, a predictive decision (lead 2) that triggers a
+/// scale-out, and a scored forecast joined to its observation.
+fn prov_trace() -> String {
+    good_trace()
+        + concat!(
+            r#"{"seq":13,"t":0,"kind":"prov_run","q":1000,"d_s":2,"interval_s":1,"initial":2,"policy":"predictive"}"#,
+            "\n",
+            r#"{"seq":14,"t":1,"kind":"prov_interval","interval":0,"observed":1500,"machines":2,"reconfiguring":false}"#,
+            "\n",
+            r#"{"seq":15,"t":1,"kind":"prov_forecast","interval":3,"horizon":2,"model":"oracle","predicted":2500,"observed":2500}"#,
+            "\n",
+            r#"{"seq":16,"t":1,"kind":"prov_decision","id":1,"interval":1,"machines":2,"target":3,"reason":"planned","trigger":0.9,"peak":2500,"cost":1,"lead":2,"rate":1}"#,
+            "\n",
+            r#"{"seq":17,"t":2,"kind":"prov_interval","interval":1,"observed":1500,"machines":2,"reconfiguring":true}"#,
+            "\n",
+            r#"{"seq":18,"t":3,"kind":"prov_interval","interval":2,"observed":1600,"machines":2,"reconfiguring":true}"#,
+            "\n",
+            r#"{"seq":19,"t":3,"kind":"prov_chunk","id":1,"from":0,"to":2,"bytes":4096}"#,
+            "\n",
+            r#"{"seq":20,"t":3,"kind":"prov_reconfig","id":1,"from":2,"to":3,"start":1,"duration_s":2,"chunks":1,"rows":16,"bytes":4096,"fences":1}"#,
+            "\n",
+            r#"{"seq":21,"t":4,"kind":"prov_interval","interval":3,"observed":2500,"machines":3,"reconfiguring":false}"#,
+            "\n",
+        )
+}
+
+#[test]
+fn provisioning_renders_ledger_audit_and_summary() {
+    let path = tmp("prov.jsonl");
+    write(&path, &prov_trace());
+    let summary = tmp("prov_summary.json");
+    let out = run(&[
+        "provisioning",
+        path.to_str().unwrap(),
+        "--width",
+        "32",
+        "--summary",
+        summary.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("capacity ledger"), "stdout: {text}");
+    assert!(
+        text.contains("== decisions (forecast -> decision -> cost -> SLA) =="),
+        "stdout: {text}"
+    );
+    assert!(text.contains("forecast error"), "stdout: {text}");
+    // The timeline carries the decision overlay for the lead-2 decision.
+    assert!(
+        text.contains("'P>' predictive decision+lead"),
+        "stdout: {text}"
+    );
+    assert!(text.contains("1 predictive, 0 reactive"), "stdout: {text}");
+
+    let summary_text = std::fs::read_to_string(&summary).unwrap();
+    assert!(summary_text.contains("pstore-run-summary/v1"));
+    assert!(summary_text.contains("prov.run0.provisioned_machine_s"));
+    assert!(summary_text.contains("prov.total.decisions"));
+
+    // Deterministic output for the same trace.
+    let again = run(&["provisioning", path.to_str().unwrap(), "--width", "32"]);
+    assert_eq!(
+        text.replace(
+            &format!("provisioning summary written to {}\n", summary.display()),
+            ""
+        ),
+        stdout(&again)
+    );
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&summary);
+}
+
+#[test]
+fn provisioning_without_prov_events_exits_1() {
+    let path = tmp("prov_none.jsonl");
+    write(&path, &good_trace());
+    let out = run(&["provisioning", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("no prov_* events"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn timeline_overlays_decisions_when_prov_events_present() {
+    let plain = tmp("timeline_plain.jsonl");
+    write(&plain, &good_trace());
+    let out = run(&["timeline", plain.to_str().unwrap(), "--width", "32"]);
+    assert!(out.status.success());
+    assert!(!stdout(&out).contains("plan     |"));
+
+    let prov = tmp("timeline_prov.jsonl");
+    write(&prov, &prov_trace());
+    let out = run(&["timeline", prov.to_str().unwrap(), "--width", "32"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("plan     |"), "stdout: {text}");
+    assert!(text.contains('P'), "stdout: {text}");
+    let _ = std::fs::remove_file(&plain);
+    let _ = std::fs::remove_file(&prov);
+}
+
 #[test]
 fn diff_refuses_corrupt_trace() {
     let good = tmp("diff_ok.jsonl");

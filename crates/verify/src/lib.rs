@@ -26,6 +26,12 @@
 //!   reconfiguration fence excludes in-flight shard execution
 //!   (`CON-04/05`; exhaustive layer in
 //!   `crates/dbms/tests/loom_models.rs`).
+//! * [`prov`] — the provisioning observatory's `prov_*` event family:
+//!   the capacity ledger conserves machine-seconds against the raw
+//!   per-interval stream (`PRV-01`), every reconfiguration traces to
+//!   exactly one decision and predictive decisions keep their lead
+//!   (`PRV-02`), and forecast scoring is exactly-once against real
+//!   observations (`PRV-03`).
 //! * [`iso`] — serializability of sampled key-level histories
 //!   (IsoPredict-style): the direct serialization graph over captured
 //!   `(key, version)` read/write sets is acyclic (`ISO-01`), reads
@@ -57,6 +63,7 @@ pub mod forecast;
 pub mod iso;
 pub mod moves;
 pub mod plan;
+pub mod prov;
 pub mod schedule;
 pub mod telemetry;
 

@@ -17,7 +17,12 @@
 //!    key-level version histories from fixed-seed detailed-sim runs at
 //!    shards {1, 2, 4} with reconfiguration traffic (`ISO-01..03`) —
 //!    set `PSTORE_ISO_REPORT=<path>` to also write a JSON report of the
-//!    checked histories (CI uploads it as an artifact).
+//!    checked histories (CI uploads it as an artifact),
+//! 7. with the `telemetry` feature: the provisioning observatory's
+//!    `prov_*` event family from fixed-seed reactive *and* predictive
+//!    runs at shards {1, 4} (`PRV-01..03`): ledger conservation,
+//!    decision→reconfiguration causality, forecast bookkeeping — set
+//!    `PSTORE_PROV_REPORT=<path>` to also write a JSON report.
 
 use pstore_core::planner::{Planner, PlannerConfig};
 use pstore_forecast::{
@@ -49,6 +54,10 @@ const SHARD_COUNTS: [u32; 2] = [1, 4];
 /// witness, plus two threaded widths so shard routing is exercised.
 #[cfg(feature = "telemetry")]
 const ISO_SHARD_COUNTS: [u32; 3] = [1, 2, 4];
+/// Executor shard counts for the provisioning-observatory (prov) sweep:
+/// the serial inline backend and the threaded backend.
+#[cfg(feature = "telemetry")]
+const PROV_SHARD_COUNTS: [u32; 2] = [1, 4];
 
 fn main() {
     let mut all = Vec::new();
@@ -114,6 +123,15 @@ fn main() {
         report_phase(
             &format!(
                 "iso sweep: serializability of sampled key histories at shards {ISO_SHARD_COUNTS:?} with migrations"
+            ),
+            &stats,
+        );
+        all.extend(stats.violations);
+
+        let stats = prov_sweep();
+        report_phase(
+            &format!(
+                "prov sweep: provisioning ledger, decision causality, forecast bookkeeping at shards {PROV_SHARD_COUNTS:?}, reactive and predictive"
             ),
             &stats,
         );
@@ -518,6 +536,84 @@ fn iso_sweep() -> CheckStats {
         );
         if let Err(e) = std::fs::write(&path, body) {
             eprintln!("pstore-verify: could not write iso report to {path}: {e}");
+        }
+    }
+    stats
+}
+
+/// Phase 9 (telemetry builds only): the `PRV-01..03` provisioning
+/// sweep. Replays fixed-seed detailed runs with provenance events on —
+/// the reactive ramp and a predictive flat-then-step scenario under the
+/// P-Store controller with an oracle forecaster — at every shard count
+/// in [`PROV_SHARD_COUNTS`], and checks the captured `prov_*` stream:
+/// ledger conservation against the raw per-interval integral (PRV-01),
+/// decision→reconfiguration causality and lead preservation (PRV-02),
+/// and exactly-once forecast scoring against real observations
+/// (PRV-03). A trace with no decisions, no reconfigurations or (for
+/// the reactive run) no forecast scores fails — a vacuous pass proves
+/// nothing — and the predictive run must contain at least one planned
+/// decision with a real lead, or the lead-preservation check never
+/// fired.
+///
+/// When `PSTORE_PROV_REPORT` names a path, a JSON summary of each
+/// checked trace (decision/reconfig/score counts, violations) is
+/// written there for CI to upload.
+#[cfg(feature = "telemetry")]
+fn prov_sweep() -> CheckStats {
+    use pstore_core::InvariantId;
+    use pstore_verify::prov;
+
+    let mut stats = CheckStats::default();
+    let mut report_lines: Vec<String> = Vec::new();
+    for shards in PROV_SHARD_COUNTS {
+        for predictive in [false, true] {
+            let policy = if predictive { "predictive" } else { "reactive" };
+            let artifact = format!("detailed sim prov trace policy={policy} shards={shards}");
+            let (_result, events) = prov::captured_prov_run(shards, predictive);
+            let runs = prov::raw_runs(&events);
+            let decisions: usize = runs.iter().map(|r| r.decisions.len()).sum();
+            let reconfigs: usize = runs.iter().map(|r| r.reconfigs.len()).sum();
+            let scores: usize = runs.iter().map(|r| r.scores.len()).sum();
+            let leads: usize = runs
+                .iter()
+                .flat_map(|r| &r.decisions)
+                .filter(|d| d.lead >= 1)
+                .count();
+            let mut violations = prov::check_events(&artifact, &events);
+            if decisions == 0 || reconfigs == 0 || scores == 0 {
+                violations.push(Violation::new(
+                    InvariantId::ProvDecisionCausality,
+                    artifact.clone(),
+                    format!(
+                        "vacuous trace: {decisions} decisions, {reconfigs} reconfigs, \
+                         {scores} forecast scores — nothing was checked"
+                    ),
+                ));
+            }
+            if predictive && leads == 0 {
+                violations.push(Violation::new(
+                    InvariantId::ProvDecisionCausality,
+                    artifact.clone(),
+                    "predictive run issued no decision with lead >= 1 — the \
+                     lead-preservation check never fired"
+                        .to_string(),
+                ));
+            }
+            report_lines.push(format!(
+                "{{\"policy\":\"{policy}\",\"shards\":{shards},\"decisions\":{decisions},\"reconfigs\":{reconfigs},\"scores\":{scores},\"lead_decisions\":{leads},\"violations\":{}}}",
+                violations.len()
+            ));
+            stats.absorb(violations);
+        }
+    }
+    if let Ok(path) = std::env::var("PSTORE_PROV_REPORT") {
+        let body = format!(
+            "{{\"ok\":{},\"phases\":[{}]}}\n",
+            stats.is_clean(),
+            report_lines.join(",")
+        );
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("pstore-verify: could not write prov report to {path}: {e}");
         }
     }
     stats

@@ -108,6 +108,18 @@ cargo run -q --release -p pstore-bench --features telemetry \
     --summary "$GOLDEN_TMP/table2_quick.summary.json" > /dev/null
 cargo run -q --release -p pstore-telemetry --bin pstore-trace -- \
     diff results/golden/table2_quick.summary.json "$GOLDEN_TMP/table2_quick.summary.json"
+# Provisioning observatory: the same quick workload with the prov_*
+# family enabled (the default run above stays byte-stable because
+# emission is gated). Reactive must under-provision, P-Store must not;
+# gated via the prov.* metrics in the committed golden.
+PSTORE_PROV_EVENTS=1 cargo run -q --release -p pstore-bench --features telemetry \
+    --bin fig9_comparison -- --quick --quiet \
+    --trace "$GOLDEN_TMP/fig9_prov_quick.jsonl" > /dev/null
+cargo run -q --release -p pstore-telemetry --bin pstore-trace -- \
+    provisioning "$GOLDEN_TMP/fig9_prov_quick.jsonl" \
+    --summary "$GOLDEN_TMP/fig9_prov_quick.summary.json" > /dev/null
+cargo run -q --release -p pstore-telemetry --bin pstore-trace -- \
+    diff results/golden/fig9_prov_quick.summary.json "$GOLDEN_TMP/fig9_prov_quick.summary.json"
 rm -rf "$GOLDEN_TMP"
 
 if [[ "$QUICK" == "0" ]]; then
